@@ -1,0 +1,57 @@
+//! Extension experiment: DWS-style *managed* walker sharing.
+//!
+//! The paper compares static walker partitions against fully dynamic
+//! sharing (+DW). The original's `misc_config` also supports per-core
+//! lower/upper bounds on the shared pool; this bench sweeps that middle
+//! ground on every dual-core mix: guaranteed minimums protect victims from
+//! walk-hungry co-runners while still allowing stealing.
+
+use mnpu_bench::Harness;
+use mnpu_engine::SharingLevel;
+use mnpu_metrics::{fairness, geomean};
+use mnpu_predict::mapping::multisets;
+
+fn main() {
+    let mut h = Harness::new();
+    // 4 walkers total on the dual-core bench chip.
+    let configs: [(&str, Option<(Vec<usize>, Vec<usize>)>); 4] = [
+        ("shared", None),
+        ("min1_max4", Some((vec![1, 1], vec![4, 4]))),
+        ("min1_max3", Some((vec![1, 1], vec![3, 3]))),
+        ("min2_max2", Some((vec![2, 2], vec![2, 2]))),
+    ];
+    println!("Extension 1 — bounded walker pool on the dual-core +DW chip");
+    print!("{:<14}", "mix");
+    for (label, _) in &configs {
+        print!("{label:>12}{:>8}", "fair");
+    }
+    println!();
+
+    let mut perf_cols = vec![Vec::new(); configs.len()];
+    let mut fair_cols = vec![Vec::new(); configs.len()];
+    for ws in multisets(8, 2) {
+        let label: String = ws.iter().map(|&w| h.names()[w]).collect::<Vec<_>>().join("+");
+        print!("{label:<14}");
+        for (i, (_, bounds)) in configs.iter().enumerate() {
+            let mut cfg = Harness::dual(SharingLevel::PlusDw);
+            if let Some((min, max)) = bounds {
+                cfg = cfg.with_ptw_bounds(min.clone(), max.clone());
+            }
+            let speedups = h.mix_speedups(&cfg, &ws);
+            let slowdowns: Vec<f64> = speedups.iter().map(|s| 1.0 / s).collect();
+            let p = geomean(&speedups);
+            let f = fairness(&slowdowns);
+            print!("{p:>12.3}{f:>8.3}");
+            perf_cols[i].push(p);
+            fair_cols[i].push(f);
+        }
+        println!();
+    }
+    print!("{:<14}", "geomean");
+    for i in 0..configs.len() {
+        print!("{:>12.3}{:>8.3}", geomean(&perf_cols[i]), geomean(&fair_cols[i]));
+    }
+    println!();
+    println!("\n(minimum reservations trade a little throughput for fairness;");
+    println!(" min=max reduces to a static split)");
+}

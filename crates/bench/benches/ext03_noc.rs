@@ -1,0 +1,38 @@
+//! Extension experiment: the on-chip interconnect as a fourth shared
+//! resource.
+//!
+//! The paper assumes an ideal path between cores and the memory system;
+//! this bench inserts the crossbar model at two widths and reports the
+//! slowdown and queueing it introduces on a representative mix.
+
+use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+use mnpu_model::{zoo, Scale};
+use mnpu_noc::NocConfig;
+
+fn main() {
+    let nets = [zoo::deepspeech2(Scale::Bench), zoo::gpt2(Scale::Bench)];
+    println!("Extension 3 — interconnect sensitivity of the ds2+gpt2 mix (+DWT)");
+    println!("{:<22}{:>12}{:>12}{:>14}{:>14}", "interconnect", "ds2 cycles", "gpt2 cycles", "ds2 queue", "gpt2 queue");
+    let configs: [(&str, Option<NocConfig>); 3] = [
+        ("ideal (paper)", None),
+        ("wide 64B/c +4", Some(NocConfig::wide())),
+        ("narrow 16B/c +8", Some(NocConfig::narrow())),
+    ];
+    for (label, noc) in configs {
+        let mut cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+        if let Some(n) = noc {
+            cfg = cfg.with_noc(n);
+        }
+        let r = Simulation::run_networks(&cfg, &nets);
+        println!(
+            "{:<22}{:>12}{:>12}{:>14}{:>14}",
+            label,
+            r.cores[0].cycles,
+            r.cores[1].cycles,
+            r.cores[0].noc_queue_cycles,
+            r.cores[1].noc_queue_cycles,
+        );
+    }
+    println!("\n(a wide crossbar is nearly free; a narrow one serializes tile");
+    println!(" bursts before they even reach the shared DRAM)");
+}

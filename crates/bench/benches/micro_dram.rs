@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the DRAM model: scheduler throughput for
+//! streaming and random access, and the BlockInterleaved-vs-RowInterleaved
+//! mapping ablation (DESIGN.md decision 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnpu_dram::{AddressMapping, Dram, DramConfig};
+use std::hint::black_box;
+
+fn drive(dram: &mut Dram, addrs: &[u64]) -> u64 {
+    let mut now = 0;
+    let mut done = 0;
+    let mut it = addrs.iter();
+    let mut next_addr = it.next().copied();
+    while done < addrs.len() {
+        while let Some(a) = next_addr {
+            if dram.try_enqueue(now, 0, a, false, a).is_err() {
+                break;
+            }
+            next_addr = it.next().copied();
+        }
+        done += dram.advance(now).len();
+        if done < addrs.len() {
+            now = dram.next_event().expect("pending work");
+        }
+    }
+    now
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let streaming: Vec<u64> = (0..4096u64).map(|i| i * 64).collect();
+    let random: Vec<u64> = (0..4096u64).map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % (1 << 30) / 64 * 64).collect();
+
+    c.bench_function("dram_streaming_4k_txns", |b| {
+        b.iter(|| {
+            let mut d = Dram::new(DramConfig::hbm2(8));
+            black_box(drive(&mut d, black_box(&streaming)))
+        })
+    });
+    c.bench_function("dram_random_4k_txns", |b| {
+        b.iter(|| {
+            let mut d = Dram::new(DramConfig::hbm2(8));
+            black_box(drive(&mut d, black_box(&random)))
+        })
+    });
+    // Ablation: mapping scheme. RowInterleaved keeps rows local to one
+    // channel (fewer ACTs for streaming within a row but less parallelism).
+    for mapping in [AddressMapping::BlockInterleaved, AddressMapping::RowInterleaved] {
+        c.bench_function(&format!("dram_streaming_{mapping:?}"), |b| {
+            b.iter(|| {
+                let mut cfg = DramConfig::hbm2(8);
+                cfg.mapping = mapping;
+                let mut d = Dram::new(cfg);
+                black_box(drive(&mut d, black_box(&streaming)))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dram
+}
+criterion_main!(benches);

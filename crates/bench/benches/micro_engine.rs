@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark of the full simulation loop: events per second
+//! on a small single-core run (the metric that bounds sweep wall-clock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+use mnpu_model::{zoo, Scale};
+use mnpu_systolic::WorkloadTrace;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+    let net = zoo::ncf(Scale::Bench);
+    let trace = WorkloadTrace::generate(&net, &cfg.arch[0]);
+
+    c.bench_function("simulate_ncf_single_core", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(black_box(&cfg), std::slice::from_ref(&trace));
+            black_box(sim.run().total_cycles)
+        })
+    });
+
+    let dual = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    let traces = [trace.clone(), WorkloadTrace::generate(&zoo::ncf(Scale::Bench), &dual.arch[1])];
+    c.bench_function("simulate_ncf_pair_dwt", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(black_box(&dual), &traces);
+            black_box(sim.run().total_cycles)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the MMU: TLB lookup throughput and walk
+//! processing, plus the walk-coalescing ablation (DESIGN.md decision 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnpu_mmu::{Mmu, MmuConfig, Tlb, WalkStart, WalkStep};
+use std::hint::black_box;
+
+fn bench_mmu(c: &mut Criterion) {
+    c.bench_function("tlb_lookup_hit_stream", |b| {
+        let mut tlb = Tlb::new(2048, 8);
+        for vpn in 0..2048 {
+            tlb.insert(0, vpn);
+        }
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(0, black_box(vpn)))
+        })
+    });
+
+    c.bench_function("full_walk_4level", |b| {
+        let mut mmu = Mmu::new(MmuConfig::neummu(4096), 1, &[0]);
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn += 1;
+            let WalkStart::Started { walk, pt_addr } = mmu.start_or_join_walk(0, vpn) else {
+                unreachable!("walker always free in this loop")
+            };
+            black_box(pt_addr);
+            loop {
+                match mmu.advance_walk(walk) {
+                    WalkStep::Access(a) => {
+                        black_box(a);
+                    }
+                    WalkStep::Done { .. } => break,
+                }
+            }
+        })
+    });
+
+    // Ablation: coalescing burst misses to one page vs walking per miss.
+    c.bench_function("coalesced_burst_64_misses", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            let mut mmu = Mmu::new(MmuConfig::neummu(4096), 1, &[0]);
+            vpn += 1;
+            let WalkStart::Started { walk, .. } = mmu.start_or_join_walk(0, vpn) else {
+                unreachable!()
+            };
+            for _ in 0..63 {
+                assert_eq!(mmu.start_or_join_walk(0, vpn), WalkStart::Joined(walk));
+            }
+            while let WalkStep::Access(_) = mmu.advance_walk(walk) {}
+            black_box(mmu.stats(0).coalesced)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mmu
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion micro-benchmarks of the SW request generator: trace
+//! generation throughput for each benchmark model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnpu_model::{zoo, Scale};
+use mnpu_systolic::{ArchConfig, WorkloadTrace};
+use std::hint::black_box;
+
+fn bench_trace(c: &mut Criterion) {
+    let arch = ArchConfig::bench_npu();
+    for name in ["res", "dlrm", "gpt2"] {
+        let net = zoo::by_name(name, Scale::Bench).expect("known benchmark");
+        c.bench_function(&format!("trace_generate_{name}"), |b| {
+            b.iter(|| black_box(WorkloadTrace::generate(black_box(&net), &arch)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Figures 17–18: the co-runner mapping study (§4.6).
+
+use crate::harness::Harness;
+use mnpu_engine::SharingLevel;
+use mnpu_metrics::{fairness, Cdf};
+use mnpu_predict::mapping::{multisets, study_multiset};
+use mnpu_predict::{SlowdownModel, WorkloadProfile};
+
+/// Everything needed to evaluate one multiset mapping: the measured and
+/// predicted pairwise slowdown tables over the eight benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairTables {
+    n: usize,
+    /// `actual[i][j]` = measured slowdown of *i* when paired with *j*.
+    actual: Vec<Vec<f64>>,
+    /// `predicted[i][j]` = model-predicted slowdown of *i* next to *j*.
+    predicted: Vec<Vec<f64>>,
+}
+
+impl PairTables {
+    /// Simulate all 36 unordered benchmark pairs under dual-core `+DWT`
+    /// (reusing the Fig. 4 cache), profile the benchmarks, and train the
+    /// slowdown model on random networks.
+    pub fn build(h: &mut Harness) -> Self {
+        let chip = Harness::dual(SharingLevel::PlusDwt);
+        let n = h.names().len();
+
+        let mut actual = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let speedups = h.mix_speedups(&chip, &[i, j]);
+                actual[i][j] = 1.0 / speedups[0];
+                actual[j][i] = 1.0 / speedups[1];
+            }
+        }
+
+        let profiles: Vec<WorkloadProfile> = h
+            .networks()
+            .to_vec()
+            .iter()
+            .map(|net| WorkloadProfile::measure(&chip, net))
+            .collect();
+        let model = SlowdownModel::train_on_random_networks(&chip, 10, 20, 2023);
+        let mut predicted = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                predicted[i][j] = model.predict_slowdown(&profiles[i], &profiles[j]);
+            }
+        }
+        PairTables { n, actual, predicted }
+    }
+
+    /// Measured `(slowdown_i, slowdown_j)` of pairing benchmarks `i`, `j`.
+    pub fn actual(&self, i: usize, j: usize) -> (f64, f64) {
+        (self.actual[i][j], self.actual[j][i])
+    }
+
+    /// Predicted `(slowdown_i, slowdown_j)`.
+    pub fn predicted(&self, i: usize, j: usize) -> (f64, f64) {
+        (self.predicted[i][j], self.predicted[j][i])
+    }
+
+    /// Number of benchmarks covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true; tables always cover the zoo.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Result of the mapping study over the eight-workload multisets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingStudy {
+    /// CDF of the predictor's score normalized to random assignment.
+    pub prediction: Cdf,
+    /// CDF of the oracle's score normalized to random assignment.
+    pub oracle: Cdf,
+    /// CDF of the worst assignment's score normalized to random.
+    pub worst: Cdf,
+    /// Fraction of multisets where the predictor beat random assignment.
+    pub frac_better_than_random: f64,
+    /// Multisets evaluated (6435 with `MNPU_FULL=1`).
+    pub sampled: usize,
+    /// Total multisets in the full study.
+    pub total: usize,
+}
+
+fn run_study(tables: &PairTables, score: &dyn Fn(&[f64]) -> f64) -> MappingStudy {
+    let all = multisets(tables.len(), 8);
+    let total = all.len();
+    let stride = if Harness::full_sweeps() { 1 } else { 10 };
+    let sample: Vec<&Vec<usize>> = all.iter().step_by(stride).collect();
+
+    let mut pred = Vec::with_capacity(sample.len());
+    let mut oracle = Vec::with_capacity(sample.len());
+    let mut worst = Vec::with_capacity(sample.len());
+    let mut better = 0usize;
+    for ws in &sample {
+        let out = study_multiset(
+            ws,
+            &|i, j| tables.actual(i, j),
+            &|i, j| tables.predicted(i, j),
+            score,
+        );
+        pred.push(out.chosen / out.expected);
+        oracle.push(out.oracle / out.expected);
+        worst.push(out.worst / out.expected);
+        if out.chosen > out.expected {
+            better += 1;
+        }
+    }
+    MappingStudy {
+        prediction: Cdf::new(pred),
+        oracle: Cdf::new(oracle),
+        worst: Cdf::new(worst),
+        frac_better_than_random: better as f64 / sample.len() as f64,
+        sampled: sample.len(),
+        total,
+    }
+}
+
+/// Fig. 17: CDF of mapped-system *performance* (geomean speedup) for the
+/// prediction model vs the oracle, worst, and random assignments.
+pub fn fig17_mapping_performance(tables: &PairTables) -> MappingStudy {
+    run_study(tables, &|slowdowns| {
+        let log: f64 = slowdowns.iter().map(|s| (1.0 / s).ln()).sum();
+        (log / slowdowns.len() as f64).exp()
+    })
+}
+
+/// Fig. 18: CDF of mapped-system *fairness* for the same four schedulers.
+pub fn fig18_mapping_fairness(tables: &PairTables) -> MappingStudy {
+    run_study(tables, &|slowdowns| fairness(slowdowns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_tables() -> PairTables {
+        let n = 8;
+        let mut actual = vec![vec![0.0; n]; n];
+        let mut predicted = vec![vec![0.0; n]; n];
+        for (i, row) in actual.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = 1.0 + ((i * 13 + j * 7) % 10) as f64 / 10.0;
+            }
+        }
+        for (i, row) in predicted.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                // A noisy but correlated predictor.
+                *v = actual[i][j] + ((i + j) % 3) as f64 * 0.05;
+            }
+        }
+        PairTables { n, actual, predicted }
+    }
+
+    #[test]
+    fn oracle_dominates_prediction_dominates_worst() {
+        let t = toy_tables();
+        let s = fig17_mapping_performance(&t);
+        for q in [0.1, 0.5, 0.9] {
+            assert!(s.oracle.quantile(q) >= s.prediction.quantile(q) - 1e-9);
+            assert!(s.prediction.quantile(q) >= s.worst.quantile(q) - 1e-9);
+        }
+        assert!(s.sampled > 0 && s.total == 6435);
+    }
+
+    #[test]
+    fn correlated_predictor_beats_random_often() {
+        let t = toy_tables();
+        let s = fig17_mapping_performance(&t);
+        assert!(s.frac_better_than_random > 0.4, "{}", s.frac_better_than_random);
+    }
+
+    #[test]
+    fn fairness_study_produces_valid_cdfs() {
+        let t = toy_tables();
+        let s = fig18_mapping_fairness(&t);
+        assert_eq!(s.prediction.len(), s.oracle.len());
+        assert!(s.oracle.quantile(0.5) >= 1.0 - 1e-9, "oracle at least random");
+    }
+}

@@ -1,0 +1,25 @@
+//! One function per paper figure; bench binaries print the results.
+//!
+//! | Figure | Function |
+//! |--------|----------|
+//! | Fig. 2b | [`bandwidth::fig02_burstiness`] |
+//! | Fig. 4 | [`sharing::fig04_dual_performance`] |
+//! | Fig. 5 | [`sharing::fig05_quad_performance_cdf`] |
+//! | Fig. 6 | [`sharing::fig06_dual_fairness`] |
+//! | Fig. 7 | [`sharing::fig07_quad_fairness_cdf`] |
+//! | Fig. 8 | [`sharing::fig08_sensitivity`] |
+//! | Fig. 9 | [`bandwidth::fig09_bw_partition_performance`] |
+//! | Fig. 10 | [`bandwidth::fig10_bw_partition_fairness`] |
+//! | Fig. 11 | [`bandwidth::fig11_bandwidth_sweep`] |
+//! | Fig. 12 | [`bandwidth::fig12_bw_timeline`] |
+//! | Fig. 13 | [`translation::fig13_ptw_partition_performance`] |
+//! | Fig. 14 | [`translation::fig14_ptw_partition_fairness`] |
+//! | Fig. 15 | [`translation::fig15_page_size_single`] |
+//! | Fig. 16 | [`translation::fig16_page_size_multi`] |
+//! | Fig. 17 | [`mapping::fig17_mapping_performance`] |
+//! | Fig. 18 | [`mapping::fig18_mapping_fairness`] |
+
+pub mod bandwidth;
+pub mod mapping;
+pub mod sharing;
+pub mod translation;

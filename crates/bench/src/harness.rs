@@ -1,0 +1,255 @@
+//! Shared experiment machinery: workloads, Ideal baselines, run cache.
+
+use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+use mnpu_model::{zoo, Network, Scale};
+use mnpu_systolic::WorkloadTrace;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Bump to invalidate cached run results after simulator changes.
+const CACHE_VERSION: u32 = 3;
+
+/// FNV-1a, for compact cache keys.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The experiment harness: the eight benchmarks at the active scale, and a
+/// memoized, disk-backed `run → per-core cycles` cache.
+///
+/// ```no_run
+/// use mnpu_bench::Harness;
+/// use mnpu_engine::SharingLevel;
+///
+/// let mut h = Harness::new();
+/// let cycles = h.run_mix(&Harness::dual(SharingLevel::PlusDwt), &[0, 1]);
+/// assert_eq!(cycles.len(), 2);
+/// ```
+pub struct Harness {
+    networks: Vec<Network>,
+    traces: HashMap<(String, String), WorkloadTrace>,
+    cache: HashMap<u64, Vec<u64>>,
+    cache_path: Option<PathBuf>,
+    dirty: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Build the harness at bench scale, loading any existing run cache.
+    pub fn new() -> Self {
+        let networks = zoo::all(Scale::Bench);
+        let cache_path = if std::env::var_os("MNPU_NO_CACHE").is_some() {
+            None
+        } else {
+            // Bench binaries run with CWD = this crate; anchor the cache at
+            // the workspace target directory so every target shares it.
+            let target = std::env::var("CARGO_TARGET_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| {
+                    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
+                });
+            Some(target.join("mnpu_run_cache.tsv"))
+        };
+        let mut cache = HashMap::new();
+        if let Some(p) = &cache_path {
+            if let Ok(text) = fs::read_to_string(p) {
+                for line in text.lines() {
+                    let mut it = line.split('\t');
+                    let (Some(k), Some(v)) = (it.next(), it.next()) else { continue };
+                    let Ok(key) = k.parse::<u64>() else { continue };
+                    let cycles: Vec<u64> = v.split(',').filter_map(|c| c.parse().ok()).collect();
+                    if !cycles.is_empty() {
+                        cache.insert(key, cycles);
+                    }
+                }
+            }
+        }
+        Harness { networks, traces: HashMap::new(), cache, cache_path, dirty: false }
+    }
+
+    /// Names of the eight benchmarks, Table 1 order.
+    pub fn names(&self) -> Vec<&str> {
+        self.networks.iter().map(Network::name).collect()
+    }
+
+    /// The benchmark networks.
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// `true` when `MNPU_FULL=1` requests exhaustive sweeps.
+    pub fn full_sweeps() -> bool {
+        std::env::var("MNPU_FULL").map(|v| v == "1").unwrap_or(false)
+    }
+
+    /// Sampling stride for the quad-core sweep (1 when `MNPU_FULL=1`).
+    pub fn quad_stride() -> usize {
+        if Harness::full_sweeps() {
+            return 1;
+        }
+        std::env::var("MNPU_QUAD_STRIDE").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+    }
+
+    /// The standard dual-core chip at the given sharing level.
+    pub fn dual(sharing: SharingLevel) -> SystemConfig {
+        SystemConfig::bench(2, sharing)
+    }
+
+    /// The standard quad-core chip at the given sharing level.
+    pub fn quad(sharing: SharingLevel) -> SystemConfig {
+        SystemConfig::bench(4, sharing)
+    }
+
+    fn key(cfg: &SystemConfig, workloads: &[usize]) -> u64 {
+        fnv1a(&format!("v{CACHE_VERSION}|{cfg:?}|{workloads:?}"))
+    }
+
+    fn trace_for(&mut self, workload: usize, arch: &mnpu_systolic::ArchConfig) -> WorkloadTrace {
+        let net = &self.networks[workload];
+        let key = (net.name().to_string(), format!("{arch:?}"));
+        if let Some(t) = self.traces.get(&key) {
+            return t.clone();
+        }
+        let t = WorkloadTrace::generate(net, arch);
+        self.traces.insert(key, t.clone());
+        t
+    }
+
+    /// Run `workloads[i]` on core *i* of `cfg`, returning per-core cycles.
+    /// Results are memoized in memory and on disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload count does not match the core count or an
+    /// index is out of range.
+    pub fn run_mix(&mut self, cfg: &SystemConfig, workloads: &[usize]) -> Vec<u64> {
+        assert_eq!(workloads.len(), cfg.cores, "one workload per core");
+        let key = Harness::key(cfg, workloads);
+        if let Some(c) = self.cache.get(&key) {
+            return c.clone();
+        }
+        let traces: Vec<WorkloadTrace> = workloads
+            .iter()
+            .zip(&cfg.arch)
+            .map(|(&w, a)| self.trace_for(w, a))
+            .collect();
+        let report = Simulation::new(cfg, &traces).run();
+        let cycles: Vec<u64> = report.cores.iter().map(|c| c.cycles).collect();
+        self.cache.insert(key, cycles.clone());
+        self.dirty = true;
+        self.flush();
+        cycles
+    }
+
+    /// Cycles of workload `w` running alone with all of `chip`'s resources
+    /// (the `Ideal` baseline).
+    pub fn ideal_cycles(&mut self, chip: &SystemConfig, w: usize) -> u64 {
+        let solo = chip.ideal_solo();
+        self.run_mix(&solo, &[w])[0]
+    }
+
+    /// Per-workload speedups (vs Ideal of `chip`) of a mix run on `chip`.
+    pub fn mix_speedups(&mut self, chip: &SystemConfig, workloads: &[usize]) -> Vec<f64> {
+        let cycles = self.run_mix(chip, workloads);
+        workloads
+            .iter()
+            .zip(&cycles)
+            .map(|(&w, &c)| self.ideal_cycles(chip, w) as f64 / c as f64)
+            .collect()
+    }
+
+    fn flush(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let Some(p) = &self.cache_path else { return };
+        if let Some(parent) = p.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let mut out = String::new();
+        for (k, v) in &self.cache {
+            let cycles: Vec<String> = v.iter().map(u64::to_string).collect();
+            out.push_str(&format!("{k}\t{}\n", cycles.join(",")));
+        }
+        if let Ok(mut f) = fs::File::create(p) {
+            let _ = f.write_all(out.as_bytes());
+        }
+        self.dirty = false;
+    }
+}
+
+/// Render rows of `(label, values)` as an aligned text table.
+pub fn format_table(header: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", header.first().copied().unwrap_or("")));
+    for h in &header[1..] {
+        out.push_str(&format!("{h:>10}"));
+    }
+    out.push('\n');
+    for (label, vals) in rows {
+        out.push_str(&format!("{label:<14}"));
+        for v in vals {
+            out.push_str(&format!("{v:>10.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_distinct() {
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
+        assert_ne!(fnv1a("abc"), fnv1a("abd"));
+    }
+
+    #[test]
+    fn harness_lists_eight_benchmarks() {
+        let h = Harness::new();
+        assert_eq!(h.names().len(), 8);
+        assert_eq!(h.names()[0], "res");
+    }
+
+    #[test]
+    fn run_mix_is_cached() {
+        std::env::set_var("MNPU_NO_CACHE", "1");
+        let mut h = Harness::new();
+        let cfg = Harness::dual(SharingLevel::Static);
+        let a = h.run_mix(&cfg, &[6, 6]); // ncf+ncf: fastest mix
+        let b = h.run_mix(&cfg, &[6, 6]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn speedups_are_at_most_one_ish() {
+        std::env::set_var("MNPU_NO_CACHE", "1");
+        let mut h = Harness::new();
+        let cfg = Harness::dual(SharingLevel::PlusDwt);
+        for s in h.mix_speedups(&cfg, &[6, 6]) {
+            assert!(s > 0.0 && s <= 1.05, "{s}");
+        }
+    }
+
+    #[test]
+    fn table_formatting() {
+        let t = format_table(&["mix", "A", "B"], &[("x".into(), vec![1.0, 2.5])]);
+        assert!(t.contains("mix"));
+        assert!(t.contains("2.500"));
+    }
+}

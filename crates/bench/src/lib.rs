@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every figure of the mNPUsim paper.
+//!
+//! Each `figNN_*` bench target (plain-harness binaries under `benches/`)
+//! calls one function from [`figures`] and prints the same rows/series the
+//! paper plots. The [`harness`] module provides the shared machinery:
+//! the workload zoo at the active scale, Ideal baselines, mix enumeration
+//! and a persistent run cache (`target/mnpu_run_cache.tsv`) so that figures
+//! sharing sweeps (e.g. Figs. 4 and 6 both need the 36-mix dual sweep) don't
+//! re-simulate.
+//!
+//! Environment knobs (read once per process):
+//!
+//! * `MNPU_FULL=1` — run the *full* quad-core (330 mixes) and mapping
+//!   (6435 multisets) sweeps instead of the deterministic samples;
+//! * `MNPU_QUAD_STRIDE=k` — sample every *k*-th quad mix (default 10);
+//! * `MNPU_NO_CACHE=1` — ignore and don't write the run cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::Harness;

@@ -1,0 +1,16 @@
+//! Regenerate the `configs/network/*.txt` files from the built-in zoo.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p mnpu-config --example export_nets
+//! ```
+
+fn main() {
+    std::fs::create_dir_all("configs/network").expect("create configs/network");
+    for net in mnpu_model::zoo::all(mnpu_model::Scale::Bench) {
+        let path = format!("configs/network/{}.txt", net.name());
+        std::fs::write(&path, mnpu_config::write_network(&net)).expect("write network config");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Parse/IO error type with file and line context.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why a configuration could not be loaded.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// A line failed to parse.
+    Parse {
+        /// File (or logical source) of the bad line.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Files parsed but are mutually inconsistent (e.g. per-core list
+    /// lengths differ).
+    Inconsistent(String),
+}
+
+impl ConfigError {
+    pub(crate) fn parse(file: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
+        ConfigError::Parse { file: file.into(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            ConfigError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+            ConfigError::Inconsistent(m) => write!(f, "inconsistent configuration: {m}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ConfigError::parse("arch.txt", 3, "bad key");
+        assert_eq!(e.to_string(), "arch.txt:3: bad key");
+        let e = ConfigError::Inconsistent("2 archs, 3 networks".into());
+        assert!(e.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn error_trait_implemented() {
+        let e: Box<dyn Error> = Box::new(ConfigError::parse("x", 1, "y"));
+        assert!(e.source().is_none());
+    }
+}

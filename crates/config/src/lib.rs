@@ -1,0 +1,52 @@
+//! Text-file configuration frontend matching the original mNPUsim CLI.
+//!
+//! The original simulator is driven by five kinds of configuration files
+//! (§3.2.1 of the paper):
+//!
+//! 1. `network_config` — DNN topology (one file per core, listed in a
+//!    *network list* file);
+//! 2. `arch_config` — systolic array / SPM / clock (per core, listed);
+//! 3. `npumem_config` — TLB and PTW parameters (per core, listed);
+//! 4. `dram_config` — the shared DRAM device and the resource-sharing level;
+//! 5. `misc_config` — execution mode: start cycles, iterations, walker
+//!    partitioning, translation switch.
+//!
+//! This crate parses those formats (documented per parser), converts them
+//! into the engine's typed configuration ([`build_system`]), and writes the
+//! original's result files ([`write_results`]): `avg_cycle_*`,
+//! `execution_cycle_*`, `memory_footprint_*` and `utilization_*`.
+//!
+//! All formats are line-based `key = value` or CSV-ish layer lines; `#`
+//! starts a comment. Parse errors carry the file/line context in
+//! [`ConfigError`].
+//!
+//! # Example
+//!
+//! ```
+//! use mnpu_config::{parse_arch, parse_network};
+//!
+//! let arch = parse_arch("rows = 16\ncols = 16\nspm_bytes = 1048576\nfreq_mhz = 1000")?;
+//! assert_eq!(arch.rows, 16);
+//! let net = parse_network("mlp", "fc1, gemm, m=1, k=784, n=128")?;
+//! assert_eq!(net.num_layers(), 1);
+//! # Ok::<(), mnpu_config::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod kv;
+mod parsers;
+mod results;
+mod runspec;
+pub mod scalesim;
+
+pub use error::ConfigError;
+pub use parsers::{
+    parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, write_network,
+    DramFileConfig, MiscConfig,
+};
+pub use results::{result_file_names, write_intermediate, write_request_logs, write_results};
+pub use scalesim::{parse_scalesim, write_scalesim};
+pub use runspec::{build_system, load_run, RunSpec};

@@ -1,0 +1,223 @@
+//! Result-file emission matching the original simulator's output layout.
+//!
+//! The original writes, per core, four summary files under
+//! `<result_path>/result/` (appendix §7.4):
+//!
+//! * `avg_cycle_<arch><idx>_<net><idx>.txt` — execution cycles;
+//! * `execution_cycle_…` — per-layer cycles;
+//! * `memory_footprint_…` — workload footprint in bytes;
+//! * `utilization_…` — PE utilization.
+
+use mnpu_engine::RunReport;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The four per-core summary file names for core `idx` running `net` on an
+/// architecture labeled `arch`.
+pub fn result_file_names(arch: &str, net: &str, idx: usize) -> [String; 4] {
+    [
+        format!("avg_cycle_{arch}{idx}_{net}{idx}.txt"),
+        format!("execution_cycle_{arch}{idx}_{net}{idx}.txt"),
+        format!("memory_footprint_{arch}{idx}_{net}{idx}.txt"),
+        format!("utilization_{arch}{idx}_{net}{idx}.txt"),
+    ]
+}
+
+/// Write the per-core result files under `<result_path>/result/`, returning
+/// the paths written. `arch_label` names the architecture in the file names
+/// (the original uses the arch config's name, e.g. `arch_tpu_small`).
+///
+/// # Errors
+///
+/// Propagates any filesystem error.
+pub fn write_results(result_path: &Path, arch_label: &str, report: &RunReport) -> io::Result<Vec<PathBuf>> {
+    let dir = result_path.join("result");
+    fs::create_dir_all(&dir)?;
+    let mut written = Vec::new();
+    for (idx, core) in report.cores.iter().enumerate() {
+        let [avg, exec, footprint, util] = result_file_names(arch_label, &core.workload, idx);
+
+        let p = dir.join(avg);
+        fs::write(&p, format!("{}\n", core.cycles))?;
+        written.push(p);
+
+        let mut lines = String::new();
+        for (layer, cycles) in &core.layer_cycles {
+            lines.push_str(&format!("{layer} {cycles}\n"));
+        }
+        lines.push_str(&format!("total {}\n", core.cycles));
+        let p = dir.join(exec);
+        fs::write(&p, lines)?;
+        written.push(p);
+
+        let p = dir.join(footprint);
+        fs::write(&p, format!("{}\n", core.footprint_bytes))?;
+        written.push(p);
+
+        let p = dir.join(util);
+        fs::write(&p, format!("{:.6}\n", core.pe_utilization))?;
+        written.push(p);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+    use mnpu_model::{zoo, Scale};
+
+    #[test]
+    fn file_names_follow_convention() {
+        let names = result_file_names("arch_tpu", "ncf", 1);
+        assert_eq!(names[0], "avg_cycle_arch_tpu1_ncf1.txt");
+        assert_eq!(names[3], "utilization_arch_tpu1_ncf1.txt");
+    }
+
+    #[test]
+    fn writes_four_files_per_core() {
+        let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+        let nets = [zoo::ncf(Scale::Bench), zoo::ncf(Scale::Bench)];
+        let report = Simulation::run_networks(&cfg, &nets);
+        let dir = std::env::temp_dir().join(format!("mnpu_results_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let written = write_results(&dir, "bench", &report).unwrap();
+        assert_eq!(written.len(), 8);
+        // avg_cycle content round-trips the cycle count.
+        let avg: u64 = fs::read_to_string(&written[0]).unwrap().trim().parse().unwrap();
+        assert_eq!(avg, report.cores[0].cycles);
+        // execution_cycle lists every layer plus the total.
+        let exec = fs::read_to_string(&written[1]).unwrap();
+        assert_eq!(exec.lines().count(), report.cores[0].layer_cycles.len() + 1);
+        assert!(exec.contains("total"));
+        // Per-layer cycles sum to at most the total execution time.
+        let sum: u64 = report.cores[0].layer_cycles.iter().map(|(_, c)| c).sum();
+        assert!(sum <= report.cores[0].cycles + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Write the optional request log in the original's `dramsim_output` style:
+/// one file per log kind (`tlb<core>.log`, `tlb<core>_ptw.log`,
+/// `dram.log`), each line `cycle address`.
+///
+/// Returns the paths written (empty when the report carries no log).
+///
+/// # Errors
+///
+/// Propagates any filesystem error.
+pub fn write_request_logs(result_path: &Path, report: &RunReport) -> io::Result<Vec<PathBuf>> {
+    use mnpu_engine::LogKind;
+    if report.request_log.is_empty() {
+        return Ok(Vec::new());
+    }
+    let dir = result_path.join("dramsim_output");
+    fs::create_dir_all(&dir)?;
+    let cores = report.cores.len();
+
+    let mut tlb = vec![String::new(); cores];
+    let mut ptw = vec![String::new(); cores];
+    let mut dram = String::new();
+    for e in &report.request_log {
+        match e.kind {
+            LogKind::TlbHit => tlb[e.core].push_str(&format!("{} {:#x} hit\n", e.cycle, e.addr)),
+            LogKind::TlbMiss => tlb[e.core].push_str(&format!("{} {:#x} miss\n", e.cycle, e.addr)),
+            LogKind::WalkStart => ptw[e.core].push_str(&format!("{} {:#x} start\n", e.cycle, e.addr)),
+            LogKind::WalkDone => ptw[e.core].push_str(&format!("{} {:#x} done\n", e.cycle, e.addr)),
+            LogKind::DramReadDone => dram.push_str(&format!("{} core{} read\n", e.cycle, e.core)),
+            LogKind::DramWriteDone => dram.push_str(&format!("{} core{} write\n", e.cycle, e.core)),
+        }
+    }
+
+    let mut written = Vec::new();
+    for c in 0..cores {
+        let p = dir.join(format!("tlb{c}.log"));
+        fs::write(&p, &tlb[c])?;
+        written.push(p);
+        let p = dir.join(format!("tlb{c}_ptw.log"));
+        fs::write(&p, &ptw[c])?;
+        written.push(p);
+    }
+    let p = dir.join("dram.log");
+    fs::write(&p, dram)?;
+    written.push(p);
+    Ok(written)
+}
+
+/// Write the SW request generator's intermediate results (the original's
+/// `intermediate` directory): per layer, one line per tile of the form
+/// `(compute cycles), (list of span addresses)`.
+///
+/// # Errors
+///
+/// Propagates any filesystem error.
+pub fn write_intermediate(
+    result_path: &Path,
+    trace: &mnpu_systolic::WorkloadTrace,
+) -> io::Result<PathBuf> {
+    let dir = result_path.join("intermediate");
+    fs::create_dir_all(&dir)?;
+    let mut out = String::new();
+    for layer in trace.layers() {
+        out.push_str(&format!("# layer {}\n", layer.name));
+        for tile in &layer.tiles {
+            out.push_str(&format!("{}", tile.compute_cycles));
+            for s in tile.loads.iter().chain(&tile.stores) {
+                out.push_str(&format!(", {:#x}+{}", s.addr, s.bytes));
+            }
+            out.push('\n');
+        }
+    }
+    let p = dir.join(format!("{}_tiles.txt", trace.name()));
+    fs::write(&p, out)?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+    use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+    use mnpu_model::{zoo, Scale};
+    use mnpu_systolic::WorkloadTrace;
+
+    #[test]
+    fn request_logs_written_per_core() {
+        let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+        cfg.request_log = true;
+        let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+        let dir = std::env::temp_dir().join(format!("mnpu_logs_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let files = write_request_logs(&dir, &r).unwrap();
+        assert_eq!(files.len(), 3, "tlb0, tlb0_ptw, dram");
+        let tlb = fs::read_to_string(&files[0]).unwrap();
+        assert!(tlb.lines().count() as u64 >= r.cores[0].mmu.tlb_misses);
+        assert!(tlb.contains("miss"));
+        let dram_log = fs::read_to_string(files.last().unwrap()).unwrap();
+        assert_eq!(dram_log.lines().count() as u64, r.cores[0].traffic_bytes / 64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_log_no_files() {
+        let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+        let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+        let dir = std::env::temp_dir().join("mnpu_logs_none");
+        assert!(write_request_logs(&dir, &r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn intermediate_lists_every_tile() {
+        let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+        let trace = WorkloadTrace::generate(&zoo::ncf(Scale::Bench), &cfg.arch[0]);
+        let dir = std::env::temp_dir().join(format!("mnpu_imm_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let p = write_intermediate(&dir, &trace).unwrap();
+        let text = fs::read_to_string(&p).unwrap();
+        let tile_lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(tile_lines, trace.total_tiles());
+        assert_eq!(text.lines().filter(|l| l.starts_with("# layer")).count(), trace.layers().len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,239 @@
+//! Loading a complete run from the five config files (list-file resolution
+//! and cross-file consistency checks).
+
+use crate::error::ConfigError;
+use crate::parsers::{parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, DramFileConfig, MiscConfig};
+use mnpu_engine::SystemConfig;
+use mnpu_mmu::MmuConfig;
+use mnpu_model::Network;
+use mnpu_systolic::ArchConfig;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fully resolved simulation: the chip and one network per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// The chip configuration derived from the files.
+    pub system: SystemConfig,
+    /// One network per core, in core order.
+    pub networks: Vec<Network>,
+}
+
+fn read(path: &Path) -> Result<String, ConfigError> {
+    fs::read_to_string(path)
+        .map_err(|source| ConfigError::Io { path: path.display().to_string(), source })
+}
+
+/// Read a *list file*: one path per line (relative to the list file's
+/// directory), `#` comments allowed.
+fn read_list(path: &Path) -> Result<Vec<PathBuf>, ConfigError> {
+    let text = read(path)?;
+    let base = path.parent().unwrap_or(Path::new("."));
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(base.join(line));
+    }
+    if out.is_empty() {
+        return Err(ConfigError::parse(path.display().to_string(), 0, "list file names no entries"));
+    }
+    Ok(out)
+}
+
+/// Combine per-core parses and chip-level files into a [`SystemConfig`].
+///
+/// # Errors
+///
+/// [`ConfigError::Inconsistent`] when per-core file counts disagree, the
+/// per-core MMU configurations differ, or the channel count is not an even
+/// multiple of the core count.
+pub fn build_system(
+    archs: Vec<ArchConfig>,
+    mmus: Vec<MmuConfig>,
+    dram_file: DramFileConfig,
+    misc: MiscConfig,
+) -> Result<SystemConfig, ConfigError> {
+    let cores = archs.len();
+    if cores == 0 {
+        return Err(ConfigError::Inconsistent("no cores configured".into()));
+    }
+    if mmus.len() != cores {
+        return Err(ConfigError::Inconsistent(format!(
+            "{} arch configs but {} npumem configs",
+            cores,
+            mmus.len()
+        )));
+    }
+    if mmus.iter().any(|m| m != &mmus[0]) {
+        return Err(ConfigError::Inconsistent(
+            "per-core npumem configs must be identical (heterogeneous MMUs are not modeled)".into(),
+        ));
+    }
+    if dram_file.dram.channels % cores != 0 {
+        return Err(ConfigError::Inconsistent(format!(
+            "{} channels cannot be split evenly over {} cores",
+            dram_file.dram.channels, cores
+        )));
+    }
+    let cfg = SystemConfig {
+        cores,
+        channels_per_core: dram_file.dram.channels / cores,
+        arch: archs,
+        mmu: mmus.into_iter().next().expect("checked non-empty"),
+        dram: dram_file.dram,
+        sharing: dram_file.sharing,
+        channel_partition: dram_file.channel_partition,
+        ptw_partition: misc.ptw_partition,
+        translation: misc.translation,
+        start_cycles: misc.start_cycles,
+        iterations: misc.iterations.max(1),
+        trace_window: (misc.trace_window > 0).then_some(misc.trace_window),
+        request_log: misc.request_log,
+        ptw_bounds: misc.ptw_bounds,
+        max_cycles: (misc.max_cycles > 0).then_some(misc.max_cycles),
+        noc: dram_file.noc,
+    };
+    cfg.validate().map_err(ConfigError::Inconsistent)?;
+    Ok(cfg)
+}
+
+/// Load a run exactly like the original CLI: per-core *list* files for
+/// arch/network/npumem, plus the chip-wide dram and misc files.
+///
+/// # Errors
+///
+/// Any I/O, parse, or consistency error with context.
+pub fn load_run(
+    arch_list: &Path,
+    network_list: &Path,
+    dram_cfg: &Path,
+    npumem_list: &Path,
+    misc_cfg: &Path,
+) -> Result<RunSpec, ConfigError> {
+    let arch_paths = read_list(arch_list)?;
+    let net_paths = read_list(network_list)?;
+    let mmu_paths = read_list(npumem_list)?;
+    if arch_paths.len() != net_paths.len() || arch_paths.len() != mmu_paths.len() {
+        return Err(ConfigError::Inconsistent(format!(
+            "list lengths disagree: {} arch, {} network, {} npumem",
+            arch_paths.len(),
+            net_paths.len(),
+            mmu_paths.len()
+        )));
+    }
+
+    let archs = arch_paths
+        .iter()
+        .map(|p| parse_arch(&read(p)?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let networks = net_paths
+        .iter()
+        .map(|p| {
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("net").to_string();
+            parse_network(&stem, &read(p)?)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mmus = mmu_paths
+        .iter()
+        .map(|p| parse_npumem(&read(p)?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let dram_file = parse_dram(&read(dram_cfg)?)?;
+    let misc = parse_misc(&read(misc_cfg)?)?;
+
+    let system = build_system(archs, mmus, dram_file, misc)?;
+    Ok(RunSpec { system, networks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsers::write_network;
+    use mnpu_model::{zoo, Scale};
+    use std::fs;
+
+    fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+        let p = dir.join(name);
+        fs::write(&p, text).unwrap();
+        p
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mnpu_cfg_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const ARCH: &str = "rows=16\ncols=16\nspm_bytes=1048576\nfreq_mhz=1000\n";
+    const NPUMEM: &str = "tlb_entries=512\ntlb_assoc=8\nptw=2\n";
+
+    #[test]
+    fn load_dual_core_run_from_files() {
+        let d = temp_dir("dual");
+        write(&d, "arch0.txt", ARCH);
+        write(&d, "arch1.txt", ARCH);
+        let arch_list = write(&d, "archs.txt", "arch0.txt\narch1.txt\n");
+        write(&d, "ncf.txt", &write_network(&zoo::ncf(Scale::Bench)));
+        write(&d, "gpt2.txt", &write_network(&zoo::gpt2(Scale::Bench)));
+        let net_list = write(&d, "nets.txt", "# two cores\nncf.txt\ngpt2.txt\n");
+        write(&d, "mem0.txt", NPUMEM);
+        write(&d, "mem1.txt", NPUMEM);
+        let mem_list = write(&d, "mems.txt", "mem0.txt\nmem1.txt\n");
+        let dram = write(&d, "dram.cfg", "preset=bench\nchannels=8\nsharing=+DWT\n");
+        let misc = write(&d, "misc.cfg", "iterations=1\n");
+
+        let spec = load_run(&arch_list, &net_list, &dram, &mem_list, &misc).unwrap();
+        assert_eq!(spec.system.cores, 2);
+        assert_eq!(spec.system.channels_per_core, 4);
+        assert_eq!(spec.networks[0].name(), "ncf");
+        assert_eq!(spec.networks[1].name(), "gpt2");
+        assert!(spec.system.validate().is_ok());
+    }
+
+    #[test]
+    fn mismatched_list_lengths_rejected() {
+        let d = temp_dir("mismatch");
+        write(&d, "arch0.txt", ARCH);
+        let arch_list = write(&d, "archs.txt", "arch0.txt\n");
+        write(&d, "ncf.txt", &write_network(&zoo::ncf(Scale::Bench)));
+        let net_list = write(&d, "nets.txt", "ncf.txt\nncf.txt\n");
+        write(&d, "mem0.txt", NPUMEM);
+        let mem_list = write(&d, "mems.txt", "mem0.txt\n");
+        let dram = write(&d, "dram.cfg", "channels=4\n");
+        let misc = write(&d, "misc.cfg", "");
+        let e = load_run(&arch_list, &net_list, &dram, &mem_list, &misc).unwrap_err();
+        assert!(e.to_string().contains("disagree"), "{e}");
+    }
+
+    #[test]
+    fn heterogeneous_mmus_rejected() {
+        let archs = vec![parse_arch(ARCH).unwrap(); 2];
+        let mut m2 = parse_npumem(NPUMEM).unwrap();
+        m2.tlb_entries_per_core = 1024;
+        let mmus = vec![parse_npumem(NPUMEM).unwrap(), m2];
+        let dram = crate::parsers::parse_dram("channels=8").unwrap();
+        let misc = crate::parsers::parse_misc("").unwrap();
+        let e = build_system(archs, mmus, dram, misc).unwrap_err();
+        assert!(e.to_string().contains("identical"), "{e}");
+    }
+
+    #[test]
+    fn indivisible_channels_rejected() {
+        let archs = vec![parse_arch(ARCH).unwrap(); 3];
+        let mmus = vec![parse_npumem(NPUMEM).unwrap(); 3];
+        let dram = crate::parsers::parse_dram("channels=8").unwrap();
+        let misc = crate::parsers::parse_misc("").unwrap();
+        assert!(build_system(archs, mmus, dram, misc).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let d = temp_dir("missing");
+        let arch_list = write(&d, "archs.txt", "nonexistent.txt\n");
+        let e = read(&read_list(&arch_list).unwrap()[0]).unwrap_err();
+        assert!(e.to_string().contains("nonexistent.txt"));
+    }
+}

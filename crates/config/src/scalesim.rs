@@ -1,0 +1,196 @@
+//! SCALE-Sim topology import.
+//!
+//! The original mNPUsim's model architectures "are based on SCALE-Sim"
+//! (appendix §3.5), whose topology files are CSVs of the form
+//!
+//! ```text
+//! Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+//! Conv1, 227, 227, 11, 11, 3, 96, 4,
+//! FC6, 1, 1, 9216, 1, 1, 4096, 1,
+//! ```
+//!
+//! This module converts such files into [`mnpu_model::Network`]s so
+//! published SCALE-Sim topologies drop straight into the simulator. Rows
+//! with a 1×1 IFMAP are interpreted as fully-connected layers
+//! (`m = 1, k = filter_h * filter_w * channels, n = num_filters`), matching
+//! SCALE-Sim's own convention for FC layers.
+
+use crate::error::ConfigError;
+use mnpu_model::{ConvSpec, GemmSpec, Layer, LayerKind, Network};
+
+/// Parse a SCALE-Sim topology CSV into a network named `name`.
+///
+/// A header line is detected (first field of the first row not numeric in
+/// column 2) and skipped; trailing commas and blank lines are tolerated,
+/// `#` starts a comment.
+///
+/// # Errors
+///
+/// [`ConfigError::Parse`] with line context for malformed rows.
+pub fn parse_scalesim(name: &str, text: &str) -> Result<Network, ConfigError> {
+    let file = format!("scalesim({name})");
+    let mut layers = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 8 {
+            return Err(ConfigError::parse(
+                &file,
+                i + 1,
+                format!("expected 8 columns (name + 7 dims), got {}", fields.len()),
+            ));
+        }
+        // Header row: second column not numeric.
+        if fields[1].parse::<u64>().is_err() {
+            if layers.is_empty() {
+                continue;
+            }
+            return Err(ConfigError::parse(&file, i + 1, "non-numeric dimension after data rows"));
+        }
+        let num = |idx: usize| -> Result<u64, ConfigError> {
+            fields[idx].parse().map_err(|_| {
+                ConfigError::parse(&file, i + 1, format!("column {} must be an integer, got `{}`", idx + 1, fields[idx]))
+            })
+        };
+        let (ifh, ifw, fh, fw, ch, nf, stride) =
+            (num(1)?, num(2)?, num(3)?, num(4)?, num(5)?, num(6)?, num(7)?.max(1));
+        let lname = fields[0].to_string();
+        if ifh == 1 && ifw == 1 {
+            // SCALE-Sim FC convention: filter dims x channels = fan-in.
+            layers.push(Layer::new(
+                lname,
+                LayerKind::Gemm(GemmSpec::new(1, (fh * fw * ch).max(1), nf.max(1))),
+                1,
+            ));
+        } else {
+            layers.push(Layer::new(
+                lname,
+                LayerKind::Conv(ConvSpec {
+                    in_h: ifh,
+                    in_w: ifw,
+                    in_c: ch.max(1),
+                    out_c: nf.max(1),
+                    k_h: fh.min(ifh),
+                    k_w: fw.min(ifw),
+                    stride,
+                    padding: 0,
+                }),
+                1,
+            ));
+        }
+    }
+    if layers.is_empty() {
+        return Err(ConfigError::parse(&file, 0, "topology has no layers"));
+    }
+    Ok(Network::new(name, layers))
+}
+
+/// Serialize a network into SCALE-Sim topology format (convolutions and
+/// GEMMs only; embedding layers are rejected because SCALE-Sim has no such
+/// concept). Lossy for GEMMs with `m > 1`: SCALE-Sim's FC convention always
+/// encodes a single output row, so only `k` and `n` survive the round trip
+/// (and convolution padding is not representable at all).
+///
+/// # Errors
+///
+/// [`ConfigError::Inconsistent`] when the network contains an embedding
+/// layer.
+pub fn write_scalesim(net: &Network) -> Result<String, ConfigError> {
+    let mut out = String::from(
+        "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n",
+    );
+    for l in net.iter() {
+        match *l.kind() {
+            LayerKind::Conv(c) => {
+                out.push_str(&format!(
+                    "{}, {}, {}, {}, {}, {}, {}, {},\n",
+                    l.name(), c.in_h, c.in_w, c.k_h, c.k_w, c.in_c, c.out_c, c.stride
+                ));
+            }
+            LayerKind::Gemm(g) => {
+                out.push_str(&format!("{}, 1, 1, {}, 1, 1, {}, 1,\n", l.name(), g.k, g.n));
+            }
+            LayerKind::Embedding(_) => {
+                return Err(ConfigError::Inconsistent(format!(
+                    "layer {} is an embedding gather; SCALE-Sim topologies cannot express it",
+                    l.name()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnpu_model::{zoo, Scale};
+
+    const ALEXNET_HEAD: &str = "\
+Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+Conv1, 227, 227, 11, 11, 3, 96, 4,
+Conv2, 27, 27, 5, 5, 96, 256, 1,
+FC6, 1, 1, 9216, 1, 1, 4096, 1,
+";
+
+    #[test]
+    fn parses_scalesim_csv_with_header() {
+        let net = parse_scalesim("alex_head", ALEXNET_HEAD).unwrap();
+        assert_eq!(net.num_layers(), 3);
+        let LayerKind::Conv(c) = *net.layers()[0].kind() else { panic!() };
+        assert_eq!((c.in_h, c.k_h, c.in_c, c.out_c, c.stride), (227, 11, 3, 96, 4));
+        let LayerKind::Gemm(g) = *net.layers()[2].kind() else { panic!() };
+        assert_eq!((g.m, g.k, g.n), (1, 9216, 4096));
+    }
+
+    #[test]
+    fn headerless_and_comment_tolerant() {
+        let net = parse_scalesim("t", "# topology\nConv1, 32, 32, 3, 3, 8, 16, 1,\n\n").unwrap();
+        assert_eq!(net.num_layers(), 1);
+    }
+
+    #[test]
+    fn malformed_rows_report_lines() {
+        let e = parse_scalesim("t", "Conv1, 32, 32, 3, 3, 8, 16, 1,\nConv2, a, 32, 3, 3, 8, 16, 1,").unwrap_err();
+        assert!(e.to_string().contains(":2"), "{e}");
+        assert!(parse_scalesim("t", "Conv1, 32, 32").is_err(), "too few columns");
+        assert!(parse_scalesim("t", "").is_err(), "empty topology");
+    }
+
+    #[test]
+    fn conv_and_gemm_zoo_round_trips() {
+        // CNNs survive a write/parse round trip with identical timing-
+        // relevant dimensions (padding is not representable, so compare
+        // the lowered GEMM of padding-free layers only).
+        for name in ["yt", "alex", "gpt2", "sfrnn"] {
+            let net = zoo::by_name(name, Scale::Bench).unwrap();
+            let text = write_scalesim(&net).unwrap();
+            let back = parse_scalesim(name, &text).unwrap();
+            assert_eq!(back.num_layers(), net.num_layers(), "{name}");
+            for (a, b) in net.iter().zip(back.iter()) {
+                if let (LayerKind::Gemm(x), LayerKind::Gemm(y)) = (a.kind(), b.kind()) {
+                    // The FC convention is lossy in m (see write_scalesim).
+                    assert_eq!((x.k, x.n), (y.k, y.n), "{name}/{}", a.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embeddings_cannot_be_exported() {
+        let net = zoo::dlrm(Scale::Bench);
+        assert!(write_scalesim(&net).is_err());
+    }
+
+    #[test]
+    fn imported_topology_simulates() {
+        use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+        let net = parse_scalesim("alex_head", ALEXNET_HEAD).unwrap();
+        let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+        let r = Simulation::run_networks(&cfg, &[net]);
+        assert!(r.cores[0].cycles > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! File-to-simulation integration: write a complete five-file configuration
+//! to disk, load it, run the engine, and emit the original-style results.
+
+use mnpu_config::{load_run, write_network, write_results};
+use mnpu_engine::Simulation;
+use mnpu_model::{zoo, Scale};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let p = dir.join(name);
+    fs::write(&p, text).unwrap();
+    p
+}
+
+#[test]
+fn config_files_to_result_files() {
+    let dir = std::env::temp_dir().join(format!("mnpu_e2e_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    const ARCH: &str = "rows=32\ncols=32\nspm_bytes=1048576\nfreq_mhz=1000\n";
+    const MEM: &str = "tlb_entries=512\ntlb_assoc=8\nptw=2\npage_bytes=4096\n";
+    write(&dir, "arch.txt", ARCH);
+    let arch_list = write(&dir, "archs.txt", "arch.txt\narch.txt\n");
+    write(&dir, "ncf.txt", &write_network(&zoo::ncf(Scale::Bench)));
+    write(&dir, "gpt2.txt", &write_network(&zoo::gpt2(Scale::Bench)));
+    let net_list = write(&dir, "nets.txt", "ncf.txt\ngpt2.txt\n");
+    write(&dir, "mem.txt", MEM);
+    let mem_list = write(&dir, "mems.txt", "mem.txt\nmem.txt\n");
+    let dram = write(&dir, "dram.cfg", "preset=bench\nchannels=8\nsharing=+DW\n");
+    let misc = write(&dir, "misc.cfg", "iterations=1\ntranslation=true\n");
+
+    let spec = load_run(&arch_list, &net_list, &dram, &mem_list, &misc).unwrap();
+    let report = Simulation::run_networks(&spec.system, &spec.networks);
+    assert_eq!(report.cores.len(), 2);
+    assert!(report.cores.iter().all(|c| c.cycles > 0));
+
+    let out = dir.join("out");
+    let files = write_results(&out, "arch", &report).unwrap();
+    assert_eq!(files.len(), 8);
+    for f in &files {
+        assert!(f.exists(), "{} missing", f.display());
+        assert!(!fs::read_to_string(f).unwrap().trim().is_empty());
+    }
+
+    // The CLI-visible result equals a direct API run of the same spec.
+    let direct = Simulation::run_networks(&spec.system, &spec.networks);
+    assert_eq!(direct.cores[0].cycles, report.cores[0].cycles);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_config_equals_preset_config() {
+    // A hand-written dram/npumem/arch file set reproducing
+    // SystemConfig::bench(2, +DWT) must simulate identically to the preset.
+    use mnpu_engine::{SharingLevel, SystemConfig};
+
+    let dir = std::env::temp_dir().join(format!("mnpu_e2e_eq_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    write(&dir, "arch.txt", "rows=32\ncols=32\nspm_bytes=1048576\nfreq_mhz=1000\nmax_outstanding=256\n");
+    let arch_list = write(&dir, "archs.txt", "arch.txt\narch.txt\n");
+    write(&dir, "ncf.txt", &write_network(&zoo::ncf(Scale::Bench)));
+    let net_list = write(&dir, "nets.txt", "ncf.txt\nncf.txt\n");
+    write(&dir, "mem.txt", "tlb_entries=512\ntlb_assoc=8\nptw=2\npage_bytes=4096\n");
+    let mem_list = write(&dir, "mems.txt", "mem.txt\nmem.txt\n");
+    let dram = write(&dir, "dram.cfg", "preset=bench\nchannels=8\nsharing=+DWT\n");
+    let misc = write(&dir, "misc.cfg", "");
+
+    let spec = load_run(&arch_list, &net_list, &dram, &mem_list, &misc).unwrap();
+    let from_files = Simulation::run_networks(&spec.system, &spec.networks);
+
+    let preset = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    let nets = [zoo::ncf(Scale::Bench), zoo::ncf(Scale::Bench)];
+    let from_preset = Simulation::run_networks(&preset, &nets);
+
+    assert_eq!(from_files.cores[0].cycles, from_preset.cores[0].cycles);
+    assert_eq!(from_files.cores[1].cycles, from_preset.cores[1].cycles);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,59 @@
+//! Parser robustness: arbitrary text never panics any parser; valid inputs
+//! round-trip.
+
+use mnpu_config::{parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, parse_scalesim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// No parser may panic on arbitrary input — errors only.
+    #[test]
+    fn prop_parsers_never_panic(text in "\\PC{0,300}") {
+        let _ = parse_arch(&text);
+        let _ = parse_network("fuzz", &text);
+        let _ = parse_npumem(&text);
+        let _ = parse_dram(&text);
+        let _ = parse_misc(&text);
+        let _ = parse_scalesim("fuzz", &text);
+    }
+
+    /// Key-value noise around valid keys still parses the valid keys.
+    #[test]
+    fn prop_kv_with_noise_lines(rows in 1u64..200, cols in 1u64..200, spm in 8192u64..(64 << 20)) {
+        let text = format!(
+            "# generated\nrows = {rows}\n\ncols={cols}\n  spm_bytes =  {spm}  # inline\n"
+        );
+        let arch = parse_arch(&text).unwrap();
+        prop_assert_eq!(arch.rows, rows);
+        prop_assert_eq!(arch.cols, cols);
+        prop_assert_eq!(arch.spm_bytes, spm);
+    }
+
+    /// Random GEMM layer lines parse back to the same dimensions.
+    #[test]
+    fn prop_gemm_lines_roundtrip(dims in proptest::collection::vec((1u64..4096, 1u64..4096, 1u64..4096), 1..10)) {
+        let mut text = String::new();
+        for (i, (m, k, n)) in dims.iter().enumerate() {
+            text.push_str(&format!("l{i}, gemm, m={m}, k={k}, n={n}\n"));
+        }
+        let net = parse_network("gen", &text).unwrap();
+        prop_assert_eq!(net.num_layers(), dims.len());
+        for (layer, (m, k, n)) in net.iter().zip(&dims) {
+            let g = layer.to_gemm();
+            prop_assert_eq!((g.m, g.k, g.n), (*m, *k, *n));
+        }
+    }
+
+    /// Random SCALE-Sim conv rows parse into convs with the same dims.
+    #[test]
+    fn prop_scalesim_conv_rows(rows in proptest::collection::vec((2u64..256, 1u64..8, 1u64..128, 1u64..128, 1u64..4), 1..8)) {
+        let mut text = String::new();
+        for (i, (hw, k, c, f, s)) in rows.iter().enumerate() {
+            let k = (*k).min(*hw);
+            text.push_str(&format!("Conv{i}, {hw}, {hw}, {k}, {k}, {c}, {f}, {s},\n"));
+        }
+        let net = parse_scalesim("gen", &text).unwrap();
+        prop_assert_eq!(net.num_layers(), rows.len());
+    }
+}

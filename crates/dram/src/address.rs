@@ -1,0 +1,185 @@
+//! Physical-address decoding with channel-subset support.
+
+use crate::config::{AddressMapping, DramConfig};
+
+/// Size of one DRAM transaction in bytes (the DMA/translation granule).
+pub const TRANSACTION_BYTES: u64 = 64;
+
+/// A physical address decomposed into DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Global channel index (an element of the requester's channel subset).
+    pub channel: usize,
+    /// Bank group within the channel.
+    pub bankgroup: u64,
+    /// Bank within the bank group.
+    pub bank: u64,
+    /// Row within the bank.
+    pub row: u64,
+    /// 64-byte column block within the row.
+    pub col: u64,
+}
+
+impl DecodedAddr {
+    /// Flat bank index within the channel (`bankgroup * banks_per_group + bank`).
+    pub fn flat_bank(&self, config: &DramConfig) -> usize {
+        (self.bankgroup * config.banks_per_group + self.bank) as usize
+    }
+}
+
+/// Decode `addr` for a requester restricted to `subset` of the channels.
+///
+/// The subset is how bandwidth partitioning works: a core that owns 2 of 8
+/// channels has its whole address space striped across just those 2, so it
+/// can never consume more than 2 channels' bandwidth. Subsets of different
+/// cores may overlap (full sharing = every core owns all channels).
+///
+/// Interleaving within the subset is modulo-based, so non-power-of-two
+/// subsets (e.g. the 7-channel half of a 1:7 split) work naturally.
+///
+/// # Panics
+///
+/// Panics if `subset` is empty or contains an out-of-range channel index.
+pub fn decode(addr: u64, config: &DramConfig, subset: &[usize]) -> DecodedAddr {
+    assert!(!subset.is_empty(), "channel subset must not be empty");
+    debug_assert!(subset.iter().all(|&c| c < config.channels), "channel index out of range");
+    let n = subset.len() as u64;
+    let block = addr / TRANSACTION_BYTES;
+    let cols = config.row_bytes / TRANSACTION_BYTES;
+
+    match config.mapping {
+        AddressMapping::BlockInterleaved => {
+            // Bank-group bits sit below the column bits so that streaming
+            // within one channel rotates bank groups and pays tCCD_S, not
+            // tCCD_L — the same trick DRAMsim3's default mapping uses.
+            let channel = subset[(block % n) as usize];
+            let local = block / n;
+            let bankgroup = local % config.bankgroups;
+            let t = local / config.bankgroups;
+            let col = t % cols;
+            let t = t / cols;
+            let bank = t % config.banks_per_group;
+            let row = (t / config.banks_per_group) % config.rows;
+            DecodedAddr { channel, bankgroup, bank, row, col }
+        }
+        AddressMapping::RowInterleaved => {
+            let col = block % cols;
+            let t = block / cols;
+            let channel = subset[(t % n) as usize];
+            let t = t / n;
+            let bankgroup = t % config.bankgroups;
+            let t = t / config.bankgroups;
+            let bank = t % config.banks_per_group;
+            let row = (t / config.banks_per_group) % config.rows;
+            DecodedAddr { channel, bankgroup, bank, row, col }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::hbm2(8)
+    }
+
+    #[test]
+    fn sequential_blocks_rotate_channels() {
+        let c = cfg();
+        let all: Vec<usize> = (0..8).collect();
+        for i in 0..16u64 {
+            let d = decode(i * TRANSACTION_BYTES, &c, &all);
+            assert_eq!(d.channel, (i % 8) as usize);
+        }
+    }
+
+    #[test]
+    fn subset_restricts_channels() {
+        let c = cfg();
+        let subset = vec![2usize, 5, 6];
+        for i in 0..1000u64 {
+            let d = decode(i * TRANSACTION_BYTES, &c, &subset);
+            assert!(subset.contains(&d.channel));
+        }
+    }
+
+    #[test]
+    fn row_interleaved_keeps_row_in_one_channel() {
+        let mut c = cfg();
+        c.mapping = AddressMapping::RowInterleaved;
+        let all: Vec<usize> = (0..8).collect();
+        let cols = c.row_bytes / TRANSACTION_BYTES;
+        let first = decode(0, &c, &all);
+        for i in 1..cols {
+            let d = decode(i * TRANSACTION_BYTES, &c, &all);
+            assert_eq!(d.channel, first.channel);
+            assert_eq!(d.row, first.row);
+            assert_eq!(d.col, i);
+        }
+    }
+
+    #[test]
+    fn single_channel_subset_pins_everything() {
+        let c = cfg();
+        for i in 0..100u64 {
+            let d = decode(i * 64 * 997, &c, &[3]);
+            assert_eq!(d.channel, 3);
+        }
+    }
+
+    #[test]
+    fn flat_bank_is_bijective_per_channel() {
+        let c = cfg();
+        let mut seen = std::collections::HashSet::new();
+        for bg in 0..c.bankgroups {
+            for b in 0..c.banks_per_group {
+                let d = DecodedAddr { channel: 0, bankgroup: bg, bank: b, row: 0, col: 0 };
+                assert!(seen.insert(d.flat_bank(&c)));
+            }
+        }
+        assert_eq!(seen.len() as u64, c.banks_per_channel());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_subset_panics() {
+        let _ = decode(0, &cfg(), &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_in_range(addr in 0u64..(1 << 40), nsub in 1usize..8) {
+            let c = cfg();
+            let subset: Vec<usize> = (0..nsub).collect();
+            let d = decode(addr, &c, &subset);
+            prop_assert!(d.channel < c.channels);
+            prop_assert!(d.bankgroup < c.bankgroups);
+            prop_assert!(d.bank < c.banks_per_group);
+            prop_assert!(d.row < c.rows);
+            prop_assert!(d.col < c.row_bytes / TRANSACTION_BYTES);
+        }
+
+        #[test]
+        fn prop_same_block_same_target(addr in 0u64..(1 << 40), off in 0u64..TRANSACTION_BYTES) {
+            let c = cfg();
+            let all: Vec<usize> = (0..8).collect();
+            let base = addr - addr % TRANSACTION_BYTES;
+            prop_assert_eq!(decode(base, &c, &all), decode(base + off, &c, &all));
+        }
+
+        #[test]
+        fn prop_distinct_blocks_distinct_coords(a in 0u64..(1 << 26), b in 0u64..(1 << 26)) {
+            // Within capacity, different blocks never collide on the same
+            // (channel, bg, bank, row, col) tuple.
+            let c = cfg();
+            let all: Vec<usize> = (0..8).collect();
+            prop_assume!(a != b);
+            let da = decode(a * TRANSACTION_BYTES, &c, &all);
+            let db = decode(b * TRANSACTION_BYTES, &c, &all);
+            prop_assert_ne!((da.channel, da.bankgroup, da.bank, da.row, da.col),
+                            (db.channel, db.bankgroup, db.bank, db.row, db.col));
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! Per-channel command scheduling: banks, row buffers, data bus, refresh.
+
+use crate::address::DecodedAddr;
+use crate::config::DramConfig;
+use crate::dram::Completion;
+use crate::stats::ChannelStats;
+use std::collections::VecDeque;
+
+/// FR-FCFS reordering window: row hits may bypass at most this many older
+/// requests, which bounds starvation.
+const FRFCFS_WINDOW: usize = 16;
+
+/// A transaction waiting in a channel queue.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub meta: u64,
+    pub core: usize,
+    pub addr: u64,
+    pub decoded: DecodedAddr,
+    pub is_write: bool,
+    pub arrival: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest allowed ACT (tRP after the last PRE, or refresh end).
+    ready_act: u64,
+    /// Earliest allowed CAS to the open row (ACT + tRCD).
+    ready_cas: u64,
+    /// Earliest allowed PRE (row open ≥ tRAS; write recovery).
+    ready_pre: u64,
+}
+
+impl BankState {
+    fn new() -> Self {
+        BankState { open_row: None, ready_act: 0, ready_cas: 0, ready_pre: 0 }
+    }
+}
+
+/// One DRAM channel: a transaction queue, bank states, a shared data bus,
+/// and a refresh timer. Channels are fully independent of each other.
+///
+/// This type is driven by [`crate::Dram`]; it is exposed for tests and for
+/// building custom memory hierarchies.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    cfg: DramConfig,
+    queue: VecDeque<Pending>,
+    banks: Vec<BankState>,
+    // Data-bus and command-bus state.
+    last_cas_time: u64,
+    last_cas_bg: u64,
+    any_cas: bool,
+    last_data_end: u64,
+    last_was_write: bool,
+    any_data: bool,
+    // ACT history for tRRD / tFAW.
+    last_act_time: u64,
+    last_act_bg: u64,
+    any_act: bool,
+    act_window: VecDeque<u64>,
+    // Refresh.
+    next_refresh: u64,
+    refresh_until: u64,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Create an idle channel.
+    pub fn new(cfg: &DramConfig) -> Self {
+        Channel {
+            cfg: cfg.clone(),
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            banks: vec![BankState::new(); cfg.banks_per_channel() as usize],
+            last_cas_time: 0,
+            last_cas_bg: 0,
+            any_cas: false,
+            last_data_end: 0,
+            last_was_write: false,
+            any_data: false,
+            last_act_time: 0,
+            last_act_bg: 0,
+            any_act: false,
+            act_window: VecDeque::with_capacity(4),
+            next_refresh: cfg.timing.trefi,
+            refresh_until: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Number of queued (not yet issued) transactions.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when the queue can accept another transaction.
+    pub fn has_room(&self) -> bool {
+        self.queue.len() < self.cfg.queue_depth
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    pub(crate) fn enqueue(&mut self, p: Pending) -> bool {
+        if !self.has_room() {
+            return false;
+        }
+        self.queue.push_back(p);
+        true
+    }
+
+    /// Commit every command legal at or before `now`; completed transactions
+    /// are appended to `out` (their `completed_at` may lie in the future —
+    /// the caller delivers them when the clock reaches it).
+    pub(crate) fn advance(&mut self, now: u64, out: &mut Vec<Completion>) {
+        self.catch_up_refresh(now);
+        loop {
+            if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
+                self.commit_refresh();
+                continue;
+            }
+            let Some(idx) = self.pick_candidate() else { break };
+            let t_cas = self.issue_time(&self.queue[idx]);
+            if t_cas > now {
+                break;
+            }
+            let p = self.queue.remove(idx).expect("index valid");
+            let done = self.commit(&p, t_cas);
+            out.push(done);
+        }
+    }
+
+    /// The earliest cycle at which this channel can commit another command,
+    /// or `None` when the queue is empty.
+    pub(crate) fn earliest_action(&self, now: u64) -> Option<u64> {
+        let mut next = None;
+        if !self.queue.is_empty() {
+            if let Some(idx) = self.pick_candidate() {
+                let t = self.issue_time(&self.queue[idx]).max(now);
+                next = Some(t);
+            }
+            // A refresh deadline can precede (and gate) the next CAS.
+            if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
+                next = Some(now);
+            }
+        }
+        next
+    }
+
+    /// While the channel sits idle, refreshes happen without contending with
+    /// anything; skip them arithmetically instead of simulating each one.
+    fn catch_up_refresh(&mut self, now: u64) {
+        let trefi = self.cfg.timing.trefi;
+        if trefi == 0 || self.queue.is_empty() {
+            return;
+        }
+        if self.next_refresh + trefi <= now {
+            let missed = (now - self.next_refresh) / trefi;
+            if missed > 0 {
+                self.next_refresh += missed * trefi;
+                for b in &mut self.banks {
+                    b.open_row = None;
+                }
+            }
+        }
+    }
+
+    fn commit_refresh(&mut self) {
+        let t = &self.cfg.timing;
+        // Refresh begins once in-flight data and row-precharge constraints
+        // drain; it blocks the whole channel for tRFC.
+        let mut start = self.next_refresh.max(self.last_data_end);
+        for b in &self.banks {
+            start = start.max(b.ready_pre);
+        }
+        let end = start + t.trfc;
+        for b in &mut self.banks {
+            b.open_row = None;
+            b.ready_act = b.ready_act.max(end);
+        }
+        self.refresh_until = end;
+        self.next_refresh += t.trefi;
+        self.stats.refreshes += 1;
+    }
+
+    /// FR-FCFS with a readiness tie-break: among the reorder window, pick
+    /// the request with the earliest legal CAS time, preferring row hits and
+    /// then age on ties. This approximates a cycle-level scheduler that
+    /// interleaves CAS bursts across bank groups while ACTs proceed in
+    /// parallel. The head of the queue is always in the window, so bypassing
+    /// is bounded.
+    fn pick_candidate(&self) -> Option<usize> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if self.cfg.policy == crate::config::SchedPolicy::Fcfs {
+            return Some(0);
+        }
+        let window = self.queue.len().min(FRFCFS_WINDOW);
+        let mut best: Option<(u64, bool, usize)> = None; // (issue, !hit, idx)
+        for (i, p) in self.queue.iter().take(window).enumerate() {
+            let bank = &self.banks[p.decoded.flat_bank(&self.cfg)];
+            let hit = bank.open_row == Some(p.decoded.row);
+            let t = self.issue_time(p);
+            let key = (t, !hit, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Earliest legal CAS time for `p` under current channel state.
+    fn issue_time(&self, p: &Pending) -> u64 {
+        let t = &self.cfg.timing;
+        let bank = &self.banks[p.decoded.flat_bank(&self.cfg)];
+        let mut t_cas = p.arrival.max(self.refresh_until);
+
+        match bank.open_row {
+            Some(row) if row == p.decoded.row => {
+                t_cas = t_cas.max(bank.ready_cas);
+            }
+            open => {
+                // Need ACT (and PRE first on a conflict).
+                let mut t_act = bank.ready_act.max(self.refresh_until).max(p.arrival);
+                if open.is_some() {
+                    t_act = t_act.max(bank.ready_pre + t.trp);
+                }
+                if self.any_act {
+                    let trrd = if self.last_act_bg == p.decoded.bankgroup { t.trrd_l } else { t.trrd_s };
+                    t_act = t_act.max(self.last_act_time + trrd);
+                }
+                if self.act_window.len() == 4 {
+                    t_act = t_act.max(self.act_window[0] + t.tfaw);
+                }
+                t_cas = t_cas.max(t_act + t.trcd);
+            }
+        }
+
+        // Command/data-bus constraints.
+        if self.any_cas {
+            let tccd = if self.last_cas_bg == p.decoded.bankgroup { t.tccd_l } else { t.tccd_s };
+            t_cas = t_cas.max(self.last_cas_time + tccd);
+        }
+        if self.any_data {
+            // The data bus carries one burst at a time: this burst's data
+            // may not start before the previous one ends (binding when
+            // burst_cycles > tCCD, e.g. narrow channels).
+            let lat = if p.is_write { t.cwl } else { t.cl };
+            t_cas = t_cas.max(self.last_data_end.saturating_sub(lat));
+        }
+        if self.any_data && p.is_write != self.last_was_write {
+            if p.is_write {
+                // Read -> write: data bus turnaround.
+                t_cas = t_cas.max((self.last_data_end + t.trtw).saturating_sub(t.cwl));
+            } else {
+                // Write -> read: tWTR after the last write data beat.
+                t_cas = t_cas.max(self.last_data_end + t.twtr);
+            }
+        }
+        t_cas
+    }
+
+    fn commit(&mut self, p: &Pending, t_cas: u64) -> Completion {
+        let t = self.cfg.timing;
+        let flat = p.decoded.flat_bank(&self.cfg);
+        let bank = &mut self.banks[flat];
+
+        // Row-buffer bookkeeping (and ACT/PRE effects).
+        match bank.open_row {
+            Some(row) if row == p.decoded.row => {
+                self.stats.row_hits += 1;
+            }
+            open => {
+                if open.is_some() {
+                    self.stats.row_conflicts += 1;
+                } else {
+                    self.stats.row_misses += 1;
+                }
+                let t_act = t_cas - t.trcd;
+                bank.open_row = Some(p.decoded.row);
+                bank.ready_cas = t_cas;
+                bank.ready_act = t_act; // re-ACT of this bank gated by ready_pre + tRP
+                bank.ready_pre = bank.ready_pre.max(t_act + t.tras);
+                self.last_act_time = t_act;
+                self.last_act_bg = p.decoded.bankgroup;
+                self.any_act = true;
+                self.act_window.push_back(t_act);
+                if self.act_window.len() > 4 {
+                    self.act_window.pop_front();
+                }
+            }
+        }
+
+        let latency_to_data = if p.is_write { t.cwl } else { t.cl };
+        let data_start = t_cas + latency_to_data;
+        let data_end = data_start + t.burst_cycles;
+
+        let bank = &mut self.banks[flat];
+        if p.is_write {
+            bank.ready_pre = bank.ready_pre.max(data_end + t.twr);
+        } else {
+            bank.ready_pre = bank.ready_pre.max(data_end);
+        }
+
+        self.last_cas_time = t_cas;
+        self.last_cas_bg = p.decoded.bankgroup;
+        self.any_cas = true;
+        self.last_data_end = data_end;
+        self.last_was_write = p.is_write;
+        self.any_data = true;
+
+        // Stats.
+        if p.is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.bytes += crate::address::TRANSACTION_BYTES;
+        self.stats.busy_cycles += t.burst_cycles;
+        let latency = data_end - p.arrival;
+        self.stats.latency_sum += latency;
+        self.stats.latency_max = self.stats.latency_max.max(latency);
+
+        Completion {
+            meta: p.meta,
+            core: p.core,
+            addr: p.addr,
+            is_write: p.is_write,
+            completed_at: data_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::decode;
+
+    fn make(cfg: &DramConfig, addr: u64, is_write: bool, arrival: u64, meta: u64) -> Pending {
+        let all: Vec<usize> = (0..cfg.channels).collect();
+        Pending { meta, core: 0, addr, decoded: decode(addr, cfg, &all), is_write, arrival }
+    }
+
+    fn drain(ch: &mut Channel, until: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        loop {
+            ch.advance(now, &mut out);
+            match ch.earliest_action(now) {
+                Some(t) if t <= until => now = t.max(now + 1),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cold_read_latency_is_act_plus_cas() {
+        let cfg = DramConfig::hbm2(1);
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        assert!(ch.enqueue(make(&cfg, 0, false, 0, 1)));
+        let done = drain(&mut ch, 10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed_at, t.trcd + t.cl + t.burst_cycles);
+    }
+
+    #[test]
+    fn row_hit_faster_than_conflict() {
+        let cfg = DramConfig::hbm2(1);
+        let mut ch = Channel::new(&cfg);
+        // Same row twice, then a different row in the same bank.
+        let all: Vec<usize> = vec![0];
+        let d0 = decode(0, &cfg, &all);
+        let same_bank = |a: u64| decode(a, &cfg, &all).flat_bank(&cfg) == d0.flat_bank(&cfg);
+        let same_row = (1..1_000_000u64)
+            .map(|b| b * 64)
+            .find(|&a| same_bank(a) && decode(a, &cfg, &all).row == d0.row)
+            .expect("hit address");
+        let conflict_addr = (1..10_000_000u64)
+            .map(|b| b * 64)
+            .find(|&a| same_bank(a) && decode(a, &cfg, &all).row != d0.row)
+            .expect("conflict address");
+
+        assert!(ch.enqueue(make(&cfg, 0, false, 0, 1)));
+        assert!(ch.enqueue(make(&cfg, same_row, false, 0, 2)));
+        assert!(ch.enqueue(make(&cfg, conflict_addr, false, 0, 3)));
+        let done = drain(&mut ch, 100_000);
+        assert_eq!(done.len(), 3);
+        assert_eq!(ch.stats().row_hits, 1);
+        assert_eq!(ch.stats().row_misses, 1);
+        assert_eq!(ch.stats().row_conflicts, 1);
+        // Hit completes shortly after the first; conflict pays tRAS+tRP+tRCD.
+        let t1 = done.iter().find(|c| c.meta == 2).unwrap().completed_at;
+        let t2 = done.iter().find(|c| c.meta == 3).unwrap().completed_at;
+        assert!(t2 > t1 + cfg.timing.trp);
+    }
+
+    #[test]
+    fn streaming_saturates_bus() {
+        // Many row-hit reads should complete back-to-back at tCCD_S spacing,
+        // i.e. the channel sustains ~full bandwidth.
+        let cfg = DramConfig::hbm2(1);
+        let mut ch = Channel::new(&cfg);
+        let n = 32u64;
+        for i in 0..n {
+            assert!(ch.enqueue(make(&cfg, i * 64, false, 0, i)));
+        }
+        let done = drain(&mut ch, 100_000);
+        assert_eq!(done.len(), n as usize);
+        let last = done.iter().map(|c| c.completed_at).max().unwrap();
+        // Ideal: first latency + (n-1) * burst. Allow 50% slack for ACTs.
+        let ideal = cfg.timing.trcd + cfg.timing.cl + n * cfg.timing.burst_cycles;
+        assert!(last < ideal * 3 / 2, "last={last} ideal={ideal}");
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_open_row_within_window() {
+        let cfg = DramConfig::hbm2(1);
+        let mut ch = Channel::new(&cfg);
+        let all: Vec<usize> = vec![0];
+        let d0 = decode(0, &cfg, &all);
+        // conflict address in same bank, other row
+        let conflict = (1..10_000_000u64)
+            .map(|b| b * 64)
+            .find(|&a| {
+                let d = decode(a, &cfg, &all);
+                d.flat_bank(&cfg) == d0.flat_bank(&cfg) && d.row != d0.row
+            })
+            .unwrap();
+        let hit_addr = (1..1_000_000u64)
+            .map(|b| b * 64)
+            .find(|&a| {
+                let d = decode(a, &cfg, &all);
+                d.flat_bank(&cfg) == d0.flat_bank(&cfg) && d.row == d0.row
+            })
+            .unwrap();
+        assert!(ch.enqueue(make(&cfg, 0, false, 0, 0)));
+        let mut out = Vec::new();
+        ch.advance(0, &mut out); // opens row 0
+        assert!(ch.enqueue(make(&cfg, conflict, false, 1, 1)));
+        assert!(ch.enqueue(make(&cfg, hit_addr, false, 1, 2))); // row hit, younger
+        let done = drain(&mut ch, 100_000);
+        let hit = done.iter().find(|c| c.meta == 2).unwrap().completed_at;
+        let miss = done.iter().find(|c| c.meta == 1).unwrap().completed_at;
+        assert!(hit < miss, "row hit should bypass older conflict");
+    }
+
+    #[test]
+    fn write_read_turnaround_enforced() {
+        let cfg = DramConfig::hbm2(1);
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        assert!(ch.enqueue(make(&cfg, 0, true, 0, 1)));
+        assert!(ch.enqueue(make(&cfg, 64, false, 0, 2)));
+        let done = drain(&mut ch, 100_000);
+        let w = done.iter().find(|c| c.meta == 1).unwrap().completed_at;
+        let r = done.iter().find(|c| c.meta == 2).unwrap().completed_at;
+        // Read CAS must wait tWTR after write data: read completes at least
+        // tWTR + CL + burst after the write data end.
+        assert!(r >= w + t.twtr + t.cl + t.burst_cycles - 1, "w={w} r={r}");
+    }
+
+    #[test]
+    fn queue_capacity_respected() {
+        let cfg = DramConfig { queue_depth: 4, ..DramConfig::hbm2(1) };
+        let mut ch = Channel::new(&cfg);
+        for i in 0..4 {
+            assert!(ch.enqueue(make(&cfg, i * 64, false, 0, i)));
+        }
+        assert!(!ch.enqueue(make(&cfg, 999 * 64, false, 0, 99)));
+        assert!(!ch.has_room());
+    }
+
+    #[test]
+    fn refresh_blocks_channel() {
+        let cfg = DramConfig::hbm2(1);
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        // A request arriving exactly at the refresh deadline waits ~tRFC.
+        assert!(ch.enqueue(make(&cfg, 0, false, t.trefi, 1)));
+        let mut out = Vec::new();
+        let mut now = t.trefi;
+        while out.is_empty() {
+            ch.advance(now, &mut out);
+            if out.is_empty() {
+                now = ch.earliest_action(now).expect("pending work").max(now + 1);
+            }
+        }
+        assert!(ch.stats().refreshes >= 1);
+        assert!(
+            out[0].completed_at >= t.trefi + t.trfc,
+            "completion {} should wait for refresh {}",
+            out[0].completed_at,
+            t.trefi + t.trfc
+        );
+    }
+
+    #[test]
+    fn idle_refreshes_are_skipped_cheaply() {
+        let cfg = DramConfig::hbm2(1);
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        // Arrive after 1000 refresh intervals of idleness.
+        let late = t.trefi * 1000;
+        assert!(ch.enqueue(make(&cfg, 0, false, late, 1)));
+        let mut out = Vec::new();
+        let mut now = late;
+        while out.is_empty() {
+            ch.advance(now, &mut out);
+            if out.is_empty() {
+                now = ch.earliest_action(now).expect("pending work").max(now + 1);
+            }
+        }
+        // No thousand simulated refreshes.
+        assert!(ch.stats().refreshes < 3);
+    }
+
+    #[test]
+    fn stats_latency_accounting() {
+        let cfg = DramConfig::hbm2(1);
+        let mut ch = Channel::new(&cfg);
+        assert!(ch.enqueue(make(&cfg, 0, false, 0, 1)));
+        let done = drain(&mut ch, 10_000);
+        let s = ch.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.latency_sum, done[0].completed_at);
+        assert_eq!(s.latency_max, done[0].completed_at);
+        assert_eq!(s.bytes, 64);
+    }
+}

@@ -1,0 +1,326 @@
+//! Device configuration and timing parameters.
+
+/// DRAM timing constraints in device clock cycles.
+///
+/// The names follow JEDEC convention; the HBM2 preset values assume a 1 GHz
+/// device clock (1 cycle = 1 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramTiming {
+    /// Read CAS latency (CAS → first data beat).
+    pub cl: u64,
+    /// Write CAS latency.
+    pub cwl: u64,
+    /// ACT → CAS delay.
+    pub trcd: u64,
+    /// PRE → ACT delay.
+    pub trp: u64,
+    /// ACT → PRE minimum (row must stay open this long).
+    pub tras: u64,
+    /// CAS → CAS, different bank group.
+    pub tccd_s: u64,
+    /// CAS → CAS, same bank group.
+    pub tccd_l: u64,
+    /// ACT → ACT, different bank group.
+    pub trrd_s: u64,
+    /// ACT → ACT, same bank group.
+    pub trrd_l: u64,
+    /// Four-activate window.
+    pub tfaw: u64,
+    /// Write recovery: last write data beat → PRE.
+    pub twr: u64,
+    /// Write → read turnaround: last write data beat → read CAS.
+    pub twtr: u64,
+    /// Read → write turnaround gap on the data bus.
+    pub trtw: u64,
+    /// Refresh interval (one all-bank refresh per channel per tREFI).
+    pub trefi: u64,
+    /// Refresh cycle time (channel blocked for this long per refresh).
+    pub trfc: u64,
+    /// Data-bus cycles occupied by one transaction burst (BL / data rate).
+    pub burst_cycles: u64,
+}
+
+impl DramTiming {
+    /// HBM2-class timings at a 1 GHz device clock. One 64-byte transaction
+    /// occupies the 128-bit DDR channel bus for 2 cycles, i.e. 32 GB/s per
+    /// channel — the paper's 256 GB/s for 8 channels.
+    pub const fn hbm2() -> Self {
+        DramTiming {
+            cl: 14,
+            cwl: 12,
+            trcd: 14,
+            trp: 14,
+            tras: 34,
+            tccd_s: 2,
+            tccd_l: 4,
+            trrd_s: 4,
+            trrd_l: 6,
+            tfaw: 30,
+            twr: 16,
+            twtr: 8,
+            trtw: 4,
+            trefi: 3900,
+            trfc: 260,
+            burst_cycles: 2,
+        }
+    }
+
+    /// DDR4-2400-class timings at a 1.2 GHz device clock; one 64-byte burst
+    /// occupies the 64-bit bus for 4 cycles (BL8, DDR).
+    pub const fn ddr4() -> Self {
+        DramTiming {
+            cl: 16,
+            cwl: 12,
+            trcd: 16,
+            trp: 16,
+            tras: 39,
+            tccd_s: 4,
+            tccd_l: 6,
+            trrd_s: 4,
+            trrd_l: 6,
+            tfaw: 26,
+            twr: 18,
+            twtr: 9,
+            trtw: 6,
+            trefi: 9360,
+            trfc: 420,
+            burst_cycles: 4,
+        }
+    }
+}
+
+/// Transaction scheduling policy within a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// First-ready, first-come-first-served: row hits (and otherwise the
+    /// earliest-issuable request) bypass older requests within a bounded
+    /// window — what DRAMsim3 and real controllers do (default).
+    #[default]
+    FrFcfs,
+    /// Strict arrival order: no reordering at all (ablation baseline).
+    Fcfs,
+}
+
+/// How physical addresses are interleaved across channels, banks and rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressMapping {
+    /// Consecutive 64-byte blocks rotate across channels first, then walk a
+    /// row, then banks — maximum channel parallelism for streaming (default;
+    /// what HBM-based NPUs use).
+    #[default]
+    BlockInterleaved,
+    /// Consecutive blocks walk a row within one channel before switching —
+    /// maximum row-buffer locality per channel (ablation).
+    RowInterleaved,
+}
+
+/// Full DRAM device configuration.
+///
+/// `channels` is the *total* channel count of the simulated memory system;
+/// per-core visibility is restricted later with
+/// [`crate::Dram::set_core_channels`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Bank groups per channel.
+    pub bankgroups: u64,
+    /// Banks per bank group.
+    pub banks_per_group: u64,
+    /// Row size in bytes (row-buffer size per bank).
+    pub row_bytes: u64,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Device clock in MHz.
+    pub freq_mhz: u64,
+    /// Per-channel transaction queue depth.
+    pub queue_depth: usize,
+    /// Timing constraints.
+    pub timing: DramTiming,
+    /// Address interleaving scheme.
+    pub mapping: AddressMapping,
+    /// Intra-channel scheduling policy.
+    pub policy: SchedPolicy,
+}
+
+impl DramConfig {
+    /// HBM2 with the given channel count. 8 channels = the paper's baseline
+    /// 256 GB/s dual-core budget (the single-core Table 2 budget is 128 GB/s,
+    /// i.e. 4 channels).
+    pub fn hbm2(channels: usize) -> Self {
+        DramConfig {
+            channels,
+            bankgroups: 4,
+            banks_per_group: 4,
+            row_bytes: 2048,
+            rows: 1 << 15,
+            freq_mhz: 1000,
+            queue_depth: 64,
+            timing: DramTiming::hbm2(),
+            mapping: AddressMapping::BlockInterleaved,
+            policy: SchedPolicy::FrFcfs,
+        }
+    }
+
+    /// A narrow HBM2-like channel (8 GB/s: one 64-byte burst occupies the
+    /// bus for 8 cycles) used by the bench-scale system preset, so that the
+    /// per-core bandwidth : compute ratio matches the cloud configuration at
+    /// a fraction of the simulation cost.
+    pub fn bench(channels: usize) -> Self {
+        let mut c = DramConfig::hbm2(channels);
+        c.timing.burst_cycles = 8;
+        c
+    }
+
+    /// DDR4-2400 with the given channel count (ablation preset).
+    pub fn ddr4(channels: usize) -> Self {
+        DramConfig {
+            channels,
+            bankgroups: 4,
+            banks_per_group: 4,
+            row_bytes: 8192,
+            rows: 1 << 16,
+            freq_mhz: 1200,
+            queue_depth: 64,
+            timing: DramTiming::ddr4(),
+            mapping: AddressMapping::BlockInterleaved,
+            policy: SchedPolicy::FrFcfs,
+        }
+    }
+
+    /// Banks per channel.
+    pub fn banks_per_channel(&self) -> u64 {
+        self.bankgroups * self.banks_per_group
+    }
+
+    /// Total addressable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels as u64 * self.banks_per_channel() * self.rows * self.row_bytes
+    }
+
+    /// Peak bandwidth of one channel in bytes per device cycle.
+    pub fn channel_bytes_per_cycle(&self) -> f64 {
+        crate::address::TRANSACTION_BYTES as f64 / self.timing.burst_cycles as f64
+    }
+
+    /// Peak bandwidth of the whole device in GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.channels as f64 * self.channel_bytes_per_cycle() * self.freq_mhz as f64 / 1000.0
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("at least one channel required".into());
+        }
+        if self.bankgroups == 0 || self.banks_per_group == 0 {
+            return Err("bank counts must be positive".into());
+        }
+        if self.row_bytes < crate::address::TRANSACTION_BYTES || self.row_bytes % crate::address::TRANSACTION_BYTES != 0 {
+            return Err("row_bytes must be a positive multiple of the transaction size".into());
+        }
+        if self.rows == 0 {
+            return Err("rows must be positive".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be positive".into());
+        }
+        if self.freq_mhz == 0 {
+            return Err("freq_mhz must be positive".into());
+        }
+        let t = &self.timing;
+        if t.burst_cycles == 0 || t.cl == 0 || t.trcd == 0 || t.trp == 0 {
+            return Err("core timing parameters must be positive".into());
+        }
+        if t.trefi > 0 && t.trfc >= t.trefi {
+            return Err("tRFC must be smaller than tREFI".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::hbm2(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm2_bandwidth_matches_table2() {
+        // Table 2: 128 GB/s per NPU -> 4 channels; dual-core total 256 GB/s.
+        assert_eq!(DramConfig::hbm2(4).peak_gbps(), 128.0);
+        assert_eq!(DramConfig::hbm2(8).peak_gbps(), 256.0);
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(DramConfig::hbm2(1).validate().is_ok());
+        assert!(DramConfig::hbm2(8).validate().is_ok());
+        assert!(DramConfig::ddr4(2).validate().is_ok());
+    }
+
+    #[test]
+    fn capacity_is_product_of_geometry() {
+        let c = DramConfig::hbm2(8);
+        assert_eq!(c.capacity_bytes(), 8 * 16 * (1 << 15) * 2048);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DramConfig::hbm2(8);
+        c.channels = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DramConfig::hbm2(8);
+        c.row_bytes = 100; // not a multiple of 64
+        assert!(c.validate().is_err());
+
+        let mut c = DramConfig::hbm2(8);
+        c.timing.trfc = c.timing.trefi;
+        assert!(c.validate().is_err());
+
+        let mut c = DramConfig::hbm2(8);
+        c.queue_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn refresh_overhead_is_small_fraction() {
+        let t = DramTiming::hbm2();
+        assert!((t.trfc as f64) / (t.trefi as f64) < 0.1);
+    }
+}
+
+#[cfg(test)]
+mod preset_tests {
+    use super::*;
+
+    #[test]
+    fn bench_preset_is_quarter_rate_hbm2() {
+        let b = DramConfig::bench(4);
+        let h = DramConfig::hbm2(4);
+        assert_eq!(b.timing.burst_cycles, 8);
+        assert!((b.peak_gbps() - h.peak_gbps() / 4.0).abs() < 1e-9);
+        assert!((b.peak_gbps() - 32.0).abs() < 1e-9, "4 x 8 GB/s");
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn ddr4_slower_per_channel_than_hbm2() {
+        assert!(DramConfig::ddr4(1).channel_bytes_per_cycle() < DramConfig::hbm2(1).channel_bytes_per_cycle());
+    }
+
+    #[test]
+    fn default_policy_is_frfcfs() {
+        assert_eq!(DramConfig::default().policy, SchedPolicy::FrFcfs);
+        assert_eq!(SchedPolicy::default(), SchedPolicy::FrFcfs);
+    }
+}

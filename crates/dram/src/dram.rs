@@ -1,0 +1,483 @@
+//! The device façade: channel routing, completions, statistics.
+
+use crate::address::decode;
+use crate::channel::{Channel, Pending};
+use crate::config::DramConfig;
+use crate::stats::{BandwidthTrace, DramStats};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// A serviced transaction, returned by [`Dram::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-supplied tag (e.g. a tile or walker identifier).
+    pub meta: u64,
+    /// Requesting core.
+    pub core: usize,
+    /// Physical address of the transaction.
+    pub addr: u64,
+    /// `true` for writes.
+    pub is_write: bool,
+    /// Device cycle at which the data burst finished.
+    pub completed_at: u64,
+}
+
+/// Why [`Dram::try_enqueue`] rejected a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The target channel's transaction queue is full; retry after the next
+    /// completion or scheduling event.
+    QueueFull {
+        /// Index of the saturated channel.
+        channel: usize,
+    },
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqueueError::QueueFull { channel } => {
+                write!(f, "transaction queue of channel {channel} is full")
+            }
+        }
+    }
+}
+
+impl Error for EnqueueError {}
+
+/// A multi-channel DRAM device with per-core channel partitioning.
+///
+/// Drive it with three calls:
+///
+/// * [`Dram::try_enqueue`] — submit a 64-byte transaction;
+/// * [`Dram::next_event`] — the next cycle at which the device state changes;
+/// * [`Dram::advance`] — move time forward, returning finished transactions.
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    channels: Vec<Channel>,
+    core_channels: Vec<Vec<usize>>,
+    in_flight: BinaryHeap<Reverse<(u64, u64)>>,
+    in_flight_data: Vec<Option<Completion>>,
+    free_slots: Vec<usize>,
+    per_core_bytes: Vec<u64>,
+    trace: Option<BandwidthTrace>,
+    now: u64,
+    pending_count: usize,
+}
+
+impl Dram {
+    /// Create a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`].
+    pub fn new(config: DramConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid DRAM config: {e}");
+        }
+        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        Dram {
+            channels,
+            core_channels: Vec::new(),
+            in_flight: BinaryHeap::new(),
+            in_flight_data: Vec::new(),
+            free_slots: Vec::new(),
+            per_core_bytes: Vec::new(),
+            trace: None,
+            now: 0,
+            pending_count: 0,
+            config,
+        }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Restrict `core` to a subset of channels (bandwidth partitioning).
+    ///
+    /// Cores default to all channels (full sharing). Subsets of different
+    /// cores may overlap arbitrarily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subset is empty or names an out-of-range channel.
+    pub fn set_core_channels(&mut self, core: usize, channels: Vec<usize>) {
+        assert!(!channels.is_empty(), "channel subset must not be empty");
+        assert!(channels.iter().all(|&c| c < self.config.channels), "channel index out of range");
+        if self.core_channels.len() <= core {
+            self.core_channels.resize(core + 1, Vec::new());
+        }
+        self.core_channels[core] = channels;
+    }
+
+    fn subset_of(&self, core: usize) -> Vec<usize> {
+        match self.core_channels.get(core) {
+            Some(v) if !v.is_empty() => v.clone(),
+            _ => (0..self.config.channels).collect(),
+        }
+    }
+
+    /// Enable windowed bandwidth tracing (see [`BandwidthTrace`]).
+    pub fn enable_trace(&mut self, window: u64, cores: usize) {
+        self.trace = Some(BandwidthTrace::new(window, cores));
+    }
+
+    /// The bandwidth trace, if enabled.
+    pub fn trace(&self) -> Option<&BandwidthTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of transactions enqueued or in flight.
+    pub fn pending(&self) -> usize {
+        self.pending_count
+    }
+
+    /// Submit a 64-byte transaction at device cycle `now`.
+    ///
+    /// `meta` is an opaque tag returned in the [`Completion`].
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] when the target channel queue is
+    /// saturated — the caller should retry after the next event.
+    pub fn try_enqueue(
+        &mut self,
+        now: u64,
+        core: usize,
+        addr: u64,
+        is_write: bool,
+        meta: u64,
+    ) -> Result<(), EnqueueError> {
+        let subset = self.subset_of(core);
+        let decoded = decode(addr, &self.config, &subset);
+        let ch = decoded.channel;
+        let p = Pending { meta, core, addr, decoded, is_write, arrival: now };
+        if !self.channels[ch].enqueue(p) {
+            return Err(EnqueueError::QueueFull { channel: ch });
+        }
+        self.pending_count += 1;
+        Ok(())
+    }
+
+    /// `true` when a transaction from `core` to `addr` can be accepted now.
+    pub fn can_accept(&self, core: usize, addr: u64) -> bool {
+        let subset = self.subset_of(core);
+        let decoded = decode(addr, &self.config, &subset);
+        self.channels[decoded.channel].has_room()
+    }
+
+    /// Advance the device clock to `now` (monotone non-decreasing), commit
+    /// every command that becomes legal, and return the transactions whose
+    /// data finished by `now`, ordered by completion cycle.
+    pub fn advance(&mut self, now: u64) -> Vec<Completion> {
+        debug_assert!(now >= self.now, "clock must be monotone");
+        self.now = self.now.max(now);
+
+        let mut committed = Vec::new();
+        for ch in &mut self.channels {
+            ch.advance(now, &mut committed);
+        }
+        for c in committed {
+            // Account bytes at commit time (the data burst is scheduled).
+            if self.per_core_bytes.len() <= c.core {
+                self.per_core_bytes.resize(c.core + 1, 0);
+            }
+            self.per_core_bytes[c.core] += crate::address::TRANSACTION_BYTES;
+            if let Some(t) = &mut self.trace {
+                t.record(c.completed_at, c.core, crate::address::TRANSACTION_BYTES);
+            }
+            let slot = match self.free_slots.pop() {
+                Some(s) => {
+                    self.in_flight_data[s] = Some(c);
+                    s
+                }
+                None => {
+                    self.in_flight_data.push(Some(c));
+                    self.in_flight_data.len() - 1
+                }
+            };
+            self.in_flight.push(Reverse((c.completed_at, slot as u64)));
+        }
+
+        let mut done = Vec::new();
+        while let Some(&Reverse((t, slot))) = self.in_flight.peek() {
+            if t > now {
+                break;
+            }
+            self.in_flight.pop();
+            let c = self.in_flight_data[slot as usize].take().expect("slot occupied");
+            self.free_slots.push(slot as usize);
+            self.pending_count -= 1;
+            done.push(c);
+        }
+        done
+    }
+
+    /// The next cycle at which the device changes state: a pending data
+    /// burst completes or a channel can commit another command. `None` when
+    /// fully idle.
+    pub fn next_event(&self) -> Option<u64> {
+        let mut next: Option<u64> = self.in_flight.peek().map(|Reverse((t, _))| *t);
+        for ch in &self.channels {
+            if let Some(t) = ch.earliest_action(self.now) {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
+            }
+        }
+        // Never return a cycle in the past.
+        next.map(|t| t.max(self.now + 1))
+    }
+
+    /// Snapshot of device statistics.
+    pub fn stats(&self) -> DramStats {
+        let mut s = DramStats {
+            per_channel: self.channels.iter().map(|c| c.stats().clone()).collect(),
+            per_core_bytes: self.per_core_bytes.clone(),
+            ..Default::default()
+        };
+        for c in &s.per_channel {
+            s.total.merge(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_idle(dram: &mut Dram, mut now: u64) -> (Vec<Completion>, u64) {
+        let mut all = Vec::new();
+        loop {
+            all.extend(dram.advance(now));
+            match dram.next_event() {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        (all, now)
+    }
+
+    /// Enqueue with retry, advancing the clock whenever a queue is full.
+    fn enqueue_all(dram: &mut Dram, reqs: &[(usize, u64, bool, u64)]) -> Vec<Completion> {
+        let mut all = Vec::new();
+        let mut now = 0;
+        for &(core, addr, is_write, meta) in reqs {
+            while dram.try_enqueue(now, core, addr, is_write, meta).is_err() {
+                now = dram.next_event().expect("device must drain");
+                all.extend(dram.advance(now));
+            }
+        }
+        let (rest, _) = run_until_idle(dram, now);
+        all.extend(rest);
+        all
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let mut d = Dram::new(DramConfig::hbm2(8));
+        d.try_enqueue(0, 0, 4096, false, 7).unwrap();
+        let (done, _) = run_until_idle(&mut d, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].meta, 7);
+        assert!(!done[0].is_write);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn sequential_stream_spreads_over_channels() {
+        let mut d = Dram::new(DramConfig::hbm2(8));
+        for i in 0..64u64 {
+            d.try_enqueue(0, 0, i * 64, false, i).unwrap();
+        }
+        let (done, _) = run_until_idle(&mut d, 0);
+        assert_eq!(done.len(), 64);
+        let s = d.stats();
+        for ch in &s.per_channel {
+            assert_eq!(ch.reads, 8, "each channel gets 64/8 reads");
+        }
+    }
+
+    #[test]
+    fn partitioned_core_only_uses_its_channels() {
+        let mut d = Dram::new(DramConfig::hbm2(8));
+        d.set_core_channels(0, vec![0, 1]);
+        for i in 0..32u64 {
+            d.try_enqueue(0, 0, i * 64, false, i).unwrap();
+        }
+        let (done, _) = run_until_idle(&mut d, 0);
+        assert_eq!(done.len(), 32);
+        let s = d.stats();
+        assert_eq!(s.per_channel[0].reads + s.per_channel[1].reads, 32);
+        for ch in 2..8 {
+            assert_eq!(s.per_channel[ch].reads, 0);
+        }
+    }
+
+    #[test]
+    fn more_channels_finish_a_burst_faster() {
+        let burst: Vec<(usize, u64, bool, u64)> =
+            (0..256u64).map(|i| (0usize, i * 64, false, i)).collect();
+        let mut finish = Vec::new();
+        for n in [1usize, 4, 8] {
+            let mut d = Dram::new(DramConfig::hbm2(n));
+            let done = enqueue_all(&mut d, &burst);
+            finish.push(done.iter().map(|c| c.completed_at).max().unwrap());
+        }
+        assert!(finish[0] > finish[1] && finish[1] > finish[2], "{finish:?}");
+        // 8 channels should be roughly 8x the single channel throughput.
+        assert!(finish[0] as f64 / finish[2] as f64 > 4.0, "{finish:?}");
+    }
+
+    #[test]
+    fn queue_full_surfaces_error() {
+        let cfg = DramConfig { queue_depth: 2, ..DramConfig::hbm2(1) };
+        let mut d = Dram::new(cfg);
+        d.try_enqueue(0, 0, 0, false, 0).unwrap();
+        d.try_enqueue(0, 0, 64, false, 1).unwrap();
+        let err = d.try_enqueue(0, 0, 128, false, 2).unwrap_err();
+        assert_eq!(err, EnqueueError::QueueFull { channel: 0 });
+        assert!(!d.can_accept(0, 128));
+        // After draining, the queue accepts again.
+        let _ = run_until_idle(&mut d, 0);
+        assert!(d.can_accept(0, 128));
+    }
+
+    #[test]
+    fn per_core_byte_accounting() {
+        let mut d = Dram::new(DramConfig::hbm2(4));
+        for i in 0..10u64 {
+            d.try_enqueue(0, 0, i * 64, false, i).unwrap();
+            d.try_enqueue(0, 1, (1 << 20) + i * 64, true, 100 + i).unwrap();
+        }
+        let _ = run_until_idle(&mut d, 0);
+        let s = d.stats();
+        assert_eq!(s.per_core_bytes[0], 640);
+        assert_eq!(s.per_core_bytes[1], 640);
+        assert_eq!(s.total.reads, 10);
+        assert_eq!(s.total.writes, 10);
+    }
+
+    #[test]
+    fn trace_records_completions() {
+        let mut d = Dram::new(DramConfig::hbm2(4));
+        d.enable_trace(100, 2);
+        for i in 0..16u64 {
+            d.try_enqueue(0, 0, i * 64, false, i).unwrap();
+        }
+        let _ = run_until_idle(&mut d, 0);
+        let t = d.trace().unwrap();
+        let total: u64 = t.core_series(0).iter().sum();
+        assert_eq!(total, 16 * 64);
+    }
+
+    #[test]
+    fn completions_are_time_ordered() {
+        let mut d = Dram::new(DramConfig::hbm2(2));
+        let reqs: Vec<(usize, u64, bool, u64)> =
+            (0..100u64).map(|i| (0usize, i * 6400, i % 3 == 0, i)).collect();
+        let done = enqueue_all(&mut d, &reqs);
+        assert_eq!(done.len(), 100);
+        for w in done.windows(2) {
+            assert!(w[0].completed_at <= w[1].completed_at);
+        }
+    }
+
+    #[test]
+    fn contention_raises_latency() {
+        // Two cores sharing one channel see higher mean latency than one
+        // core alone — the basic premise of the whole study.
+        let solo = {
+            let mut d = Dram::new(DramConfig::hbm2(1));
+            let reqs: Vec<(usize, u64, bool, u64)> =
+                (0..48u64).map(|i| (0usize, i * 64, false, i)).collect();
+            let _ = enqueue_all(&mut d, &reqs);
+            d.stats().total.mean_latency()
+        };
+        let shared = {
+            let mut d = Dram::new(DramConfig::hbm2(1));
+            let reqs: Vec<(usize, u64, bool, u64)> = (0..48u64)
+                .flat_map(|i| {
+                    [(0usize, i * 64, false, i), (1usize, (1 << 22) + i * 64, false, 100 + i)]
+                })
+                .collect();
+            let _ = enqueue_all(&mut d, &reqs);
+            d.stats().total.mean_latency()
+        };
+        assert!(shared > solo, "shared {shared} vs solo {solo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM config")]
+    fn invalid_config_panics() {
+        let mut c = DramConfig::hbm2(8);
+        c.channels = 0;
+        let _ = Dram::new(c);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::config::SchedPolicy;
+
+    #[test]
+    fn fcfs_never_reorders() {
+        // Interleave row-conflicting and row-hitting requests; under strict
+        // FCFS completions come back in arrival order.
+        let mut cfg = DramConfig::hbm2(1);
+        cfg.policy = SchedPolicy::Fcfs;
+        let mut d = Dram::new(cfg);
+        for i in 0..32u64 {
+            // Alternate two far-apart regions to force conflicts.
+            let addr = if i % 2 == 0 { i * 64 } else { (1 << 26) + i * 64 };
+            d.try_enqueue(0, 0, addr, false, i).unwrap();
+        }
+        let mut now = 0;
+        let mut done = Vec::new();
+        loop {
+            done.extend(d.advance(now));
+            match d.next_event() {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        let metas: Vec<u64> = done.iter().map(|c| c.meta).collect();
+        assert_eq!(metas, (0..32).collect::<Vec<u64>>(), "strict arrival order");
+    }
+
+    #[test]
+    fn frfcfs_beats_fcfs_on_mixed_pattern() {
+        let run = |policy: SchedPolicy| {
+            let mut cfg = DramConfig::hbm2(1);
+            cfg.policy = policy;
+            let mut d = Dram::new(cfg);
+            for i in 0..48u64 {
+                let addr = if i % 3 == 0 { (1 << 26) + i * 64 } else { i * 64 };
+                d.try_enqueue(0, 0, addr, false, i).unwrap();
+            }
+            let mut now = 0;
+            let mut last = 0;
+            loop {
+                for c in d.advance(now) {
+                    last = last.max(c.completed_at);
+                }
+                match d.next_event() {
+                    Some(t) => now = t,
+                    None => break,
+                }
+            }
+            last
+        };
+        assert!(run(SchedPolicy::FrFcfs) <= run(SchedPolicy::Fcfs));
+    }
+}

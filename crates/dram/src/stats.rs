@@ -1,0 +1,209 @@
+//! Statistics and bandwidth tracing.
+
+/// Counters for one channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Read transactions serviced.
+    pub reads: u64,
+    /// Write transactions serviced.
+    pub writes: u64,
+    /// CAS commands that hit an open row.
+    pub row_hits: u64,
+    /// CAS commands to a closed bank (ACT needed).
+    pub row_misses: u64,
+    /// CAS commands that evicted another open row (PRE + ACT needed).
+    pub row_conflicts: u64,
+    /// Data-bus busy cycles.
+    pub busy_cycles: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Sum of transaction latencies (arrival → data end).
+    pub latency_sum: u64,
+    /// Maximum transaction latency observed.
+    pub latency_max: u64,
+    /// All-bank refreshes performed.
+    pub refreshes: u64,
+}
+
+impl ChannelStats {
+    /// Total transactions serviced.
+    pub fn transactions(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean transaction latency in device cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.transactions() == 0 {
+            return 0.0;
+        }
+        self.latency_sum as f64 / self.transactions() as f64
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / total as f64
+    }
+
+    /// Merge another channel's counters into this one.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.busy_cycles += other.busy_cycles;
+        self.bytes += other.bytes;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.refreshes += other.refreshes;
+    }
+}
+
+/// Device-wide statistics, aggregated by [`crate::Dram::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Aggregate of all channels.
+    pub total: ChannelStats,
+    /// Per-channel counters.
+    pub per_channel: Vec<ChannelStats>,
+    /// Bytes transferred per requesting core.
+    pub per_core_bytes: Vec<u64>,
+}
+
+impl DramStats {
+    /// Achieved bandwidth utilization over `elapsed` device cycles given
+    /// the per-cycle channel capacity (`channels * bytes_per_cycle`).
+    pub fn utilization(&self, elapsed: u64, peak_bytes_per_cycle: f64) -> f64 {
+        if elapsed == 0 || peak_bytes_per_cycle <= 0.0 {
+            return 0.0;
+        }
+        self.total.bytes as f64 / (elapsed as f64 * peak_bytes_per_cycle)
+    }
+}
+
+/// Windowed per-core byte counters, used to reproduce the paper's bandwidth
+/// timelines (Fig. 12) and burstiness plots (Fig. 2b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandwidthTrace {
+    window: u64,
+    cores: usize,
+    /// `bytes[w] = per-core byte counts in window w`.
+    windows: Vec<Vec<u64>>,
+}
+
+impl BandwidthTrace {
+    /// Create a trace with the given window length (device cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `cores` is zero.
+    pub fn new(window: u64, cores: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(cores > 0, "cores must be positive");
+        BandwidthTrace { window, cores, windows: Vec::new() }
+    }
+
+    /// Window length in device cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Record `bytes` transferred for `core` at `cycle`.
+    pub fn record(&mut self, cycle: u64, core: usize, bytes: u64) {
+        let w = (cycle / self.window) as usize;
+        if self.windows.len() <= w {
+            self.windows.resize_with(w + 1, || vec![0; self.cores]);
+        }
+        self.windows[w][core.min(self.cores - 1)] += bytes;
+    }
+
+    /// Number of windows recorded so far.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Bytes moved by `core` in each window.
+    pub fn core_series(&self, core: usize) -> Vec<u64> {
+        self.windows.iter().map(|w| w.get(core).copied().unwrap_or(0)).collect()
+    }
+
+    /// Total bytes per window across cores.
+    pub fn total_series(&self) -> Vec<u64> {
+        self.windows.iter().map(|w| w.iter().sum()).collect()
+    }
+
+    /// Per-window bandwidth of `core` normalized to a peak of
+    /// `peak_bytes_per_cycle` (values may exceed 1.0 when demand exceeds a
+    /// partition's share but not the device peak).
+    pub fn normalized_series(&self, core: usize, peak_bytes_per_cycle: f64) -> Vec<f64> {
+        let denom = peak_bytes_per_cycle * self.window as f64;
+        self.core_series(core).iter().map(|&b| b as f64 / denom).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_stats_rates() {
+        let s = ChannelStats { reads: 3, writes: 1, row_hits: 2, row_misses: 1, row_conflicts: 1, latency_sum: 80, ..Default::default() };
+        assert_eq!(s.transactions(), 4);
+        assert!((s.mean_latency() - 20.0).abs() < 1e-12);
+        assert!((s.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let s = ChannelStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(DramStats::default().utilization(0, 32.0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ChannelStats { reads: 1, bytes: 64, latency_max: 10, ..Default::default() };
+        let b = ChannelStats { reads: 2, bytes: 128, latency_max: 30, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.bytes, 192);
+        assert_eq!(a.latency_max, 30);
+    }
+
+    #[test]
+    fn trace_windows_accumulate() {
+        let mut t = BandwidthTrace::new(100, 2);
+        t.record(5, 0, 64);
+        t.record(50, 0, 64);
+        t.record(150, 1, 64);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.core_series(0), vec![128, 0]);
+        assert_eq!(t.core_series(1), vec![0, 64]);
+        assert_eq!(t.total_series(), vec![128, 64]);
+    }
+
+    #[test]
+    fn normalized_series_scaling() {
+        let mut t = BandwidthTrace::new(10, 1);
+        t.record(0, 0, 320);
+        // 320 bytes in a 10-cycle window at 32 B/cycle peak = 1.0.
+        let s = t.normalized_series(0, 32.0);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = BandwidthTrace::new(0, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Exhaustive address-mapping check on a miniature device: the decode of
+//! every block in capacity is unique and covers the whole geometry.
+
+use mnpu_dram::{AddressMapping, DramConfig};
+use std::collections::HashSet;
+
+fn mini(mapping: AddressMapping) -> DramConfig {
+    DramConfig {
+        channels: 3, // non-power-of-two on purpose
+        bankgroups: 2,
+        banks_per_group: 2,
+        row_bytes: 256,
+        rows: 8,
+        mapping,
+        ..DramConfig::hbm2(3)
+    }
+}
+
+#[test]
+fn block_interleaved_decode_is_a_bijection() {
+    check_bijection(mini(AddressMapping::BlockInterleaved));
+}
+
+#[test]
+fn row_interleaved_decode_is_a_bijection() {
+    check_bijection(mini(AddressMapping::RowInterleaved));
+}
+
+fn check_bijection(cfg: DramConfig) {
+    let subset: Vec<usize> = (0..cfg.channels).collect();
+    let blocks = cfg.capacity_bytes() / 64;
+    let mut seen = HashSet::new();
+    let mut per_channel = vec![0u64; cfg.channels];
+    for b in 0..blocks {
+        let d = mnpu_dram::decode(b * 64, &cfg, &subset);
+        assert!(
+            seen.insert((d.channel, d.bankgroup, d.bank, d.row, d.col)),
+            "collision at block {b}"
+        );
+        per_channel[d.channel] += 1;
+    }
+    assert_eq!(seen.len() as u64, blocks, "full coverage");
+    // Channels are balanced to within one block.
+    let min = per_channel.iter().min().unwrap();
+    let max = per_channel.iter().max().unwrap();
+    assert!(max - min <= 1, "imbalanced channels: {per_channel:?}");
+}

@@ -1,0 +1,135 @@
+//! Device-level soak tests: long pseudo-random request streams must respect
+//! the physical invariants of the model (causality, bandwidth ceiling,
+//! conservation) under every preset and policy.
+
+use mnpu_dram::{AddressMapping, Completion, Dram, DramConfig, SchedPolicy, TRANSACTION_BYTES};
+
+/// Drive `n` pseudo-random requests through `dram` to completion.
+fn soak(dram: &mut Dram, n: u64, write_every: u64) -> Vec<Completion> {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = Vec::with_capacity(n as usize);
+    let mut now = 0;
+    let mut issued = 0;
+    while (out.len() as u64) < n {
+        while issued < n {
+            let addr = (next() % (1 << 32)) / TRANSACTION_BYTES * TRANSACTION_BYTES;
+            let is_write = issued % write_every == 0;
+            if dram.try_enqueue(now, (issued % 3) as usize, addr, is_write, issued).is_err() {
+                break;
+            }
+            issued += 1;
+        }
+        out.extend(dram.advance(now));
+        if (out.len() as u64) < n {
+            now = dram.next_event().expect("work pending");
+        }
+    }
+    out
+}
+
+fn check_invariants(cfg: DramConfig, n: u64) {
+    let channels = cfg.channels as u64;
+    let burst = cfg.timing.burst_cycles;
+    let min_latency = cfg.timing.cl + burst;
+    let mut dram = Dram::new(cfg);
+    let done = soak(&mut dram, n, 5);
+
+    assert_eq!(done.len() as u64, n, "every request completes exactly once");
+    let mut metas: Vec<u64> = done.iter().map(|c| c.meta).collect();
+    metas.sort_unstable();
+    metas.dedup();
+    assert_eq!(metas.len() as u64, n, "no duplicated completions");
+
+    // Causality: nothing completes before the minimum CAS + burst latency.
+    assert!(done.iter().all(|c| c.completed_at >= min_latency));
+
+    // Bandwidth ceiling: total completions cannot beat the aggregate bus.
+    let span = done.iter().map(|c| c.completed_at).max().unwrap();
+    let max_txns = span / burst * channels + channels;
+    assert!(n <= max_txns, "{n} transactions in {span} cycles beats the bus");
+
+    // Conservation in the statistics.
+    let s = dram.stats();
+    assert_eq!(s.total.transactions(), n);
+    assert_eq!(s.total.bytes, n * TRANSACTION_BYTES);
+    assert_eq!(s.total.row_hits + s.total.row_misses + s.total.row_conflicts, n);
+    assert_eq!(s.per_core_bytes.iter().sum::<u64>(), n * TRANSACTION_BYTES);
+    assert_eq!(dram.pending(), 0);
+}
+
+#[test]
+fn hbm2_soak_invariants() {
+    check_invariants(DramConfig::hbm2(4), 20_000);
+}
+
+#[test]
+fn ddr4_soak_invariants() {
+    check_invariants(DramConfig::ddr4(2), 10_000);
+}
+
+#[test]
+fn bench_preset_soak_invariants() {
+    check_invariants(DramConfig::bench(8), 20_000);
+}
+
+#[test]
+fn single_channel_soak_invariants() {
+    check_invariants(DramConfig::hbm2(1), 5_000);
+}
+
+#[test]
+fn fcfs_soak_invariants() {
+    let mut cfg = DramConfig::hbm2(2);
+    cfg.policy = SchedPolicy::Fcfs;
+    check_invariants(cfg, 10_000);
+}
+
+#[test]
+fn row_interleaved_soak_invariants() {
+    let mut cfg = DramConfig::hbm2(4);
+    cfg.mapping = AddressMapping::RowInterleaved;
+    check_invariants(cfg, 10_000);
+}
+
+#[test]
+fn deep_queue_soak_invariants() {
+    let mut cfg = DramConfig::hbm2(2);
+    cfg.queue_depth = 256;
+    check_invariants(cfg, 10_000);
+}
+
+#[test]
+fn random_stream_has_low_row_hit_rate_streaming_high() {
+    // Sanity of the row-buffer model itself: streaming accesses mostly hit,
+    // random accesses mostly miss or conflict.
+    let mut rnd = Dram::new(DramConfig::hbm2(2));
+    let _ = soak(&mut rnd, 10_000, u64::MAX);
+    let random_rate = rnd.stats().total.row_hit_rate();
+
+    let mut streaming = Dram::new(DramConfig::hbm2(2));
+    let mut now = 0;
+    let mut done = 0u64;
+    let mut issued = 0u64;
+    let n = 10_000u64;
+    while done < n {
+        while issued < n {
+            if streaming.try_enqueue(now, 0, issued * TRANSACTION_BYTES, false, issued).is_err() {
+                break;
+            }
+            issued += 1;
+        }
+        done += streaming.advance(now).len() as u64;
+        if done < n {
+            now = streaming.next_event().expect("pending");
+        }
+    }
+    let stream_rate = streaming.stats().total.row_hit_rate();
+    assert!(stream_rate > 0.8, "streaming should mostly hit: {stream_rate}");
+    assert!(random_rate < stream_rate, "random {random_rate} vs streaming {stream_rate}");
+}

@@ -1,0 +1,51 @@
+//! Multi-core NPU execution engine — the *HW simulator* half of mNPUsim.
+//!
+//! The engine replays per-core [`mnpu_systolic::WorkloadTrace`]s against a
+//! shared memory system built from [`mnpu_dram`] and [`mnpu_mmu`],
+//! modeling:
+//!
+//! * the double-buffered tile pipeline (load *i+1* overlaps compute *i*,
+//!   store *i* overlaps compute *i+1*, layer barrier for cross-layer RAW);
+//! * per-transaction address translation (TLB lookup, page-table walks whose
+//!   per-level reads consume real DRAM bandwidth, walk coalescing);
+//! * dynamic contention on the three shareable resources — DRAM bandwidth,
+//!   page-table walkers, TLB capacity — under the paper's sharing levels
+//!   [`SharingLevel::Static`], [`SharingLevel::PlusD`],
+//!   [`SharingLevel::PlusDw`], [`SharingLevel::PlusDwt`], plus the
+//!   monopolized [`SharingLevel::Ideal`] baseline;
+//! * arbitrary static partitions of channels and walkers for the paper's
+//!   Figs. 9/10/13/14 sweeps;
+//! * per-core clock domains (core-local compute cycles are converted to the
+//!   global DRAM clock).
+//!
+//! The loop is event-driven: between events the clock jumps, so compute-bound
+//! phases and idle memory cost nothing.
+//!
+//! # Example
+//!
+//! ```
+//! use mnpu_engine::{SystemConfig, SharingLevel, Simulation};
+//! use mnpu_model::{zoo, Scale};
+//!
+//! // Run the ncf+ncf dual-core mix with everything shared (+DWT).
+//! let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+//! let nets = [zoo::ncf(Scale::Bench), zoo::ncf(Scale::Bench)];
+//! let report = Simulation::run_networks(&cfg, &nets);
+//! assert_eq!(report.cores.len(), 2);
+//! assert!(report.cores[0].cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memmap;
+mod report;
+mod sharing;
+mod sim;
+mod system;
+
+pub use memmap::PageTable;
+pub use report::{ChipEnergy, CoreReport, EnergyModel, LogEvent, LogKind, RunReport};
+pub use sharing::SharingLevel;
+pub use sim::Simulation;
+pub use system::SystemConfig;

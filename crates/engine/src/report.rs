@@ -1,0 +1,214 @@
+//! Simulation output: per-core and chip-level results.
+
+use mnpu_dram::{BandwidthTrace, DramStats};
+use mnpu_mmu::MmuStats;
+
+/// What a [`LogEvent`] records (the original's TLB/PTW/DRAM request logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogKind {
+    /// A TLB lookup that hit.
+    TlbHit,
+    /// A TLB lookup that missed.
+    TlbMiss,
+    /// A page-table walk acquired a walker and issued its first access.
+    WalkStart,
+    /// A walk completed and filled the TLB.
+    WalkDone,
+    /// A DRAM read transaction's data burst finished.
+    DramReadDone,
+    /// A DRAM write transaction's data burst finished.
+    DramWriteDone,
+}
+
+/// One entry of the optional request log (see
+/// [`crate::SystemConfig::request_log`]); addresses are virtual for TLB
+/// events and physical for walk/DRAM events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Global (DRAM-clock) cycle of the event.
+    pub cycle: u64,
+    /// Core the event belongs to.
+    pub core: usize,
+    /// Event kind.
+    pub kind: LogKind,
+    /// Address (virtual for TLB lookups, physical otherwise).
+    pub addr: u64,
+}
+
+/// Result of one core's workload execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreReport {
+    /// Workload (network) name.
+    pub workload: String,
+    /// Execution cycles in the core's clock domain, from its start cycle to
+    /// its last store completion.
+    pub cycles: u64,
+    /// Cycles the systolic array spent computing.
+    pub compute_cycles: u64,
+    /// PE utilization over the whole execution:
+    /// `MACs / (rows * cols * cycles)`.
+    pub pe_utilization: f64,
+    /// Data bytes moved to/from DRAM (excludes page-table walk reads).
+    pub traffic_bytes: u64,
+    /// Page-table walk bytes read from DRAM on behalf of this core.
+    pub walk_bytes: u64,
+    /// MMU counters (TLB hits/misses, walks, coalescing, walker stalls).
+    pub mmu: MmuStats,
+    /// Layer-wise execution cycles (global clock): the time between the
+    /// previous layer's completion and this layer's last store — the
+    /// paper's per-layer `execution_cycle` output.
+    pub layer_cycles: Vec<(String, u64)>,
+    /// Virtual memory footprint of the workload in bytes (the paper's
+    /// `memory_footprint` output).
+    pub footprint_bytes: u64,
+    /// Cycles this core's transfers spent queued on the on-chip
+    /// interconnect (0 when the NoC model is disabled).
+    pub noc_queue_cycles: u64,
+}
+
+impl CoreReport {
+    /// Fraction of execution spent with the array busy vs stalled on memory.
+    pub fn compute_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.compute_cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Result of one multi-core simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Per-core results, indexed by core.
+    pub cores: Vec<CoreReport>,
+    /// Global (DRAM-clock) cycle at which the last core finished.
+    pub total_cycles: u64,
+    /// DRAM statistics (row hits, latency, per-channel/ per-core bytes).
+    pub dram: DramStats,
+    /// Windowed bandwidth trace, when enabled in the config.
+    pub bandwidth_trace: Option<BandwidthTrace>,
+    /// Request log (empty unless [`crate::SystemConfig::request_log`] was
+    /// set). Ordered by cycle; TLB entries log the lookup address, walk and
+    /// DRAM entries log physical addresses.
+    pub request_log: Vec<LogEvent>,
+}
+
+impl RunReport {
+    /// Execution cycles of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cycles(&self, core: usize) -> u64 {
+        self.cores[core].cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_fraction_bounds() {
+        let r = CoreReport {
+            workload: "x".into(),
+            cycles: 100,
+            compute_cycles: 40,
+            pe_utilization: 0.5,
+            traffic_bytes: 0,
+            walk_bytes: 0,
+            mmu: MmuStats::default(),
+            layer_cycles: Vec::new(),
+            footprint_bytes: 0,
+            noc_queue_cycles: 0,
+        };
+        assert!((r.compute_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_fraction_is_zero() {
+        let r = CoreReport {
+            workload: "x".into(),
+            cycles: 0,
+            compute_cycles: 0,
+            pe_utilization: 0.0,
+            traffic_bytes: 0,
+            walk_bytes: 0,
+            mmu: MmuStats::default(),
+            layer_cycles: Vec::new(),
+            footprint_bytes: 0,
+            noc_queue_cycles: 0,
+        };
+        assert_eq!(r.compute_fraction(), 0.0);
+    }
+}
+
+/// NPU-side energy parameters in femtojoules (the DRAM side comes from
+/// [`mnpu_dram::DramEnergy`]). Defaults are order-of-magnitude figures for
+/// a 7 nm-class fp16 design (≈1 pJ per MAC, ≈0.1 pJ/bit per SPM access);
+/// swap in silicon numbers for absolute studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnergyModel {
+    /// Energy per multiply-accumulate (fJ).
+    pub mac_fj: u64,
+    /// Energy per byte moved through the SPM (fJ), counted once on fill and
+    /// once on drain.
+    pub spm_fj_per_byte: u64,
+    /// DRAM operation energies.
+    pub dram: mnpu_dram::DramEnergy,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel { mac_fj: 1000, spm_fj_per_byte: 800, dram: mnpu_dram::DramEnergy::hbm2() }
+    }
+}
+
+/// Chip-level energy estimate, from [`RunReport::estimate_energy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipEnergy {
+    /// Per-core MAC energy in nanojoules.
+    pub compute_nj: Vec<f64>,
+    /// Per-core SPM access energy in nanojoules.
+    pub spm_nj: Vec<f64>,
+    /// DRAM energy breakdown (activation/read/write/refresh/background).
+    pub dram: mnpu_dram::EnergyBreakdown,
+}
+
+impl ChipEnergy {
+    /// Total chip energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.compute_nj.iter().sum::<f64>() + self.spm_nj.iter().sum::<f64>() + self.dram.total_nj()
+    }
+}
+
+impl RunReport {
+    /// Estimate whole-chip energy for this run. The DRAM portion is derived
+    /// from the run's DRAM statistics; compute/SPM portions from per-core
+    /// MAC counts and traffic. Post-hoc — simulation pays nothing.
+    pub fn estimate_energy(
+        &self,
+        config: &crate::SystemConfig,
+        model: &EnergyModel,
+    ) -> ChipEnergy {
+        let compute_nj = self
+            .cores
+            .iter()
+            .zip(&config.arch)
+            .map(|(c, a)| {
+                let macs = c.pe_utilization * (a.rows * a.cols * c.cycles) as f64;
+                macs * model.mac_fj as f64 * 1e-6
+            })
+            .collect();
+        let spm_nj = self
+            .cores
+            .iter()
+            .map(|c| (2 * c.traffic_bytes) as f64 * model.spm_fj_per_byte as f64 * 1e-6)
+            .collect();
+        let mut dram_cfg = config.dram.clone();
+        dram_cfg.channels = config.total_channels();
+        let dram =
+            mnpu_dram::estimate_energy(&self.dram, &dram_cfg, &model.dram, self.total_cycles);
+        ChipEnergy { compute_nj, spm_nj, dram }
+    }
+}

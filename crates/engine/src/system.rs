@@ -1,0 +1,308 @@
+//! Whole-system configuration: cores + MMU + DRAM + sharing level.
+
+use crate::sharing::SharingLevel;
+use mnpu_dram::DramConfig;
+use mnpu_mmu::MmuConfig;
+use mnpu_systolic::ArchConfig;
+
+/// Configuration of one simulated multi-core NPU chip.
+///
+/// Quantities in [`MmuConfig`] and `channels_per_core` are *per core*, as in
+/// the paper's Table 2; the builder derives chip totals from the core count
+/// and sharing level (e.g. a dual-core `+DW` chip has 16 walkers in one
+/// shared pool).
+///
+/// ```
+/// use mnpu_engine::{SystemConfig, SharingLevel};
+///
+/// let cfg = SystemConfig::cloud(2, SharingLevel::PlusDw);
+/// assert_eq!(cfg.cores, 2);
+/// assert_eq!(cfg.total_channels(), 8); // 2 x 128 GB/s
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of NPU cores.
+    pub cores: usize,
+    /// Per-core compute configuration (index = core). All presets are
+    /// homogeneous; heterogeneous chips assign different entries.
+    pub arch: Vec<ArchConfig>,
+    /// Per-core MMU quantities (TLB entries, walkers, page size).
+    pub mmu: MmuConfig,
+    /// DRAM device template; `channels` is overridden with
+    /// [`SystemConfig::total_channels`] when the chip is built.
+    pub dram: DramConfig,
+    /// DRAM channels owned per core (Table 2: 4 = 128 GB/s of HBM2).
+    pub channels_per_core: usize,
+    /// Resource-sharing level.
+    pub sharing: SharingLevel,
+    /// Unequal channel split for the Figs. 9/10 sweeps. Only meaningful when
+    /// the sharing level does not share DRAM; counts must sum to
+    /// [`SystemConfig::total_channels`].
+    pub channel_partition: Option<Vec<usize>>,
+    /// Unequal walker split for the Figs. 13/14 sweeps (forwarded to
+    /// [`MmuConfig::ptw_partition`]).
+    pub ptw_partition: Option<Vec<usize>>,
+    /// `false` disables address translation entirely (the paper removes it
+    /// to isolate bandwidth effects in §4.3).
+    pub translation: bool,
+    /// Per-core execution initiation cycle (the `misc_config` start time);
+    /// empty = all cores start at cycle 0.
+    pub start_cycles: Vec<u64>,
+    /// Times each core repeats its network.
+    pub iterations: u64,
+    /// Enable the windowed bandwidth trace (window in DRAM cycles).
+    pub trace_window: Option<u64>,
+    /// Record a full request log (TLB lookups, walks, DRAM completions) in
+    /// the report — the original's `dramsim_output` logs. Memory grows with
+    /// every transaction; intended for small runs and debugging.
+    pub request_log: bool,
+    /// Managed walker sharing: per-core (min, max) occupancy bounds on the
+    /// shared pool — the original `misc_config`'s PTW bounds. Requires a
+    /// PTW-sharing level.
+    pub ptw_bounds: Option<mnpu_mmu::PtwBounds>,
+    /// Watchdog: panic if the simulation exceeds this many global cycles
+    /// (guards sweeps against configuration mistakes). `None` = unlimited.
+    pub max_cycles: Option<u64>,
+    /// Optional on-chip interconnect between cores and the memory system
+    /// (an extension; `None` = ideal interconnect, as the paper assumes).
+    pub noc: Option<mnpu_noc::NocConfig>,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 cloud-scale chip: TPUv4-like cores, HBM2 at
+    /// 128 GB/s / 2048 TLB entries / 8 walkers per core.
+    pub fn cloud(cores: usize, sharing: SharingLevel) -> Self {
+        SystemConfig {
+            cores,
+            arch: vec![ArchConfig::cloud_npu(); cores],
+            mmu: MmuConfig::neummu(4096),
+            dram: DramConfig::hbm2(4), // channels overridden by total_channels()
+            channels_per_core: 4,
+            sharing,
+            channel_partition: None,
+            ptw_partition: None,
+            translation: true,
+            start_cycles: Vec::new(),
+            iterations: 1,
+            trace_window: None,
+            request_log: false,
+            ptw_bounds: None,
+            max_cycles: None,
+            noc: None,
+        }
+    }
+
+    /// The proportionally shrunk chip used with [`mnpu_model::Scale::Bench`]
+    /// workloads: 32×32 cores, 4 narrow (8 GB/s) channels / 512 TLB entries /
+    /// 4 walkers per core. The compute : bandwidth : translation balance
+    /// tracks the cloud preset so sweep *shapes* are preserved at a fraction
+    /// of the simulation cost.
+    pub fn bench(cores: usize, sharing: SharingLevel) -> Self {
+        SystemConfig {
+            arch: vec![ArchConfig::bench_npu(); cores],
+            mmu: MmuConfig::bench(4096),
+            dram: DramConfig::bench(4),
+            channels_per_core: 4,
+            ..SystemConfig::cloud(cores, sharing)
+        }
+    }
+
+    /// Total DRAM channels on the chip.
+    pub fn total_channels(&self) -> usize {
+        self.cores * self.channels_per_core
+    }
+
+    /// Set the page size (4 KB, 64 KB or 1 MB), preserving everything else.
+    pub fn with_page_size(mut self, page_bytes: u64) -> Self {
+        self.mmu.page_bytes = page_bytes;
+        self
+    }
+
+    /// Disable address translation (§4.3 bandwidth isolation).
+    pub fn without_translation(mut self) -> Self {
+        self.translation = false;
+        self
+    }
+
+    /// Use an unequal static channel split (e.g. `[1, 7]`).
+    pub fn with_channel_partition(mut self, counts: Vec<usize>) -> Self {
+        self.channel_partition = Some(counts);
+        self
+    }
+
+    /// Use an unequal static walker split (e.g. `[2, 14]`).
+    pub fn with_ptw_partition(mut self, counts: Vec<usize>) -> Self {
+        self.ptw_partition = Some(counts);
+        self
+    }
+
+    /// Bound the shared walker pool: core *c* is always guaranteed `min[c]`
+    /// walkers and may hold at most `max[c]` (DWS-style managed sharing;
+    /// the original's `misc_config` PTW bounds).
+    pub fn with_ptw_bounds(mut self, min: Vec<usize>, max: Vec<usize>) -> Self {
+        self.ptw_bounds = Some(mnpu_mmu::PtwBounds { min, max });
+        self
+    }
+
+    /// Route memory traffic through a modeled on-chip interconnect instead
+    /// of an ideal one.
+    pub fn with_noc(mut self, noc: mnpu_noc::NocConfig) -> Self {
+        self.noc = Some(noc);
+        self
+    }
+
+    /// Derive the `Ideal` baseline configuration for one workload of this
+    /// chip: a single core monopolizing *all* the chip's shareable
+    /// resources (all channels, all walkers, the whole TLB capacity), as in
+    /// the paper's §4.1.3.
+    pub fn ideal_solo(&self) -> SystemConfig {
+        let mut c = self.clone();
+        c.arch = vec![self.arch[0].clone()];
+        c.channels_per_core = self.channels_per_core * self.cores;
+        c.mmu.tlb_entries_per_core *= self.cores as u64;
+        c.mmu.ptws_per_core *= self.cores;
+        c.cores = 1;
+        c.sharing = SharingLevel::Ideal;
+        c.channel_partition = None;
+        c.ptw_partition = None;
+        c.ptw_bounds = None;
+        c.start_cycles = Vec::new();
+        c
+    }
+
+    /// Physical DRAM bytes owned by each core (capacity is always
+    /// partitioned equally, as in Table 2's "capacity per NPU").
+    pub fn capacity_per_core(&self) -> u64 {
+        let mut dram = self.dram.clone();
+        dram.channels = self.total_channels();
+        dram.capacity_bytes() / self.cores as u64
+    }
+
+    /// Validate the composite configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("at least one core required".into());
+        }
+        if self.arch.len() != self.cores {
+            return Err("one ArchConfig per core required".into());
+        }
+        for (i, a) in self.arch.iter().enumerate() {
+            a.validate().map_err(|e| format!("core {i}: {e}"))?;
+        }
+        if self.channels_per_core == 0 {
+            return Err("at least one channel per core required".into());
+        }
+        let mut dram = self.dram.clone();
+        dram.channels = self.total_channels();
+        dram.validate()?;
+        let mut mmu = self.mmu.clone();
+        mmu.ptw_partition = self.ptw_partition.clone();
+        mmu.validate(self.cores)?;
+        if let Some(p) = &self.channel_partition {
+            if self.sharing.shares_dram() {
+                return Err("channel partition requires a non-DRAM-sharing level".into());
+            }
+            if p.len() != self.cores {
+                return Err("channel partition length must equal core count".into());
+            }
+            if p.iter().sum::<usize>() != self.total_channels() {
+                return Err("channel partition must sum to the total channel count".into());
+            }
+            if p.iter().any(|&c| c == 0) {
+                return Err("every core needs at least one channel".into());
+            }
+        }
+        if let Some(p) = &self.ptw_partition {
+            if self.sharing.shares_ptw() {
+                return Err("PTW partition requires a non-PTW-sharing level".into());
+            }
+            if p.len() != self.cores {
+                return Err("PTW partition length must equal core count".into());
+            }
+        }
+        if self.ptw_bounds.is_some() && !self.sharing.shares_ptw() {
+            return Err("PTW bounds manage a shared pool; use a PTW-sharing level".into());
+        }
+        if let Some(b) = &self.ptw_bounds {
+            let mut m = self.mmu.clone();
+            m.ptw_bounds = Some(b.clone());
+            m.validate(self.cores)?;
+        }
+        if !self.start_cycles.is_empty() && self.start_cycles.len() != self.cores {
+            return Err("start_cycles must be empty or one per core".into());
+        }
+        if let Some(n) = &self.noc {
+            n.validate()?;
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_at_many_core_counts() {
+        for cores in [1, 2, 4, 8] {
+            for sharing in SharingLevel::CO_RUN_LEVELS {
+                assert!(SystemConfig::cloud(cores, sharing).validate().is_ok());
+                assert!(SystemConfig::bench(cores, sharing).validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn table2_totals_for_dual_core() {
+        let c = SystemConfig::cloud(2, SharingLevel::PlusDwt);
+        assert_eq!(c.total_channels(), 8);
+        let mut dram = c.dram.clone();
+        dram.channels = c.total_channels();
+        assert_eq!(dram.peak_gbps(), 256.0);
+        assert_eq!(c.mmu.total_walkers(2), 16);
+    }
+
+    #[test]
+    fn capacity_split_equally() {
+        let c = SystemConfig::cloud(2, SharingLevel::PlusDwt);
+        let mut dram = c.dram.clone();
+        dram.channels = 8;
+        assert_eq!(c.capacity_per_core() * 2, dram.capacity_bytes());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::bench(2, SharingLevel::Static)
+            .with_page_size(65536)
+            .with_channel_partition(vec![2, 6])
+            .without_translation();
+        assert_eq!(c.mmu.page_bytes, 65536);
+        assert!(!c.translation);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn partition_rejected_when_sharing() {
+        let c = SystemConfig::bench(2, SharingLevel::PlusD).with_channel_partition(vec![2, 6]);
+        assert!(c.validate().is_err());
+        let c = SystemConfig::bench(2, SharingLevel::PlusDw).with_ptw_partition(vec![2, 6]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_partitions_rejected() {
+        let c = SystemConfig::bench(2, SharingLevel::Static).with_channel_partition(vec![1, 1]);
+        assert!(c.validate().is_err(), "must sum to 8");
+        let c = SystemConfig::bench(2, SharingLevel::Static).with_channel_partition(vec![8, 0]);
+        assert!(c.validate().is_err(), "zero channels");
+        let c = SystemConfig::bench(2, SharingLevel::Static).with_ptw_partition(vec![8]);
+        assert!(c.validate().is_err(), "length mismatch");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of engine invariants over randomized tiny
+//! workloads: traffic conservation, determinism, and monotonicity of
+//! resource scaling.
+
+use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+use mnpu_model::{GemmSpec, Layer, Network};
+use mnpu_systolic::WorkloadTrace;
+use proptest::prelude::*;
+
+/// A small random network: 1–4 GEMM layers with dimensions that keep debug
+/// runs fast but still span one-to-many tiles.
+fn arb_network() -> impl Strategy<Value = Network> {
+    proptest::collection::vec((1u64..48, 1u64..256, 1u64..128), 1..4).prop_map(|dims| {
+        let layers = dims
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, k, n))| Layer::gemm(format!("l{i}"), GemmSpec::new(m, k, n)))
+            .collect();
+        Network::new("prop", layers)
+    })
+}
+
+fn small_cfg(translation: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+    if !translation {
+        cfg = cfg.without_translation();
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every byte of the trace is moved, rounded up to 64B transactions,
+    /// and never more than one extra transaction per span.
+    #[test]
+    fn prop_traffic_conservation(net in arb_network()) {
+        let cfg = small_cfg(false);
+        let trace = WorkloadTrace::generate(&net, &cfg.arch[0]);
+        let spans: u64 = trace
+            .layers()
+            .iter()
+            .flat_map(|l| &l.tiles)
+            .map(|t| (t.loads.len() + t.stores.len()) as u64)
+            .sum();
+        let r = Simulation::new(&cfg, &[trace.clone()]).run();
+        prop_assert!(r.cores[0].traffic_bytes >= trace.total_traffic_bytes());
+        prop_assert!(r.cores[0].traffic_bytes <= trace.total_traffic_bytes() + spans * 64);
+    }
+
+    /// Same inputs, same cycle count — bit-exact determinism.
+    #[test]
+    fn prop_determinism(net in arb_network()) {
+        let cfg = small_cfg(true);
+        let a = Simulation::run_networks(&cfg, &[net.clone()]);
+        let b = Simulation::run_networks(&cfg, &[net]);
+        prop_assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+        prop_assert_eq!(a.dram.total.bytes, b.dram.total.bytes);
+    }
+
+    /// Execution time is bounded below by compute and above by a generous
+    /// serial bound (compute + memory at worst-case single-channel rate).
+    #[test]
+    fn prop_cycle_bounds(net in arb_network()) {
+        let cfg = small_cfg(true);
+        let trace = WorkloadTrace::generate(&net, &cfg.arch[0]);
+        let r = Simulation::new(&cfg, &[trace.clone()]).run();
+        prop_assert!(r.cores[0].cycles >= trace.total_compute_cycles());
+        // Worst case: everything serialized — compute + every transaction
+        // (data + 4-level walks per distinct page, no reuse) at one
+        // channel's burst rate plus full latency each.
+        let txns = (trace.total_traffic_bytes() / 64 + 1) * 5;
+        let bound = trace.total_compute_cycles() + txns * 400 + 100_000;
+        prop_assert!(r.cores[0].cycles < bound, "{} !< {}", r.cores[0].cycles, bound);
+    }
+
+    /// Removing translation never slows a run down.
+    #[test]
+    fn prop_translation_only_adds_time(net in arb_network()) {
+        let with = Simulation::run_networks(&small_cfg(true), &[net.clone()]);
+        let without = Simulation::run_networks(&small_cfg(false), &[net]);
+        prop_assert!(without.cores[0].cycles <= with.cores[0].cycles);
+    }
+
+    /// Doubling every shareable resource (Ideal of a dual-core chip) never
+    /// slows a workload down vs the single-core chip.
+    #[test]
+    fn prop_more_resources_never_hurt(net in arb_network()) {
+        let small = SystemConfig::bench(1, SharingLevel::Ideal);
+        let big = SystemConfig::bench(2, SharingLevel::Ideal).ideal_solo();
+        let r_small = Simulation::run_networks(&small, &[net.clone()]);
+        let r_big = Simulation::run_networks(&big, &[net]);
+        // Allow 2% slack: more channels can shift row-buffer luck slightly.
+        prop_assert!(
+            r_big.cores[0].cycles as f64 <= r_small.cores[0].cycles as f64 * 1.02,
+            "{} !<= {}",
+            r_big.cores[0].cycles,
+            r_small.cores[0].cycles
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Statistics used by the paper's evaluation: speedup/slowdown, the
+//! Van Craeynest fairness metric (Eq. 1), geometric means, CDFs, box-plot
+//! summaries and moving averages.
+//!
+//! All functions are pure and panic on empty input (an empty mix is a
+//! harness bug, not a runtime condition).
+//!
+//! # Example
+//!
+//! ```
+//! use mnpu_metrics::{fairness, geomean, Speedup};
+//!
+//! // A dual-core mix: each workload vs its Ideal (solo, all resources) run.
+//! let a = Speedup::new(1000, 1250); // 0.8 of ideal
+//! let b = Speedup::new(2000, 2000); // 1.0 of ideal
+//! let mix_perf = geomean(&[a.value(), b.value()]);
+//! assert!(mix_perf > 0.89 && mix_perf < 0.90);
+//! let f = fairness(&[a.slowdown(), b.slowdown()]);
+//! assert!(f > 0.8 && f < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A workload's speedup relative to its `Ideal` (solo, all-resources) run.
+///
+/// Values are ≤ 1.0 when sharing hurts and can exceed 1.0 only through
+/// simulator noise (e.g. row-buffer luck).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speedup {
+    ideal_cycles: u64,
+    actual_cycles: u64,
+}
+
+impl Speedup {
+    /// Build from the Ideal run's cycles and the measured run's cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cycle count is zero.
+    pub fn new(ideal_cycles: u64, actual_cycles: u64) -> Self {
+        assert!(ideal_cycles > 0 && actual_cycles > 0, "cycle counts must be positive");
+        Speedup { ideal_cycles, actual_cycles }
+    }
+
+    /// `ideal / actual` — 1.0 means no interference at all.
+    pub fn value(&self) -> f64 {
+        self.ideal_cycles as f64 / self.actual_cycles as f64
+    }
+
+    /// `actual / ideal`, the inverse of [`Speedup::value`] (the paper's
+    /// slowdown, input to the fairness metric).
+    pub fn slowdown(&self) -> f64 {
+        self.actual_cycles as f64 / self.ideal_cycles as f64
+    }
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or any value is not finite and positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0 && x.is_finite(), "geomean requires positive finite values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn stddev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Eq. 1 of the paper (Van Craeynest et al.): `Fairness = 1 - σ/μ` over the
+/// per-workload slowdowns of one mix. 1.0 = perfectly balanced.
+///
+/// # Panics
+///
+/// Panics if `slowdowns` is empty or contains non-positive values.
+pub fn fairness(slowdowns: &[f64]) -> f64 {
+    assert!(!slowdowns.is_empty(), "fairness of empty mix");
+    assert!(slowdowns.iter().all(|&s| s > 0.0), "slowdowns must be positive");
+    1.0 - stddev(slowdowns) / mean(slowdowns)
+}
+
+/// An empirical CDF over a sample, for the paper's quad-core and mapping
+/// figures.
+///
+/// ```
+/// use mnpu_metrics::Cdf;
+///
+/// let cdf = Cdf::new(vec![0.5, 0.7, 0.9, 1.0]);
+/// assert_eq!(cdf.fraction_at_or_below(0.7), 0.5);
+/// assert_eq!(cdf.quantile(0.0), 0.5);
+/// assert_eq!(cdf.quantile(1.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a sample (order irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "CDF of empty sample");
+        assert!(sample.iter().all(|x| !x.is_nan()), "CDF sample contains NaN");
+        sample.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted: sample }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the sample is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations ≤ `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+        self.sorted[idx]
+    }
+
+    /// `(value, cumulative fraction)` pairs for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n)).collect()
+    }
+
+    /// The underlying sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Five-number summary for the paper's Fig. 8 box plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Compute the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn from_sample(sample: &[f64]) -> Self {
+        let cdf = Cdf::new(sample.to_vec());
+        BoxStats {
+            min: cdf.quantile(0.0),
+            q1: cdf.quantile(0.25),
+            median: cdf.quantile(0.5),
+            q3: cdf.quantile(0.75),
+            max: cdf.quantile(1.0),
+        }
+    }
+
+    /// `max - min`: the spread the paper reads as contention sensitivity.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Trailing moving average with the given window, as in the paper's Fig. 2b
+/// (1000-cycle window over memory-request counts).
+///
+/// Output has the same length as the input; prefix positions average over
+/// the elements seen so far.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+        if i >= window {
+            sum -= xs[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_slowdown_are_inverse() {
+        let s = Speedup::new(100, 125);
+        assert!((s.value() - 0.8).abs() < 1e-12);
+        assert!((s.slowdown() - 1.25).abs() < 1e-12);
+        assert!((s.value() * s.slowdown() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cycles_rejected() {
+        let _ = Speedup::new(0, 1);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_below_arithmetic_mean() {
+        let xs = [0.5, 0.9, 1.3, 2.0];
+        assert!(geomean(&xs) < mean(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn fairness_perfect_balance_is_one() {
+        assert!((fairness(&[1.3, 1.3, 1.3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_decreases_with_imbalance() {
+        let balanced = fairness(&[1.1, 1.15]);
+        let skewed = fairness(&[1.0, 2.0]);
+        assert!(balanced > skewed);
+        assert!(skewed < 0.8);
+    }
+
+    #[test]
+    fn fairness_matches_hand_computation() {
+        // slowdowns 1.0, 1.5: mean 1.25, stddev 0.25 -> 1 - 0.2 = 0.8.
+        assert!((fairness(&[1.0, 1.5]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_fraction_and_points() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert!((c.fraction_at_or_below(1.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.fraction_at_or_below(3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        let pts = c.points();
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_quantiles_monotone() {
+        let c = Cdf::new((0..100).map(|i| i as f64).collect());
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = c.quantile(q);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let b = BoxStats::from_sample(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.range(), 4.0);
+    }
+
+    #[test]
+    fn moving_average_constant_signal() {
+        let xs = vec![2.0; 10];
+        let ma = moving_average(&xs, 3);
+        assert!(ma.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_smooths_spike() {
+        let mut xs = vec![0.0; 10];
+        xs[5] = 10.0;
+        let ma = moving_average(&xs, 5);
+        let peak = ma.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - 2.0).abs() < 1e-12, "spike spread over window");
+        assert_eq!(ma.len(), xs.len());
+    }
+
+    #[test]
+    fn moving_average_prefix_uses_partial_window() {
+        let ma = moving_average(&[4.0, 0.0], 4);
+        assert_eq!(ma[0], 4.0);
+        assert_eq!(ma[1], 2.0);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_geomean_between_min_and_max(xs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+            let g = geomean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_fairness_at_most_one(xs in proptest::collection::vec(0.1f64..10.0, 1..16)) {
+            let f = fairness(&xs);
+            prop_assert!(f <= 1.0 + 1e-12);
+            // Eq. 1 can go negative only when sigma > mu; with positive
+            // slowdowns sigma < mu * sqrt(n), so just check it is finite.
+            prop_assert!(f.is_finite());
+        }
+
+        #[test]
+        fn prop_fairness_is_scale_invariant(xs in proptest::collection::vec(0.1f64..10.0, 2..12), s in 0.5f64..5.0) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * s).collect();
+            prop_assert!((fairness(&xs) - fairness(&scaled)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_cdf_fraction_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..50), a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let c = Cdf::new(xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.fraction_at_or_below(lo) <= c.fraction_at_or_below(hi));
+        }
+
+        #[test]
+        fn prop_moving_average_preserves_bounds(xs in proptest::collection::vec(0.0f64..10.0, 1..64), w in 1usize..10) {
+            let ma = moving_average(&xs, w);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(ma.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+        }
+    }
+}

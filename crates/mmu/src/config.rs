@@ -1,0 +1,216 @@
+//! MMU configuration (the paper's `npumem_config` + the PTW part of
+//! `misc_config`).
+
+/// Radix walk depth for a page size, following the ARM64 translation
+/// granules the paper cites: 4 levels for 4 KB, 3 for 64 KB, 2 for 1 MB
+/// sections.
+///
+/// # Panics
+///
+/// Panics on an unsupported page size.
+pub fn walk_levels_for(page_bytes: u64) -> u32 {
+    match page_bytes {
+        4096 => 4,
+        65536 => 3,
+        1048576 => 2,
+        _ => panic!("unsupported page size: {page_bytes} (use 4KB, 64KB or 1MB)"),
+    }
+}
+
+/// Per-core lower/upper bounds on shared-pool walker occupancy — the
+/// original `misc_config`'s "upper and lower bound of available PTWs per
+/// core" (a DWS-style managed sharing policy).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PtwBounds {
+    /// Guaranteed walkers per core (hard reservation).
+    pub min: Vec<usize>,
+    /// Maximum walkers any single core may hold.
+    pub max: Vec<usize>,
+}
+
+/// MMU configuration for one multi-core NPU chip.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MmuConfig {
+    /// TLB entries per core (Table 2: 2048). The shared TLB holds
+    /// `cores * tlb_entries_per_core` entries.
+    pub tlb_entries_per_core: u64,
+    /// TLB associativity (Table 2: 8-way).
+    pub tlb_assoc: u64,
+    /// Page-table walkers per core (Table 2: 8).
+    pub ptws_per_core: usize,
+    /// Page size in bytes (4 KB, 64 KB or 1 MB).
+    pub page_bytes: u64,
+    /// `true` = one chip-wide TLB (`+DWT`); `false` = private per-core TLBs.
+    pub tlb_shared: bool,
+    /// `true` = all walkers in one dynamically shared pool (`+DW`).
+    pub ptw_shared: bool,
+    /// Explicit per-core walker counts for static partitioning sweeps
+    /// (Figs. 13/14). Ignored when `ptw_shared`; when `None`, each core gets
+    /// `ptws_per_core`.
+    pub ptw_partition: Option<Vec<usize>>,
+    /// Bytes of the per-core page-table region that walk accesses scatter
+    /// over.
+    pub pt_region_bytes: u64,
+    /// Merge concurrent misses to the same page into one walk (MSHR-style;
+    /// default). Disable for the ablation of DESIGN.md decision 3.
+    pub coalesce_walks: bool,
+    /// Managed sharing: per-core min/max occupancy of the shared pool.
+    /// Takes precedence over `ptw_shared`/`ptw_partition` when set.
+    pub ptw_bounds: Option<PtwBounds>,
+}
+
+impl MmuConfig {
+    /// The NeuMMU-style configuration of Table 2 at the given page size:
+    /// 2048 TLB entries / 8 walkers per core, 8-way, private resources.
+    pub fn neummu(page_bytes: u64) -> Self {
+        MmuConfig {
+            tlb_entries_per_core: 2048,
+            tlb_assoc: 8,
+            ptws_per_core: 8,
+            page_bytes,
+            tlb_shared: false,
+            ptw_shared: false,
+            ptw_partition: None,
+            pt_region_bytes: 16 << 20,
+            coalesce_walks: true,
+            ptw_bounds: None,
+        }
+    }
+
+    /// A proportionally smaller configuration for bench-scale sweeps:
+    /// 512 TLB entries / 2 walkers per core (walker pressure scaled so the
+    /// +DW gain tracks the cloud configuration).
+    pub fn bench(page_bytes: u64) -> Self {
+        MmuConfig {
+            tlb_entries_per_core: 512,
+            tlb_assoc: 8,
+            ptws_per_core: 2,
+            page_bytes,
+            ..MmuConfig::neummu(page_bytes)
+        }
+    }
+
+    /// Walk depth implied by the page size.
+    pub fn walk_levels(&self) -> u32 {
+        walk_levels_for(self.page_bytes)
+    }
+
+    /// Total walkers across `cores` cores.
+    pub fn total_walkers(&self, cores: usize) -> usize {
+        match &self.ptw_partition {
+            Some(p) => p.iter().sum(),
+            None => self.ptws_per_core * cores,
+        }
+    }
+
+    /// Validate the configuration for a chip with `cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self, cores: usize) -> Result<(), String> {
+        if cores == 0 {
+            return Err("at least one core required".into());
+        }
+        if self.tlb_entries_per_core == 0 || self.tlb_assoc == 0 {
+            return Err("TLB geometry must be positive".into());
+        }
+        if self.tlb_entries_per_core % self.tlb_assoc != 0 {
+            return Err("TLB entries must be a multiple of associativity".into());
+        }
+        if !matches!(self.page_bytes, 4096 | 65536 | 1048576) {
+            return Err(format!("unsupported page size {}", self.page_bytes));
+        }
+        if self.total_walkers(cores) == 0 {
+            return Err("at least one page-table walker required".into());
+        }
+        if let Some(p) = &self.ptw_partition {
+            if p.len() != cores {
+                return Err("ptw_partition length must equal core count".into());
+            }
+            if p.iter().any(|&c| c == 0) {
+                return Err("every core needs at least one walker".into());
+            }
+        }
+        if self.pt_region_bytes < 4096 {
+            return Err("pt_region_bytes too small".into());
+        }
+        if let Some(b) = &self.ptw_bounds {
+            let total = self.ptws_per_core * cores;
+            if b.min.len() != cores || b.max.len() != cores {
+                return Err("ptw_bounds vectors must have one entry per core".into());
+            }
+            if b.min.iter().zip(&b.max).any(|(lo, hi)| lo > hi) {
+                return Err("ptw_bounds min must not exceed max".into());
+            }
+            if b.max.iter().any(|&hi| hi > total) {
+                return Err("ptw_bounds max must not exceed the pool".into());
+            }
+            if b.min.iter().sum::<usize>() > total {
+                return Err("ptw_bounds minimums oversubscribe the pool".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for MmuConfig {
+    fn default() -> Self {
+        MmuConfig::neummu(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_levels_match_arm64_granules() {
+        assert_eq!(walk_levels_for(4096), 4);
+        assert_eq!(walk_levels_for(65536), 3);
+        assert_eq!(walk_levels_for(1 << 20), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported page size")]
+    fn odd_page_size_panics() {
+        let _ = walk_levels_for(8192);
+    }
+
+    #[test]
+    fn neummu_matches_table2() {
+        let c = MmuConfig::neummu(4096);
+        assert_eq!(c.tlb_entries_per_core, 2048);
+        assert_eq!(c.tlb_assoc, 8);
+        assert_eq!(c.ptws_per_core, 8);
+        assert!(c.validate(1).is_ok());
+        assert!(c.validate(4).is_ok());
+    }
+
+    #[test]
+    fn total_walkers_scales_with_cores() {
+        let c = MmuConfig::neummu(4096);
+        assert_eq!(c.total_walkers(2), 16);
+        let p = MmuConfig { ptw_partition: Some(vec![2, 14]), ..c };
+        assert_eq!(p.total_walkers(2), 16);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let base = MmuConfig::neummu(4096);
+
+        let c = MmuConfig { tlb_entries_per_core: 100, ..base.clone() }; // not multiple of 8
+        assert!(c.validate(1).is_err());
+
+        let c = MmuConfig { page_bytes: 12345, ..base.clone() };
+        assert!(c.validate(1).is_err());
+
+        let c = MmuConfig { ptw_partition: Some(vec![4]), ..base.clone() };
+        assert!(c.validate(2).is_err(), "partition length mismatch");
+
+        let c = MmuConfig { ptw_partition: Some(vec![0, 16]), ..base.clone() };
+        assert!(c.validate(2).is_err(), "zero-walker core");
+
+        assert!(base.validate(0).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Page-table walker pool with shared / partitioned allocation.
+
+/// Internal allocation policy of a [`WalkerPool`].
+#[derive(Debug, Clone)]
+enum Policy {
+    /// One pool; `free[0]` is the free count.
+    Shared,
+    /// Per-core pools; `free[c]` is core *c*'s free count.
+    PerCore,
+    /// Shared pool of `total` with per-core `min` reservations and `max`
+    /// caps; `in_use[c]` tracks core occupancy.
+    Bounded { total: usize, min: Vec<usize>, max: Vec<usize>, in_use: Vec<usize> },
+}
+
+/// Allocates page-table walkers to cores under one of four policies:
+///
+/// * **private** — each core owns a fixed, equal number of walkers
+///   (the `Static` and `+D` configurations);
+/// * **partitioned** — fixed but *unequal* per-core counts (the Fig. 13/14
+///   partitioning sweeps);
+/// * **shared** — one pool any core may draw from (`+DW`, `+DWT`);
+/// * **bounded** — a shared pool with per-core guaranteed minimums and
+///   hard maximums (the original's `misc_config` lower/upper PTW bounds,
+///   in the spirit of DWS page-walk stealing).
+///
+/// ```
+/// use mnpu_mmu::WalkerPool;
+///
+/// let mut pool = WalkerPool::shared(2, 2); // 2 walkers total, 2 cores
+/// assert!(pool.try_acquire(0));
+/// assert!(pool.try_acquire(1));
+/// assert!(!pool.try_acquire(0)); // exhausted
+/// pool.release(1);
+/// assert!(pool.try_acquire(0)); // core 0 can reuse core 1's walker
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkerPool {
+    policy: Policy,
+    /// Shared: `[0]` = free walkers. PerCore: per-core free counts.
+    /// Bounded: unused (occupancy lives in the policy).
+    free: Vec<usize>,
+    capacity: Vec<usize>,
+    busy_peak: usize,
+    acquires: u64,
+    rejects: u64,
+}
+
+impl WalkerPool {
+    /// One pool of `total` walkers shared by all `cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` or `cores` is zero.
+    pub fn shared(total: usize, cores: usize) -> Self {
+        assert!(total > 0 && cores > 0, "pool dimensions must be positive");
+        WalkerPool {
+            policy: Policy::Shared,
+            free: vec![total],
+            capacity: vec![total],
+            busy_peak: 0,
+            acquires: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Per-core private walkers, `per_core` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_core` or `cores` is zero.
+    pub fn private(per_core: usize, cores: usize) -> Self {
+        assert!(per_core > 0 && cores > 0, "pool dimensions must be positive");
+        WalkerPool::partitioned(vec![per_core; cores])
+    }
+
+    /// Statically partitioned walkers with explicit per-core counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or any count is zero.
+    pub fn partitioned(counts: Vec<usize>) -> Self {
+        assert!(!counts.is_empty(), "counts must not be empty");
+        assert!(counts.iter().all(|&c| c > 0), "every core needs at least one walker");
+        WalkerPool {
+            policy: Policy::PerCore,
+            free: counts.clone(),
+            capacity: counts,
+            busy_peak: 0,
+            acquires: 0,
+            rejects: 0,
+        }
+    }
+
+    /// A shared pool of `total` walkers where core *c* is always guaranteed
+    /// `min[c]` walkers and may never hold more than `max[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, any `min > max`, any
+    /// `max > total`, or the minimums oversubscribe the pool.
+    pub fn bounded(total: usize, min: Vec<usize>, max: Vec<usize>) -> Self {
+        assert!(total > 0, "pool must have walkers");
+        assert_eq!(min.len(), max.len(), "min/max lengths must match");
+        assert!(!min.is_empty(), "at least one core");
+        assert!(min.iter().zip(&max).all(|(lo, hi)| lo <= hi), "min must not exceed max");
+        assert!(max.iter().all(|&hi| hi <= total), "max must not exceed the pool");
+        assert!(min.iter().sum::<usize>() <= total, "minimum reservations oversubscribe the pool");
+        let cores = min.len();
+        WalkerPool {
+            policy: Policy::Bounded { total, min, max, in_use: vec![0; cores] },
+            free: Vec::new(),
+            capacity: vec![total],
+            busy_peak: 0,
+            acquires: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Total walkers in the pool.
+    pub fn total(&self) -> usize {
+        self.capacity.iter().sum()
+    }
+
+    /// Walkers currently available to `core`.
+    pub fn available(&self, core: usize) -> usize {
+        match &self.policy {
+            Policy::Shared => self.free[0],
+            Policy::PerCore => self.free.get(core).copied().unwrap_or(0),
+            Policy::Bounded { total, min, max, in_use } => {
+                if core >= in_use.len() {
+                    return 0;
+                }
+                let reserved_others: usize = (0..in_use.len())
+                    .filter(|&o| o != core)
+                    .map(|o| min[o].saturating_sub(in_use[o]))
+                    .sum();
+                let used: usize = in_use.iter().sum();
+                let unreserved = total.saturating_sub(used + reserved_others);
+                unreserved.min(max[core].saturating_sub(in_use[core]))
+            }
+        }
+    }
+
+    /// Try to reserve a walker for `core`; `true` on success.
+    pub fn try_acquire(&mut self, core: usize) -> bool {
+        let ok = match &mut self.policy {
+            Policy::Shared => match self.free.get_mut(0) {
+                Some(f) if *f > 0 => {
+                    *f -= 1;
+                    true
+                }
+                _ => false,
+            },
+            Policy::PerCore => match self.free.get_mut(core) {
+                Some(f) if *f > 0 => {
+                    *f -= 1;
+                    true
+                }
+                _ => false,
+            },
+            Policy::Bounded { min, max, total, in_use } => {
+                let grantable = core < in_use.len() && in_use[core] < max[core] && {
+                    let reserved_others: usize = (0..in_use.len())
+                        .filter(|&o| o != core)
+                        .map(|o| min[o].saturating_sub(in_use[o]))
+                        .sum();
+                    let used: usize = in_use.iter().sum();
+                    used + reserved_others < *total
+                };
+                if grantable {
+                    in_use[core] += 1;
+                }
+                grantable
+            }
+        };
+        if ok {
+            self.acquires += 1;
+            let busy = self.busy();
+            self.busy_peak = self.busy_peak.max(busy);
+        } else {
+            self.rejects += 1;
+        }
+        ok
+    }
+
+    fn busy(&self) -> usize {
+        match &self.policy {
+            Policy::Bounded { in_use, .. } => in_use.iter().sum(),
+            _ => self.total() - self.free.iter().sum::<usize>(),
+        }
+    }
+
+    /// Return a walker previously acquired for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more walkers are released than were acquired.
+    pub fn release(&mut self, core: usize) {
+        match &mut self.policy {
+            Policy::Shared => {
+                let f = &mut self.free[0];
+                assert!(*f < self.capacity[0], "release without matching acquire");
+                *f += 1;
+            }
+            Policy::PerCore => {
+                let f = &mut self.free[core];
+                assert!(*f < self.capacity[core], "release without matching acquire");
+                *f += 1;
+            }
+            Policy::Bounded { in_use, .. } => {
+                assert!(in_use[core] > 0, "release without matching acquire");
+                in_use[core] -= 1;
+            }
+        }
+    }
+
+    /// Peak number of simultaneously busy walkers.
+    pub fn busy_peak(&self) -> usize {
+        self.busy_peak
+    }
+
+    /// Successful acquisitions.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Failed acquisitions (walk had to wait for a walker).
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_pools_are_isolated() {
+        let mut p = WalkerPool::private(2, 2);
+        assert!(p.try_acquire(0));
+        assert!(p.try_acquire(0));
+        assert!(!p.try_acquire(0), "core 0 exhausted its partition");
+        assert_eq!(p.available(1), 2, "core 1 unaffected");
+    }
+
+    #[test]
+    fn shared_pool_lets_one_core_use_all() {
+        let mut p = WalkerPool::shared(16, 2);
+        for _ in 0..16 {
+            assert!(p.try_acquire(0));
+        }
+        assert!(!p.try_acquire(1));
+        assert_eq!(p.busy_peak(), 16);
+    }
+
+    #[test]
+    fn unequal_partition() {
+        let mut p = WalkerPool::partitioned(vec![2, 14]);
+        assert_eq!(p.total(), 16);
+        assert!(p.try_acquire(0));
+        assert!(p.try_acquire(0));
+        assert!(!p.try_acquire(0));
+        for _ in 0..14 {
+            assert!(p.try_acquire(1));
+        }
+        assert!(!p.try_acquire(1));
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut p = WalkerPool::private(1, 1);
+        assert!(p.try_acquire(0));
+        p.release(0);
+        assert!(p.try_acquire(0));
+        assert_eq!(p.acquires(), 2);
+        assert_eq!(p.rejects(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching acquire")]
+    fn double_release_panics() {
+        let mut p = WalkerPool::private(1, 1);
+        p.release(0);
+    }
+
+    #[test]
+    fn reject_counting() {
+        let mut p = WalkerPool::shared(1, 2);
+        assert!(p.try_acquire(0));
+        assert!(!p.try_acquire(1));
+        assert!(!p.try_acquire(1));
+        assert_eq!(p.rejects(), 2);
+    }
+}
+
+#[cfg(test)]
+mod bounded_tests {
+    use super::*;
+
+    #[test]
+    fn minimums_are_hard_reservations() {
+        // 4 walkers, each core guaranteed 1, capped at 4.
+        let mut p = WalkerPool::bounded(4, vec![1, 1], vec![4, 4]);
+        // Core 0 tries to hog: it can take 3 (4 minus core 1's reserve)...
+        assert!(p.try_acquire(0));
+        assert!(p.try_acquire(0));
+        assert!(p.try_acquire(0));
+        // ...but not the 4th: one walker stays reserved for core 1.
+        assert!(!p.try_acquire(0));
+        // Core 1's guaranteed walker is immediately available.
+        assert!(p.try_acquire(1));
+        assert!(!p.try_acquire(1), "pool fully busy now");
+    }
+
+    #[test]
+    fn maximums_cap_hogging() {
+        let mut p = WalkerPool::bounded(8, vec![0, 0], vec![3, 8]);
+        for _ in 0..3 {
+            assert!(p.try_acquire(0));
+        }
+        assert!(!p.try_acquire(0), "core 0 capped at 3");
+        for _ in 0..5 {
+            assert!(p.try_acquire(1));
+        }
+        assert!(!p.try_acquire(1), "pool exhausted");
+        assert_eq!(p.busy_peak(), 8);
+    }
+
+    #[test]
+    fn release_restores_bounded_capacity() {
+        let mut p = WalkerPool::bounded(2, vec![1, 1], vec![2, 2]);
+        assert!(p.try_acquire(0));
+        assert!(p.try_acquire(1));
+        p.release(0);
+        // The freed walker returns to core 0's *reservation*: core 1 may
+        // not steal it, even though its own max (2) would allow more.
+        assert!(!p.try_acquire(1), "minimum reservations survive releases");
+        assert_eq!(p.available(0), 1, "core 0's reserve is back");
+        assert!(p.try_acquire(0));
+    }
+
+    #[test]
+    fn available_accounts_for_reservations() {
+        let p = WalkerPool::bounded(4, vec![1, 1], vec![4, 4]);
+        // Idle pool: each core sees total minus the other's reserve.
+        assert_eq!(p.available(0), 3);
+        assert_eq!(p.available(1), 3);
+    }
+
+    #[test]
+    fn equal_bounds_behave_like_partition() {
+        // min == max == 2 per core is exactly a 2/2 static split.
+        let mut p = WalkerPool::bounded(4, vec![2, 2], vec![2, 2]);
+        assert!(p.try_acquire(0) && p.try_acquire(0));
+        assert!(!p.try_acquire(0));
+        assert!(p.try_acquire(1) && p.try_acquire(1));
+        assert!(!p.try_acquire(1));
+    }
+
+    #[test]
+    fn zero_min_full_max_behaves_like_shared() {
+        let mut p = WalkerPool::bounded(4, vec![0, 0], vec![4, 4]);
+        for _ in 0..4 {
+            assert!(p.try_acquire(0));
+        }
+        assert!(!p.try_acquire(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe")]
+    fn oversubscribed_minimums_rejected() {
+        let _ = WalkerPool::bounded(4, vec![3, 3], vec![4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_bounds_rejected() {
+        let _ = WalkerPool::bounded(4, vec![3, 0], vec![2, 4]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Protocol-level property tests: arbitrary interleavings of lookups,
+//! walk starts and walk advances never leak walkers, never double-fill,
+//! and keep statistics consistent.
+
+use mnpu_mmu::{Mmu, MmuConfig, WalkId, WalkStart, WalkStep};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(usize, u64),
+    StartWalk(usize, u64),
+    AdvanceOne,
+}
+
+fn arb_op(cores: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cores, 0u64..64).prop_map(|(c, v)| Op::Lookup(c, v)),
+        (0..cores, 0u64..64).prop_map(|(c, v)| Op::StartWalk(c, v)),
+        Just(Op::AdvanceOne),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_walker_conservation(ops in proptest::collection::vec(arb_op(2), 1..200)) {
+        let cfg = MmuConfig { ptw_shared: true, ptws_per_core: 2, ..MmuConfig::bench(4096) };
+        let total = cfg.total_walkers(2);
+        let mut mmu = Mmu::new(cfg, 2, &[0, 1 << 32]);
+        let mut in_flight: Vec<WalkId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Lookup(c, v) => {
+                    let _ = mmu.lookup(c, v);
+                }
+                Op::StartWalk(c, v) => match mmu.start_or_join_walk(c, v) {
+                    WalkStart::Started { walk, .. } => in_flight.push(walk),
+                    WalkStart::Joined(w) => prop_assert!(in_flight.contains(&w)),
+                    WalkStart::NoWalker => {
+                        prop_assert_eq!(in_flight.len(), total, "NoWalker only when exhausted");
+                    }
+                },
+                Op::AdvanceOne => {
+                    if let Some(w) = in_flight.last().copied() {
+                        if let WalkStep::Done { .. } = mmu.advance_walk(w) {
+                            in_flight.pop();
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(mmu.walks_in_flight(), in_flight.len());
+            prop_assert!(in_flight.len() <= total);
+        }
+        // Drain everything: every walker must come back.
+        while let Some(w) = in_flight.last().copied() {
+            if let WalkStep::Done { .. } = mmu.advance_walk(w) {
+                in_flight.pop();
+            }
+        }
+        prop_assert_eq!(mmu.free_walkers(0), total);
+        prop_assert_eq!(mmu.walks_in_flight(), 0);
+    }
+
+    #[test]
+    fn prop_completed_walks_hit_afterwards(vpns in proptest::collection::vec(0u64..1024, 1..32)) {
+        let mut mmu = Mmu::new(MmuConfig::neummu(65536), 1, &[0]);
+        for &v in &vpns {
+            match mmu.start_or_join_walk(0, v) {
+                WalkStart::Started { walk, .. } => loop {
+                    if let WalkStep::Done { vpn, .. } = mmu.advance_walk(walk) {
+                        prop_assert_eq!(vpn, v);
+                        break;
+                    }
+                },
+                WalkStart::Joined(_) => unreachable!("serial walks never join"),
+                WalkStart::NoWalker => unreachable!("serial walks never exhaust"),
+            }
+            prop_assert!(mmu.lookup(0, v), "page resident after its walk");
+        }
+    }
+
+    #[test]
+    fn prop_stats_counters_consistent(vpns in proptest::collection::vec(0u64..16, 1..100)) {
+        let mut mmu = Mmu::new(MmuConfig::bench(4096), 1, &[0]);
+        for &v in &vpns {
+            if !mmu.lookup(0, v) {
+                if let WalkStart::Started { walk, .. } = mmu.start_or_join_walk(0, v) {
+                    loop {
+                        if matches!(mmu.advance_walk(walk), WalkStep::Done { .. }) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let s = mmu.stats(0);
+        prop_assert_eq!(s.tlb_hits + s.tlb_misses, vpns.len() as u64);
+        prop_assert!(s.walks <= s.tlb_misses);
+        prop_assert!(s.walks >= 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! Layer kinds and their lowering to GEMM.
+
+use std::fmt;
+
+/// Numeric precision of tensor elements.
+///
+/// The simulator is data-oblivious: the only thing precision changes is the
+/// number of bytes moved per element, which scales memory traffic and the
+/// SPM footprint of tiles.
+///
+/// ```
+/// use mnpu_model::DataType;
+/// assert_eq!(DataType::Fp16.bytes(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// 8-bit integer (inference quantization).
+    Int8,
+    /// 16-bit floating point (the default, matching bf16 on cloud NPUs).
+    #[default]
+    Fp16,
+    /// 32-bit floating point.
+    Fp32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DataType::Int8 => 1,
+            DataType::Fp16 => 2,
+            DataType::Fp32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int8 => "int8",
+            DataType::Fp16 => "fp16",
+            DataType::Fp32 => "fp32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A 2-D convolution layer, described by its tensor dimensions.
+///
+/// Convolutions are lowered to GEMM with the image-to-column (*im2col*)
+/// transform; see [`ConvSpec::to_gemm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input feature-map height.
+    pub in_h: u64,
+    /// Input feature-map width.
+    pub in_w: u64,
+    /// Input channels.
+    pub in_c: u64,
+    /// Output channels (number of filters).
+    pub out_c: u64,
+    /// Kernel height.
+    pub k_h: u64,
+    /// Kernel width.
+    pub k_w: u64,
+    /// Stride (same in both spatial dimensions).
+    pub stride: u64,
+    /// Symmetric zero padding on each spatial border.
+    pub padding: u64,
+}
+
+impl ConvSpec {
+    /// A square-kernel, square-input convolution.
+    pub const fn square(in_hw: u64, in_c: u64, out_c: u64, k: u64, stride: u64, padding: u64) -> Self {
+        ConvSpec { in_h: in_hw, in_w: in_hw, in_c, out_c, k_h: k, k_w: k, stride, padding }
+    }
+
+    /// Output feature-map height.
+    pub const fn out_h(&self) -> u64 {
+        (self.in_h + 2 * self.padding - self.k_h) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub const fn out_w(&self) -> u64 {
+        (self.in_w + 2 * self.padding - self.k_w) / self.stride + 1
+    }
+
+    /// Lower to GEMM via im2col for a given batch size.
+    ///
+    /// The im2col expansion turns the convolution into
+    /// `M x K @ K x N` with `M = batch * out_h * out_w`,
+    /// `K = k_h * k_w * in_c`, and `N = out_c`.
+    pub const fn to_gemm(&self, batch: u64) -> GemmSpec {
+        GemmSpec {
+            m: batch * self.out_h() * self.out_w(),
+            k: self.k_h * self.k_w * self.in_c,
+            n: self.out_c,
+        }
+    }
+}
+
+/// A general matrix-matrix multiplication `C[m,n] = A[m,k] * B[k,n]`.
+///
+/// `A` is the activation (streamed per inference), `B` the weights, and `C`
+/// the output activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmSpec {
+    /// Rows of `A` and `C`.
+    pub m: u64,
+    /// Contraction dimension (columns of `A`, rows of `B`).
+    pub k: u64,
+    /// Columns of `B` and `C`.
+    pub n: u64,
+}
+
+impl GemmSpec {
+    /// Construct a GEMM shape.
+    pub const fn new(m: u64, k: u64, n: u64) -> Self {
+        GemmSpec { m, k, n }
+    }
+
+    /// Multiply-accumulate operations performed.
+    pub const fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// Elements of the input activation matrix `A`.
+    pub const fn input_elems(&self) -> u64 {
+        self.m * self.k
+    }
+
+    /// Elements of the weight matrix `B`.
+    pub const fn weight_elems(&self) -> u64 {
+        self.k * self.n
+    }
+
+    /// Elements of the output matrix `C`.
+    pub const fn output_elems(&self) -> u64 {
+        self.m * self.n
+    }
+
+    /// Total elements touched in DRAM for one execution (read A, read B,
+    /// write C), ignoring on-chip reuse.
+    pub const fn total_elems(&self) -> u64 {
+        self.input_elems() + self.weight_elems() + self.output_elems()
+    }
+
+    /// Arithmetic intensity in MACs per element moved.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.macs() as f64 / self.total_elems() as f64
+    }
+}
+
+/// An embedding-table gather, the memory-dominated layer of recommendation
+/// models (DLRM, NCF).
+///
+/// Each inference gathers `lookups` rows of `embed_dim` elements from each of
+/// `tables` tables holding `rows_per_table` rows. The gathered vectors are
+/// reduced (summed/concatenated), which we model as a tiny GEMM tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EmbeddingSpec {
+    /// Number of embedding tables.
+    pub tables: u64,
+    /// Rows in each table.
+    pub rows_per_table: u64,
+    /// Elements per row (embedding dimension).
+    pub embed_dim: u64,
+    /// Rows gathered per table per inference (batch folded in).
+    pub lookups: u64,
+}
+
+impl EmbeddingSpec {
+    /// Total elements read from DRAM per execution.
+    pub const fn gathered_elems(&self) -> u64 {
+        self.tables * self.lookups * self.embed_dim
+    }
+
+    /// Total resident table capacity in elements.
+    pub const fn table_elems(&self) -> u64 {
+        self.tables * self.rows_per_table * self.embed_dim
+    }
+}
+
+/// The computational kind of a [`Layer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution, lowered to GEMM by im2col.
+    Conv(ConvSpec),
+    /// Dense GEMM (fully-connected, RNN step, attention projection).
+    Gemm(GemmSpec),
+    /// Embedding gather.
+    Embedding(EmbeddingSpec),
+}
+
+/// One layer of a [`crate::Network`]: a name, a kind, and a batch size.
+///
+/// ```
+/// use mnpu_model::{Layer, GemmSpec};
+///
+/// let fc = Layer::gemm("fc1", GemmSpec::new(1, 9216, 4096));
+/// assert_eq!(fc.to_gemm().macs(), 9216 * 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    batch: u64,
+}
+
+impl Layer {
+    /// Create a layer with an explicit batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or any dimension of `kind` is zero.
+    pub fn new(name: impl Into<String>, kind: LayerKind, batch: u64) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        match kind {
+            LayerKind::Conv(c) => {
+                assert!(
+                    c.in_h > 0 && c.in_w > 0 && c.in_c > 0 && c.out_c > 0 && c.k_h > 0 && c.k_w > 0 && c.stride > 0,
+                    "conv dimensions must be positive"
+                );
+                assert!(
+                    c.in_h + 2 * c.padding >= c.k_h && c.in_w + 2 * c.padding >= c.k_w,
+                    "kernel must fit inside padded input"
+                );
+            }
+            LayerKind::Gemm(g) => {
+                assert!(g.m > 0 && g.k > 0 && g.n > 0, "gemm dimensions must be positive");
+            }
+            LayerKind::Embedding(e) => {
+                assert!(
+                    e.tables > 0 && e.rows_per_table > 0 && e.embed_dim > 0 && e.lookups > 0,
+                    "embedding dimensions must be positive"
+                );
+                assert!(e.lookups <= e.rows_per_table * 64, "implausible lookup count");
+            }
+        }
+        Layer { name: name.into(), kind, batch }
+    }
+
+    /// Convenience constructor for a batch-1 convolution layer.
+    pub fn conv(name: impl Into<String>, spec: ConvSpec) -> Self {
+        Layer::new(name, LayerKind::Conv(spec), 1)
+    }
+
+    /// Convenience constructor for a batch-1 GEMM layer.
+    pub fn gemm(name: impl Into<String>, spec: GemmSpec) -> Self {
+        Layer::new(name, LayerKind::Gemm(spec), 1)
+    }
+
+    /// Convenience constructor for an embedding layer.
+    pub fn embedding(name: impl Into<String>, spec: EmbeddingSpec) -> Self {
+        Layer::new(name, LayerKind::Embedding(spec), 1)
+    }
+
+    /// The layer's name (unique within a network by convention, not enforced).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's kind.
+    pub fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// Batch size this layer executes with.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// The GEMM this layer lowers to on the systolic array.
+    ///
+    /// Convolutions lower via im2col, GEMMs are returned as-is, and
+    /// embedding layers lower to their (small) reduction GEMM: the gathered
+    /// vectors multiplied by an identity-like projection. The embedding's
+    /// memory traffic is dominated by the gather and is reported separately
+    /// by [`Layer::extra_read_elems`].
+    pub fn to_gemm(&self) -> GemmSpec {
+        match self.kind {
+            LayerKind::Conv(c) => c.to_gemm(self.batch),
+            LayerKind::Gemm(g) => GemmSpec { m: g.m * self.batch, ..g },
+            LayerKind::Embedding(e) => GemmSpec {
+                m: self.batch * e.tables,
+                k: e.embed_dim,
+                n: 1,
+            },
+        }
+    }
+
+    /// Elements read from DRAM beyond the lowered GEMM's `A`/`B` operands.
+    ///
+    /// Non-zero only for embedding layers, where the gather itself (random
+    /// rows across large tables) is the dominant traffic.
+    pub fn extra_read_elems(&self) -> u64 {
+        match self.kind {
+            LayerKind::Embedding(e) => self.batch * e.gathered_elems(),
+            _ => 0,
+        }
+    }
+
+    /// `true` when the layer is an embedding gather.
+    pub fn is_embedding(&self) -> bool {
+        matches!(self.kind, LayerKind::Embedding(_))
+    }
+
+    /// Total MACs executed by this layer.
+    pub fn macs(&self) -> u64 {
+        self.to_gemm().macs()
+    }
+
+    /// Total elements moved to/from DRAM by this layer (reads + writes).
+    pub fn traffic_elems(&self) -> u64 {
+        self.to_gemm().total_elems() + self.extra_read_elems()
+    }
+
+    /// Total bytes moved to/from DRAM given a datatype.
+    pub fn traffic_bytes(&self, dtype: DataType) -> u64 {
+        self.traffic_elems() * dtype.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        let c = ConvSpec::square(224, 3, 96, 11, 4, 2);
+        assert_eq!(c.out_h(), 55);
+        assert_eq!(c.out_w(), 55);
+    }
+
+    #[test]
+    fn conv_same_padding_keeps_dims() {
+        let c = ConvSpec::square(56, 64, 64, 3, 1, 1);
+        assert_eq!(c.out_h(), 56);
+        assert_eq!(c.out_w(), 56);
+    }
+
+    #[test]
+    fn im2col_lowering_dimensions() {
+        let c = ConvSpec::square(224, 3, 96, 11, 4, 2);
+        let g = c.to_gemm(1);
+        assert_eq!(g.m, 55 * 55);
+        assert_eq!(g.k, 11 * 11 * 3);
+        assert_eq!(g.n, 96);
+    }
+
+    #[test]
+    fn im2col_batch_scales_m_only() {
+        let c = ConvSpec::square(32, 16, 32, 3, 1, 1);
+        let g1 = c.to_gemm(1);
+        let g4 = c.to_gemm(4);
+        assert_eq!(g4.m, 4 * g1.m);
+        assert_eq!(g4.k, g1.k);
+        assert_eq!(g4.n, g1.n);
+    }
+
+    #[test]
+    fn gemm_macs_and_traffic() {
+        let g = GemmSpec::new(10, 20, 30);
+        assert_eq!(g.macs(), 6000);
+        assert_eq!(g.total_elems(), 200 + 600 + 300);
+        let ai = g.arithmetic_intensity();
+        assert!((ai - 6000.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedding_traffic_dominated_by_gather() {
+        let e = EmbeddingSpec { tables: 8, rows_per_table: 100_000, embed_dim: 64, lookups: 32 };
+        let l = Layer::embedding("emb", e);
+        assert_eq!(l.extra_read_elems(), 8 * 32 * 64);
+        assert!(l.extra_read_elems() > l.to_gemm().weight_elems());
+    }
+
+    #[test]
+    fn layer_gemm_batch_applied() {
+        let l = Layer::new("fc", LayerKind::Gemm(GemmSpec::new(1, 128, 64)), 16);
+        assert_eq!(l.to_gemm().m, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = Layer::new("x", LayerKind::Gemm(GemmSpec::new(1, 1, 1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm dimensions must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Layer::new("x", LayerKind::Gemm(GemmSpec::new(0, 1, 1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must fit")]
+    fn kernel_larger_than_input_rejected() {
+        let _ = Layer::conv("c", ConvSpec::square(2, 3, 8, 5, 1, 0));
+    }
+
+    #[test]
+    fn datatype_bytes() {
+        assert_eq!(DataType::Int8.bytes(), 1);
+        assert_eq!(DataType::Fp16.bytes(), 2);
+        assert_eq!(DataType::Fp32.bytes(), 4);
+        assert_eq!(DataType::default(), DataType::Fp16);
+    }
+
+    #[test]
+    fn display_datatype() {
+        assert_eq!(DataType::Fp16.to_string(), "fp16");
+    }
+}

@@ -1,0 +1,50 @@
+//! DNN model representation and workload zoo for the mNPUsim reproduction.
+//!
+//! This crate is the *software-visible* half of the simulator's input: it
+//! describes what a workload computes (layer dimensions and kinds) without
+//! saying anything about how the hardware executes it. The companion crate
+//! `mnpu-systolic` lowers these descriptions into per-tile compute cycles and
+//! memory request streams.
+//!
+//! The central abstraction is [`Layer`], which is one of:
+//!
+//! * a convolution ([`ConvSpec`]) — lowered to GEMM via *im2col*, following
+//!   the paper's choice of early im2col on the host CPU, so the NPU streams
+//!   the already-expanded `M x K` activation matrix from DRAM;
+//! * a dense GEMM ([`GemmSpec`]) — fully-connected layers, RNN cell steps and
+//!   attention projections all reduce to this;
+//! * an embedding gather ([`EmbeddingSpec`]) — a nearly pure-memory layer
+//!   used by the recommendation workloads (DLRM, NCF).
+//!
+//! [`Network`] is an ordered list of layers executed back-to-back on one NPU
+//! core. The [`zoo`] module provides the eight benchmarks of the paper's
+//! Table 1 and [`randnet`] generates DeepSniffer-style random networks used
+//! to train the co-runner performance predictor.
+//!
+//! # Example
+//!
+//! ```
+//! use mnpu_model::{zoo, Scale};
+//!
+//! let net = zoo::alexnet(Scale::Bench);
+//! assert!(net.num_layers() >= 8);
+//! // Every layer lowers to a GEMM the systolic array can execute.
+//! for layer in net.layers() {
+//!     let g = layer.to_gemm();
+//!     assert!(g.m > 0 && g.k > 0 && g.n > 0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod network;
+pub mod randnet;
+mod training;
+pub mod zoo;
+
+pub use layer::{ConvSpec, DataType, EmbeddingSpec, GemmSpec, Layer, LayerKind};
+pub use network::{Network, NetworkSummary};
+pub use training::training_unroll;
+pub use zoo::Scale;

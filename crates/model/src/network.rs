@@ -1,0 +1,180 @@
+//! Whole-network container and summary statistics.
+
+use crate::layer::{DataType, Layer};
+use std::fmt;
+
+/// An ordered sequence of layers executed back-to-back on one NPU core.
+///
+/// Networks are immutable once built; the simulator treats the layer list as
+/// the program of the core. Layers execute in order with a barrier between
+/// them (layer *i+1* reads the outputs layer *i* wrote to DRAM).
+///
+/// ```
+/// use mnpu_model::{Network, Layer, GemmSpec};
+///
+/// let net = Network::new("mlp", vec![
+///     Layer::gemm("fc1", GemmSpec::new(1, 784, 256)),
+///     Layer::gemm("fc2", GemmSpec::new(1, 256, 10)),
+/// ]);
+/// assert_eq!(net.num_layers(), 2);
+/// assert_eq!(net.summary().total_macs, 784 * 256 + 256 * 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+    dtype: DataType,
+}
+
+impl Network {
+    /// Build a network from a layer list with the default datatype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        Network::with_dtype(name, layers, DataType::default())
+    }
+
+    /// Build a network with an explicit element datatype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn with_dtype(name: impl Into<String>, layers: Vec<Layer>, dtype: DataType) -> Self {
+        assert!(!layers.is_empty(), "network must contain at least one layer");
+        Network { name: name.into(), layers, dtype }
+    }
+
+    /// The network's short name (e.g. `"ncf"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element datatype used for traffic accounting.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow the layer list.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Iterate over layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Layer> {
+        self.layers.iter()
+    }
+
+    /// Aggregate compute/traffic statistics for the whole network.
+    pub fn summary(&self) -> NetworkSummary {
+        let mut s = NetworkSummary {
+            name: self.name.clone(),
+            num_layers: self.layers.len(),
+            total_macs: 0,
+            total_traffic_bytes: 0,
+            max_layer_traffic_bytes: 0,
+        };
+        for l in &self.layers {
+            s.total_macs += l.macs();
+            let t = l.traffic_bytes(self.dtype);
+            s.total_traffic_bytes += t;
+            s.max_layer_traffic_bytes = s.max_layer_traffic_bytes.max(t);
+        }
+        s
+    }
+
+    /// Arithmetic intensity of the whole network (MACs per DRAM byte).
+    ///
+    /// High values indicate compute-bound workloads (e.g. ResNet50);
+    /// low values indicate memory-bound workloads (e.g. DLRM).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let s = self.summary();
+        s.total_macs as f64 / s.total_traffic_bytes as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a Network {
+    type Item = &'a Layer;
+    type IntoIter = std::slice::Iter<'a, Layer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} layers, {})", self.name, self.layers.len(), self.dtype)
+    }
+}
+
+/// Aggregate statistics of a [`Network`], produced by [`Network::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSummary {
+    /// Network name.
+    pub name: String,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Total multiply-accumulate operations.
+    pub total_macs: u64,
+    /// Total DRAM bytes moved (reads + writes), assuming no cross-layer reuse.
+    pub total_traffic_bytes: u64,
+    /// Largest single-layer traffic, a proxy for burst size.
+    pub max_layer_traffic_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::GemmSpec;
+
+    fn tiny() -> Network {
+        Network::new("tiny", vec![Layer::gemm("fc", GemmSpec::new(2, 3, 4))])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::new("empty", vec![]);
+    }
+
+    #[test]
+    fn summary_adds_up() {
+        let net = Network::new(
+            "two",
+            vec![
+                Layer::gemm("a", GemmSpec::new(2, 3, 4)),
+                Layer::gemm("b", GemmSpec::new(5, 6, 7)),
+            ],
+        );
+        let s = net.summary();
+        assert_eq!(s.num_layers, 2);
+        assert_eq!(s.total_macs, 2 * 3 * 4 + 5 * 6 * 7);
+        let t_a = (2 * 3 + 3 * 4 + 2 * 4) * 2;
+        let t_b = (5 * 6 + 6 * 7 + 5 * 7) * 2;
+        assert_eq!(s.total_traffic_bytes, t_a + t_b);
+        assert_eq!(s.max_layer_traffic_bytes, t_b);
+    }
+
+    #[test]
+    fn intensity_matches_summary() {
+        let net = tiny();
+        let s = net.summary();
+        let ai = net.arithmetic_intensity();
+        assert!((ai - s.total_macs as f64 / s.total_traffic_bytes as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let net = tiny();
+        assert_eq!(net.iter().count(), 1);
+        assert_eq!((&net).into_iter().count(), 1);
+        assert!(net.to_string().contains("tiny"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Random network generation for predictor training.
+//!
+//! The paper's §4.6 trains its co-runner performance model on randomly
+//! generated neural networks (in the style of DeepSniffer) rather than the
+//! eight evaluation benchmarks, to avoid overfitting. This module generates
+//! such networks: arbitrary numbers of convolution/GEMM layers with random
+//! dimensions (output channels, stride, kernel size) in a realistic range.
+
+use crate::layer::{ConvSpec, GemmSpec, Layer, LayerKind};
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameter ranges for [`generate`].
+///
+/// The defaults mirror the "realistic range" used by the paper: 3–14 layers,
+/// channels up to 512, kernels in {1, 3, 5}, strides in {1, 2}.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandNetConfig {
+    /// Minimum number of layers (inclusive).
+    pub min_layers: usize,
+    /// Maximum number of layers (inclusive).
+    pub max_layers: usize,
+    /// Candidate channel counts for conv layers / widths for GEMM layers.
+    pub channel_choices: Vec<u64>,
+    /// Candidate kernel sizes.
+    pub kernel_choices: Vec<u64>,
+    /// Candidate strides.
+    pub stride_choices: Vec<u64>,
+    /// Initial spatial size range (inclusive bounds).
+    pub spatial_range: (u64, u64),
+    /// Probability that a generated layer is a GEMM instead of a conv.
+    pub gemm_prob: f64,
+}
+
+impl Default for RandNetConfig {
+    fn default() -> Self {
+        RandNetConfig {
+            min_layers: 3,
+            max_layers: 14,
+            channel_choices: vec![16, 32, 64, 96, 128, 192, 256, 384, 512],
+            kernel_choices: vec![1, 3, 5],
+            stride_choices: vec![1, 2],
+            spatial_range: (14, 112),
+            gemm_prob: 0.3,
+        }
+    }
+}
+
+impl RandNetConfig {
+    /// A configuration producing smaller networks, suitable for fast
+    /// predictor-training sweeps.
+    pub fn small() -> Self {
+        RandNetConfig {
+            min_layers: 3,
+            max_layers: 8,
+            channel_choices: vec![8, 16, 24, 32, 48, 64, 96, 128],
+            spatial_range: (8, 48),
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate one random network, deterministically from `seed`.
+///
+/// The same `(config, seed)` pair always yields the same network, so
+/// training sets are reproducible.
+///
+/// ```
+/// use mnpu_model::randnet::{generate, RandNetConfig};
+/// let a = generate(&RandNetConfig::default(), 7);
+/// let b = generate(&RandNetConfig::default(), 7);
+/// assert_eq!(a, b);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration has empty choice lists or an inverted
+/// layer-count or spatial range.
+pub fn generate(config: &RandNetConfig, seed: u64) -> Network {
+    assert!(config.min_layers >= 1 && config.min_layers <= config.max_layers, "invalid layer range");
+    assert!(!config.channel_choices.is_empty(), "channel_choices empty");
+    assert!(!config.kernel_choices.is_empty(), "kernel_choices empty");
+    assert!(!config.stride_choices.is_empty(), "stride_choices empty");
+    assert!(config.spatial_range.0 >= 4 && config.spatial_range.0 <= config.spatial_range.1, "invalid spatial range");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d4e_5055_7369_6d00); // "mNPUsim"
+    let n_layers = rng.random_range(config.min_layers..=config.max_layers);
+    let mut hw = rng.random_range(config.spatial_range.0..=config.spatial_range.1);
+    let mut in_c = *pick(&mut rng, &config.channel_choices);
+    let mut layers = Vec::with_capacity(n_layers);
+    let mut in_gemm_tail = false;
+
+    for i in 0..n_layers {
+        // Once spatial collapses or we flip to GEMM, stay in the MLP tail:
+        // real networks do not go back to convolutions after flattening.
+        if in_gemm_tail || hw < 4 || rng.random_bool(config.gemm_prob) {
+            in_gemm_tail = true;
+            let k = if layers.is_empty() { in_c * hw * hw } else { in_c };
+            let n = *pick(&mut rng, &config.channel_choices);
+            let m = rng.random_range(1..=32);
+            layers.push(Layer::new(format!("fc{i}"), LayerKind::Gemm(GemmSpec::new(m, k.max(1), n)), 1));
+            in_c = n;
+            continue;
+        }
+        let out_c = *pick(&mut rng, &config.channel_choices);
+        let k = *pick(&mut rng, &config.kernel_choices);
+        let stride = *pick(&mut rng, &config.stride_choices);
+        let padding = k / 2;
+        let spec = ConvSpec::square(hw, in_c, out_c, k, stride, padding);
+        hw = spec.out_h();
+        in_c = out_c;
+        layers.push(Layer::conv(format!("conv{i}"), spec));
+    }
+    Network::new(format!("rand{seed}"), layers)
+}
+
+/// Generate `count` random networks with consecutive seeds starting at
+/// `first_seed`.
+pub fn generate_batch(config: &RandNetConfig, first_seed: u64, count: usize) -> Vec<Network> {
+    (0..count as u64).map(|i| generate(config, first_seed + i)).collect()
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.random_range(0..xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandNetConfig::default();
+        assert_eq!(generate(&cfg, 42), generate(&cfg, 42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandNetConfig::default();
+        let nets: Vec<_> = (0..16).map(|s| generate(&cfg, s)).collect();
+        let distinct: std::collections::HashSet<_> = nets.iter().map(|n| n.summary().total_macs).collect();
+        assert!(distinct.len() > 8, "networks suspiciously similar");
+    }
+
+    #[test]
+    fn layer_counts_within_bounds() {
+        let cfg = RandNetConfig { min_layers: 4, max_layers: 6, ..Default::default() };
+        for seed in 0..64 {
+            let n = generate(&cfg, seed).num_layers();
+            assert!((4..=6).contains(&n), "seed {seed}: {n} layers");
+        }
+    }
+
+    #[test]
+    fn batch_is_consecutive_seeds() {
+        let cfg = RandNetConfig::small();
+        let batch = generate_batch(&cfg, 100, 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[2], generate(&cfg, 102));
+    }
+
+    #[test]
+    fn generated_networks_are_valid() {
+        let cfg = RandNetConfig::default();
+        for seed in 0..64 {
+            let net = generate(&cfg, seed);
+            let s = net.summary();
+            assert!(s.total_macs > 0, "seed {seed}");
+            assert!(s.total_traffic_bytes > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid layer range")]
+    fn inverted_layer_range_rejected() {
+        let cfg = RandNetConfig { min_layers: 9, max_layers: 3, ..Default::default() };
+        let _ = generate(&cfg, 0);
+    }
+}

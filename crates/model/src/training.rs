@@ -1,0 +1,119 @@
+//! Training-mode network unrolling (extension).
+//!
+//! The original simulator "represents the multi-NPU operation flow of
+//! inference (not training)" (appendix §3.4). Training is a natural
+//! extension: each forward GEMM `C[m,n] = A[m,k] B[k,n]` is followed, in
+//! reverse layer order, by the two backward GEMMs
+//!
+//! * activation gradient: `dA[m,k] = dC[m,n] · Bᵀ[n,k]`
+//! * weight gradient: `dB[k,n] = Aᵀ[k,m] · dC[m,n]`
+//!
+//! [`training_unroll`] rewrites an inference network into this
+//! forward + backward program, which roughly triples compute and traffic —
+//! letting the sharing studies run on training-shaped workloads too.
+
+use crate::layer::{GemmSpec, Layer, LayerKind};
+use crate::network::Network;
+
+/// Unroll `net` into a training iteration: all forward layers, then the
+/// backward pass in reverse order (two GEMMs per forward GEMM/conv; the
+/// embedding backward is a scatter with the same traffic as its gather,
+/// modeled by repeating the embedding layer).
+///
+/// ```
+/// use mnpu_model::{training_unroll, Network, Layer, GemmSpec};
+///
+/// let net = Network::new("mlp", vec![Layer::gemm("fc", GemmSpec::new(8, 128, 64))]);
+/// let train = training_unroll(&net);
+/// assert_eq!(train.num_layers(), 3); // forward + dA + dB
+/// assert!(train.summary().total_macs == 3 * net.summary().total_macs);
+/// ```
+pub fn training_unroll(net: &Network) -> Network {
+    let mut layers: Vec<Layer> = net.layers().to_vec();
+    for l in net.iter().rev() {
+        let g = l.to_gemm();
+        match l.kind() {
+            LayerKind::Embedding(_) => {
+                // Gradient scatter touches the same rows as the gather.
+                layers.push(Layer::new(format!("{}_bwd", l.name()), *l.kind(), l.batch()));
+            }
+            _ => {
+                // dA = dC * B^T : (m x n) @ (n x k)
+                layers.push(Layer::gemm(
+                    format!("{}_dA", l.name()),
+                    GemmSpec::new(g.m, g.n, g.k),
+                ));
+                // dB = A^T * dC : (k x m) @ (m x n)
+                layers.push(Layer::gemm(
+                    format!("{}_dB", l.name()),
+                    GemmSpec::new(g.k, g.m, g.n),
+                ));
+            }
+        }
+    }
+    Network::with_dtype(format!("{}_train", net.name()), layers, net.dtype())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use crate::zoo::Scale;
+
+    #[test]
+    fn gemm_network_triples_macs() {
+        let net = Network::new(
+            "mlp",
+            vec![
+                Layer::gemm("fc1", GemmSpec::new(4, 32, 16)),
+                Layer::gemm("fc2", GemmSpec::new(4, 16, 8)),
+            ],
+        );
+        let t = training_unroll(&net);
+        assert_eq!(t.num_layers(), 6);
+        assert_eq!(t.summary().total_macs, 3 * net.summary().total_macs);
+        assert_eq!(t.name(), "mlp_train");
+    }
+
+    #[test]
+    fn backward_pass_is_in_reverse_order() {
+        let net = Network::new(
+            "mlp",
+            vec![
+                Layer::gemm("a", GemmSpec::new(2, 4, 8)),
+                Layer::gemm("b", GemmSpec::new(2, 8, 16)),
+            ],
+        );
+        let t = training_unroll(&net);
+        let names: Vec<&str> = t.iter().map(Layer::name).collect();
+        assert_eq!(names, ["a", "b", "b_dA", "b_dB", "a_dA", "a_dB"]);
+    }
+
+    #[test]
+    fn gradient_gemm_shapes_are_transposed_products() {
+        let net = Network::new("one", vec![Layer::gemm("fc", GemmSpec::new(3, 5, 7))]);
+        let t = training_unroll(&net);
+        let da = t.layers()[1].to_gemm();
+        let db = t.layers()[2].to_gemm();
+        assert_eq!((da.m, da.k, da.n), (3, 7, 5));
+        assert_eq!((db.m, db.k, db.n), (5, 3, 7));
+    }
+
+    #[test]
+    fn embedding_backward_repeats_the_gather() {
+        let net = zoo::dlrm(Scale::Bench);
+        let t = training_unroll(&net);
+        let fwd_embeds = net.iter().filter(|l| l.is_embedding()).count();
+        let all_embeds = t.iter().filter(|l| l.is_embedding()).count();
+        assert_eq!(all_embeds, 2 * fwd_embeds);
+    }
+
+    #[test]
+    fn whole_zoo_unrolls_and_simulable_shapes() {
+        for net in zoo::all(Scale::Bench) {
+            let t = training_unroll(&net);
+            assert_eq!(t.num_layers() > net.num_layers(), true, "{}", net.name());
+            assert!(t.summary().total_macs >= 2 * net.summary().total_macs, "{}", net.name());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The eight benchmark models of the paper's Table 1.
+//!
+//! | Type | Model (short name) |
+//! |------|--------------------|
+//! | CNN | ResNet50 (`res`), Yolo-tiny (`yt`), AlexNet (`alex`) |
+//! | RNN | Selfish-RNN (`sfrnn`), DeepSpeech2 (`ds2`) |
+//! | Recommendation | DLRM (`dlrm`), NCF (`ncf`) |
+//! | Attention | GPT-2 (`gpt2`) |
+//!
+//! Layer dimensions follow the published architectures (as in the
+//! SCALE-Sim topology files the original simulator ships). Every model is
+//! available at two scales:
+//!
+//! * [`Scale::Full`] — the real layer dimensions;
+//! * [`Scale::Bench`] — dimensions shrunk by a per-model factor so the
+//!   full 330-mix quad-core sweep of the paper finishes in minutes. The
+//!   shrink preserves each model's compute-vs-memory intensity profile,
+//!   which is what the sharing study measures.
+
+use crate::layer::{ConvSpec, EmbeddingSpec, GemmSpec, Layer, LayerKind};
+use crate::network::Network;
+
+/// Workload scale selector; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Published layer dimensions.
+    Full,
+    /// Shrunk dimensions for fast sweeps (default for the bench harness).
+    #[default]
+    Bench,
+}
+
+impl Scale {
+    fn div(self, x: u64, f: u64) -> u64 {
+        match self {
+            Scale::Full => x,
+            Scale::Bench => (x / f).max(1),
+        }
+    }
+}
+
+/// Short names of all eight benchmarks, in the paper's Table 1 order.
+pub const MODEL_NAMES: [&str; 8] = ["res", "yt", "alex", "sfrnn", "ds2", "dlrm", "ncf", "gpt2"];
+
+/// Build a benchmark by its short name.
+///
+/// ```
+/// use mnpu_model::{zoo, Scale};
+/// let net = zoo::by_name("ncf", Scale::Bench).unwrap();
+/// assert_eq!(net.name(), "ncf");
+/// ```
+pub fn by_name(name: &str, scale: Scale) -> Option<Network> {
+    match name {
+        "res" => Some(resnet50(scale)),
+        "yt" => Some(yolo_tiny(scale)),
+        "alex" => Some(alexnet(scale)),
+        "sfrnn" => Some(selfish_rnn(scale)),
+        "ds2" => Some(deepspeech2(scale)),
+        "dlrm" => Some(dlrm(scale)),
+        "ncf" => Some(ncf(scale)),
+        "gpt2" => Some(gpt2(scale)),
+        _ => None,
+    }
+}
+
+/// All eight benchmarks at the given scale, in [`MODEL_NAMES`] order.
+pub fn all(scale: Scale) -> Vec<Network> {
+    MODEL_NAMES.iter().map(|n| by_name(n, scale).expect("known name")).collect()
+}
+
+/// AlexNet (`alex`): 5 convolutions + 3 fully-connected layers.
+pub fn alexnet(scale: Scale) -> Network {
+    // Bench scale: half channels, input 112 instead of 224.
+    let s = |x| scale.div(x, 2);
+    let c = |x| scale.div(x, 2);
+    let layers = vec![
+        Layer::conv("conv1", ConvSpec::square(s(224), 3, c(96), 11, 4, 2)),
+        Layer::conv("conv2", ConvSpec::square(s(27).max(5), c(96), c(256), 5, 1, 2)),
+        Layer::conv("conv3", ConvSpec::square(s(13).max(3), c(256), c(384), 3, 1, 1)),
+        Layer::conv("conv4", ConvSpec::square(s(13).max(3), c(384), c(384), 3, 1, 1)),
+        Layer::conv("conv5", ConvSpec::square(s(13).max(3), c(384), c(256), 3, 1, 1)),
+        Layer::gemm("fc6", GemmSpec::new(1, c(256) * 36, scale.div(4096, 4))),
+        Layer::gemm("fc7", GemmSpec::new(1, scale.div(4096, 4), scale.div(4096, 4))),
+        Layer::gemm("fc8", GemmSpec::new(1, scale.div(4096, 4), 1000)),
+    ];
+    Network::new("alex", layers)
+}
+
+/// ResNet50 (`res`): the 53-convolution bottleneck architecture + final FC.
+pub fn resnet50(scale: Scale) -> Network {
+    // Bench scale: input 56 instead of 224 (spatial /4), channels /2.
+    let sp = |x| scale.div(x, 4);
+    let ch = |x| scale.div(x, 2);
+    let mut layers = Vec::new();
+    layers.push(Layer::conv("conv1", ConvSpec::square(sp(224), 3, ch(64), 7, 2, 3)));
+
+    // (stage name, blocks, mid channels, stride of first block)
+    let stages: [(&str, u64, u64, u64); 4] =
+        [("s2", 3, 64, 1), ("s3", 4, 128, 2), ("s4", 6, 256, 2), ("s5", 3, 512, 2)];
+    let mut in_c = ch(64);
+    // Spatial size after conv1 + max-pool: 56 at full scale.
+    let mut cur_hw = sp(56).max(3);
+    for (stage, blocks, mid, stride_first) in stages {
+        let mid = ch(mid);
+        let out_c = mid * 4;
+        for b in 0..blocks {
+            let stride = if b == 0 { stride_first } else { 1 };
+            let in_hw = cur_hw;
+            let out_hw = ((in_hw - 1) / stride + 1).max(3);
+            let name = |op: &str| format!("{stage}_b{b}_{op}");
+            layers.push(Layer::conv(name("1x1a"), ConvSpec::square(in_hw, in_c, mid, 1, stride, 0)));
+            layers.push(Layer::conv(name("3x3"), ConvSpec::square(out_hw, mid, mid, 3, 1, 1)));
+            layers.push(Layer::conv(name("1x1b"), ConvSpec::square(out_hw, mid, out_c, 1, 1, 0)));
+            if b == 0 {
+                layers.push(Layer::conv(name("proj"), ConvSpec::square(in_hw, in_c, out_c, 1, stride, 0)));
+            }
+            in_c = out_c;
+            cur_hw = out_hw;
+        }
+    }
+    layers.push(Layer::gemm("fc", GemmSpec::new(1, in_c, 1000)));
+    Network::new("res", layers)
+}
+
+/// Yolo-tiny (`yt`): nine convolutions with max-pool downsampling in between.
+pub fn yolo_tiny(scale: Scale) -> Network {
+    let sp = |x| scale.div(x, 4);
+    let ch = |x| scale.div(x, 2);
+    let cfg: [(u64, u64, u64, u64); 9] = [
+        // (in_hw, in_c, out_c, k)
+        (416, 3, 16, 3),
+        (208, 16, 32, 3),
+        (104, 32, 64, 3),
+        (52, 64, 128, 3),
+        (26, 128, 256, 3),
+        (13, 256, 512, 3),
+        (13, 512, 1024, 3),
+        (13, 1024, 1024, 3),
+        (13, 1024, 125, 1),
+    ];
+    let layers = cfg
+        .iter()
+        .enumerate()
+        .map(|(i, &(hw, ic, oc, k))| {
+            let ic = if i == 0 { ic } else { ch(ic) };
+            let pad = if k == 3 { 1 } else { 0 };
+            Layer::conv(format!("conv{}", i + 1), ConvSpec::square(sp(hw).max(k), ic, ch(oc).max(8), k, 1, pad))
+        })
+        .collect();
+    Network::new("yt", layers)
+}
+
+/// Selfish-RNN (`sfrnn`): a stacked LSTM language model. Each timestep of
+/// each LSTM layer is one GEMM computing the four gates; the weight matrix
+/// is re-streamed every step, which makes the workload memory-intensive.
+pub fn selfish_rnn(scale: Scale) -> Network {
+    let h = scale.div(1500, 5);
+    let steps = scale.div(35, 7);
+    let lstm_layers = 2u64;
+    let mut layers = Vec::new();
+    for l in 0..lstm_layers {
+        for t in 0..steps {
+            // [x_t ; h_{t-1}] (2h) -> 4h gates, batch 4 sentences.
+            layers.push(Layer::new(
+                format!("lstm{l}_t{t}"),
+                LayerKind::Gemm(GemmSpec::new(4, 2 * h, 4 * h)),
+                1,
+            ));
+        }
+    }
+    Network::new("sfrnn", layers)
+}
+
+/// DeepSpeech2 (`ds2`): two 2-D convolutions over the spectrogram followed by
+/// bidirectional GRU layers (each direction's step is a GEMM) and a FC head.
+pub fn deepspeech2(scale: Scale) -> Network {
+    let h = scale.div(1280, 8);
+    let t = scale.div(50, 10);
+    let mut layers = vec![
+        Layer::conv("conv1", ConvSpec { in_h: scale.div(161, 2), in_w: scale.div(200, 4), in_c: 1, out_c: 32, k_h: 41, k_w: 11, stride: 2, padding: 20 }),
+        Layer::conv("conv2", ConvSpec { in_h: scale.div(81, 2), in_w: scale.div(100, 4), in_c: 32, out_c: 32, k_h: 21, k_w: 11, stride: 2, padding: 10 }),
+    ];
+    for l in 0..3u64 {
+        for step in 0..t {
+            // GRU gate GEMM per timestep, both directions fused: 2 * 3h outputs.
+            layers.push(Layer::new(
+                format!("gru{l}_t{step}"),
+                LayerKind::Gemm(GemmSpec::new(8, 2 * h, 6 * h)),
+                1,
+            ));
+        }
+    }
+    layers.push(Layer::gemm("fc", GemmSpec::new(8, h, scale.div(29 * 64, 16))));
+    Network::new("ds2", layers)
+}
+
+/// DLRM (`dlrm`): bottom MLP, sparse embedding gathers, and top MLP. The
+/// embedding gather dominates memory traffic and makes DLRM the most
+/// memory-intensive benchmark, as in the paper.
+pub fn dlrm(scale: Scale) -> Network {
+    let rows = scale.div(1_000_000, 64);
+    let batch = scale.div(64, 4);
+    let layers = vec![
+        Layer::new("bot_fc1", LayerKind::Gemm(GemmSpec::new(1, 13, 512)), batch),
+        Layer::new("bot_fc2", LayerKind::Gemm(GemmSpec::new(1, 512, 256)), batch),
+        Layer::new("bot_fc3", LayerKind::Gemm(GemmSpec::new(1, 256, 64)), batch),
+        Layer::new(
+            "embed",
+            LayerKind::Embedding(EmbeddingSpec { tables: 26, rows_per_table: rows, embed_dim: 64, lookups: 96 }),
+            batch,
+        ),
+        Layer::new("top_fc1", LayerKind::Gemm(GemmSpec::new(1, 27 * 64, 512)), batch),
+        Layer::new("top_fc2", LayerKind::Gemm(GemmSpec::new(1, 512, 256)), batch),
+        Layer::new("top_fc3", LayerKind::Gemm(GemmSpec::new(1, 256, 1)), batch),
+    ];
+    Network::new("dlrm", layers)
+}
+
+/// NCF (`ncf`): neural collaborative filtering — user/item embedding gathers
+/// followed by an MLP tower, with a large inference batch.
+pub fn ncf(scale: Scale) -> Network {
+    let rows = scale.div(1_000_000, 64);
+    let batch = scale.div(64, 4);
+    let layers = vec![
+        Layer::new(
+            "embed",
+            LayerKind::Embedding(EmbeddingSpec { tables: 2, rows_per_table: rows, embed_dim: 128, lookups: 1 }),
+            batch,
+        ),
+        Layer::new("mlp1", LayerKind::Gemm(GemmSpec::new(1, 256, 256)), batch),
+        Layer::new("mlp2", LayerKind::Gemm(GemmSpec::new(1, 256, 128)), batch),
+        Layer::new("mlp3", LayerKind::Gemm(GemmSpec::new(1, 128, 64)), batch),
+        Layer::new("pred", LayerKind::Gemm(GemmSpec::new(1, 64, 1)), batch),
+    ];
+    Network::new("ncf", layers)
+}
+
+/// GPT-2 small (`gpt2`): transformer decoder blocks. Per block we model the
+/// QKV projection, the attention score/context GEMMs, the output projection
+/// and the two FFN GEMMs, at sequence length 256.
+pub fn gpt2(scale: Scale) -> Network {
+    let d = scale.div(768, 4);
+    let seq = scale.div(256, 8);
+    let blocks = scale.div(12, 3);
+    let mut layers = Vec::new();
+    for b in 0..blocks {
+        let name = |op: &str| format!("blk{b}_{op}");
+        layers.push(Layer::gemm(name("qkv"), GemmSpec::new(seq, d, 3 * d)));
+        layers.push(Layer::gemm(name("scores"), GemmSpec::new(seq, d, seq)));
+        layers.push(Layer::gemm(name("context"), GemmSpec::new(seq, seq, d)));
+        layers.push(Layer::gemm(name("proj"), GemmSpec::new(seq, d, d)));
+        layers.push(Layer::gemm(name("ffn1"), GemmSpec::new(seq, d, 4 * d)));
+        layers.push(Layer::gemm(name("ffn2"), GemmSpec::new(seq, 4 * d, d)));
+    }
+    layers.push(Layer::gemm("lm_head", GemmSpec::new(1, d, scale.div(50257, 16))));
+    Network::new("gpt2", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_at_both_scales() {
+        for scale in [Scale::Full, Scale::Bench] {
+            let nets = all(scale);
+            assert_eq!(nets.len(), 8);
+            for net in &nets {
+                assert!(net.num_layers() > 0, "{} empty", net.name());
+                let s = net.summary();
+                assert!(s.total_macs > 0);
+                assert!(s.total_traffic_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_table1() {
+        let nets = all(Scale::Bench);
+        let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(names, MODEL_NAMES.to_vec());
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("vgg", Scale::Full).is_none());
+    }
+
+    #[test]
+    fn resnet50_has_53_convs_at_full_scale() {
+        let net = resnet50(Scale::Full);
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind(), LayerKind::Conv(_)))
+            .count();
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn bench_scale_is_smaller() {
+        for name in MODEL_NAMES {
+            let full = by_name(name, Scale::Full).unwrap().summary();
+            let bench = by_name(name, Scale::Bench).unwrap().summary();
+            assert!(
+                bench.total_macs < full.total_macs,
+                "{name}: bench {} !< full {}",
+                bench.total_macs,
+                full.total_macs
+            );
+            assert!(bench.total_traffic_bytes < full.total_traffic_bytes, "{name}");
+        }
+    }
+
+    #[test]
+    fn intensity_ordering_preserved() {
+        // The compute-intensive CNNs (res, yt) must sit clearly above the
+        // memory-intensive workloads (sfrnn, dlrm) at both scales; this
+        // ordering is what drives the paper's Fig. 8 sensitivity study.
+        for scale in [Scale::Full, Scale::Bench] {
+            let ai = |n: &str| by_name(n, scale).unwrap().arithmetic_intensity();
+            for cnn in ["res", "yt"] {
+                for mem in ["sfrnn", "dlrm"] {
+                    assert!(ai(cnn) > 1.5 * ai(mem), "{cnn} vs {mem} at {scale:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_intensive_models_rank_lowest() {
+        // sfrnn and dlrm must be among the three most memory-intensive
+        // benchmarks (alex's giant FC layers legitimately compete).
+        for scale in [Scale::Full, Scale::Bench] {
+            let mut nets = all(scale);
+            nets.sort_by(|a, b| a.arithmetic_intensity().total_cmp(&b.arithmetic_intensity()));
+            let bottom3: Vec<&str> = nets[..3].iter().map(|n| n.name()).collect();
+            assert!(bottom3.contains(&"sfrnn"), "{scale:?}: {bottom3:?}");
+            assert!(bottom3.contains(&"dlrm"), "{scale:?}: {bottom3:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod structure_tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_layer_counts_match_published_architectures() {
+        // resnet50: 53 convs + fc = 54; yolo-tiny: 9 convs; alexnet: 5+3.
+        assert_eq!(resnet50(Scale::Full).num_layers(), 54);
+        assert_eq!(yolo_tiny(Scale::Full).num_layers(), 9);
+        assert_eq!(alexnet(Scale::Full).num_layers(), 8);
+        // sfrnn: 2 LSTM layers x 35 steps; ds2: 2 convs + 3x50 GRU + fc.
+        assert_eq!(selfish_rnn(Scale::Full).num_layers(), 70);
+        assert_eq!(deepspeech2(Scale::Full).num_layers(), 153);
+        // gpt2: 12 blocks x 6 GEMMs + lm head.
+        assert_eq!(gpt2(Scale::Full).num_layers(), 73);
+        // dlrm: 3 bottom + embed + 3 top; ncf: embed + 4 MLP.
+        assert_eq!(dlrm(Scale::Full).num_layers(), 7);
+        assert_eq!(ncf(Scale::Full).num_layers(), 5);
+    }
+
+    #[test]
+    fn alexnet_full_fc6_matches_9216_inputs() {
+        let net = alexnet(Scale::Full);
+        let fc6 = net.layers().iter().find(|l| l.name() == "fc6").unwrap();
+        let LayerKind::Gemm(g) = *fc6.kind() else { panic!("fc6 is a GEMM") };
+        assert_eq!(g.k, 256 * 36, "256 channels x 6x6 after the last pool");
+        assert_eq!(g.n, 4096);
+    }
+
+    #[test]
+    fn resnet_full_ends_with_2048_to_1000_fc() {
+        let net = resnet50(Scale::Full);
+        let fc = net.layers().last().unwrap();
+        let LayerKind::Gemm(g) = *fc.kind() else { panic!("fc is a GEMM") };
+        assert_eq!(g.k, 2048);
+        assert_eq!(g.n, 1000);
+    }
+
+    #[test]
+    fn gpt2_full_dimensions() {
+        let net = gpt2(Scale::Full);
+        let qkv = net.layers().iter().find(|l| l.name() == "blk0_qkv").unwrap();
+        let LayerKind::Gemm(g) = *qkv.kind() else { panic!() };
+        assert_eq!((g.m, g.k, g.n), (256, 768, 3 * 768));
+    }
+
+    #[test]
+    fn recommendation_models_keep_embedding_tables() {
+        for name in ["dlrm", "ncf"] {
+            let net = by_name(name, Scale::Full).unwrap();
+            assert!(
+                net.layers().iter().any(|l| l.is_embedding()),
+                "{name} must contain an embedding gather"
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests of convolution lowering: output geometry and im2col
+//! dimensions behave like the textbook formulas for all valid shapes.
+
+use mnpu_model::{ConvSpec, Layer};
+use proptest::prelude::*;
+
+fn arb_conv() -> impl Strategy<Value = ConvSpec> {
+    (2u64..128, 1u64..64, 1u64..128, 1u64..8, 1u64..4, 0u64..4).prop_filter_map(
+        "kernel must fit padded input",
+        |(hw, ic, oc, k, s, p)| {
+            let c = ConvSpec::square(hw, ic, oc, k, s, p);
+            (hw + 2 * p >= k).then_some(c)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn prop_output_dims_formula(c in arb_conv()) {
+        prop_assert_eq!(c.out_h(), (c.in_h + 2 * c.padding - c.k_h) / c.stride + 1);
+        prop_assert!(c.out_h() >= 1);
+        prop_assert!(c.out_w() >= 1);
+    }
+
+    #[test]
+    fn prop_stride_one_with_same_padding_preserves_dims(hw in 3u64..64, ic in 1u64..16, oc in 1u64..16, half_k in 0u64..3) {
+        let k = 2 * half_k + 1; // odd kernel
+        prop_assume!(hw >= k);
+        let c = ConvSpec::square(hw, ic, oc, k, 1, half_k);
+        prop_assert_eq!(c.out_h(), hw);
+    }
+
+    #[test]
+    fn prop_im2col_macs_equal_direct_conv_macs(c in arb_conv()) {
+        // im2col must not change the number of MACs.
+        let direct = c.out_h() * c.out_w() * c.k_h * c.k_w * c.in_c * c.out_c;
+        prop_assert_eq!(c.to_gemm(1).macs(), direct);
+    }
+
+    #[test]
+    fn prop_larger_stride_never_grows_output(c in arb_conv()) {
+        let faster = ConvSpec { stride: c.stride + 1, ..c };
+        prop_assert!(faster.out_h() <= c.out_h());
+        prop_assert!(faster.to_gemm(1).m <= c.to_gemm(1).m);
+    }
+
+    #[test]
+    fn prop_layer_traffic_positive_and_batch_monotone(c in arb_conv(), b in 1u64..8) {
+        let l1 = Layer::new("c", mnpu_model::LayerKind::Conv(c), b);
+        let l2 = Layer::new("c", mnpu_model::LayerKind::Conv(c), b + 1);
+        prop_assert!(l1.traffic_elems() > 0);
+        prop_assert!(l2.traffic_elems() > l1.traffic_elems());
+        prop_assert!(l2.macs() > l1.macs());
+    }
+}

@@ -1,0 +1,265 @@
+//! On-chip interconnect model — the shared path between NPU cores and the
+//! memory-side resources in the paper's Fig. 1.
+//!
+//! The multi-core NPU's cores reach the (shared) MMU and memory controllers
+//! through an on-chip network. The baseline study treats that path as
+//! ideal; this crate models it as a crossbar of finite-bandwidth,
+//! fixed-latency [`Link`]s so interconnect contention can be studied as a
+//! fourth shareable resource (an extension to the paper, disabled by
+//! default in the engine).
+//!
+//! The model is analytical and event-free: each transfer reserves the next
+//! free slot on its link (store-and-forward, `bytes / bytes_per_cycle`
+//! serialization plus a fixed hop latency), so a [`Link`] is a single
+//! `busy_until` register — negligible simulation cost, faithful first-order
+//! queuing behavior.
+//!
+//! # Example
+//!
+//! ```
+//! use mnpu_noc::{Link, NocConfig, Crossbar};
+//!
+//! let mut xbar = Crossbar::new(&NocConfig { bytes_per_cycle: 32, hop_latency: 4 }, 2);
+//! // Two cores inject 64-byte packets at cycle 0: the second one queues.
+//! let a = xbar.request_delivery(0, 0, 64);
+//! let b = xbar.request_delivery(0, 1, 64);
+//! assert_eq!(a, 0 + 2 + 4);  // 64B at 32 B/cycle + 4 hop cycles
+//! assert_eq!(b, a);          // separate per-core links: no interference
+//! let c = xbar.request_delivery(0, 0, 64);
+//! assert!(c > a, "same core's second packet queues behind the first");
+//! # let _ = (a, b, c);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Interconnect configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NocConfig {
+    /// Link bandwidth in bytes per cycle (serialization rate).
+    pub bytes_per_cycle: u64,
+    /// Fixed traversal latency in cycles (router + wire).
+    pub hop_latency: u64,
+}
+
+impl NocConfig {
+    /// A generous on-chip link: 64 B/cycle per core, 4-cycle hop — wide
+    /// enough that it only matters under extreme bursts.
+    pub const fn wide() -> Self {
+        NocConfig { bytes_per_cycle: 64, hop_latency: 4 }
+    }
+
+    /// A constrained link: 16 B/cycle per core, 8-cycle hop — makes the
+    /// interconnect a visible fourth shared resource.
+    pub const fn narrow() -> Self {
+        NocConfig { bytes_per_cycle: 16, hop_latency: 8 }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes_per_cycle == 0 {
+            return Err("NoC bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One direction of one core's connection: a busy-until register plus
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct Link {
+    busy_until: u64,
+    bytes: u64,
+    transfers: u64,
+    queue_cycles: u64,
+}
+
+impl Link {
+    /// Schedule a transfer injected at `now`; returns its delivery cycle.
+    pub fn transfer(&mut self, now: u64, bytes: u64, cfg: &NocConfig) -> u64 {
+        let start = now.max(self.busy_until);
+        self.queue_cycles += start - now;
+        let serialization = bytes.div_ceil(cfg.bytes_per_cycle);
+        self.busy_until = start + serialization;
+        self.bytes += bytes;
+        self.transfers += 1;
+        self.busy_until + cfg.hop_latency
+    }
+
+    /// Bytes carried so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Transfers carried so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total cycles transfers spent waiting for the link.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+}
+
+/// Per-core request/response links between cores and the memory system.
+///
+/// Each core has a private injection (request) link and a private ejection
+/// (response) link — a crossbar, the common NPU organization. Contention is
+/// therefore per-core serialization, not inter-core blocking; inter-core
+/// effects still arise downstream at the shared DRAM/MMU.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    cfg: NocConfig,
+    requests: Vec<Link>,
+    responses: Vec<Link>,
+}
+
+impl Crossbar {
+    /// Build a crossbar for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `cores` is zero.
+    pub fn new(cfg: &NocConfig, cores: usize) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid NoC config: {e}");
+        }
+        assert!(cores > 0, "at least one core");
+        Crossbar {
+            cfg: *cfg,
+            requests: vec![Link::default(); cores],
+            responses: vec![Link::default(); cores],
+        }
+    }
+
+    /// Deliver a request of `bytes` from `core` to the memory side,
+    /// injected at `now`; returns the arrival cycle at the memory system.
+    pub fn request_delivery(&mut self, now: u64, core: usize, bytes: u64) -> u64 {
+        self.requests[core].transfer(now, bytes, &self.cfg)
+    }
+
+    /// Deliver a response of `bytes` back to `core`, injected at `now`;
+    /// returns the arrival cycle at the core.
+    pub fn response_delivery(&mut self, now: u64, core: usize, bytes: u64) -> u64 {
+        self.responses[core].transfer(now, bytes, &self.cfg)
+    }
+
+    /// The request-direction link of `core` (for statistics).
+    pub fn request_link(&self, core: usize) -> &Link {
+        &self.requests[core]
+    }
+
+    /// The response-direction link of `core`.
+    pub fn response_link(&self, core: usize) -> &Link {
+        &self.responses[core]
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_transfer_latency_is_serialization_plus_hop() {
+        let cfg = NocConfig { bytes_per_cycle: 16, hop_latency: 10 };
+        let mut l = Link::default();
+        assert_eq!(l.transfer(100, 64, &cfg), 100 + 4 + 10);
+        assert_eq!(l.bytes(), 64);
+        assert_eq!(l.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let cfg = NocConfig { bytes_per_cycle: 16, hop_latency: 0 };
+        let mut l = Link::default();
+        let a = l.transfer(0, 64, &cfg);
+        let b = l.transfer(0, 64, &cfg);
+        assert_eq!(a, 4);
+        assert_eq!(b, 8, "second packet serializes behind the first");
+        assert_eq!(l.queue_cycles(), 4);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate_credit() {
+        let cfg = NocConfig { bytes_per_cycle: 64, hop_latency: 1 };
+        let mut l = Link::default();
+        let _ = l.transfer(0, 64, &cfg);
+        // Long idle, then a transfer: starts immediately, no debt or credit.
+        let t = l.transfer(1000, 64, &cfg);
+        assert_eq!(t, 1001 + 1);
+    }
+
+    #[test]
+    fn crossbar_isolates_cores() {
+        let mut x = Crossbar::new(&NocConfig::narrow(), 4);
+        let a = x.request_delivery(0, 0, 1024);
+        let b = x.request_delivery(0, 3, 1024);
+        assert_eq!(a, b, "different cores' links are independent");
+        assert_eq!(x.request_link(0).transfers(), 1);
+        assert_eq!(x.request_link(1).transfers(), 0);
+    }
+
+    #[test]
+    fn request_and_response_directions_are_independent() {
+        let mut x = Crossbar::new(&NocConfig::narrow(), 1);
+        let req = x.request_delivery(0, 0, 512);
+        let resp = x.response_delivery(0, 0, 512);
+        assert_eq!(req, resp, "full-duplex: directions do not contend");
+    }
+
+    #[test]
+    fn presets_validate_and_differ() {
+        assert!(NocConfig::wide().validate().is_ok());
+        assert!(NocConfig::narrow().validate().is_ok());
+        assert!(NocConfig::wide().bytes_per_cycle > NocConfig::narrow().bytes_per_cycle);
+        assert!(NocConfig { bytes_per_cycle: 0, hop_latency: 1 }.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delivery_after_injection(now in 0u64..1_000_000, bytes in 1u64..4096) {
+            let cfg = NocConfig::narrow();
+            let mut l = Link::default();
+            let t = l.transfer(now, bytes, &cfg);
+            prop_assert!(t > now);
+        }
+
+        #[test]
+        fn prop_deliveries_monotone_per_link(times in proptest::collection::vec(0u64..10_000, 1..50)) {
+            let cfg = NocConfig { bytes_per_cycle: 8, hop_latency: 3 };
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            let mut l = Link::default();
+            let mut last = 0;
+            for now in sorted {
+                let t = l.transfer(now, 64, &cfg);
+                prop_assert!(t >= last, "deliveries in injection order");
+                last = t;
+            }
+        }
+
+        #[test]
+        fn prop_bandwidth_bound(n in 1u64..200) {
+            // n packets injected at cycle 0 cannot finish faster than the
+            // serialization bound.
+            let cfg = NocConfig { bytes_per_cycle: 16, hop_latency: 2 };
+            let mut l = Link::default();
+            let mut last = 0;
+            for _ in 0..n {
+                last = l.transfer(0, 64, &cfg);
+            }
+            prop_assert!(last >= n * 4 + 2);
+        }
+    }
+}

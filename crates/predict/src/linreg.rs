@@ -1,0 +1,185 @@
+//! Ordinary least squares with ridge regularization, solved by Gaussian
+//! elimination on the normal equations. Feature counts here are tiny
+//! (≤ 10), so this is both simple and exact enough.
+
+/// A fitted linear model `y ≈ w · x`.
+///
+/// ```
+/// use mnpu_predict::linreg::LinearModel;
+///
+/// // y = 2*x0 + 3*x1, exactly recoverable.
+/// let xs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]];
+/// let ys = vec![2.0, 3.0, 5.0, 7.0];
+/// let m = LinearModel::fit(&xs, &ys, 0.0);
+/// assert!((m.predict(&[3.0, 1.0]) - 9.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit by minimizing `Σ (w·x_i - y_i)² + ridge * |w|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty, rows have inconsistent lengths, lengths
+    /// differ from `ys`, or the (regularized) normal matrix is singular
+    /// (use `ridge > 0` to guarantee solvability).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], ridge: f64) -> Self {
+        assert!(!xs.is_empty(), "no training samples");
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        let d = xs[0].len();
+        assert!(d > 0, "empty feature vectors");
+        assert!(xs.iter().all(|x| x.len() == d), "inconsistent feature dimensions");
+        assert!(ridge >= 0.0, "ridge must be non-negative");
+
+        // Normal equations: (XᵀX + ridge I) w = Xᵀy.
+        let mut a = vec![vec![0.0f64; d]; d];
+        let mut b = vec![0.0f64; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..d {
+                b[i] += x[i] * y;
+                for j in 0..d {
+                    a[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+
+        let weights = solve(a, b);
+        LinearModel { weights }
+    }
+
+    /// Evaluate the model on a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        x.iter().zip(&self.weights).map(|(a, w)| a * w).sum()
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mean squared error over a data set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or dimensions mismatch.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert!(!xs.is_empty(), "empty evaluation set");
+        assert_eq!(xs.len(), ys.len());
+        xs.iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        assert!(a[pivot][col].abs() > 1e-12, "singular normal matrix; increase ridge");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * w[k];
+        }
+        w[col] = acc / a[col][col];
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64 % 7.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0] - 2.0 * x[1] + 0.5 * x[2]).collect();
+        let m = LinearModel::fit(&xs, &ys, 0.0);
+        assert!((m.weights()[0] - 4.0).abs() < 1e-8);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-8);
+        assert!((m.weights()[2] - 0.5).abs() < 1e-8);
+        assert!(m.mse(&xs, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0]).collect();
+        let free = LinearModel::fit(&xs, &ys, 0.0);
+        let ridged = LinearModel::fit(&xs, &ys, 100.0);
+        assert!(ridged.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    fn overdetermined_least_squares_minimizes() {
+        // y = x + noise pattern; the LS slope must be between min and max
+        // pointwise slopes.
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1.1, 1.9, 3.2];
+        let m = LinearModel::fit(&xs, &ys, 0.0);
+        let w = m.weights()[0];
+        assert!(w > 0.9 && w < 1.2, "{w}");
+    }
+
+    #[test]
+    fn singular_without_ridge_panics_with_ridge_works() {
+        // Duplicate feature columns -> singular XtX.
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        let m = LinearModel::fit(&xs, &ys, 1e-6);
+        assert!((m.predict(&[4.0, 4.0]) - 8.0).abs() < 1e-3);
+        let r = std::panic::catch_unwind(|| LinearModel::fit(&xs, &ys, 0.0));
+        assert!(r.is_err(), "singular system must be rejected at ridge=0");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = LinearModel::fit(&[vec![1.0]], &[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_checks_dimension() {
+        let m = LinearModel::fit(&[vec![1.0]], &[1.0], 0.0);
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Solo workload profiles — the predictor's only inputs.
+
+use mnpu_engine::{Simulation, SystemConfig};
+use mnpu_model::Network;
+
+/// The profiled characteristics of one workload running *alone* with all
+/// resources (the paper's three factors: PE utilization, memory traffic per
+/// execution, and execution time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: String,
+    /// PE utilization of the solo run (low = memory-bound).
+    pub pe_utilization: f64,
+    /// DRAM traffic per execution in bytes (data + walks).
+    pub traffic_bytes: u64,
+    /// Solo execution cycles.
+    pub solo_cycles: u64,
+}
+
+impl WorkloadProfile {
+    /// Profile `net` by running it solo on the `Ideal` derivative of `chip`
+    /// (all shareable resources monopolized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip configuration is invalid.
+    pub fn measure(chip: &SystemConfig, net: &Network) -> Self {
+        let cfg = chip.ideal_solo();
+        let r = Simulation::run_networks(&cfg, &[net.clone()]);
+        let c = &r.cores[0];
+        WorkloadProfile {
+            name: c.workload.clone(),
+            pe_utilization: c.pe_utilization,
+            traffic_bytes: c.traffic_bytes + c.walk_bytes,
+            solo_cycles: c.cycles,
+        }
+    }
+
+    /// Average memory demand in bytes per cycle — the memory-intensiveness
+    /// proxy used in the feature vector.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.traffic_bytes as f64 / self.solo_cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnpu_engine::SharingLevel;
+    use mnpu_model::{zoo, Scale};
+
+    #[test]
+    fn profile_of_memory_bound_vs_compute_bound() {
+        let chip = SystemConfig::bench(2, SharingLevel::PlusDwt);
+        let dlrm = WorkloadProfile::measure(&chip, &zoo::dlrm(Scale::Bench));
+        let res = WorkloadProfile::measure(&chip, &zoo::resnet50(Scale::Bench));
+        assert!(dlrm.pe_utilization < res.pe_utilization);
+        assert!(dlrm.solo_cycles > 0 && res.solo_cycles > 0);
+        assert!(dlrm.bytes_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let chip = SystemConfig::bench(2, SharingLevel::PlusDwt);
+        let net = zoo::ncf(Scale::Bench);
+        assert_eq!(WorkloadProfile::measure(&chip, &net), WorkloadProfile::measure(&chip, &net));
+    }
+}

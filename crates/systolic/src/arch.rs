@@ -1,0 +1,154 @@
+//! NPU core hardware configuration (the paper's `arch_config`).
+
+/// Dataflow executed by the systolic array.
+///
+/// The paper implements the output-stationary dataflow ("implementing other
+/// dataflows such as weight stationary is our future work"); we additionally
+/// provide weight-stationary timing as an extension, selectable per core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dataflow {
+    /// Each PE accumulates one output element; inputs stream through.
+    #[default]
+    OutputStationary,
+    /// Weights are pinned in the array; inputs stream through (extension).
+    WeightStationary,
+}
+
+/// Per-core NPU compute configuration: systolic-array geometry, scratchpad
+/// capacity, clock, and DMA depth.
+///
+/// Corresponds to mNPUsim's `arch_config` file. Memory-side parameters (TLB,
+/// PTW) live in `mnpu-mmu`; the DRAM configuration lives in `mnpu-dram`.
+///
+/// ```
+/// use mnpu_systolic::ArchConfig;
+///
+/// let tpu = ArchConfig::cloud_npu();
+/// assert_eq!(tpu.rows, 128);
+/// assert_eq!(tpu.spm_bytes, 36 << 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArchConfig {
+    /// Systolic-array rows.
+    pub rows: u64,
+    /// Systolic-array columns.
+    pub cols: u64,
+    /// On-chip scratchpad capacity in bytes (double-buffered: half is the
+    /// per-tile working-set budget).
+    pub spm_bytes: u64,
+    /// Core clock frequency in MHz.
+    pub freq_mhz: u64,
+    /// Dataflow mapping.
+    pub dataflow: Dataflow,
+    /// Maximum in-flight DMA transactions between SPM and DRAM.
+    pub max_outstanding: usize,
+}
+
+impl ArchConfig {
+    /// The paper's Table 2 cloud-scale configuration: a TPUv4-like core with
+    /// a 128×128 array, 36 MB SPM, and a 1 GHz clock.
+    pub fn cloud_npu() -> Self {
+        ArchConfig {
+            rows: 128,
+            cols: 128,
+            spm_bytes: 36 << 20,
+            freq_mhz: 1000,
+            dataflow: Dataflow::OutputStationary,
+            max_outstanding: 256,
+        }
+    }
+
+    /// A proportionally shrunk core used with [`mnpu_model::Scale::Bench`]
+    /// workloads so full sweeps finish quickly: 32×32 array, 1 MB SPM. The
+    /// compute-rate : bandwidth : translation-rate ratios track the cloud
+    /// preset so sweep shapes are preserved.
+    pub fn bench_npu() -> Self {
+        ArchConfig {
+            rows: 32,
+            cols: 32,
+            spm_bytes: 1 << 20,
+            freq_mhz: 1000,
+            dataflow: Dataflow::OutputStationary,
+            max_outstanding: 256,
+        }
+    }
+
+    /// The per-tile SPM budget under double buffering (half the SPM).
+    pub fn tile_budget_bytes(&self) -> u64 {
+        self.spm_bytes / 2
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if any dimension, the clock, the DMA depth is zero, or
+    /// the SPM is too small to hold even a minimal double-buffered tile.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err("systolic array dimensions must be positive".into());
+        }
+        if self.freq_mhz == 0 {
+            return Err("core frequency must be positive".into());
+        }
+        if self.max_outstanding == 0 {
+            return Err("DMA depth must be positive".into());
+        }
+        if self.tile_budget_bytes() < 4096 {
+            return Err(format!("SPM of {} bytes is too small to double-buffer tiles", self.spm_bytes));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig::cloud_npu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ArchConfig::cloud_npu().validate().is_ok());
+        assert!(ArchConfig::bench_npu().validate().is_ok());
+    }
+
+    #[test]
+    fn table2_parameters() {
+        let a = ArchConfig::cloud_npu();
+        assert_eq!((a.rows, a.cols), (128, 128));
+        assert_eq!(a.spm_bytes, 36 * 1024 * 1024);
+        assert_eq!(a.freq_mhz, 1000);
+        assert_eq!(a.dataflow, Dataflow::OutputStationary);
+    }
+
+    #[test]
+    fn tile_budget_is_half_spm() {
+        let a = ArchConfig::bench_npu();
+        assert_eq!(a.tile_budget_bytes(), a.spm_bytes / 2);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut a = ArchConfig::cloud_npu();
+        a.rows = 0;
+        assert!(a.validate().is_err());
+
+        let mut b = ArchConfig::cloud_npu();
+        b.spm_bytes = 1024;
+        assert!(b.validate().is_err());
+
+        let mut c = ArchConfig::cloud_npu();
+        c.freq_mhz = 0;
+        assert!(c.validate().is_err());
+
+        let mut d = ArchConfig::cloud_npu();
+        d.max_outstanding = 0;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Analytical systolic-array timing (SCALE-Sim style).
+//!
+//! For a GEMM of shape `M x K x N` on an `R x C` array:
+//!
+//! * **Output stationary**: the `M x N` output is partitioned into
+//!   `ceil(M/R) * ceil(N/C)` folds. A fold using `r' <= R` rows and
+//!   `c' <= C` columns takes `2*r' + c' + K - 2` cycles: `r'` cycles of
+//!   skewed fill, `K` cycles of streaming, and `r' + c' - 2` cycles of
+//!   drain skew.
+//! * **Weight stationary** (extension): the `K x N` weight matrix is
+//!   partitioned into `ceil(K/R) * ceil(N/C)` folds; each fold takes
+//!   `r' + c' + M - 1` cycles after a `r'`-cycle weight preload.
+
+use crate::arch::{ArchConfig, Dataflow};
+use mnpu_model::GemmSpec;
+
+/// Timing summary of a GEMM (or a GEMM tile) on the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmTiming {
+    /// Total compute cycles.
+    pub cycles: u64,
+    /// MAC operations performed (`m * k * n`).
+    pub macs: u64,
+    /// PE-cycles during which a PE held useful work.
+    pub active_pe_cycles: u64,
+    /// Total PE-cycles available (`rows * cols * cycles`).
+    pub total_pe_cycles: u64,
+}
+
+impl GemmTiming {
+    /// PE utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_pe_cycles == 0 {
+            return 0.0;
+        }
+        self.active_pe_cycles as f64 / self.total_pe_cycles as f64
+    }
+}
+
+/// Cycles for a single fold of `r_used x c_used` PEs streaming a temporal
+/// dimension `k` (output-stationary).
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn fold_cycles(r_used: u64, c_used: u64, k: u64) -> u64 {
+    assert!(r_used > 0 && c_used > 0 && k > 0, "fold dimensions must be positive");
+    2 * r_used + c_used + k - 2
+}
+
+/// Full analytical timing for a GEMM on the given core.
+///
+/// # Panics
+///
+/// Panics if any GEMM dimension is zero.
+pub fn gemm_cycles(gemm: GemmSpec, arch: &ArchConfig) -> GemmTiming {
+    assert!(gemm.m > 0 && gemm.k > 0 && gemm.n > 0, "gemm dimensions must be positive");
+    let (r, c) = (arch.rows, arch.cols);
+    match arch.dataflow {
+        Dataflow::OutputStationary => {
+            // Folds over the output: full folds are identical; at most one
+            // ragged row-fold, one ragged column-fold and one corner fold.
+            let full_r = gemm.m / r;
+            let rem_r = gemm.m % r;
+            let full_c = gemm.n / c;
+            let rem_c = gemm.n % c;
+            let mut cycles = 0u64;
+            let mut add = |count: u64, ru: u64, cu: u64| {
+                if count > 0 && ru > 0 && cu > 0 {
+                    cycles += count * fold_cycles(ru, cu, gemm.k);
+                }
+            };
+            add(full_r * full_c, r, c);
+            add(full_c * u64::from(rem_r > 0), rem_r, c);
+            add(full_r * u64::from(rem_c > 0), r, rem_c);
+            add(u64::from(rem_r > 0 && rem_c > 0), rem_r, rem_c);
+            GemmTiming {
+                cycles,
+                macs: gemm.macs(),
+                active_pe_cycles: gemm.macs(),
+                total_pe_cycles: r * c * cycles,
+            }
+        }
+        Dataflow::WeightStationary => {
+            let full_r = gemm.k / r;
+            let rem_r = gemm.k % r;
+            let full_c = gemm.n / c;
+            let rem_c = gemm.n % c;
+            let mut cycles = 0u64;
+            let mut add = |count: u64, ru: u64, cu: u64| {
+                if count > 0 && ru > 0 && cu > 0 {
+                    // Preload weights (ru), stream M inputs, drain skew.
+                    cycles += count * (ru + cu + gemm.m + ru - 1);
+                }
+            };
+            add(full_r * full_c, r, c);
+            add(full_c * u64::from(rem_r > 0), rem_r, c);
+            add(full_r * u64::from(rem_c > 0), r, rem_c);
+            add(u64::from(rem_r > 0 && rem_c > 0), rem_r, rem_c);
+            GemmTiming {
+                cycles,
+                macs: gemm.macs(),
+                active_pe_cycles: gemm.macs(),
+                total_pe_cycles: r * c * cycles,
+            }
+        }
+    }
+}
+
+/// PE utilization of a GEMM on the given core; shorthand for
+/// [`gemm_cycles`]`.utilization()`.
+pub fn gemm_utilization(gemm: GemmSpec, arch: &ArchConfig) -> f64 {
+    gemm_cycles(gemm, arch).utilization()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch(r: u64, c: u64) -> ArchConfig {
+        ArchConfig { rows: r, cols: c, ..ArchConfig::bench_npu() }
+    }
+
+    #[test]
+    fn single_fold_formula() {
+        // 4x4 array, gemm 4x10x4: one fold of 2*4 + 4 + 10 - 2 = 20 cycles.
+        let t = gemm_cycles(GemmSpec::new(4, 10, 4), &arch(4, 4));
+        assert_eq!(t.cycles, 20);
+        assert_eq!(t.macs, 160);
+    }
+
+    #[test]
+    fn ragged_folds_counted() {
+        // 4x4 array, gemm 6x8x6 -> folds: (4,4), (4,2), (2,4), (2,2).
+        let t = gemm_cycles(GemmSpec::new(6, 8, 6), &arch(4, 4));
+        let expect = fold_cycles(4, 4, 8) + fold_cycles(4, 2, 8) + fold_cycles(2, 4, 8) + fold_cycles(2, 2, 8);
+        assert_eq!(t.cycles, expect);
+    }
+
+    #[test]
+    fn multiple_full_folds() {
+        // 2x2 array, gemm 4x5x4 -> 4 identical full folds.
+        let t = gemm_cycles(GemmSpec::new(4, 5, 4), &arch(2, 2));
+        assert_eq!(t.cycles, 4 * fold_cycles(2, 2, 5));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        for (m, k, n) in [(1, 1, 1), (128, 128, 128), (37, 113, 91), (1, 4096, 1000)] {
+            let t = gemm_cycles(GemmSpec::new(m, k, n), &arch(16, 16));
+            let u = t.utilization();
+            assert!(u > 0.0 && u <= 1.0, "({m},{k},{n}) -> {u}");
+        }
+    }
+
+    #[test]
+    fn big_k_amortizes_skew() {
+        // Larger K should raise utilization (skew amortized).
+        let small = gemm_utilization(GemmSpec::new(16, 16, 16), &arch(16, 16));
+        let large = gemm_utilization(GemmSpec::new(16, 4096, 16), &arch(16, 16));
+        assert!(large > small);
+        assert!(large > 0.9);
+    }
+
+    #[test]
+    fn small_tensors_underutilize_large_arrays() {
+        // The motivation for multi-core NPUs (paper §2.1): a small GEMM on a
+        // big monolithic array wastes most PEs.
+        let big = gemm_utilization(GemmSpec::new(8, 256, 8), &arch(128, 128));
+        let small = gemm_utilization(GemmSpec::new(8, 256, 8), &arch(8, 8));
+        assert!(big < 0.01);
+        assert!(small > 0.5);
+    }
+
+    #[test]
+    fn weight_stationary_differs() {
+        let os = gemm_cycles(GemmSpec::new(64, 64, 64), &arch(16, 16));
+        let mut a = arch(16, 16);
+        a.dataflow = Dataflow::WeightStationary;
+        let ws = gemm_cycles(GemmSpec::new(64, 64, 64), &a);
+        assert_ne!(os.cycles, ws.cycles);
+        assert_eq!(os.macs, ws.macs);
+    }
+
+    #[test]
+    fn cycles_monotone_in_each_dim() {
+        let a = arch(16, 16);
+        let base = gemm_cycles(GemmSpec::new(32, 32, 32), &a).cycles;
+        assert!(gemm_cycles(GemmSpec::new(64, 32, 32), &a).cycles > base);
+        assert!(gemm_cycles(GemmSpec::new(32, 64, 32), &a).cycles > base);
+        assert!(gemm_cycles(GemmSpec::new(32, 32, 64), &a).cycles > base);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_panics() {
+        let _ = gemm_cycles(GemmSpec { m: 0, k: 1, n: 1 }, &arch(4, 4));
+    }
+}

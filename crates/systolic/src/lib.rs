@@ -1,0 +1,44 @@
+//! Systolic-array timing and memory-trace generation — the *SW request
+//! generator* half of mNPUsim.
+//!
+//! Given a [`mnpu_model::Network`] and an NPU core configuration
+//! ([`ArchConfig`]), this crate:
+//!
+//! 1. lowers every layer to GEMM (im2col for convolutions),
+//! 2. chooses SPM tile sizes under the double-buffering constraint (a tile's
+//!    working set must fit half the scratchpad),
+//! 3. computes per-tile systolic-array cycles with the SCALE-Sim
+//!    output-stationary analytical model, and
+//! 4. emits the per-tile DRAM request spans (virtual addresses) that the
+//!    hardware simulator (`mnpu-engine`) replays against the shared memory
+//!    system.
+//!
+//! The output is a [`WorkloadTrace`]: a deterministic, memory-system-agnostic
+//! program for one NPU core. It corresponds to the "memory-ideal intermediate
+//! results" of the original simulator's software stack.
+//!
+//! # Example
+//!
+//! ```
+//! use mnpu_model::{zoo, Scale};
+//! use mnpu_systolic::{ArchConfig, WorkloadTrace};
+//!
+//! let net = zoo::ncf(Scale::Bench);
+//! let arch = ArchConfig::bench_npu();
+//! let trace = WorkloadTrace::generate(&net, &arch);
+//! assert_eq!(trace.layers().len(), net.num_layers());
+//! assert!(trace.total_compute_cycles() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod gemm_timing;
+mod tiling;
+mod trace;
+
+pub use arch::{ArchConfig, Dataflow};
+pub use gemm_timing::{fold_cycles, gemm_cycles, gemm_utilization, GemmTiming};
+pub use tiling::{choose_tile, TileShape};
+pub use trace::{LayerTrace, MemSpan, SpanKind, Tile, WorkloadTrace, VIRT_BASE};

@@ -1,0 +1,171 @@
+//! SPM tile-size selection under the double-buffering constraint.
+//!
+//! A tile's working set — the `A` sub-panel, `B` sub-panel and `C` output
+//! block it touches — must fit in half the scratchpad so the DMA engine can
+//! fill the other half for the next tile while the array computes
+//! (the paper's Fig. 2a pipeline).
+
+use crate::arch::ArchConfig;
+use mnpu_model::{DataType, GemmSpec};
+
+/// A chosen tile shape `(tm, tk, tn)` for executing a GEMM from SPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Tile extent along `M`.
+    pub tm: u64,
+    /// Tile extent along `K`.
+    pub tk: u64,
+    /// Tile extent along `N`.
+    pub tn: u64,
+}
+
+impl TileShape {
+    /// Bytes of SPM the tile working set occupies.
+    pub const fn working_set_bytes(&self, dtype: DataType) -> u64 {
+        (self.tm * self.tk + self.tk * self.tn + self.tm * self.tn) * dtype.bytes()
+    }
+
+    /// Number of tiles needed to cover `gemm` with this shape.
+    pub const fn tile_count(&self, gemm: GemmSpec) -> u64 {
+        gemm.m.div_ceil(self.tm) * gemm.k.div_ceil(self.tk) * gemm.n.div_ceil(self.tn)
+    }
+}
+
+/// Choose a tile shape for `gemm` that fits the core's per-tile SPM budget.
+///
+/// The heuristic keeps the *row-contiguous* dimension `n` whole whenever
+/// possible (full-width `B`/`C` panels give single-span, page-friendly DMA
+/// bursts — what real NPU tilers do), slicing the contraction dimension `k`
+/// instead, and only splitting `n` when a single row panel cannot fit:
+///
+/// 1. start from `tm = min(m, rows)`, `tk = k`, `tn = n`;
+/// 2. shrink `tk`, then `tn`, then `tm` (halving) until the working set
+///    fits half the SPM;
+/// 3. grow `tm`, then `tk`, then `tn` (doubling) while it still fits, to
+///    minimize re-streaming of the weight panel.
+///
+/// The result always satisfies
+/// `working_set_bytes(dtype) <= arch.tile_budget_bytes()`.
+///
+/// # Panics
+///
+/// Panics if any GEMM dimension is zero or the budget cannot hold even a
+/// `1 x 1 x 1` tile (prevented for all valid [`ArchConfig`]s).
+pub fn choose_tile(gemm: GemmSpec, arch: &ArchConfig, dtype: DataType) -> TileShape {
+    assert!(gemm.m > 0 && gemm.k > 0 && gemm.n > 0, "gemm dimensions must be positive");
+    let budget = arch.tile_budget_bytes();
+    let fits = |t: TileShape| t.working_set_bytes(dtype) <= budget;
+
+    let mut t = TileShape { tm: gemm.m.min(arch.rows), tk: gemm.k, tn: gemm.n };
+    while !fits(t) && t.tk > 1 {
+        t.tk = (t.tk / 2).max(1);
+    }
+    while !fits(t) && t.tn > 1 {
+        t.tn = (t.tn / 2).max(1);
+    }
+    while !fits(t) && t.tm > 1 {
+        t.tm = (t.tm / 2).max(1);
+    }
+    assert!(fits(t), "SPM budget of {budget} bytes cannot hold a minimal tile");
+
+    // Grow dimensions back while there is room: M first (amortizes the
+    // streamed B panel over more output rows), then K, then N.
+    let grow = |cur: u64, max: u64, f: &dyn Fn(u64) -> TileShape| -> u64 {
+        let mut v = cur;
+        while v < max {
+            let next = (v * 2).min(max);
+            if fits(f(next)) {
+                v = next;
+            } else {
+                break;
+            }
+        }
+        v
+    };
+    t.tm = grow(t.tm, gemm.m, &|v| TileShape { tm: v, ..t });
+    t.tk = grow(t.tk, gemm.k, &|v| TileShape { tk: v, ..t });
+    t.tn = grow(t.tn, gemm.n, &|v| TileShape { tn: v, ..t });
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bench_arch() -> ArchConfig {
+        ArchConfig::bench_npu()
+    }
+
+    #[test]
+    fn small_gemm_single_tile() {
+        let g = GemmSpec::new(16, 64, 16);
+        let t = choose_tile(g, &bench_arch(), DataType::Fp16);
+        assert_eq!(t.tile_count(g), 1);
+        assert_eq!((t.tm, t.tk, t.tn), (16, 64, 16));
+    }
+
+    #[test]
+    fn tile_respects_budget() {
+        let arch = bench_arch();
+        let g = GemmSpec::new(4096, 4096, 4096);
+        let t = choose_tile(g, &arch, DataType::Fp16);
+        assert!(t.working_set_bytes(DataType::Fp16) <= arch.tile_budget_bytes());
+        assert!(t.tile_count(g) > 1);
+    }
+
+    #[test]
+    fn degenerate_m1_fc_layer() {
+        let g = GemmSpec::new(1, 9216, 4096);
+        let t = choose_tile(g, &bench_arch(), DataType::Fp16);
+        assert_eq!(t.tm, 1);
+        assert!(t.working_set_bytes(DataType::Fp16) <= bench_arch().tile_budget_bytes());
+    }
+
+    #[test]
+    fn bigger_budget_never_more_tiles() {
+        let g = GemmSpec::new(512, 2048, 512);
+        let small = choose_tile(g, &bench_arch(), DataType::Fp16).tile_count(g);
+        let big_arch = ArchConfig { spm_bytes: 8 << 20, ..bench_arch() };
+        let big = choose_tile(g, &big_arch, DataType::Fp16).tile_count(g);
+        assert!(big <= small);
+    }
+
+    #[test]
+    fn fp32_needs_smaller_tiles() {
+        let g = GemmSpec::new(1024, 1024, 1024);
+        let arch = bench_arch();
+        let t16 = choose_tile(g, &arch, DataType::Fp16);
+        let t32 = choose_tile(g, &arch, DataType::Fp32);
+        assert!(t32.working_set_bytes(DataType::Fp32) <= arch.tile_budget_bytes());
+        assert!(t32.tile_count(g) >= t16.tile_count(g));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tile_fits_and_covers(m in 1u64..3000, k in 1u64..3000, n in 1u64..3000) {
+            let g = GemmSpec::new(m, k, n);
+            let arch = bench_arch();
+            let t = choose_tile(g, &arch, DataType::Fp16);
+            prop_assert!(t.tm >= 1 && t.tk >= 1 && t.tn >= 1);
+            prop_assert!(t.tm <= m && t.tk <= k && t.tn <= n);
+            prop_assert!(t.working_set_bytes(DataType::Fp16) <= arch.tile_budget_bytes());
+            // Tiles cover the iteration space exactly.
+            prop_assert!(t.tile_count(g) >= 1);
+            prop_assert!((t.tile_count(g)) * t.tm * t.tk * t.tn >= m * k * n);
+        }
+
+        #[test]
+        fn prop_single_tile_when_it_fits(m in 1u64..64, k in 1u64..64, n in 1u64..64) {
+            let g = GemmSpec::new(m, k, n);
+            let arch = bench_arch();
+            let whole = TileShape { tm: m, tk: k, tn: n };
+            if whole.working_set_bytes(DataType::Fp16) <= arch.tile_budget_bytes()
+                && m <= arch.rows && n <= arch.cols
+            {
+                let t = choose_tile(g, &arch, DataType::Fp16);
+                prop_assert_eq!(t.tile_count(g), 1);
+            }
+        }
+    }
+}

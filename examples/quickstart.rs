@@ -1,0 +1,60 @@
+//! Quickstart: simulate one dual-core mix and print what the memory system
+//! did to each workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload_a] [workload_b]
+//! ```
+//!
+//! Workload names: res, yt, alex, sfrnn, ds2, dlrm, ncf, gpt2.
+
+use mnpusim::{zoo, Scale, SharingLevel, Simulation, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let a = args.get(1).map(String::as_str).unwrap_or("ncf");
+    let b = args.get(2).map(String::as_str).unwrap_or("gpt2");
+
+    let net_a = zoo::by_name(a, Scale::Bench).unwrap_or_else(|| usage(a));
+    let net_b = zoo::by_name(b, Scale::Bench).unwrap_or_else(|| usage(b));
+
+    // A dual-core chip with all shareable resources dynamically shared.
+    let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    println!("simulating {a} + {b} on a dual-core NPU ({} total channels, +DWT)\n", cfg.total_channels());
+
+    let report = Simulation::run_networks(&cfg, &[net_a.clone(), net_b.clone()]);
+
+    // Ideal baselines: each workload alone with every resource.
+    let ideal = cfg.ideal_solo();
+    let ia = Simulation::run_networks(&ideal, &[net_a]).cores[0].cycles;
+    let ib = Simulation::run_networks(&ideal, &[net_b]).cores[0].cycles;
+
+    println!(
+        "{:<8}{:>12}{:>12}{:>10}{:>10}{:>12}{:>10}",
+        "core", "cycles", "ideal", "speedup", "PE util", "traffic MB", "TLB hit"
+    );
+    for (core, ideal_cycles) in report.cores.iter().zip([ia, ib]) {
+        println!(
+            "{:<8}{:>12}{:>12}{:>10.3}{:>10.3}{:>12.1}{:>10.3}",
+            core.workload,
+            core.cycles,
+            ideal_cycles,
+            ideal_cycles as f64 / core.cycles as f64,
+            core.pe_utilization,
+            core.traffic_bytes as f64 / 1e6,
+            core.mmu.tlb_hit_rate(),
+        );
+    }
+    let s = &report.dram.total;
+    println!(
+        "\nDRAM: {} reads, {} writes, row-hit rate {:.2}, mean latency {:.0} cycles",
+        s.reads,
+        s.writes,
+        s.row_hit_rate(),
+        s.mean_latency()
+    );
+}
+
+fn usage(name: &str) -> ! {
+    eprintln!("unknown workload '{name}'; choose from {:?}", zoo::MODEL_NAMES);
+    std::process::exit(2);
+}

@@ -1,0 +1,51 @@
+//! Sharing study: sweep one dual-core mix across all resource-sharing
+//! levels and report throughput and fairness — a miniature of the paper's
+//! §4.2 for a mix of your choice.
+//!
+//! ```text
+//! cargo run --release --example sharing_study [workload_a] [workload_b]
+//! ```
+
+use mnpusim::{fairness, geomean, zoo, Scale, SharingLevel, Simulation, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let a = args.get(1).map(String::as_str).unwrap_or("sfrnn");
+    let b = args.get(2).map(String::as_str).unwrap_or("yt");
+    let Some(net_a) = zoo::by_name(a, Scale::Bench) else { usage(a) };
+    let Some(net_b) = zoo::by_name(b, Scale::Bench) else { usage(b) };
+
+    // Ideal baselines.
+    let base = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    let ideal = base.ideal_solo();
+    let ia = Simulation::run_networks(&ideal, &[net_a.clone()]).cores[0].cycles;
+    let ib = Simulation::run_networks(&ideal, &[net_b.clone()]).cores[0].cycles;
+    println!("mix {a}+{b}: Ideal cycles = {ia} / {ib}\n");
+    println!(
+        "{:<8}{:>12}{:>12}{:>10}{:>10}{:>10}{:>10}",
+        "level", "cycles A", "cycles B", "spdup A", "spdup B", "geomean", "fairness"
+    );
+
+    for level in SharingLevel::CO_RUN_LEVELS {
+        let cfg = SystemConfig::bench(2, level);
+        let r = Simulation::run_networks(&cfg, &[net_a.clone(), net_b.clone()]);
+        let sa = ia as f64 / r.cores[0].cycles as f64;
+        let sb = ib as f64 / r.cores[1].cycles as f64;
+        println!(
+            "{:<8}{:>12}{:>12}{:>10.3}{:>10.3}{:>10.3}{:>10.3}",
+            level.label(),
+            r.cores[0].cycles,
+            r.cores[1].cycles,
+            sa,
+            sb,
+            geomean(&[sa, sb]),
+            fairness(&[1.0 / sa, 1.0 / sb]),
+        );
+    }
+    println!("\n(speedups are relative to each workload monopolizing the whole chip)");
+}
+
+fn usage(name: &str) -> ! {
+    eprintln!("unknown workload '{name}'; choose from {:?}", zoo::MODEL_NAMES);
+    std::process::exit(2);
+}

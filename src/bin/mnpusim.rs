@@ -1,0 +1,94 @@
+//! The `mnpusim` command-line simulator, mirroring the original's interface:
+//!
+//! ```text
+//! mnpusim <arch_list> <network_list> <dram_config> <npumem_list> <result_path> <misc_config>
+//! ```
+//!
+//! For example, with the configs shipped in `configs/`:
+//!
+//! ```text
+//! cargo run --release --bin mnpusim -- \
+//!     configs/arch/bench_dual.txt \
+//!     configs/network/dual_ncf_gpt2.txt \
+//!     configs/dram/bench_dual_dwt.cfg \
+//!     configs/npumem/bench_dual.txt \
+//!     /tmp/mnpu_out \
+//!     configs/misc/default.cfg
+//! ```
+//!
+//! Results are written under `<result_path>/result/` in the original's file
+//! layout (`avg_cycle_*`, `execution_cycle_*`, `memory_footprint_*`,
+//! `utilization_*`), and a summary is printed to stdout.
+
+use mnpu_config::{load_run, write_request_logs, write_results};
+use mnpusim::Simulation;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 7 {
+        eprintln!(
+            "usage: {} <arch_list> <network_list> <dram_config> <npumem_list> <result_path> <misc_config>",
+            args.first().map(String::as_str).unwrap_or("mnpusim")
+        );
+        return ExitCode::from(2);
+    }
+    let spec = match load_run(
+        Path::new(&args[1]),
+        Path::new(&args[2]),
+        Path::new(&args[3]),
+        Path::new(&args[4]),
+        Path::new(&args[6]),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "simulating {} core(s), sharing level {}, {} total channels",
+        spec.system.cores,
+        spec.system.sharing,
+        spec.system.total_channels()
+    );
+    for (i, net) in spec.networks.iter().enumerate() {
+        println!("  core {i}: {} ({} layers)", net.name(), net.num_layers());
+    }
+
+    let report = Simulation::run_networks(&spec.system, &spec.networks);
+
+    let result_path = Path::new(&args[5]);
+    match write_results(result_path, "arch", &report) {
+        Ok(files) => println!("\nwrote {} result files under {}", files.len(), result_path.join("result").display()),
+        Err(e) => {
+            eprintln!("error writing results: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match write_request_logs(result_path, &report) {
+        Ok(files) if !files.is_empty() => {
+            println!("wrote {} request logs under {}", files.len(), result_path.join("dramsim_output").display());
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error writing request logs: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("\n{:<8}{:>14}{:>10}{:>14}{:>10}", "core", "cycles", "PE util", "traffic MB", "TLB hit");
+    for c in &report.cores {
+        println!(
+            "{:<8}{:>14}{:>10.3}{:>14.2}{:>10.3}",
+            c.workload,
+            c.cycles,
+            c.pe_utilization,
+            c.traffic_bytes as f64 / 1e6,
+            c.mmu.tlb_hit_rate()
+        );
+    }
+    ExitCode::SUCCESS
+}

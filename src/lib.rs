@@ -1,0 +1,59 @@
+//! # mNPUsim-rs
+//!
+//! A cycle-level, multi-core NPU simulator with detailed shared-memory
+//! modeling — a from-scratch Rust reproduction of *mNPUsim: Evaluating the
+//! Effect of Sharing Resources in Multi-core NPUs* (IISWC 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — DNN layers, im2col lowering, the eight-benchmark zoo and
+//!   random network generation;
+//! * [`systolic`] — the output-stationary systolic-array timing model, SPM
+//!   tiling, and the per-tile memory-trace generator;
+//! * [`dram`] — an event-driven, command-level DRAM simulator (FR-FCFS,
+//!   bank groups, refresh, channel partitioning);
+//! * [`mmu`] — NeuMMU-style TLBs and page-table walkers with walk
+//!   coalescing and shared/partitioned pools;
+//! * [`engine`] — the multi-core execution engine tying it all together
+//!   under the paper's sharing levels (`Ideal`/`Static`/`+D`/`+DW`/`+DWT`);
+//! * [`metrics`] — speedup, the Eq. 1 fairness metric, CDFs, box stats;
+//! * [`predict`] — the §4.6 co-runner slowdown predictor and mapping search.
+//!
+//! The most common types are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mnpusim::{zoo, Scale, SharingLevel, Simulation, SystemConfig};
+//!
+//! // Simulate ncf and gpt2 sharing a dual-core NPU with everything shared.
+//! let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+//! let nets = [zoo::ncf(Scale::Bench), zoo::gpt2(Scale::Bench)];
+//! let report = Simulation::run_networks(&cfg, &nets);
+//! for core in &report.cores {
+//!     println!("{}: {} cycles ({:.1}% PE util)", core.workload, core.cycles,
+//!              core.pe_utilization * 100.0);
+//! }
+//! ```
+//!
+//! See `examples/` for complete studies and `crates/bench/benches/` for the
+//! per-figure reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mnpu_dram as dram;
+pub use mnpu_engine as engine;
+pub use mnpu_metrics as metrics;
+pub use mnpu_mmu as mmu;
+pub use mnpu_model as model;
+pub use mnpu_predict as predict;
+pub use mnpu_systolic as systolic;
+
+pub use mnpu_dram::{Dram, DramConfig};
+pub use mnpu_engine::{RunReport, SharingLevel, Simulation, SystemConfig};
+pub use mnpu_metrics::{fairness, geomean, BoxStats, Cdf, Speedup};
+pub use mnpu_mmu::{Mmu, MmuConfig};
+pub use mnpu_model::{zoo, Layer, Network, Scale};
+pub use mnpu_predict::{SlowdownModel, WorkloadProfile};
+pub use mnpu_systolic::{ArchConfig, WorkloadTrace};

@@ -1,0 +1,96 @@
+//! End-to-end CLI test: drive the `mnpusim` binary exactly as the paper's
+//! appendix does, against the checked-in `configs/`, and verify the result
+//! files.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn cli_runs_the_shipped_dual_core_config() {
+    let out_dir = std::env::temp_dir().join(format!("mnpu_cli_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out_dir);
+
+    let status = Command::new(env!("CARGO_BIN_EXE_mnpusim"))
+        .args([
+            "configs/arch/bench_dual.txt",
+            "configs/network/dual_ncf_gpt2.txt",
+            "configs/dram/bench_dual_dwt.cfg",
+            "configs/npumem/bench_dual.txt",
+            out_dir.to_str().unwrap(),
+            "configs/misc/default.cfg",
+        ])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+
+    let result = out_dir.join("result");
+    let avg0 = result.join("avg_cycle_arch0_ncf0.txt");
+    let avg1 = result.join("avg_cycle_arch1_gpt21.txt");
+    for p in [&avg0, &avg1] {
+        assert!(p.exists(), "{} missing", p.display());
+        let cycles: u64 = fs::read_to_string(p).unwrap().trim().parse().unwrap();
+        assert!(cycles > 0);
+    }
+    // Per-layer files exist and are non-trivial.
+    let exec = fs::read_to_string(result.join("execution_cycle_arch1_gpt21.txt")).unwrap();
+    assert!(exec.lines().count() > 20, "gpt2 has 25 layers + total");
+    let _ = fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn cli_rejects_bad_usage_and_bad_files() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mnpusim"))
+        .arg("only-one-arg")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mnpusim"))
+        .args(["nope.txt", "nope.txt", "nope.cfg", "nope.txt", "/tmp/mnpu_nope", "nope.cfg"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn cli_is_deterministic_across_invocations() {
+    let run = |tag: &str| {
+        let out_dir = std::env::temp_dir().join(format!("mnpu_cli_det_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&out_dir);
+        let status = Command::new(env!("CARGO_BIN_EXE_mnpusim"))
+            .args([
+                "configs/arch/bench_dual.txt",
+                "configs/network/dual_ncf_gpt2.txt",
+                "configs/dram/bench_dual_dwt.cfg",
+                "configs/npumem/bench_dual.txt",
+                out_dir.to_str().unwrap(),
+                "configs/misc/default.cfg",
+            ])
+            .status()
+            .unwrap();
+        assert!(status.success());
+        let cycles = fs::read_to_string(out_dir.join("result/avg_cycle_arch0_ncf0.txt")).unwrap();
+        let _ = fs::remove_dir_all(&out_dir);
+        cycles
+    };
+    assert_eq!(run("a"), run("b"));
+}
+
+#[test]
+fn shipped_configs_parse() {
+    // Every checked-in config file must load through the library path too.
+    use mnpu_config::load_run;
+    let spec = load_run(
+        Path::new("configs/arch/bench_dual.txt"),
+        Path::new("configs/network/dual_ncf_gpt2.txt"),
+        Path::new("configs/dram/bench_dual_dwt.cfg"),
+        Path::new("configs/npumem/bench_dual.txt"),
+        Path::new("configs/misc/default.cfg"),
+    )
+    .expect("shipped configs are valid");
+    assert_eq!(spec.system.cores, 2);
+    assert_eq!(spec.networks.len(), 2);
+}
