@@ -11,10 +11,13 @@ use mnpu_engine::SharingLevel;
 use mnpu_metrics::{fairness, geomean};
 use mnpu_predict::mapping::multisets;
 
+/// Per-core (lower, upper) bounds on the shared walker pool.
+type WalkerBounds = Option<(Vec<usize>, Vec<usize>)>;
+
 fn main() {
-    let mut h = Harness::new();
+    let h = Harness::new();
     // 4 walkers total on the dual-core bench chip.
-    let configs: [(&str, Option<(Vec<usize>, Vec<usize>)>); 4] = [
+    let configs: [(&str, WalkerBounds); 4] = [
         ("shared", None),
         ("min1_max4", Some((vec![1, 1], vec![4, 4]))),
         ("min1_max3", Some((vec![1, 1], vec![3, 3]))),

@@ -15,7 +15,15 @@ fn main() {
     println!("Extension 2 — energy breakdown of the ds2+dlrm dual-core mix (nJ)");
     println!(
         "{:<8}{:>12}{:>10}{:>10}{:>10}{:>10}{:>12}{:>12}{:>12}",
-        "level", "cycles", "compute", "spm", "dram act", "dram r/w", "refresh", "background", "total"
+        "level",
+        "cycles",
+        "compute",
+        "spm",
+        "dram act",
+        "dram r/w",
+        "refresh",
+        "background",
+        "total"
     );
     for level in SharingLevel::CO_RUN_LEVELS {
         let cfg = SystemConfig::bench(2, level);

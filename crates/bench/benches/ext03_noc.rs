@@ -12,7 +12,10 @@ use mnpu_noc::NocConfig;
 fn main() {
     let nets = [zoo::deepspeech2(Scale::Bench), zoo::gpt2(Scale::Bench)];
     println!("Extension 3 — interconnect sensitivity of the ds2+gpt2 mix (+DWT)");
-    println!("{:<22}{:>12}{:>12}{:>14}{:>14}", "interconnect", "ds2 cycles", "gpt2 cycles", "ds2 queue", "gpt2 queue");
+    println!(
+        "{:<22}{:>12}{:>12}{:>14}{:>14}",
+        "interconnect", "ds2 cycles", "gpt2 cycles", "ds2 queue", "gpt2 queue"
+    );
     let configs: [(&str, Option<NocConfig>); 3] = [
         ("ideal (paper)", None),
         ("wide 64B/c +4", Some(NocConfig::wide())),

@@ -15,8 +15,8 @@ fn main() {
 
     let base = SystemConfig::bench(2, SharingLevel::PlusDwt);
     let ideal = base.ideal_solo();
-    let ia = Simulation::run_networks(&ideal, &[a.clone()]).cores[0].cycles;
-    let ib = Simulation::run_networks(&ideal, &[b.clone()]).cores[0].cycles;
+    let ia = Simulation::run_networks(&ideal, std::slice::from_ref(&a)).cores[0].cycles;
+    let ib = Simulation::run_networks(&ideal, std::slice::from_ref(&b)).cores[0].cycles;
     println!("ideal cycles: {ia} / {ib}");
     println!("{:<8}{:>10}{:>10}{:>10}", "level", "spdup A", "spdup B", "geomean");
     for level in SharingLevel::CO_RUN_LEVELS {

@@ -7,7 +7,10 @@ fn main() {
     let mut h = Harness::new();
     let r = fig04_dual_performance(&mut h);
     println!("Fig. 4 — dual-core mix performance (speedup vs Ideal) per sharing level");
-    println!("{:<14}{:>10}{:>10}{:>10}{:>10}", "mix", LEVEL_LABELS[0], LEVEL_LABELS[1], LEVEL_LABELS[2], LEVEL_LABELS[3]);
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}{:>10}",
+        "mix", LEVEL_LABELS[0], LEVEL_LABELS[1], LEVEL_LABELS[2], LEVEL_LABELS[3]
+    );
     for (label, v) in &r.mixes {
         println!("{:<14}{:>10.3}{:>10.3}{:>10.3}{:>10.3}", label, v[0], v[1], v[2], v[3]);
     }

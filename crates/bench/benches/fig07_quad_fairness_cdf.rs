@@ -8,7 +8,10 @@ fn main() {
     let r = fig07_quad_fairness_cdf(&mut h);
     println!("Fig. 7 — quad-core fairness CDF per sharing level");
     println!("({} of {} quad-core mixes; MNPU_FULL=1 for all)", r.sampled, r.total);
-    println!("{:<10}{:>10}{:>10}{:>10}{:>10}", "quantile", LEVEL_LABELS[0], LEVEL_LABELS[1], LEVEL_LABELS[2], LEVEL_LABELS[3]);
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}",
+        "quantile", LEVEL_LABELS[0], LEVEL_LABELS[1], LEVEL_LABELS[2], LEVEL_LABELS[3]
+    );
     for q in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0] {
         print!("{:<10.2}", q);
         for cdf in &r.cdfs {

@@ -8,14 +8,20 @@ fn main() {
     let r = fig13_ptw_partition_performance(&mut h);
     println!("Fig. 13 — PTW partitioning, performance (normalized to Ideal)");
     print!("{:<14}", "mix");
-    for l in PTW_LABELS { print!("{:>10}", l); }
+    for l in PTW_LABELS {
+        print!("{:>10}", l);
+    }
     println!();
     for (label, v) in &r.mixes {
         print!("{:<14}", label);
-        for x in v { print!("{:>10.3}", x); }
+        for x in v {
+            print!("{:>10.3}", x);
+        }
         println!();
     }
     print!("{:<14}", "geomean");
-    for x in &r.overall { print!("{:>10.3}", x); }
+    for x in &r.overall {
+        print!("{:>10.3}", x);
+    }
     println!();
 }

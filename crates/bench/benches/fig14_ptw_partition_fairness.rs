@@ -8,14 +8,20 @@ fn main() {
     let r = fig14_ptw_partition_fairness(&mut h);
     println!("Fig. 14 — PTW partitioning, fairness");
     print!("{:<14}", "mix");
-    for l in PTW_LABELS { print!("{:>10}", l); }
+    for l in PTW_LABELS {
+        print!("{:>10}", l);
+    }
     println!();
     for (label, v) in &r.mixes {
         print!("{:<14}", label);
-        for x in v { print!("{:>10.3}", x); }
+        for x in v {
+            print!("{:>10.3}", x);
+        }
         println!();
     }
     print!("{:<14}", "geomean");
-    for x in &r.overall { print!("{:>10.3}", x); }
+    for x in &r.overall {
+        print!("{:>10.3}", x);
+    }
     println!();
 }

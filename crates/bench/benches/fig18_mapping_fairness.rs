@@ -1,7 +1,7 @@
 //! Bench target regenerating the paper's Fig. 18: the co-runner mapping
 //! study fairness CDF (prediction vs oracle, worst, and random assignment).
 
-use mnpu_bench::figures::mapping::{PairTables, fig18_mapping_fairness};
+use mnpu_bench::figures::mapping::{fig18_mapping_fairness, PairTables};
 use mnpu_bench::Harness;
 
 fn main() {
@@ -13,6 +13,12 @@ fn main() {
     println!("prediction beats random in {:.1}% of multisets", r.frac_better_than_random * 100.0);
     println!("{:<10}{:>12}{:>12}{:>12}", "quantile", "worst", "prediction", "oracle");
     for q in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
-        println!("{:<10.2}{:>12.4}{:>12.4}{:>12.4}", q, r.worst.quantile(q), r.prediction.quantile(q), r.oracle.quantile(q));
+        println!(
+            "{:<10.2}{:>12.4}{:>12.4}{:>12.4}",
+            q,
+            r.worst.quantile(q),
+            r.prediction.quantile(q),
+            r.oracle.quantile(q)
+        );
     }
 }

@@ -28,7 +28,8 @@ fn drive(dram: &mut Dram, addrs: &[u64]) -> u64 {
 
 fn bench_dram(c: &mut Criterion) {
     let streaming: Vec<u64> = (0..4096u64).map(|i| i * 64).collect();
-    let random: Vec<u64> = (0..4096u64).map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % (1 << 30) / 64 * 64).collect();
+    let random: Vec<u64> =
+        (0..4096u64).map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % (1 << 30) / 64 * 64).collect();
 
     c.bench_function("dram_streaming_4k_txns", |b| {
         b.iter(|| {

@@ -27,13 +27,8 @@ fn bench_mmu(c: &mut Criterion) {
                 unreachable!("walker always free in this loop")
             };
             black_box(pt_addr);
-            loop {
-                match mmu.advance_walk(walk) {
-                    WalkStep::Access(a) => {
-                        black_box(a);
-                    }
-                    WalkStep::Done { .. } => break,
-                }
+            while let WalkStep::Access(a) = mmu.advance_walk(walk) {
+                black_box(a);
             }
         })
     });

@@ -14,12 +14,23 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "target/mnpu_report.md".into());
     let mut h = Harness::new();
     let mut md = String::from("# mNPUsim-rs reproduction report\n\n");
-    let _ = writeln!(md, "Quad stride: {}, full sweeps: {}\n", Harness::quad_stride(), Harness::full_sweeps());
+    let _ = writeln!(
+        md,
+        "Quad stride: {}, full sweeps: {}\n",
+        Harness::quad_stride(),
+        Harness::full_sweeps()
+    );
 
     // Fig 2b.
     let b = bandwidth::fig02_burstiness();
     let _ = writeln!(md, "## Fig. 2b — NCF burstiness\n");
-    let _ = writeln!(md, "peak {:.3} req/cycle, mean {:.3}, ratio {:.1}x\n", b.peak, b.mean, b.peak / b.mean.max(1e-12));
+    let _ = writeln!(
+        md,
+        "peak {:.3} req/cycle, mean {:.3}, ratio {:.1}x\n",
+        b.peak,
+        b.mean,
+        b.peak / b.mean.max(1e-12)
+    );
 
     // Figs 4/6.
     for (title, sweep) in [
@@ -30,10 +41,15 @@ fn main() {
         let _ = writeln!(md, "| mix | Static | +D | +DW | +DWT |");
         let _ = writeln!(md, "|-----|-------|----|-----|------|");
         for (mix, v) in &sweep.mixes {
-            let _ = writeln!(md, "| {mix} | {:.3} | {:.3} | {:.3} | {:.3} |", v[0], v[1], v[2], v[3]);
+            let _ =
+                writeln!(md, "| {mix} | {:.3} | {:.3} | {:.3} | {:.3} |", v[0], v[1], v[2], v[3]);
         }
         let o = sweep.overall;
-        let _ = writeln!(md, "| **geomean** | {:.3} | {:.3} | {:.3} | {:.3} |\n", o[0], o[1], o[2], o[3]);
+        let _ = writeln!(
+            md,
+            "| **geomean** | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+            o[0], o[1], o[2], o[3]
+        );
     }
 
     // Figs 5/7 (quantiles).
@@ -64,14 +80,27 @@ fn main() {
     let _ = writeln!(md, "| workload | min | median | max | range |");
     let _ = writeln!(md, "|----------|-----|--------|-----|-------|");
     for (w, b) in &s.per_workload {
-        let _ = writeln!(md, "| {w} | {:.3} | {:.3} | {:.3} | {:.3} |", b.min, b.median, b.max, b.range());
+        let _ = writeln!(
+            md,
+            "| {w} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            b.min,
+            b.median,
+            b.max,
+            b.range()
+        );
     }
     let _ = writeln!(md);
 
     // Figs 9/10.
     for (title, sweep) in [
-        ("Fig. 9 — bandwidth partitioning, performance", bandwidth::fig09_bw_partition_performance(&mut h)),
-        ("Fig. 10 — bandwidth partitioning, fairness", bandwidth::fig10_bw_partition_fairness(&mut h)),
+        (
+            "Fig. 9 — bandwidth partitioning, performance",
+            bandwidth::fig09_bw_partition_performance(&mut h),
+        ),
+        (
+            "Fig. 10 — bandwidth partitioning, fairness",
+            bandwidth::fig10_bw_partition_fairness(&mut h),
+        ),
     ] {
         let _ = writeln!(md, "## {title}\n");
         let _ = writeln!(md, "| {} |", bandwidth::BW_LABELS.join(" | "));
@@ -95,12 +124,20 @@ fn main() {
     // Fig 12.
     let t = bandwidth::fig12_bw_timeline();
     let _ = writeln!(md, "## Fig. 12 — bandwidth timeline (ds2 + gpt2)\n");
-    let _ = writeln!(md, "windows with single-workload demand >= 0.5 peak: {:.0}%\n", t.frac_above_half * 100.0);
-    let _ = writeln!(md, "windows with summed demand > peak: {:.0}%\n", t.frac_sum_above_peak * 100.0);
+    let _ = writeln!(
+        md,
+        "windows with single-workload demand >= 0.5 peak: {:.0}%\n",
+        t.frac_above_half * 100.0
+    );
+    let _ =
+        writeln!(md, "windows with summed demand > peak: {:.0}%\n", t.frac_sum_above_peak * 100.0);
 
     // Figs 13/14.
     for (title, sweep) in [
-        ("Fig. 13 — PTW partitioning, performance", translation::fig13_ptw_partition_performance(&mut h)),
+        (
+            "Fig. 13 — PTW partitioning, performance",
+            translation::fig13_ptw_partition_performance(&mut h),
+        ),
         ("Fig. 14 — PTW partitioning, fairness", translation::fig14_ptw_partition_fairness(&mut h)),
     ] {
         let _ = writeln!(md, "## {title}\n");
@@ -125,7 +162,11 @@ fn main() {
     let _ = writeln!(md, "| cores | perf 64KB | perf 1MB | fair 4KB | fair 64KB | fair 1MB |");
     let _ = writeln!(md, "|-------|-----------|----------|----------|-----------|----------|");
     for (cores, perf, fair) in &m.rows {
-        let _ = writeln!(md, "| {cores} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |", perf[0], perf[1], fair[0], fair[1], fair[2]);
+        let _ = writeln!(
+            md,
+            "| {cores} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            perf[0], perf[1], fair[0], fair[1], fair[2]
+        );
     }
     let _ = writeln!(md);
 

@@ -29,11 +29,8 @@ pub fn fig02_burstiness() -> Burstiness {
     let trace = r.bandwidth_trace.expect("trace enabled");
     // Requests per cycle in each 100-cycle window, then a 10-window moving
     // average = the paper's 1000-cycle smoothing.
-    let per_window: Vec<f64> = trace
-        .core_series(0)
-        .iter()
-        .map(|&bytes| bytes as f64 / 64.0 / window as f64)
-        .collect();
+    let per_window: Vec<f64> =
+        trace.core_series(0).iter().map(|&bytes| bytes as f64 / 64.0 / window as f64).collect();
     let series = moving_average(&per_window, 10);
     let peak = series.iter().cloned().fold(0.0, f64::max);
     let mean = series.iter().sum::<f64>() / series.len().max(1) as f64;
@@ -60,15 +57,17 @@ pub struct BwPartitionSweep {
 
 fn bw_configs() -> ([SystemConfig; 5], SystemConfig) {
     let statics = BW_PARTITIONS.map(|p| {
-        Harness::dual(SharingLevel::Static)
-            .with_channel_partition(p.to_vec())
-            .without_translation()
+        Harness::dual(SharingLevel::Static).with_channel_partition(p.to_vec()).without_translation()
     });
     let dynamic = Harness::dual(SharingLevel::PlusD).without_translation();
     (statics, dynamic)
 }
 
-fn bw_sweep(h: &mut Harness, metric: impl Fn(&[f64]) -> f64, best_by_perf: bool) -> BwPartitionSweep {
+fn bw_sweep(
+    h: &mut Harness,
+    metric: impl Fn(&[f64]) -> f64,
+    best_by_perf: bool,
+) -> BwPartitionSweep {
     let (statics, dynamic) = bw_configs();
     let mut mixes = Vec::new();
     for ws in multisets(8, 2) {
@@ -91,16 +90,15 @@ fn bw_sweep(h: &mut Harness, metric: impl Fn(&[f64]) -> f64, best_by_perf: bool)
         vals[6] = metric(&h.mix_speedups(&dynamic, &ws));
         mixes.push((label, vals));
     }
-    let overall = std::array::from_fn(|i| {
-        geomean(&mixes.iter().map(|(_, v)| v[i]).collect::<Vec<_>>())
-    });
+    let overall =
+        std::array::from_fn(|i| geomean(&mixes.iter().map(|(_, v)| v[i]).collect::<Vec<_>>()));
     BwPartitionSweep { mixes, overall }
 }
 
 /// Fig. 9: geomean performance of each bandwidth-partitioning scheme,
 /// normalized to Ideal (translation disabled throughout).
 pub fn fig09_bw_partition_performance(h: &mut Harness) -> BwPartitionSweep {
-    bw_sweep(h, |s| geomean(s), true)
+    bw_sweep(h, geomean, true)
 }
 
 /// Fig. 10: fairness of each bandwidth-partitioning scheme.
@@ -184,7 +182,14 @@ pub fn fig12_bw_timeline() -> BwTimeline {
     let above_half = ds2.iter().chain(&gpt2).filter(|&&u| u >= 0.5).count() as f64
         / (ds2.len() + gpt2.len()) as f64;
     let sum_above = sum.iter().filter(|&&u| u > 1.0).count() as f64 / sum.len().max(1) as f64;
-    BwTimeline { window, ds2, gpt2, sum, frac_above_half: above_half, frac_sum_above_peak: sum_above }
+    BwTimeline {
+        window,
+        ds2,
+        gpt2,
+        sum,
+        frac_above_half: above_half,
+        frac_sum_above_peak: sum_above,
+    }
 }
 
 #[cfg(test)]

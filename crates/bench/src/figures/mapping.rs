@@ -25,7 +25,23 @@ impl PairTables {
         let chip = Harness::dual(SharingLevel::PlusDwt);
         let n = h.names().len();
 
+        // Fan the 36 pair simulations (and the Ideal solos they normalize
+        // against) out across the sweep executor before the serial
+        // aggregation below.
+        let solo = chip.ideal_solo();
+        let mut reqs: Vec<crate::executor::MixRequest> =
+            (0..n).map(|w| (solo.clone(), vec![w])).collect();
+        for i in 0..n {
+            for j in i..n {
+                reqs.push((chip.clone(), vec![i, j]));
+            }
+        }
+        crate::executor::SweepExecutor::new().run_mixes(h, &reqs);
+
         let mut actual = vec![vec![0.0; n]; n];
+        // Each pair fills the (i, j) and (j, i) cells at once, so the
+        // indices cannot be replaced by iterators.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in i..n {
                 let speedups = h.mix_speedups(&chip, &[i, j]);
@@ -34,12 +50,8 @@ impl PairTables {
             }
         }
 
-        let profiles: Vec<WorkloadProfile> = h
-            .networks()
-            .to_vec()
-            .iter()
-            .map(|net| WorkloadProfile::measure(&chip, net))
-            .collect();
+        let profiles: Vec<WorkloadProfile> =
+            h.networks().to_vec().iter().map(|net| WorkloadProfile::measure(&chip, net)).collect();
         let model = SlowdownModel::train_on_random_networks(&chip, 10, 20, 2023);
         let mut predicted = vec![vec![0.0; n]; n];
         for i in 0..n {
@@ -99,12 +111,8 @@ fn run_study(tables: &PairTables, score: &dyn Fn(&[f64]) -> f64) -> MappingStudy
     let mut worst = Vec::with_capacity(sample.len());
     let mut better = 0usize;
     for ws in &sample {
-        let out = study_multiset(
-            ws,
-            &|i, j| tables.actual(i, j),
-            &|i, j| tables.predicted(i, j),
-            score,
-        );
+        let out =
+            study_multiset(ws, &|i, j| tables.actual(i, j), &|i, j| tables.predicted(i, j), score);
         pred.push(out.chosen / out.expected);
         oracle.push(out.oracle / out.expected);
         worst.push(out.worst / out.expected);

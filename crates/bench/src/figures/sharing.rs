@@ -1,9 +1,38 @@
 //! Figures 4–8: the sharing-level study.
 
+use crate::executor::{MixRequest, SweepExecutor};
 use crate::harness::Harness;
 use mnpu_engine::SharingLevel;
 use mnpu_metrics::{fairness, geomean, BoxStats, Cdf};
 use mnpu_predict::mapping::multisets;
+
+/// Run every simulation the dual-core sweep needs (all 36 mixes × 4 co-run
+/// levels, plus the 8 Ideal solos) on the parallel executor, so the serial
+/// aggregation loops below only hit the cache.
+fn prefetch_dual(h: &Harness) {
+    let n = h.names().len();
+    let solo = Harness::dual(SharingLevel::Static).ideal_solo();
+    let mut reqs: Vec<MixRequest> = (0..n).map(|w| (solo.clone(), vec![w])).collect();
+    for ws in multisets(n, 2) {
+        for lvl in SharingLevel::CO_RUN_LEVELS {
+            reqs.push((Harness::dual(lvl), ws.clone()));
+        }
+    }
+    SweepExecutor::new().run_mixes(h, &reqs);
+}
+
+/// Same for the (sampled) quad-core sweep.
+fn prefetch_quad(h: &Harness) {
+    let n = h.names().len();
+    let solo = Harness::quad(SharingLevel::Static).ideal_solo();
+    let mut reqs: Vec<MixRequest> = (0..n).map(|w| (solo.clone(), vec![w])).collect();
+    for ws in multisets(n, 4).iter().step_by(Harness::quad_stride()) {
+        for lvl in SharingLevel::CO_RUN_LEVELS {
+            reqs.push((Harness::quad(lvl), ws.clone()));
+        }
+    }
+    SweepExecutor::new().run_mixes(h, &reqs);
+}
 
 /// Result of a dual-core sweep: one row per mix, one column per co-run
 /// sharing level (`Static`, `+D`, `+DW`, `+DWT`), plus the overall geomean.
@@ -17,9 +46,8 @@ pub struct DualSweep {
 
 impl DualSweep {
     fn from_rows(mixes: Vec<(String, [f64; 4])>) -> Self {
-        let overall = std::array::from_fn(|i| {
-            geomean(&mixes.iter().map(|(_, v)| v[i]).collect::<Vec<_>>())
-        });
+        let overall =
+            std::array::from_fn(|i| geomean(&mixes.iter().map(|(_, v)| v[i]).collect::<Vec<_>>()));
         DualSweep { mixes, overall }
     }
 }
@@ -34,6 +62,7 @@ fn mix_label(h: &Harness, ws: &[usize]) -> String {
 /// Fig. 4: geomean speedup (vs Ideal) of every dual-core mix under each
 /// sharing level. All 36 mixes are evaluated.
 pub fn fig04_dual_performance(h: &mut Harness) -> DualSweep {
+    prefetch_dual(h);
     let mut rows = Vec::new();
     for ws in multisets(8, 2) {
         let label = mix_label(h, &ws);
@@ -48,6 +77,7 @@ pub fn fig04_dual_performance(h: &mut Harness) -> DualSweep {
 
 /// Fig. 6: fairness (Eq. 1) of every dual-core mix under each sharing level.
 pub fn fig06_dual_fairness(h: &mut Harness) -> DualSweep {
+    prefetch_dual(h);
     let mut rows = Vec::new();
     for ws in multisets(8, 2) {
         let label = mix_label(h, &ws);
@@ -73,6 +103,7 @@ pub struct QuadSweep {
 }
 
 fn quad_sweep(h: &mut Harness, metric: impl Fn(&[f64]) -> f64) -> QuadSweep {
+    prefetch_quad(h);
     let all = multisets(8, 4);
     let total = all.len();
     let stride = Harness::quad_stride();
@@ -85,17 +116,13 @@ fn quad_sweep(h: &mut Harness, metric: impl Fn(&[f64]) -> f64) -> QuadSweep {
             per_level[i].push(metric(&speedups));
         }
     }
-    QuadSweep {
-        cdfs: per_level.map(Cdf::new),
-        sampled: sample.len(),
-        total,
-    }
+    QuadSweep { cdfs: per_level.map(Cdf::new), sampled: sample.len(), total }
 }
 
 /// Fig. 5: CDF of per-mix geomean speedup for the quad-core sweep
 /// (sampled by [`Harness::quad_stride`] unless `MNPU_FULL=1`).
 pub fn fig05_quad_performance_cdf(h: &mut Harness) -> QuadSweep {
-    quad_sweep(h, |speedups| geomean(speedups))
+    quad_sweep(h, geomean)
 }
 
 /// Fig. 7: CDF of per-mix fairness for the quad-core sweep.

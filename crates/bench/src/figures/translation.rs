@@ -26,8 +26,8 @@ pub struct PtwPartitionSweep {
 fn ptw_sweep(h: &mut Harness, metric: impl Fn(&[f64]) -> f64) -> PtwPartitionSweep {
     // DRAM is shared in all columns (as in +D/+DW); only the walker policy
     // varies, isolating the PTW effect like the paper's §4.4.1.
-    let statics = PTW_PARTITIONS
-        .map(|p| Harness::dual(SharingLevel::PlusD).with_ptw_partition(p.to_vec()));
+    let statics =
+        PTW_PARTITIONS.map(|p| Harness::dual(SharingLevel::PlusD).with_ptw_partition(p.to_vec()));
     let dynamic = Harness::dual(SharingLevel::PlusDw);
     let mut mixes = Vec::new();
     for ws in multisets(8, 2) {
@@ -39,16 +39,15 @@ fn ptw_sweep(h: &mut Harness, metric: impl Fn(&[f64]) -> f64) -> PtwPartitionSwe
         vals[3] = metric(&h.mix_speedups(&dynamic, &ws));
         mixes.push((label, vals));
     }
-    let overall = std::array::from_fn(|i| {
-        geomean(&mixes.iter().map(|(_, v)| v[i]).collect::<Vec<_>>())
-    });
+    let overall =
+        std::array::from_fn(|i| geomean(&mixes.iter().map(|(_, v)| v[i]).collect::<Vec<_>>()));
     PtwPartitionSweep { mixes, overall }
 }
 
 /// Fig. 13: geomean performance of each walker-partitioning scheme in the
 /// dual-core chip, normalized to Ideal.
 pub fn fig13_ptw_partition_performance(h: &mut Harness) -> PtwPartitionSweep {
-    ptw_sweep(h, |s| geomean(s))
+    ptw_sweep(h, geomean)
 }
 
 /// Fig. 14: fairness of each walker-partitioning scheme.
@@ -126,6 +125,8 @@ pub fn fig16_page_size_multi(h: &mut Harness) -> PageSizeMulti {
                 fair[pi].push(fairness(&slowdowns));
                 cycles_by_page.push(h.run_mix(&cfg, ws));
             }
+            // `core` indexes three parallel rows of `cycles_by_page`.
+            #[allow(clippy::needless_range_loop)]
             for core in 0..cores {
                 for big in 0..2 {
                     perf_ratio[big].push(

@@ -7,9 +7,16 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Bump to invalidate cached run results after simulator changes.
-const CACHE_VERSION: u32 = 3;
+pub(crate) const CACHE_VERSION: u32 = 4;
+
+/// First line of the on-disk cache; a file whose header does not match is
+/// dropped wholesale (stale format or stale simulator).
+fn cache_header() -> String {
+    format!("#mnpu-run-cache v{CACHE_VERSION}")
+}
 
 /// FNV-1a, for compact cache keys.
 fn fnv1a(s: &str) -> u64 {
@@ -21,8 +28,38 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// The memoized run results and where they persist.
+#[derive(Debug)]
+struct CacheState {
+    entries: HashMap<u64, Vec<u64>>,
+    path: Option<PathBuf>,
+}
+
+impl CacheState {
+    /// Rewrite the backing file (header line first).
+    fn flush(&self) {
+        let Some(p) = &self.path else { return };
+        if let Some(parent) = p.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let mut out = cache_header();
+        out.push('\n');
+        for (k, v) in &self.entries {
+            let cycles: Vec<String> = v.iter().map(u64::to_string).collect();
+            out.push_str(&format!("{k}\t{}\n", cycles.join(",")));
+        }
+        if let Ok(mut f) = fs::File::create(p) {
+            let _ = f.write_all(out.as_bytes());
+        }
+    }
+}
+
 /// The experiment harness: the eight benchmarks at the active scale, and a
 /// memoized, disk-backed `run → per-core cycles` cache.
+///
+/// All state is behind `Arc`s, so cloning is cheap and every clone shares
+/// the same caches — this is what lets [`crate::SweepExecutor`] fan
+/// simulations out across worker threads while results land in one place.
 ///
 /// ```no_run
 /// use mnpu_bench::Harness;
@@ -32,12 +69,11 @@ fn fnv1a(s: &str) -> u64 {
 /// let cycles = h.run_mix(&Harness::dual(SharingLevel::PlusDwt), &[0, 1]);
 /// assert_eq!(cycles.len(), 2);
 /// ```
+#[derive(Clone)]
 pub struct Harness {
-    networks: Vec<Network>,
-    traces: HashMap<(String, String), WorkloadTrace>,
-    cache: HashMap<u64, Vec<u64>>,
-    cache_path: Option<PathBuf>,
-    dirty: bool,
+    networks: Arc<Vec<Network>>,
+    traces: Arc<Mutex<HashMap<(String, String), WorkloadTrace>>>,
+    cache: Arc<Mutex<CacheState>>,
 }
 
 impl Default for Harness {
@@ -48,6 +84,8 @@ impl Default for Harness {
 
 impl Harness {
     /// Build the harness at bench scale, loading any existing run cache.
+    /// A cache file whose version header does not match [`CACHE_VERSION`]
+    /// is discarded entirely.
     pub fn new() -> Self {
         let networks = zoo::all(Scale::Bench);
         let cache_path = if std::env::var_os("MNPU_NO_CACHE").is_some() {
@@ -57,26 +95,35 @@ impl Harness {
             // the workspace target directory so every target shares it.
             let target = std::env::var("CARGO_TARGET_DIR")
                 .map(PathBuf::from)
-                .unwrap_or_else(|_| {
-                    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
-                });
+                .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"));
             Some(target.join("mnpu_run_cache.tsv"))
         };
-        let mut cache = HashMap::new();
+        let mut entries = HashMap::new();
         if let Some(p) = &cache_path {
             if let Ok(text) = fs::read_to_string(p) {
-                for line in text.lines() {
-                    let mut it = line.split('\t');
-                    let (Some(k), Some(v)) = (it.next(), it.next()) else { continue };
-                    let Ok(key) = k.parse::<u64>() else { continue };
-                    let cycles: Vec<u64> = v.split(',').filter_map(|c| c.parse().ok()).collect();
-                    if !cycles.is_empty() {
-                        cache.insert(key, cycles);
+                let mut lines = text.lines();
+                if lines.next() == Some(cache_header().as_str()) {
+                    for line in lines {
+                        let mut it = line.split('\t');
+                        let (Some(k), Some(v)) = (it.next(), it.next()) else { continue };
+                        let Ok(key) = k.parse::<u64>() else { continue };
+                        let cycles: Vec<u64> =
+                            v.split(',').filter_map(|c| c.parse().ok()).collect();
+                        if !cycles.is_empty() {
+                            entries.insert(key, cycles);
+                        }
                     }
+                } else {
+                    // Wrong or missing version header: drop the stale file.
+                    let _ = fs::remove_file(p);
                 }
             }
         }
-        Harness { networks, traces: HashMap::new(), cache, cache_path, dirty: false }
+        Harness {
+            networks: Arc::new(networks),
+            traces: Arc::new(Mutex::new(HashMap::new())),
+            cache: Arc::new(Mutex::new(CacheState { entries, path: cache_path })),
+        }
     }
 
     /// Names of the eight benchmarks, Table 1 order.
@@ -112,18 +159,24 @@ impl Harness {
         SystemConfig::bench(4, sharing)
     }
 
-    fn key(cfg: &SystemConfig, workloads: &[usize]) -> u64 {
+    pub(crate) fn key(cfg: &SystemConfig, workloads: &[usize]) -> u64 {
         fnv1a(&format!("v{CACHE_VERSION}|{cfg:?}|{workloads:?}"))
     }
 
-    fn trace_for(&mut self, workload: usize, arch: &mnpu_systolic::ArchConfig) -> WorkloadTrace {
+    /// The memoized result of a run, if it is already cached.
+    pub(crate) fn cached(&self, cfg: &SystemConfig, workloads: &[usize]) -> Option<Vec<u64>> {
+        let key = Harness::key(cfg, workloads);
+        self.cache.lock().expect("cache lock").entries.get(&key).cloned()
+    }
+
+    fn trace_for(&self, workload: usize, arch: &mnpu_systolic::ArchConfig) -> WorkloadTrace {
         let net = &self.networks[workload];
         let key = (net.name().to_string(), format!("{arch:?}"));
-        if let Some(t) = self.traces.get(&key) {
+        if let Some(t) = self.traces.lock().expect("trace lock").get(&key) {
             return t.clone();
         }
         let t = WorkloadTrace::generate(net, arch);
-        self.traces.insert(key, t.clone());
+        self.traces.lock().expect("trace lock").insert(key, t.clone());
         t
     }
 
@@ -134,59 +187,37 @@ impl Harness {
     ///
     /// Panics if the workload count does not match the core count or an
     /// index is out of range.
-    pub fn run_mix(&mut self, cfg: &SystemConfig, workloads: &[usize]) -> Vec<u64> {
+    pub fn run_mix(&self, cfg: &SystemConfig, workloads: &[usize]) -> Vec<u64> {
         assert_eq!(workloads.len(), cfg.cores, "one workload per core");
         let key = Harness::key(cfg, workloads);
-        if let Some(c) = self.cache.get(&key) {
+        if let Some(c) = self.cache.lock().expect("cache lock").entries.get(&key) {
             return c.clone();
         }
-        let traces: Vec<WorkloadTrace> = workloads
-            .iter()
-            .zip(&cfg.arch)
-            .map(|(&w, a)| self.trace_for(w, a))
-            .collect();
+        let traces: Vec<WorkloadTrace> =
+            workloads.iter().zip(&cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
         let report = Simulation::new(cfg, &traces).run();
         let cycles: Vec<u64> = report.cores.iter().map(|c| c.cycles).collect();
-        self.cache.insert(key, cycles.clone());
-        self.dirty = true;
-        self.flush();
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.entries.insert(key, cycles.clone());
+        cache.flush();
         cycles
     }
 
     /// Cycles of workload `w` running alone with all of `chip`'s resources
     /// (the `Ideal` baseline).
-    pub fn ideal_cycles(&mut self, chip: &SystemConfig, w: usize) -> u64 {
+    pub fn ideal_cycles(&self, chip: &SystemConfig, w: usize) -> u64 {
         let solo = chip.ideal_solo();
         self.run_mix(&solo, &[w])[0]
     }
 
     /// Per-workload speedups (vs Ideal of `chip`) of a mix run on `chip`.
-    pub fn mix_speedups(&mut self, chip: &SystemConfig, workloads: &[usize]) -> Vec<f64> {
+    pub fn mix_speedups(&self, chip: &SystemConfig, workloads: &[usize]) -> Vec<f64> {
         let cycles = self.run_mix(chip, workloads);
         workloads
             .iter()
             .zip(&cycles)
             .map(|(&w, &c)| self.ideal_cycles(chip, w) as f64 / c as f64)
             .collect()
-    }
-
-    fn flush(&mut self) {
-        if !self.dirty {
-            return;
-        }
-        let Some(p) = &self.cache_path else { return };
-        if let Some(parent) = p.parent() {
-            let _ = fs::create_dir_all(parent);
-        }
-        let mut out = String::new();
-        for (k, v) in &self.cache {
-            let cycles: Vec<String> = v.iter().map(u64::to_string).collect();
-            out.push_str(&format!("{k}\t{}\n", cycles.join(",")));
-        }
-        if let Ok(mut f) = fs::File::create(p) {
-            let _ = f.write_all(out.as_bytes());
-        }
-        self.dirty = false;
     }
 }
 
@@ -228,18 +259,29 @@ mod tests {
     #[test]
     fn run_mix_is_cached() {
         std::env::set_var("MNPU_NO_CACHE", "1");
-        let mut h = Harness::new();
+        let h = Harness::new();
         let cfg = Harness::dual(SharingLevel::Static);
         let a = h.run_mix(&cfg, &[6, 6]); // ncf+ncf: fastest mix
+        assert!(h.cached(&cfg, &[6, 6]).is_some());
         let b = h.run_mix(&cfg, &[6, 6]);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
     }
 
     #[test]
+    fn clones_share_one_cache() {
+        std::env::set_var("MNPU_NO_CACHE", "1");
+        let h = Harness::new();
+        let cfg = Harness::dual(SharingLevel::Static);
+        let a = h.run_mix(&cfg, &[6, 6]);
+        let clone = h.clone();
+        assert_eq!(clone.cached(&cfg, &[6, 6]), Some(a));
+    }
+
+    #[test]
     fn speedups_are_at_most_one_ish() {
         std::env::set_var("MNPU_NO_CACHE", "1");
-        let mut h = Harness::new();
+        let h = Harness::new();
         let cfg = Harness::dual(SharingLevel::PlusDwt);
         for s in h.mix_speedups(&cfg, &[6, 6]) {
             assert!(s > 0.0 && s <= 1.05, "{s}");

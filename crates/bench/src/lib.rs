@@ -13,12 +13,16 @@
 //! * `MNPU_FULL=1` — run the *full* quad-core (330 mixes) and mapping
 //!   (6435 multisets) sweeps instead of the deterministic samples;
 //! * `MNPU_QUAD_STRIDE=k` — sample every *k*-th quad mix (default 10);
-//! * `MNPU_NO_CACHE=1` — ignore and don't write the run cache.
+//! * `MNPU_NO_CACHE=1` — ignore and don't write the run cache;
+//! * `MNPU_JOBS=n` — worker threads for the [`SweepExecutor`] fan-out
+//!   (default: available parallelism; `1` = serial).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod figures;
 pub mod harness;
 
+pub use executor::SweepExecutor;
 pub use harness::Harness;

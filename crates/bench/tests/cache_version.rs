@@ -1,0 +1,44 @@
+//! The on-disk run cache carries a version header and is dropped wholesale
+//! when the header does not match the current `CACHE_VERSION`.
+
+use mnpu_bench::Harness;
+use mnpu_engine::SharingLevel;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_target_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mnpu_cache_test_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).expect("create temp target dir");
+    d
+}
+
+#[test]
+fn stale_cache_is_dropped_and_rewritten_with_header() {
+    let dir = temp_target_dir("hdr");
+    let path = dir.join("mnpu_run_cache.tsv");
+
+    // A pre-header-era file: bare key\tcycles lines, no version line.
+    fs::write(&path, "12345\t1,2\n67890\t3,4\n").unwrap();
+
+    std::env::remove_var("MNPU_NO_CACHE");
+    std::env::set_var("CARGO_TARGET_DIR", &dir);
+
+    let h = Harness::new();
+    // The stale file must be gone (dropped on header mismatch).
+    assert!(!path.exists(), "stale cache file should be deleted");
+
+    // A run writes the cache back, header first.
+    let cfg = Harness::dual(SharingLevel::Static);
+    let cycles = h.run_mix(&cfg, &[6, 6]);
+    let text = fs::read_to_string(&path).expect("cache rewritten");
+    let first = text.lines().next().expect("non-empty cache");
+    assert!(first.starts_with("#mnpu-run-cache v"), "header line expected, got {first:?}");
+    assert!(!text.contains("12345\t1,2"), "stale entries must not survive");
+
+    // A fresh harness reloads the versioned file and serves from it.
+    let h2 = Harness::new();
+    assert_eq!(h2.run_mix(&cfg, &[6, 6]), cycles);
+
+    let _ = fs::remove_dir_all(&dir);
+}

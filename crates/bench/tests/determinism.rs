@@ -1,0 +1,29 @@
+//! Parallel-sweep determinism: fanning the dual-core sweep across worker
+//! threads must produce byte-identical per-core cycle counts to the plain
+//! serial path. (Every simulation is single-threaded and deterministic;
+//! the executor only changes *which thread* runs it.)
+
+use mnpu_bench::{Harness, SweepExecutor};
+use mnpu_engine::SharingLevel;
+use mnpu_predict::mapping::multisets;
+
+#[test]
+fn parallel_dual_sweep_matches_serial_exactly() {
+    // Isolate from the on-disk cache and pin the worker count.
+    std::env::set_var("MNPU_NO_CACHE", "1");
+    std::env::set_var("MNPU_JOBS", "4");
+
+    let reqs: Vec<(mnpu_engine::SystemConfig, Vec<usize>)> =
+        multisets(8, 2).into_iter().map(|ws| (Harness::dual(SharingLevel::PlusDwt), ws)).collect();
+    assert_eq!(reqs.len(), 36, "all dual-core mixes");
+
+    let serial_h = Harness::new();
+    let serial: Vec<Vec<u64>> = reqs.iter().map(|(cfg, ws)| serial_h.run_mix(cfg, ws)).collect();
+
+    let parallel_h = Harness::new();
+    let executor = SweepExecutor::new();
+    assert_eq!(executor.jobs(), 4, "MNPU_JOBS override");
+    let parallel = executor.run_mixes(&parallel_h, &reqs);
+
+    assert_eq!(serial, parallel, "per-core cycle counts must be byte-identical");
+}

@@ -19,7 +19,11 @@ impl KvFile {
                 continue;
             }
             let Some((k, v)) = line.split_once('=') else {
-                return Err(ConfigError::parse(file, i + 1, format!("expected `key = value`, got `{line}`")));
+                return Err(ConfigError::parse(
+                    file,
+                    i + 1,
+                    format!("expected `key = value`, got `{line}`"),
+                ));
             };
             let key = k.trim().to_ascii_lowercase();
             if entries.insert(key.clone(), (i + 1, v.trim().to_string())).is_some() {
@@ -34,15 +38,20 @@ impl KvFile {
     }
 
     pub(crate) fn require(&self, key: &str) -> Result<&str, ConfigError> {
-        self.get(key)
-            .ok_or_else(|| ConfigError::parse(&self.file, 0, format!("missing required key `{key}`")))
+        self.get(key).ok_or_else(|| {
+            ConfigError::parse(&self.file, 0, format!("missing required key `{key}`"))
+        })
     }
 
     pub(crate) fn u64_or(&self, key: &str, default: u64) -> Result<u64, ConfigError> {
         match self.entries.get(key) {
             None => Ok(default),
             Some((line, v)) => v.parse().map_err(|_| {
-                ConfigError::parse(&self.file, *line, format!("`{key}` must be an integer, got `{v}`"))
+                ConfigError::parse(
+                    &self.file,
+                    *line,
+                    format!("`{key}` must be an integer, got `{v}`"),
+                )
             }),
         }
     }
@@ -50,8 +59,9 @@ impl KvFile {
     pub(crate) fn u64_req(&self, key: &str) -> Result<u64, ConfigError> {
         let v = self.require(key)?;
         let (line, _) = self.entries[key];
-        v.parse()
-            .map_err(|_| ConfigError::parse(&self.file, line, format!("`{key}` must be an integer, got `{v}`")))
+        v.parse().map_err(|_| {
+            ConfigError::parse(&self.file, line, format!("`{key}` must be an integer, got `{v}`"))
+        })
     }
 
     pub(crate) fn bool_or(&self, key: &str, default: bool) -> Result<bool, ConfigError> {
@@ -60,7 +70,11 @@ impl KvFile {
             Some((line, v)) => match v.to_ascii_lowercase().as_str() {
                 "true" | "1" | "yes" | "on" => Ok(true),
                 "false" | "0" | "no" | "off" => Ok(false),
-                _ => Err(ConfigError::parse(&self.file, *line, format!("`{key}` must be a boolean, got `{v}`"))),
+                _ => Err(ConfigError::parse(
+                    &self.file,
+                    *line,
+                    format!("`{key}` must be a boolean, got `{v}`"),
+                )),
             },
         }
     }
@@ -73,7 +87,11 @@ impl KvFile {
                 .split(',')
                 .map(|s| {
                     s.trim().parse().map_err(|_| {
-                        ConfigError::parse(&self.file, *line, format!("`{key}` must be a list of integers, got `{v}`"))
+                        ConfigError::parse(
+                            &self.file,
+                            *line,
+                            format!("`{key}` must be a list of integers, got `{v}`"),
+                        )
                     })
                 })
                 .collect::<Result<Vec<u64>, _>>()
@@ -103,10 +121,18 @@ pub(crate) fn attr_pairs<'a>(
             continue;
         }
         let Some((k, v)) = f.split_once('=') else {
-            return Err(ConfigError::parse(file, line, format!("expected `attr=value`, got `{f}`")));
+            return Err(ConfigError::parse(
+                file,
+                line,
+                format!("expected `attr=value`, got `{f}`"),
+            ));
         };
         let value: u64 = v.trim().parse().map_err(|_| {
-            ConfigError::parse(file, line, format!("attribute `{}` must be an integer, got `{}`", k.trim(), v.trim()))
+            ConfigError::parse(
+                file,
+                line,
+                format!("attribute `{}` must be an integer, got `{}`", k.trim(), v.trim()),
+            )
         })?;
         out.insert(k.trim().to_ascii_lowercase(), value);
     }

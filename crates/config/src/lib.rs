@@ -44,9 +44,9 @@ pub mod scalesim;
 
 pub use error::ConfigError;
 pub use parsers::{
-    parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, write_network,
-    DramFileConfig, MiscConfig,
+    parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, write_network, DramFileConfig,
+    MiscConfig,
 };
 pub use results::{result_file_names, write_intermediate, write_request_logs, write_results};
-pub use scalesim::{parse_scalesim, write_scalesim};
 pub use runspec::{build_system, load_run, RunSpec};
+pub use scalesim::{parse_scalesim, write_scalesim};

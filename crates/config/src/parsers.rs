@@ -78,10 +78,9 @@ pub fn parse_network(name: &str, text: &str) -> Result<Network, ConfigError> {
         }
         let attrs = attr_pairs(&file, i + 1, fields)?;
         let need = |key: &str| {
-            attrs
-                .get(key)
-                .copied()
-                .ok_or_else(|| ConfigError::parse(&file, i + 1, format!("{kind} layer requires `{key}=`")))
+            attrs.get(key).copied().ok_or_else(|| {
+                ConfigError::parse(&file, i + 1, format!("{kind} layer requires `{key}=`"))
+            })
         };
         let batch = attrs.get("batch").copied().unwrap_or(1);
         let layer_kind = match kind.as_str() {
@@ -113,7 +112,11 @@ pub fn parse_network(name: &str, text: &str) -> Result<Network, ConfigError> {
                 lookups: need("lookups")?,
             }),
             other => {
-                return Err(ConfigError::parse(&file, i + 1, format!("unknown layer kind `{other}`")))
+                return Err(ConfigError::parse(
+                    &file,
+                    i + 1,
+                    format!("unknown layer kind `{other}`"),
+                ))
             }
         };
         layers.push(Layer::new(lname, layer_kind, batch));
@@ -139,13 +142,22 @@ pub fn write_network(net: &Network) -> String {
             LayerKind::Gemm(g) => {
                 out.push_str(&format!(
                     "{}, gemm, m={}, k={}, n={}, batch={}\n",
-                    l.name(), g.m, g.k, g.n, l.batch()
+                    l.name(),
+                    g.m,
+                    g.k,
+                    g.n,
+                    l.batch()
                 ));
             }
             LayerKind::Embedding(e) => {
                 out.push_str(&format!(
                     "{}, embedding, tables={}, rows={}, dim={}, lookups={}, batch={}\n",
-                    l.name(), e.tables, e.rows_per_table, e.embed_dim, e.lookups, l.batch()
+                    l.name(),
+                    e.tables,
+                    e.rows_per_table,
+                    e.embed_dim,
+                    e.lookups,
+                    l.batch()
                 ));
             }
         }
@@ -220,7 +232,11 @@ pub fn parse_dram(text: &str) -> Result<DramFileConfig, ConfigError> {
         "ddr4" => DramConfig::ddr4(channels),
         "bench" => DramConfig::bench(channels),
         other => {
-            return Err(ConfigError::parse(kv.file(), kv.line_of("preset"), format!("unknown preset `{other}`")))
+            return Err(ConfigError::parse(
+                kv.file(),
+                kv.line_of("preset"),
+                format!("unknown preset `{other}`"),
+            ))
         }
     };
     dram.queue_depth = kv.u64_or("queue_depth", dram.queue_depth as u64)? as usize;
@@ -231,7 +247,11 @@ pub fn parse_dram(text: &str) -> Result<DramFileConfig, ConfigError> {
             "block_interleaved" => AddressMapping::BlockInterleaved,
             "row_interleaved" => AddressMapping::RowInterleaved,
             other => {
-                return Err(ConfigError::parse(kv.file(), kv.line_of("mapping"), format!("unknown mapping `{other}`")))
+                return Err(ConfigError::parse(
+                    kv.file(),
+                    kv.line_of("mapping"),
+                    format!("unknown mapping `{other}`"),
+                ))
             }
         };
     }
@@ -244,7 +264,11 @@ pub fn parse_dram(text: &str) -> Result<DramFileConfig, ConfigError> {
         "+DW" | "+dw" => SharingLevel::PlusDw,
         "+DWT" | "+dwt" => SharingLevel::PlusDwt,
         other => {
-            return Err(ConfigError::parse(kv.file(), kv.line_of("sharing"), format!("unknown sharing level `{other}`")))
+            return Err(ConfigError::parse(
+                kv.file(),
+                kv.line_of("sharing"),
+                format!("unknown sharing level `{other}`"),
+            ))
         }
     };
     let channel_partition =
@@ -363,7 +387,11 @@ e1, embedding, tables=4, rows=1000, dim=32, lookups=8, batch=2
 
     #[test]
     fn rectangular_conv_supported() {
-        let net = parse_network("r", "c, conv, in_h=161, in_w=200, in_c=1, out_c=32, k_h=41, k_w=11, stride=2, pad=20").unwrap();
+        let net = parse_network(
+            "r",
+            "c, conv, in_h=161, in_w=200, in_c=1, out_c=32, k_h=41, k_w=11, stride=2, pad=20",
+        )
+        .unwrap();
         let LayerKind::Conv(c) = *net.layers()[0].kind() else { panic!() };
         assert_eq!((c.k_h, c.k_w), (41, 11));
     }
@@ -412,7 +440,8 @@ e1, embedding, tables=4, rows=1000, dim=32, lookups=8, batch=2
         let m = parse_misc("").unwrap();
         assert_eq!(m.iterations, 1);
         assert!(m.translation);
-        let m = parse_misc("iterations=3\ntranslation=off\nstart_cycles=0,500\nptw_partition=2,14").unwrap();
+        let m = parse_misc("iterations=3\ntranslation=off\nstart_cycles=0,500\nptw_partition=2,14")
+            .unwrap();
         assert_eq!(m.iterations, 3);
         assert!(!m.translation);
         assert_eq!(m.start_cycles, vec![0, 500]);

@@ -31,7 +31,11 @@ pub fn result_file_names(arch: &str, net: &str, idx: usize) -> [String; 4] {
 /// # Errors
 ///
 /// Propagates any filesystem error.
-pub fn write_results(result_path: &Path, arch_label: &str, report: &RunReport) -> io::Result<Vec<PathBuf>> {
+pub fn write_results(
+    result_path: &Path,
+    arch_label: &str,
+    report: &RunReport,
+) -> io::Result<Vec<PathBuf>> {
     let dir = result_path.join("result");
     fs::create_dir_all(&dir)?;
     let mut written = Vec::new();
@@ -124,7 +128,9 @@ pub fn write_request_logs(result_path: &Path, report: &RunReport) -> io::Result<
         match e.kind {
             LogKind::TlbHit => tlb[e.core].push_str(&format!("{} {:#x} hit\n", e.cycle, e.addr)),
             LogKind::TlbMiss => tlb[e.core].push_str(&format!("{} {:#x} miss\n", e.cycle, e.addr)),
-            LogKind::WalkStart => ptw[e.core].push_str(&format!("{} {:#x} start\n", e.cycle, e.addr)),
+            LogKind::WalkStart => {
+                ptw[e.core].push_str(&format!("{} {:#x} start\n", e.cycle, e.addr))
+            }
             LogKind::WalkDone => ptw[e.core].push_str(&format!("{} {:#x} done\n", e.cycle, e.addr)),
             LogKind::DramReadDone => dram.push_str(&format!("{} core{} read\n", e.cycle, e.core)),
             LogKind::DramWriteDone => dram.push_str(&format!("{} core{} write\n", e.cycle, e.core)),

@@ -2,7 +2,9 @@
 //! and cross-file consistency checks).
 
 use crate::error::ConfigError;
-use crate::parsers::{parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, DramFileConfig, MiscConfig};
+use crate::parsers::{
+    parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, DramFileConfig, MiscConfig,
+};
 use mnpu_engine::SystemConfig;
 use mnpu_mmu::MmuConfig;
 use mnpu_model::Network;
@@ -38,7 +40,11 @@ fn read_list(path: &Path) -> Result<Vec<PathBuf>, ConfigError> {
         out.push(base.join(line));
     }
     if out.is_empty() {
-        return Err(ConfigError::parse(path.display().to_string(), 0, "list file names no entries"));
+        return Err(ConfigError::parse(
+            path.display().to_string(),
+            0,
+            "list file names no entries",
+        ));
     }
     Ok(out)
 }
@@ -72,7 +78,7 @@ pub fn build_system(
             "per-core npumem configs must be identical (heterogeneous MMUs are not modeled)".into(),
         ));
     }
-    if dram_file.dram.channels % cores != 0 {
+    if !dram_file.dram.channels.is_multiple_of(cores) {
         return Err(ConfigError::Inconsistent(format!(
             "{} channels cannot be split evenly over {} cores",
             dram_file.dram.channels, cores
@@ -95,6 +101,7 @@ pub fn build_system(
         ptw_bounds: misc.ptw_bounds,
         max_cycles: (misc.max_cycles > 0).then_some(misc.max_cycles),
         noc: dram_file.noc,
+        memory: mnpu_engine::MemoryModel::Timing,
     };
     cfg.validate().map_err(ConfigError::Inconsistent)?;
     Ok(cfg)
@@ -125,10 +132,7 @@ pub fn load_run(
         )));
     }
 
-    let archs = arch_paths
-        .iter()
-        .map(|p| parse_arch(&read(p)?))
-        .collect::<Result<Vec<_>, _>>()?;
+    let archs = arch_paths.iter().map(|p| parse_arch(&read(p)?)).collect::<Result<Vec<_>, _>>()?;
     let networks = net_paths
         .iter()
         .map(|p| {
@@ -136,10 +140,7 @@ pub fn load_run(
             parse_network(&stem, &read(p)?)
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let mmus = mmu_paths
-        .iter()
-        .map(|p| parse_npumem(&read(p)?))
-        .collect::<Result<Vec<_>, _>>()?;
+    let mmus = mmu_paths.iter().map(|p| parse_npumem(&read(p)?)).collect::<Result<Vec<_>, _>>()?;
     let dram_file = parse_dram(&read(dram_cfg)?)?;
     let misc = parse_misc(&read(misc_cfg)?)?;
 

@@ -52,7 +52,11 @@ pub fn parse_scalesim(name: &str, text: &str) -> Result<Network, ConfigError> {
         }
         let num = |idx: usize| -> Result<u64, ConfigError> {
             fields[idx].parse().map_err(|_| {
-                ConfigError::parse(&file, i + 1, format!("column {} must be an integer, got `{}`", idx + 1, fields[idx]))
+                ConfigError::parse(
+                    &file,
+                    i + 1,
+                    format!("column {} must be an integer, got `{}`", idx + 1, fields[idx]),
+                )
             })
         };
         let (ifh, ifw, fh, fw, ch, nf, stride) =
@@ -107,7 +111,14 @@ pub fn write_scalesim(net: &Network) -> Result<String, ConfigError> {
             LayerKind::Conv(c) => {
                 out.push_str(&format!(
                     "{}, {}, {}, {}, {}, {}, {}, {},\n",
-                    l.name(), c.in_h, c.in_w, c.k_h, c.k_w, c.in_c, c.out_c, c.stride
+                    l.name(),
+                    c.in_h,
+                    c.in_w,
+                    c.k_h,
+                    c.k_w,
+                    c.in_c,
+                    c.out_c,
+                    c.stride
                 ));
             }
             LayerKind::Gemm(g) => {
@@ -154,7 +165,9 @@ FC6, 1, 1, 9216, 1, 1, 4096, 1,
 
     #[test]
     fn malformed_rows_report_lines() {
-        let e = parse_scalesim("t", "Conv1, 32, 32, 3, 3, 8, 16, 1,\nConv2, a, 32, 3, 3, 8, 16, 1,").unwrap_err();
+        let e =
+            parse_scalesim("t", "Conv1, 32, 32, 3, 3, 8, 16, 1,\nConv2, a, 32, 3, 3, 8, 16, 1,")
+                .unwrap_err();
         assert!(e.to_string().contains(":2"), "{e}");
         assert!(parse_scalesim("t", "Conv1, 32, 32").is_err(), "too few columns");
         assert!(parse_scalesim("t", "").is_err(), "empty topology");

@@ -60,7 +60,11 @@ fn file_config_equals_preset_config() {
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
 
-    write(&dir, "arch.txt", "rows=32\ncols=32\nspm_bytes=1048576\nfreq_mhz=1000\nmax_outstanding=256\n");
+    write(
+        &dir,
+        "arch.txt",
+        "rows=32\ncols=32\nspm_bytes=1048576\nfreq_mhz=1000\nmax_outstanding=256\n",
+    );
     let arch_list = write(&dir, "archs.txt", "arch.txt\narch.txt\n");
     write(&dir, "ncf.txt", &write_network(&zoo::ncf(Scale::Bench)));
     let net_list = write(&dir, "nets.txt", "ncf.txt\nncf.txt\n");

@@ -1,7 +1,9 @@
 //! Parser robustness: arbitrary text never panics any parser; valid inputs
 //! round-trip.
 
-use mnpu_config::{parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, parse_scalesim};
+use mnpu_config::{
+    parse_arch, parse_dram, parse_misc, parse_network, parse_npumem, parse_scalesim,
+};
 use proptest::prelude::*;
 
 proptest! {

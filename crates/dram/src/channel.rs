@@ -230,7 +230,8 @@ impl Channel {
                     t_act = t_act.max(bank.ready_pre + t.trp);
                 }
                 if self.any_act {
-                    let trrd = if self.last_act_bg == p.decoded.bankgroup { t.trrd_l } else { t.trrd_s };
+                    let trrd =
+                        if self.last_act_bg == p.decoded.bankgroup { t.trrd_l } else { t.trrd_s };
                     t_act = t_act.max(self.last_act_time + trrd);
                 }
                 if self.act_window.len() == 4 {

@@ -220,7 +220,9 @@ impl DramConfig {
         if self.bankgroups == 0 || self.banks_per_group == 0 {
             return Err("bank counts must be positive".into());
         }
-        if self.row_bytes < crate::address::TRANSACTION_BYTES || self.row_bytes % crate::address::TRANSACTION_BYTES != 0 {
+        if self.row_bytes < crate::address::TRANSACTION_BYTES
+            || !self.row_bytes.is_multiple_of(crate::address::TRANSACTION_BYTES)
+        {
             return Err("row_bytes must be a positive multiple of the transaction size".into());
         }
         if self.rows == 0 {
@@ -315,7 +317,10 @@ mod preset_tests {
 
     #[test]
     fn ddr4_slower_per_channel_than_hbm2() {
-        assert!(DramConfig::ddr4(1).channel_bytes_per_cycle() < DramConfig::hbm2(1).channel_bytes_per_cycle());
+        assert!(
+            DramConfig::ddr4(1).channel_bytes_per_cycle()
+                < DramConfig::hbm2(1).channel_bytes_per_cycle()
+        );
     }
 
     #[test]

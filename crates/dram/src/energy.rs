@@ -38,7 +38,7 @@ impl DramEnergy {
     pub const fn hbm2() -> Self {
         DramEnergy {
             act_pj: 900,
-            read_pj: 2048,  // 512 bits x ~4 pJ/bit
+            read_pj: 2048, // 512 bits x ~4 pJ/bit
             write_pj: 2048,
             refresh_pj: 30_000,
             background_uw: 110_000,
@@ -49,7 +49,7 @@ impl DramEnergy {
     pub const fn ddr4() -> Self {
         DramEnergy {
             act_pj: 1700,
-            read_pj: 7680,  // 512 bits x ~15 pJ/bit
+            read_pj: 7680, // 512 bits x ~15 pJ/bit
             write_pj: 7680,
             refresh_pj: 50_000,
             background_uw: 75_000,

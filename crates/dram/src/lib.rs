@@ -51,6 +51,6 @@ mod stats;
 pub use address::{decode, DecodedAddr, TRANSACTION_BYTES};
 pub use channel::Channel;
 pub use config::{AddressMapping, DramConfig, DramTiming, SchedPolicy};
-pub use energy::{estimate_energy, DramEnergy, EnergyBreakdown};
 pub use dram::{Completion, Dram, EnqueueError};
+pub use energy::{estimate_energy, DramEnergy, EnergyBreakdown};
 pub use stats::{BandwidthTrace, ChannelStats, DramStats};

@@ -156,7 +156,15 @@ mod tests {
 
     #[test]
     fn channel_stats_rates() {
-        let s = ChannelStats { reads: 3, writes: 1, row_hits: 2, row_misses: 1, row_conflicts: 1, latency_sum: 80, ..Default::default() };
+        let s = ChannelStats {
+            reads: 3,
+            writes: 1,
+            row_hits: 2,
+            row_misses: 1,
+            row_conflicts: 1,
+            latency_sum: 80,
+            ..Default::default()
+        };
         assert_eq!(s.transactions(), 4);
         assert!((s.mean_latency() - 20.0).abs() < 1e-12);
         assert!((s.row_hit_rate() - 0.5).abs() < 1e-12);

@@ -1,0 +1,258 @@
+//! Arbitration between cores for the shared memory path: round-robin DMA
+//! issue order, the DRAM-full retry queue, and the freed-walker grant
+//! policy for the shared page-table-walker pool.
+
+use crate::report::LogKind;
+use crate::sim::{Simulation, META_WALK};
+use mnpu_dram::{EnqueueError, TRANSACTION_BYTES};
+use mnpu_mmu::WalkStart;
+use std::cmp::Reverse;
+use std::collections::{HashMap, VecDeque};
+
+/// A transaction rejected by a full DRAM queue, waiting to be retried:
+/// `(core, paddr, is_write, meta)`.
+pub(crate) type RetryTxn = (usize, u64, bool, u64);
+
+/// Shared-resource arbitration state: who goes first this round, which
+/// transactions bounced off a full DRAM queue, and which page-table walks
+/// are parked waiting for a free walker.
+#[derive(Debug)]
+pub(crate) struct Arbiter {
+    /// Rotating start index for round-robin fairness across cores (used by
+    /// both DMA issue order and freed-walker grants).
+    pub(crate) rr_start: usize,
+    /// FCFS queue of transactions rejected with [`EnqueueError::QueueFull`].
+    pub(crate) dram_retry: VecDeque<RetryTxn>,
+    /// Per-core FCFS order of VPNs waiting for a free walker.
+    pub(crate) walker_wait_order: Vec<VecDeque<u64>>,
+    /// Transactions parked on each waiting `(core, vpn)`: `(stage, vaddr)`.
+    pub(crate) walker_waiters: HashMap<(usize, u64), Vec<(usize, u64)>>,
+}
+
+impl Arbiter {
+    pub(crate) fn new(cores: usize) -> Self {
+        Arbiter {
+            rr_start: 0,
+            dram_retry: VecDeque::new(),
+            walker_wait_order: vec![VecDeque::new(); cores],
+            walker_waiters: HashMap::new(),
+        }
+    }
+
+    /// Advance the round-robin pointer and return the new starting core.
+    pub(crate) fn rotate(&mut self, cores: usize) -> usize {
+        self.rr_start = (self.rr_start + 1) % cores;
+        self.rr_start
+    }
+
+    /// `true` if any core has walks parked waiting for a walker.
+    pub(crate) fn has_walker_waiters(&self) -> bool {
+        self.walker_wait_order.iter().any(|q| !q.is_empty())
+    }
+}
+
+impl Simulation {
+    /// Route a memory-bound transaction: across the interconnect when one
+    /// is modeled, then into the DRAM queue (or the retry list when full).
+    pub(crate) fn enqueue_or_retry(&mut self, core: usize, paddr: u64, is_write: bool, meta: u64) {
+        if let Some(noc) = &mut self.noc {
+            let arrival = noc.request_delivery(self.now, core, TRANSACTION_BYTES);
+            if arrival > self.now {
+                self.noc_requests.push(Reverse((arrival, core, paddr, is_write, meta)));
+                return;
+            }
+        }
+        self.enqueue_direct(core, paddr, is_write, meta);
+    }
+
+    pub(crate) fn enqueue_direct(&mut self, core: usize, paddr: u64, is_write: bool, meta: u64) {
+        match self.memory.enqueue(self.now, core, paddr, is_write, meta) {
+            Ok(()) => {}
+            Err(EnqueueError::QueueFull { .. }) => {
+                self.arbiter.dram_retry.push_back((core, paddr, is_write, meta));
+            }
+        }
+    }
+
+    /// Grant freed walkers to waiting walks, round-robin across cores so a
+    /// walk-hungry core cannot head-of-line-block its co-runners at the
+    /// shared pool (each per-core queue stays FCFS internally).
+    pub(crate) fn drain_walker_wait(&mut self) {
+        let ncores = self.cores.len();
+        let mut blocked = vec![false; ncores];
+        // Rotate the starting core so freed walkers are granted round-robin
+        // rather than by fixed core priority.
+        let first = self.arbiter.rotate(ncores);
+        loop {
+            let mut progressed = false;
+            for k in 0..ncores {
+                let core = (first + k) % ncores;
+                if blocked[core] || self.arbiter.walker_wait_order[core].is_empty() {
+                    continue;
+                }
+                let vpn = self.arbiter.walker_wait_order[core][0];
+                let mmu = self.mmu.as_mut().expect("walker wait without MMU");
+                // The page may have become resident through a walk that
+                // finished while this entry waited; never start a redundant
+                // walk.
+                if mmu.probe(core, vpn) {
+                    self.arbiter.walker_wait_order[core].pop_front();
+                    let waiters =
+                        self.arbiter.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
+                    for (stage_id, vaddr) in waiters {
+                        let is_write = self.stages[stage_id].is_store;
+                        let paddr = self.page_tables[core].translate(vaddr);
+                        self.enqueue_or_retry(core, paddr, is_write, stage_id as u64);
+                    }
+                    progressed = true;
+                    continue;
+                }
+                match mmu.retry_walk(core, vpn) {
+                    WalkStart::Started { walk, pt_addr } => {
+                        self.log(core, LogKind::WalkStart, pt_addr);
+                        self.arbiter.walker_wait_order[core].pop_front();
+                        let waiters =
+                            self.arbiter.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
+                        self.walk_waiters.insert(walk.raw(), waiters);
+                        self.enqueue_or_retry(core, pt_addr, false, META_WALK | walk.raw());
+                        progressed = true;
+                    }
+                    WalkStart::Joined(walk) => {
+                        self.arbiter.walker_wait_order[core].pop_front();
+                        let waiters =
+                            self.arbiter.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
+                        self.walk_waiters.entry(walk.raw()).or_default().extend(waiters);
+                        progressed = true;
+                    }
+                    WalkStart::NoWalker => {
+                        blocked[core] = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// One arbitration round: drain the retry queue (FCFS), grant freed
+    /// walkers, then let each unfinished core issue, starting from the
+    /// rotating round-robin index.
+    pub(crate) fn issue_all(&mut self) {
+        // Retry previously blocked transactions first (FCFS).
+        if !self.arbiter.dram_retry.is_empty() {
+            let mut remaining = VecDeque::new();
+            while let Some((core, paddr, is_write, meta)) = self.arbiter.dram_retry.pop_front() {
+                if self.memory.enqueue(self.now, core, paddr, is_write, meta).is_err() {
+                    remaining.push_back((core, paddr, is_write, meta));
+                }
+            }
+            self.arbiter.dram_retry = remaining;
+        }
+        if self.arbiter.has_walker_waiters() {
+            self.drain_walker_wait();
+        }
+
+        // Rotate the starting core so no core gets systematic first pick of
+        // DRAM queue slots (FCFS arbitration, not fixed priority).
+        let n = self.cores.len();
+        let start = self.arbiter.rotate(n);
+        for k in 0..n {
+            let ci = (start + k) % n;
+            if self.cores[ci].finished() || self.cores[ci].start_cycle > self.now {
+                continue;
+            }
+            self.progress_core(ci);
+            self.issue_core(ci);
+        }
+    }
+
+    fn issue_core(&mut self, ci: usize) {
+        let budget = self.cfg.arch[ci].max_outstanding;
+        self.cores[ci].blocked_on_dram = false;
+        loop {
+            if self.cores[ci].outstanding >= budget || self.cores[ci].blocked_on_dram {
+                return;
+            }
+            // Pick the next transaction: the load stage first (it gates
+            // compute), then the oldest store stage.
+            let stage_id = {
+                let rt = &self.cores[ci];
+                let load = rt.load_stage.filter(|&s| self.stages[s].peek().is_some());
+                let store =
+                    rt.active_stores.iter().copied().find(|&s| self.stages[s].peek().is_some());
+                match load.or(store) {
+                    Some(s) => s,
+                    None => return,
+                }
+            };
+            let vaddr = self.stages[stage_id].peek().expect("peeked above");
+            if !self.try_issue_txn(ci, stage_id, vaddr) {
+                return;
+            }
+        }
+    }
+
+    /// Issue one transaction; returns `false` when the core must stop
+    /// issuing (DRAM queue full).
+    fn try_issue_txn(&mut self, ci: usize, stage_id: usize, vaddr: u64) -> bool {
+        let is_write = self.stages[stage_id].is_store;
+        if self.mmu.is_none() {
+            // Translation disabled: direct mapping, no MMU timing.
+            let paddr = self.page_tables[ci].translate(vaddr);
+            match self.memory.enqueue(self.now, ci, paddr, is_write, stage_id as u64) {
+                Ok(()) => {
+                    self.stages[stage_id].advance();
+                    self.cores[ci].outstanding += 1;
+                    true
+                }
+                Err(EnqueueError::QueueFull { .. }) => {
+                    self.cores[ci].blocked_on_dram = true;
+                    false
+                }
+            }
+        } else {
+            let mmu = self.mmu.as_mut().expect("checked above");
+            let vpn = mmu.vpn_of(vaddr);
+            let hit = mmu.lookup(ci, vpn);
+            self.log(ci, if hit { LogKind::TlbHit } else { LogKind::TlbMiss }, vaddr);
+            if hit {
+                let paddr = self.page_tables[ci].translate(vaddr);
+                match self.memory.enqueue(self.now, ci, paddr, is_write, stage_id as u64) {
+                    Ok(()) => {
+                        self.stages[stage_id].advance();
+                        self.cores[ci].outstanding += 1;
+                        true
+                    }
+                    Err(EnqueueError::QueueFull { .. }) => {
+                        self.cores[ci].blocked_on_dram = true;
+                        false
+                    }
+                }
+            } else {
+                // TLB miss: the transaction parks on a walk.
+                self.stages[stage_id].advance();
+                self.cores[ci].outstanding += 1;
+                let mmu = self.mmu.as_mut().expect("checked above");
+                match mmu.start_or_join_walk(ci, vpn) {
+                    WalkStart::Started { walk, pt_addr } => {
+                        self.log(ci, LogKind::WalkStart, pt_addr);
+                        self.walk_waiters.insert(walk.raw(), vec![(stage_id, vaddr)]);
+                        self.enqueue_or_retry(ci, pt_addr, false, META_WALK | walk.raw());
+                    }
+                    WalkStart::Joined(walk) => {
+                        self.walk_waiters.entry(walk.raw()).or_default().push((stage_id, vaddr));
+                    }
+                    WalkStart::NoWalker => {
+                        let entry = self.arbiter.walker_waiters.entry((ci, vpn)).or_default();
+                        if entry.is_empty() {
+                            self.arbiter.walker_wait_order[ci].push_back(vpn);
+                        }
+                        entry.push((stage_id, vaddr));
+                    }
+                }
+                true
+            }
+        }
+    }
+}

@@ -38,13 +38,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
+mod core_rt;
 mod memmap;
+mod memory;
 mod report;
 mod sharing;
 mod sim;
+mod stage;
 mod system;
 
 pub use memmap::PageTable;
+pub use memory::{DramMemory, IdealMemory, MemoryModel, MemorySystem};
 pub use report::{ChipEnergy, CoreReport, EnergyModel, LogEvent, LogKind, RunReport};
 pub use sharing::SharingLevel;
 pub use sim::Simulation;

@@ -1,0 +1,325 @@
+//! The pluggable memory-system boundary.
+//!
+//! The simulation loop talks to DRAM only through [`MemorySystem`], so the
+//! timing model behind the chip's memory controller can be swapped without
+//! touching the pipeline, translation, or arbitration logic. Two backends
+//! ship with the engine:
+//!
+//! * [`DramMemory`] — the full FR-FCFS banked-DRAM model from [`mnpu_dram`]
+//!   (the paper's configuration), including channel partitioning for
+//!   non-DRAM-sharing levels and windowed bandwidth tracing;
+//! * [`IdealMemory`] — a fixed-latency, infinite-bandwidth memory, useful
+//!   as a contention-free upper bound and for isolating compute effects.
+
+use crate::sharing::partition_channels;
+use crate::system::SystemConfig;
+use mnpu_dram::{BandwidthTrace, Completion, Dram, DramStats, EnqueueError, TRANSACTION_BYTES};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An in-flight ideal-memory transaction:
+/// `(done_at, seq, core, addr, is_write, meta)`.
+type InFlightTxn = (u64, u64, usize, u64, bool, u64);
+
+/// Which [`MemorySystem`] backend a [`SystemConfig`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryModel {
+    /// The full banked-DRAM timing model (default; the paper's setup).
+    Timing,
+    /// Fixed-latency, infinite-bandwidth memory: every transaction
+    /// completes exactly `latency` DRAM cycles after it is enqueued and
+    /// nothing ever queues. An upper bound with all memory contention
+    /// removed.
+    Ideal {
+        /// Service latency in DRAM cycles (clamped to at least 1).
+        latency: u64,
+    },
+}
+
+/// The memory system behind the cores' DMA engines and page-table walkers.
+///
+/// The contract mirrors how the event loop drives memory:
+///
+/// 1. [`enqueue`](MemorySystem::enqueue) submits one 64-byte transaction;
+///    it may be refused with [`EnqueueError::QueueFull`], in which case the
+///    caller must retry after the next event.
+/// 2. [`tick`](MemorySystem::tick) advances the device to cycle `now`,
+///    moving any serviced transactions into an internal completion buffer.
+/// 3. [`drain_completions`](MemorySystem::drain_completions) takes that
+///    buffer. Completion order must be deterministic for a given request
+///    sequence — simulations are replayed across threads and compared.
+/// 4. [`next_event_cycle`](MemorySystem::next_event_cycle) names the next
+///    cycle at which the device state can change, letting the event loop
+///    skip idle gaps. It must be strictly in the future once `tick` has
+///    run, and `None` only when the device is completely idle.
+pub trait MemorySystem: std::fmt::Debug + Send {
+    /// Submit a transaction at device cycle `now`. `meta` is an opaque tag
+    /// handed back in the matching [`Completion`].
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] when the target queue has no free slot.
+    fn enqueue(
+        &mut self,
+        now: u64,
+        core: usize,
+        addr: u64,
+        is_write: bool,
+        meta: u64,
+    ) -> Result<(), EnqueueError>;
+
+    /// Advance device time to `now`, retiring due transactions into the
+    /// completion buffer.
+    fn tick(&mut self, now: u64);
+
+    /// Take all buffered completions, in service order.
+    fn drain_completions(&mut self) -> Vec<Completion>;
+
+    /// The next cycle at which the device needs attention, if any.
+    fn next_event_cycle(&self) -> Option<u64>;
+
+    /// Snapshot of device statistics.
+    fn stats(&self) -> DramStats;
+
+    /// Transactions enqueued or in flight (deadlock diagnostics).
+    fn pending(&self) -> usize;
+
+    /// The windowed bandwidth trace, when tracing is enabled.
+    fn bandwidth_trace(&self) -> Option<BandwidthTrace>;
+}
+
+/// The banked FR-FCFS DRAM timing model, adapted to [`MemorySystem`].
+#[derive(Debug)]
+pub struct DramMemory {
+    dram: Dram,
+    ready: Vec<Completion>,
+}
+
+impl DramMemory {
+    /// Wrap an already-configured [`Dram`] device.
+    pub fn new(dram: Dram) -> Self {
+        DramMemory { dram, ready: Vec::new() }
+    }
+
+    /// Build the device for `cfg`: total channel count, bandwidth tracing,
+    /// and — for non-DRAM-sharing levels — the static channel partition.
+    pub fn from_config(cfg: &SystemConfig) -> Self {
+        let mut dram_cfg = cfg.dram.clone();
+        dram_cfg.channels = cfg.total_channels();
+        let mut dram = Dram::new(dram_cfg);
+        if let Some(w) = cfg.trace_window {
+            dram.enable_trace(w, cfg.cores);
+        }
+        if !cfg.sharing.shares_dram() {
+            let counts = cfg
+                .channel_partition
+                .clone()
+                .unwrap_or_else(|| vec![cfg.channels_per_core; cfg.cores]);
+            for (core, subset) in
+                partition_channels(cfg.total_channels(), &counts).into_iter().enumerate()
+            {
+                dram.set_core_channels(core, subset);
+            }
+        }
+        DramMemory::new(dram)
+    }
+}
+
+impl MemorySystem for DramMemory {
+    fn enqueue(
+        &mut self,
+        now: u64,
+        core: usize,
+        addr: u64,
+        is_write: bool,
+        meta: u64,
+    ) -> Result<(), EnqueueError> {
+        self.dram.try_enqueue(now, core, addr, is_write, meta)
+    }
+
+    fn tick(&mut self, now: u64) {
+        self.ready.extend(self.dram.advance(now));
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.ready)
+    }
+
+    fn next_event_cycle(&self) -> Option<u64> {
+        self.dram.next_event()
+    }
+
+    fn stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    fn pending(&self) -> usize {
+        self.dram.pending()
+    }
+
+    fn bandwidth_trace(&self) -> Option<BandwidthTrace> {
+        self.dram.trace().cloned()
+    }
+}
+
+/// Fixed-latency, infinite-bandwidth memory: the service time of every
+/// transaction is a constant and requests never queue against each other.
+#[derive(Debug)]
+pub struct IdealMemory {
+    latency: u64,
+    /// In-flight transactions ordered by `(done_at, seq)`; the sequence
+    /// number keeps completion order deterministic within a cycle.
+    in_flight: BinaryHeap<Reverse<InFlightTxn>>,
+    ready: Vec<Completion>,
+    seq: u64,
+    stats: DramStats,
+    trace: Option<BandwidthTrace>,
+}
+
+impl IdealMemory {
+    /// A device serving `cores` requesters with a fixed `latency` (DRAM
+    /// cycles, clamped to at least 1). `trace_window` enables the windowed
+    /// bandwidth trace.
+    pub fn new(cores: usize, latency: u64, trace_window: Option<u64>) -> Self {
+        let stats = DramStats {
+            // One pseudo-channel so per-channel consumers see the totals.
+            per_channel: vec![Default::default()],
+            per_core_bytes: vec![0; cores],
+            ..Default::default()
+        };
+        IdealMemory {
+            latency: latency.max(1),
+            in_flight: BinaryHeap::new(),
+            ready: Vec::new(),
+            seq: 0,
+            stats,
+            trace: trace_window.map(|w| BandwidthTrace::new(w, cores)),
+        }
+    }
+}
+
+impl MemorySystem for IdealMemory {
+    fn enqueue(
+        &mut self,
+        now: u64,
+        core: usize,
+        addr: u64,
+        is_write: bool,
+        meta: u64,
+    ) -> Result<(), EnqueueError> {
+        let done_at = now + self.latency;
+        self.in_flight.push(Reverse((done_at, self.seq, core, addr, is_write, meta)));
+        self.seq += 1;
+        let ch = &mut self.stats.per_channel[0];
+        if is_write {
+            ch.writes += 1;
+        } else {
+            ch.reads += 1;
+        }
+        ch.bytes += TRANSACTION_BYTES;
+        ch.latency_sum += self.latency;
+        ch.latency_max = ch.latency_max.max(self.latency);
+        if let Some(c) = self.stats.per_core_bytes.get_mut(core) {
+            *c += TRANSACTION_BYTES;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, now: u64) {
+        while let Some(&Reverse((done_at, _, core, addr, is_write, meta))) = self.in_flight.peek() {
+            if done_at > now {
+                break;
+            }
+            self.in_flight.pop();
+            if let Some(t) = &mut self.trace {
+                t.record(done_at, core, TRANSACTION_BYTES);
+            }
+            self.ready.push(Completion { meta, core, addr, is_write, completed_at: done_at });
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.ready)
+    }
+
+    fn next_event_cycle(&self) -> Option<u64> {
+        self.in_flight.peek().map(|&Reverse((done_at, ..))| done_at)
+    }
+
+    fn stats(&self) -> DramStats {
+        let mut s = self.stats.clone();
+        s.total = s.per_channel[0].clone();
+        s
+    }
+
+    fn pending(&self) -> usize {
+        self.in_flight.len() + self.ready.len()
+    }
+
+    fn bandwidth_trace(&self) -> Option<BandwidthTrace> {
+        self.trace.clone()
+    }
+}
+
+/// Build the backend selected by `cfg.memory`.
+pub(crate) fn build_memory(cfg: &SystemConfig) -> Box<dyn MemorySystem> {
+    match cfg.memory {
+        MemoryModel::Timing => Box::new(DramMemory::from_config(cfg)),
+        MemoryModel::Ideal { latency } => {
+            Box::new(IdealMemory::new(cfg.cores, latency, cfg.trace_window))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(mem: &mut dyn MemorySystem, until: u64) -> Vec<Completion> {
+        let mut all = Vec::new();
+        for now in 0..=until {
+            mem.tick(now);
+            all.extend(mem.drain_completions());
+        }
+        all
+    }
+
+    #[test]
+    fn ideal_memory_fixed_latency() {
+        let mut mem = IdealMemory::new(2, 10, None);
+        mem.enqueue(0, 0, 0x40, false, 7).unwrap();
+        mem.enqueue(3, 1, 0x80, true, 8).unwrap();
+        assert_eq!(mem.next_event_cycle(), Some(10));
+        let done = drive(&mut mem, 20);
+        assert_eq!(done.len(), 2);
+        assert_eq!((done[0].meta, done[0].completed_at), (7, 10));
+        assert_eq!((done[1].meta, done[1].completed_at), (8, 13));
+        assert_eq!(mem.pending(), 0);
+    }
+
+    #[test]
+    fn ideal_memory_never_rejects() {
+        let mut mem = IdealMemory::new(1, 5, None);
+        for i in 0..10_000u64 {
+            assert!(mem.enqueue(0, 0, i * 64, i % 2 == 0, i).is_ok());
+        }
+        assert_eq!(mem.pending(), 10_000);
+        let done = drive(&mut mem, 5);
+        assert_eq!(done.len(), 10_000, "infinite bandwidth: all complete together");
+    }
+
+    #[test]
+    fn ideal_memory_counts_stats() {
+        let mut mem = IdealMemory::new(2, 4, Some(8));
+        mem.enqueue(0, 0, 0x0, false, 0).unwrap();
+        mem.enqueue(0, 1, 0x40, true, 1).unwrap();
+        drive(&mut mem, 8);
+        let s = mem.stats();
+        assert_eq!(s.total.reads, 1);
+        assert_eq!(s.total.writes, 1);
+        assert_eq!(s.total.bytes, 2 * TRANSACTION_BYTES);
+        assert_eq!(s.per_core_bytes, vec![TRANSACTION_BYTES, TRANSACTION_BYTES]);
+        let t = mem.bandwidth_trace().expect("tracing enabled");
+        assert_eq!(t.total_series().iter().sum::<u64>(), 2 * TRANSACTION_BYTES);
+    }
+}

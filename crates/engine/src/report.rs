@@ -186,11 +186,7 @@ impl RunReport {
     /// Estimate whole-chip energy for this run. The DRAM portion is derived
     /// from the run's DRAM statistics; compute/SPM portions from per-core
     /// MAC counts and traffic. Post-hoc — simulation pays nothing.
-    pub fn estimate_energy(
-        &self,
-        config: &crate::SystemConfig,
-        model: &EnergyModel,
-    ) -> ChipEnergy {
+    pub fn estimate_energy(&self, config: &crate::SystemConfig, model: &EnergyModel) -> ChipEnergy {
         let compute_nj = self
             .cores
             .iter()

@@ -1,184 +1,58 @@
 //! The event-driven multi-core simulation loop.
+//!
+//! The loop itself lives here; the moving parts it coordinates are split
+//! into sibling modules: [`crate::stage`] (DMA burst expansion),
+//! [`crate::core_rt`] (the per-core tile pipeline), [`crate::arbiter`]
+//! (round-robin issue order and walker grants) and [`crate::memory`] (the
+//! pluggable [`MemorySystem`] backends).
 
+use crate::arbiter::Arbiter;
+use crate::core_rt::CoreRt;
 use crate::memmap::PageTable;
+use crate::memory::{build_memory, MemorySystem};
 use crate::report::{CoreReport, LogEvent, LogKind, RunReport};
-use crate::sharing::partition_channels;
+use crate::stage::Stage;
 use crate::system::SystemConfig;
-use mnpu_dram::{Dram, EnqueueError, TRANSACTION_BYTES};
-use mnpu_mmu::{Mmu, WalkStart, WalkStep};
+use mnpu_dram::TRANSACTION_BYTES;
+use mnpu_mmu::{Mmu, WalkStep};
 use mnpu_model::Network;
-use mnpu_systolic::{MemSpan, WorkloadTrace};
+use mnpu_systolic::WorkloadTrace;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 
 /// Tag bit distinguishing page-table walk reads from data transactions.
-const META_WALK: u64 = 1 << 63;
+pub(crate) const META_WALK: u64 = 1 << 63;
 
-/// A DMA stage: the load or store burst of one tile, expanded into 64-byte
-/// transactions on demand.
-#[derive(Debug)]
-struct Stage {
-    core: usize,
-    layer: usize,
-    flat_tile: usize,
-    is_store: bool,
-    spans: Vec<MemSpan>,
-    span_idx: usize,
-    cursor: u64,
-    total: u64,
-    consumed: u64,
-    completed: u64,
-}
-
-fn span_txns(s: &MemSpan) -> u64 {
-    (s.addr + s.bytes - 1) / TRANSACTION_BYTES - s.addr / TRANSACTION_BYTES + 1
-}
-
-impl Stage {
-    fn new(core: usize, layer: usize, flat_tile: usize, is_store: bool, spans: Vec<MemSpan>) -> Self {
-        let total = spans.iter().map(span_txns).sum();
-        let cursor = spans.first().map_or(0, |s| s.addr / TRANSACTION_BYTES * TRANSACTION_BYTES);
-        Stage { core, layer, flat_tile, is_store, spans, span_idx: 0, cursor, total, consumed: 0, completed: 0 }
-    }
-
-    /// Virtual address of the next transaction, if any remain unissued.
-    fn peek(&self) -> Option<u64> {
-        (self.consumed < self.total).then_some(self.cursor)
-    }
-
-    fn advance(&mut self) {
-        debug_assert!(self.consumed < self.total);
-        self.consumed += 1;
-        let span = &self.spans[self.span_idx];
-        let end = span.addr + span.bytes;
-        self.cursor += TRANSACTION_BYTES;
-        if self.cursor >= end {
-            self.span_idx += 1;
-            if let Some(next) = self.spans.get(self.span_idx) {
-                self.cursor = next.addr / TRANSACTION_BYTES * TRANSACTION_BYTES;
-            }
-        }
-    }
-
-    fn done(&self) -> bool {
-        self.completed == self.total
-    }
-}
-
-/// Per-core pipeline state over the flattened tile list.
-#[derive(Debug)]
-struct CoreRt {
-    trace: WorkloadTrace,
-    flat_tiles: Vec<(usize, usize)>,
-    /// Store transactions still outstanding per layer (this iteration) —
-    /// the cross-layer RAW barrier.
-    layer_store_remaining: Vec<u64>,
-    layer_store_total: Vec<u64>,
-    /// Global cycle at which each layer retired its last store (final
-    /// iteration) — the paper's layer-wise execution-cycle output.
-    layer_finish: Vec<u64>,
-    tile_loaded: Vec<bool>,
-    next_load: usize,
-    next_compute: usize,
-    computed: usize,
-    load_stage: Option<usize>,
-    active_stores: Vec<usize>,
-    computing: Option<(usize, u64)>,
-    outstanding: usize,
-    iter: u64,
-    start_cycle: u64,
-    finished_at: Option<u64>,
-    compute_cycles_total: u64,
-    data_txns: u64,
-    walk_txns: u64,
-    blocked_on_dram: bool,
-}
-
-impl CoreRt {
-    fn new(trace: WorkloadTrace, start_cycle: u64) -> Self {
-        let mut flat = Vec::new();
-        let mut store_total = vec![0u64; trace.layers().len()];
-        for (li, l) in trace.layers().iter().enumerate() {
-            for (ti, tile) in l.tiles.iter().enumerate() {
-                flat.push((li, ti));
-                store_total[li] += tile.stores.iter().map(span_txns).sum::<u64>();
-            }
-        }
-        let n = flat.len();
-        CoreRt {
-            trace,
-            flat_tiles: flat,
-            layer_finish: vec![0; store_total.len()],
-            layer_store_remaining: store_total.clone(),
-            layer_store_total: store_total,
-            tile_loaded: vec![false; n],
-            next_load: 0,
-            next_compute: 0,
-            computed: 0,
-            load_stage: None,
-            active_stores: Vec::new(),
-            computing: None,
-            outstanding: 0,
-            iter: 0,
-            start_cycle,
-            finished_at: None,
-            compute_cycles_total: 0,
-            data_txns: 0,
-            walk_txns: 0,
-            blocked_on_dram: false,
-        }
-    }
-
-    fn tile(&self, flat: usize) -> &mnpu_systolic::Tile {
-        let (l, t) = self.flat_tiles[flat];
-        &self.trace.layers()[l].tiles[t]
-    }
-
-    fn finished(&self) -> bool {
-        self.finished_at.is_some()
-    }
-
-    /// `true` when every layer before `layer` has retired all its stores.
-    fn barrier_open(&self, layer: usize) -> bool {
-        self.layer_store_remaining[..layer].iter().all(|&r| r == 0)
-    }
-
-    fn reset_for_next_iteration(&mut self) {
-        self.layer_store_remaining = self.layer_store_total.clone();
-        self.tile_loaded.iter_mut().for_each(|b| *b = false);
-        self.next_load = 0;
-        self.next_compute = 0;
-        self.computed = 0;
-        self.iter += 1;
-    }
-}
+/// A request in flight on the interconnect: (arrival, core, paddr, is_write, meta).
+pub(crate) type NocRequest = (u64, usize, u64, bool, u64);
 
 /// An event-driven simulation of one multi-core NPU chip executing one
 /// workload per core.
 ///
 /// Most callers use [`Simulation::run`] (traces) or
 /// [`Simulation::run_networks`] (builds traces first); the struct itself is
-/// exposed for step-wise debugging.
+/// exposed for step-wise debugging. The state is `Send`, so whole
+/// simulations can be farmed out to worker threads (each simulation is
+/// still single-threaded and deterministic).
 #[derive(Debug)]
 pub struct Simulation {
-    cfg: SystemConfig,
-    dram: Dram,
-    mmu: Option<Mmu>,
-    page_tables: Vec<PageTable>,
-    cores: Vec<CoreRt>,
-    stages: Vec<Stage>,
-    walk_waiters: HashMap<u64, Vec<(usize, u64)>>,
-    walker_wait_order: Vec<VecDeque<u64>>,
-    walker_waiters: HashMap<(usize, u64), Vec<(usize, u64)>>,
-    dram_retry: VecDeque<(usize, u64, bool, u64)>,
-    rr_start: usize,
-    log: Option<Vec<LogEvent>>,
-    noc: Option<mnpu_noc::Crossbar>,
-    /// Requests in flight on the interconnect: (arrival, core, paddr, is_write, meta).
-    noc_requests: BinaryHeap<Reverse<(u64, usize, u64, bool, u64)>>,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) memory: Box<dyn MemorySystem>,
+    pub(crate) mmu: Option<Mmu>,
+    pub(crate) page_tables: Vec<PageTable>,
+    pub(crate) cores: Vec<CoreRt>,
+    pub(crate) stages: Vec<Stage>,
+    /// Transactions parked on each in-flight walk: raw walk id →
+    /// `(stage, vaddr)` list.
+    pub(crate) walk_waiters: HashMap<u64, Vec<(usize, u64)>>,
+    pub(crate) arbiter: Arbiter,
+    pub(crate) log: Option<Vec<LogEvent>>,
+    pub(crate) noc: Option<mnpu_noc::Crossbar>,
+    /// Requests in flight on the interconnect.
+    pub(crate) noc_requests: BinaryHeap<Reverse<NocRequest>>,
     /// Responses in flight back to cores: (arrival, meta, core).
-    noc_responses: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    now: u64,
+    pub(crate) noc_responses: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    pub(crate) now: u64,
 }
 
 impl Simulation {
@@ -194,21 +68,7 @@ impl Simulation {
         }
         assert_eq!(traces.len(), cfg.cores, "one workload trace per core");
 
-        let mut dram_cfg = cfg.dram.clone();
-        dram_cfg.channels = cfg.total_channels();
-        let mut dram = Dram::new(dram_cfg);
-        if let Some(w) = cfg.trace_window {
-            dram.enable_trace(w, cfg.cores);
-        }
-        if !cfg.sharing.shares_dram() {
-            let counts = cfg
-                .channel_partition
-                .clone()
-                .unwrap_or_else(|| vec![cfg.channels_per_core; cfg.cores]);
-            for (core, subset) in partition_channels(cfg.total_channels(), &counts).into_iter().enumerate() {
-                dram.set_core_channels(core, subset);
-            }
-        }
+        let memory = build_memory(cfg);
 
         let cap = cfg.capacity_per_core();
         let page_tables: Vec<PageTable> = (0..cfg.cores)
@@ -237,22 +97,19 @@ impl Simulation {
             .collect();
 
         Simulation {
-            cfg: cfg.clone(),
-            dram,
+            memory,
             mmu,
             page_tables,
             cores,
             stages: Vec::new(),
             walk_waiters: HashMap::new(),
-            walker_wait_order: vec![VecDeque::new(); cfg.cores],
-            walker_waiters: HashMap::new(),
-            dram_retry: VecDeque::new(),
-            rr_start: 0,
+            arbiter: Arbiter::new(cfg.cores),
             log: cfg.request_log.then(Vec::new),
             noc: cfg.noc.as_ref().map(|n| mnpu_noc::Crossbar::new(n, cfg.cores)),
             noc_requests: BinaryHeap::new(),
             noc_responses: BinaryHeap::new(),
             now: 0,
+            cfg: cfg.clone(),
         }
     }
 
@@ -264,11 +121,8 @@ impl Simulation {
     /// Panics under the same conditions as [`Simulation::new`].
     pub fn run_networks(cfg: &SystemConfig, networks: &[Network]) -> RunReport {
         assert_eq!(networks.len(), cfg.cores, "one network per core");
-        let traces: Vec<WorkloadTrace> = networks
-            .iter()
-            .zip(&cfg.arch)
-            .map(|(n, a)| WorkloadTrace::generate(n, a))
-            .collect();
+        let traces: Vec<WorkloadTrace> =
+            networks.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
         Simulation::new(cfg, &traces).run()
     }
 
@@ -285,7 +139,7 @@ impl Simulation {
     }
 
     /// Convert `cycles` in core `c`'s clock domain to global (DRAM) cycles.
-    fn to_global(&self, core: usize, cycles: u64) -> u64 {
+    pub(crate) fn to_global(&self, core: usize, cycles: u64) -> u64 {
         let f = self.cfg.arch[core].freq_mhz as u128;
         let g = self.cfg.dram.freq_mhz as u128;
         ((cycles as u128 * g).div_ceil(f)) as u64
@@ -321,10 +175,14 @@ impl Simulation {
                 self.handle_completion(meta, core);
             }
 
-            let completions = self.dram.advance(self.now);
-            for c in completions {
+            self.memory.tick(self.now);
+            for c in self.memory.drain_completions() {
                 if let Some(noc) = &mut self.noc {
-                    let arrival = noc.response_delivery(c.completed_at.min(self.now), c.core, TRANSACTION_BYTES);
+                    let arrival = noc.response_delivery(
+                        c.completed_at.min(self.now),
+                        c.core,
+                        TRANSACTION_BYTES,
+                    );
                     if arrival > self.now {
                         self.noc_responses.push(Reverse((arrival, c.meta, c.core)));
                         continue;
@@ -341,21 +199,20 @@ impl Simulation {
                 break;
             }
 
-            let mut next: Option<u64> = self.dram.next_event();
+            let mut next: Option<u64> = self.memory.next_event_cycle();
             if let Some(&Reverse((t, ..))) = self.noc_requests.peek() {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
             if let Some(&Reverse((t, ..))) = self.noc_responses.peek() {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
-            for (ci, core) in self.cores.iter().enumerate() {
+            for core in &self.cores {
                 if let Some((_, done_at)) = core.computing {
                     next = Some(next.map_or(done_at, |n| n.min(done_at)));
                 }
                 if core.start_cycle > self.now && !core.finished() {
                     next = Some(next.map_or(core.start_cycle, |n| n.min(core.start_cycle)));
                 }
-                let _ = ci;
             }
             match next {
                 Some(t) => {
@@ -394,9 +251,9 @@ impl Simulation {
             "simulation deadlock at cycle {}: no pending events but cores unfinished\n{}\nwalker_wait={} dram_retry={} dram_pending={}",
             self.now,
             states.join("\n"),
-            self.walker_wait_order.iter().map(VecDeque::len).sum::<usize>(),
-            self.dram_retry.len(),
-            self.dram.pending()
+            self.arbiter.walker_wait_order.iter().map(std::collections::VecDeque::len).sum::<usize>(),
+            self.arbiter.dram_retry.len(),
+            self.memory.pending()
         );
     }
 
@@ -469,297 +326,9 @@ impl Simulation {
         }
     }
 
-    fn log(&mut self, core: usize, kind: LogKind, addr: u64) {
+    pub(crate) fn log(&mut self, core: usize, kind: LogKind, addr: u64) {
         if let Some(log) = &mut self.log {
             log.push(LogEvent { cycle: self.now, core, kind, addr });
-        }
-    }
-
-    /// Route a memory-bound transaction: across the interconnect when one
-    /// is modeled, then into the DRAM queue (or the retry list when full).
-    fn enqueue_or_retry(&mut self, core: usize, paddr: u64, is_write: bool, meta: u64) {
-        if let Some(noc) = &mut self.noc {
-            let arrival = noc.request_delivery(self.now, core, TRANSACTION_BYTES);
-            if arrival > self.now {
-                self.noc_requests.push(Reverse((arrival, core, paddr, is_write, meta)));
-                return;
-            }
-        }
-        self.enqueue_direct(core, paddr, is_write, meta);
-    }
-
-    fn enqueue_direct(&mut self, core: usize, paddr: u64, is_write: bool, meta: u64) {
-        match self.dram.try_enqueue(self.now, core, paddr, is_write, meta) {
-            Ok(()) => {}
-            Err(EnqueueError::QueueFull { .. }) => {
-                self.dram_retry.push_back((core, paddr, is_write, meta));
-            }
-        }
-    }
-
-    /// Grant freed walkers to waiting walks, round-robin across cores so a
-    /// walk-hungry core cannot head-of-line-block its co-runners at the
-    /// shared pool (each per-core queue stays FCFS internally).
-    fn drain_walker_wait(&mut self) {
-        let ncores = self.cores.len();
-        let mut blocked = vec![false; ncores];
-        // Rotate the starting core so freed walkers are granted round-robin
-        // rather than by fixed core priority.
-        self.rr_start = (self.rr_start + 1) % ncores;
-        let first = self.rr_start;
-        loop {
-            let mut progressed = false;
-            for k in 0..ncores {
-                let core = (first + k) % ncores;
-                if blocked[core] || self.walker_wait_order[core].is_empty() {
-                    continue;
-                }
-                let vpn = self.walker_wait_order[core][0];
-                let mmu = self.mmu.as_mut().expect("walker wait without MMU");
-                // The page may have become resident through a walk that
-                // finished while this entry waited; never start a redundant
-                // walk.
-                if mmu.probe(core, vpn) {
-                    self.walker_wait_order[core].pop_front();
-                    let waiters = self.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
-                    for (stage_id, vaddr) in waiters {
-                        let is_write = self.stages[stage_id].is_store;
-                        let paddr = self.page_tables[core].translate(vaddr);
-                        self.enqueue_or_retry(core, paddr, is_write, stage_id as u64);
-                    }
-                    progressed = true;
-                    continue;
-                }
-                match mmu.retry_walk(core, vpn) {
-                    WalkStart::Started { walk, pt_addr } => {
-                        self.log(core, LogKind::WalkStart, pt_addr);
-                        self.walker_wait_order[core].pop_front();
-                        let waiters = self.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
-                        self.walk_waiters.insert(walk.raw(), waiters);
-                        self.enqueue_or_retry(core, pt_addr, false, META_WALK | walk.raw());
-                        progressed = true;
-                    }
-                    WalkStart::Joined(walk) => {
-                        self.walker_wait_order[core].pop_front();
-                        let waiters = self.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
-                        self.walk_waiters.entry(walk.raw()).or_default().extend(waiters);
-                        progressed = true;
-                    }
-                    WalkStart::NoWalker => {
-                        blocked[core] = true;
-                    }
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-    }
-
-    // --- core pipeline -----------------------------------------------------
-
-    fn progress_core(&mut self, ci: usize) {
-        if self.cores[ci].finished() || self.cores[ci].start_cycle > self.now {
-            return;
-        }
-        loop {
-            let mut made_progress = false;
-
-            // Compute completion.
-            if let Some((flat, done_at)) = self.cores[ci].computing {
-                if done_at <= self.now {
-                    self.cores[ci].computing = None;
-                    self.cores[ci].computed = flat + 1;
-                    let (layer, _) = self.cores[ci].flat_tiles[flat];
-                    let stores = self.cores[ci].tile(flat).stores.clone();
-                    if !stores.is_empty() {
-                        let id = self.stages.len();
-                        self.stages.push(Stage::new(ci, layer, flat, true, stores));
-                        self.cores[ci].active_stores.push(id);
-                    }
-                    made_progress = true;
-                }
-            }
-
-            // Compute start.
-            if self.cores[ci].computing.is_none() {
-                let flat = self.cores[ci].next_compute;
-                if flat < self.cores[ci].flat_tiles.len() && self.cores[ci].tile_loaded[flat] {
-                    let cycles = self.cores[ci].tile(flat).compute_cycles;
-                    let dur = self.to_global(ci, cycles);
-                    self.cores[ci].computing = Some((flat, self.now + dur.max(1)));
-                    self.cores[ci].next_compute = flat + 1;
-                    self.cores[ci].compute_cycles_total += cycles;
-                    made_progress = true;
-                }
-            }
-
-            // Load-stage creation (double buffering: at most one tile ahead
-            // of compute, gated by the cross-layer store barrier).
-            if self.cores[ci].load_stage.is_none() {
-                let flat = self.cores[ci].next_load;
-                let rt = &self.cores[ci];
-                if flat < rt.flat_tiles.len() && flat <= rt.next_compute {
-                    let (layer, _) = rt.flat_tiles[flat];
-                    if rt.barrier_open(layer) {
-                        let loads = rt.tile(flat).loads.clone();
-                        let id = self.stages.len();
-                        let stage = Stage::new(ci, layer, flat, false, loads);
-                        let rt = &mut self.cores[ci];
-                        if stage.total == 0 {
-                            rt.tile_loaded[flat] = true;
-                        } else {
-                            rt.load_stage = Some(id);
-                            self.stages.push(stage);
-                        }
-                        rt.next_load = flat + 1;
-                        made_progress = true;
-                    }
-                }
-            }
-
-            // Iteration / workload completion.
-            {
-                let rt = &self.cores[ci];
-                if rt.computing.is_none()
-                    && rt.computed == rt.flat_tiles.len()
-                    && rt.active_stores.is_empty()
-                    && rt.layer_store_remaining.iter().all(|&r| r == 0)
-                    && rt.load_stage.is_none()
-                    && !rt.finished()
-                {
-                    if rt.iter + 1 < self.cfg.iterations {
-                        self.cores[ci].reset_for_next_iteration();
-                        made_progress = true;
-                    } else {
-                        self.cores[ci].finished_at = Some(self.now);
-                    }
-                }
-            }
-
-            if !made_progress {
-                break;
-            }
-        }
-    }
-
-    // --- transaction issue ---------------------------------------------------
-
-    fn issue_all(&mut self) {
-        // Retry previously blocked transactions first (FCFS).
-        if !self.dram_retry.is_empty() {
-            let mut remaining = VecDeque::new();
-            while let Some((core, paddr, is_write, meta)) = self.dram_retry.pop_front() {
-                if self.dram.try_enqueue(self.now, core, paddr, is_write, meta).is_err() {
-                    remaining.push_back((core, paddr, is_write, meta));
-                }
-            }
-            self.dram_retry = remaining;
-        }
-        if self.walker_wait_order.iter().any(|q| !q.is_empty()) {
-            self.drain_walker_wait();
-        }
-
-        // Rotate the starting core so no core gets systematic first pick of
-        // DRAM queue slots (FCFS arbitration, not fixed priority).
-        let n = self.cores.len();
-        let start = (self.rr_start + 1) % n;
-        self.rr_start = start;
-        for k in 0..n {
-            let ci = (start + k) % n;
-            if self.cores[ci].finished() || self.cores[ci].start_cycle > self.now {
-                continue;
-            }
-            self.progress_core(ci);
-            self.issue_core(ci);
-        }
-    }
-
-    fn issue_core(&mut self, ci: usize) {
-        let budget = self.cfg.arch[ci].max_outstanding;
-        self.cores[ci].blocked_on_dram = false;
-        loop {
-            if self.cores[ci].outstanding >= budget || self.cores[ci].blocked_on_dram {
-                return;
-            }
-            // Pick the next transaction: the load stage first (it gates
-            // compute), then the oldest store stage.
-            let stage_id = {
-                let rt = &self.cores[ci];
-                let load = rt.load_stage.filter(|&s| self.stages[s].peek().is_some());
-                let store = rt.active_stores.iter().copied().find(|&s| self.stages[s].peek().is_some());
-                match load.or(store) {
-                    Some(s) => s,
-                    None => return,
-                }
-            };
-            let vaddr = self.stages[stage_id].peek().expect("peeked above");
-            if !self.try_issue_txn(ci, stage_id, vaddr) {
-                return;
-            }
-        }
-    }
-
-    /// Issue one transaction; returns `false` when the core must stop
-    /// issuing (DRAM queue full).
-    fn try_issue_txn(&mut self, ci: usize, stage_id: usize, vaddr: u64) -> bool {
-        let is_write = self.stages[stage_id].is_store;
-        if self.mmu.is_none() {
-            // Translation disabled: direct mapping, no MMU timing.
-            let paddr = self.page_tables[ci].translate(vaddr);
-            match self.dram.try_enqueue(self.now, ci, paddr, is_write, stage_id as u64) {
-                Ok(()) => {
-                    self.stages[stage_id].advance();
-                    self.cores[ci].outstanding += 1;
-                    true
-                }
-                Err(EnqueueError::QueueFull { .. }) => {
-                    self.cores[ci].blocked_on_dram = true;
-                    false
-                }
-            }
-        } else {
-            let mmu = self.mmu.as_mut().expect("checked above");
-            let vpn = mmu.vpn_of(vaddr);
-            let hit = mmu.lookup(ci, vpn);
-            self.log(ci, if hit { LogKind::TlbHit } else { LogKind::TlbMiss }, vaddr);
-            if hit {
-                let paddr = self.page_tables[ci].translate(vaddr);
-                match self.dram.try_enqueue(self.now, ci, paddr, is_write, stage_id as u64) {
-                    Ok(()) => {
-                        self.stages[stage_id].advance();
-                        self.cores[ci].outstanding += 1;
-                        true
-                    }
-                    Err(EnqueueError::QueueFull { .. }) => {
-                        self.cores[ci].blocked_on_dram = true;
-                        false
-                    }
-                }
-            } else {
-                // TLB miss: the transaction parks on a walk.
-                self.stages[stage_id].advance();
-                self.cores[ci].outstanding += 1;
-                let mmu = self.mmu.as_mut().expect("checked above");
-                match mmu.start_or_join_walk(ci, vpn) {
-                    WalkStart::Started { walk, pt_addr } => {
-                        self.log(ci, LogKind::WalkStart, pt_addr);
-                        self.walk_waiters.insert(walk.raw(), vec![(stage_id, vaddr)]);
-                        self.enqueue_or_retry(ci, pt_addr, false, META_WALK | walk.raw());
-                    }
-                    WalkStart::Joined(walk) => {
-                        self.walk_waiters.entry(walk.raw()).or_default().push((stage_id, vaddr));
-                    }
-                    WalkStart::NoWalker => {
-                        let entry = self.walker_waiters.entry((ci, vpn)).or_default();
-                        if entry.is_empty() {
-                            self.walker_wait_order[ci].push_back(vpn);
-                        }
-                        entry.push((stage_id, vaddr));
-                    }
-                }
-                true
-            }
         }
     }
 
@@ -776,22 +345,15 @@ impl Simulation {
                 let global = finish.saturating_sub(rt.start_cycle).max(1);
                 let cycles = self.to_core(ci, global);
                 let arch = &self.cfg.arch[ci];
-                let macs: u64 = rt
-                    .trace
-                    .layers()
-                    .iter()
-                    .flat_map(|l| &l.tiles)
-                    .map(|t| t.macs)
-                    .sum::<u64>()
-                    * self.cfg.iterations;
+                let macs: u64 =
+                    rt.trace.layers().iter().flat_map(|l| &l.tiles).map(|t| t.macs).sum::<u64>()
+                        * self.cfg.iterations;
                 let mut layer_cycles = Vec::with_capacity(rt.layer_finish.len());
                 let mut prev = rt.start_cycle;
                 for (l, &fin) in rt.layer_finish.iter().enumerate() {
                     let fin = fin.max(prev);
-                    layer_cycles.push((
-                        rt.trace.layers()[l].name.clone(),
-                        self.to_core(ci, fin - prev),
-                    ));
+                    layer_cycles
+                        .push((rt.trace.layers()[l].name.clone(), self.to_core(ci, fin - prev)));
                     prev = fin;
                 }
                 CoreReport {
@@ -807,7 +369,9 @@ impl Simulation {
                     noc_queue_cycles: self
                         .noc
                         .as_ref()
-                        .map(|x| x.request_link(ci).queue_cycles() + x.response_link(ci).queue_cycles())
+                        .map(|x| {
+                            x.request_link(ci).queue_cycles() + x.response_link(ci).queue_cycles()
+                        })
                         .unwrap_or(0),
                 }
             })
@@ -815,8 +379,8 @@ impl Simulation {
         RunReport {
             cores,
             total_cycles,
-            dram: self.dram.stats(),
-            bandwidth_trace: self.dram.trace().cloned(),
+            dram: self.memory.stats(),
+            bandwidth_trace: self.memory.bandwidth_trace(),
             request_log: self.log.unwrap_or_default(),
         }
     }

@@ -1,0 +1,146 @@
+//! DMA stages: burst expansion of tile load/store span lists into 64-byte
+//! DRAM transactions.
+
+use mnpu_dram::TRANSACTION_BYTES;
+use mnpu_systolic::MemSpan;
+
+/// Number of 64-byte transactions needed to cover `s`, counting the partial
+/// transactions at both unaligned ends.
+pub(crate) fn span_txns(s: &MemSpan) -> u64 {
+    (s.addr + s.bytes - 1) / TRANSACTION_BYTES - s.addr / TRANSACTION_BYTES + 1
+}
+
+/// A DMA stage: the load or store burst of one tile, expanded into 64-byte
+/// transactions on demand.
+#[derive(Debug)]
+pub(crate) struct Stage {
+    pub(crate) core: usize,
+    pub(crate) layer: usize,
+    pub(crate) flat_tile: usize,
+    pub(crate) is_store: bool,
+    pub(crate) spans: Vec<MemSpan>,
+    pub(crate) span_idx: usize,
+    pub(crate) cursor: u64,
+    pub(crate) total: u64,
+    pub(crate) consumed: u64,
+    pub(crate) completed: u64,
+}
+
+impl Stage {
+    pub(crate) fn new(
+        core: usize,
+        layer: usize,
+        flat_tile: usize,
+        is_store: bool,
+        spans: Vec<MemSpan>,
+    ) -> Self {
+        let total = spans.iter().map(span_txns).sum();
+        let cursor = spans.first().map_or(0, |s| s.addr / TRANSACTION_BYTES * TRANSACTION_BYTES);
+        Stage {
+            core,
+            layer,
+            flat_tile,
+            is_store,
+            spans,
+            span_idx: 0,
+            cursor,
+            total,
+            consumed: 0,
+            completed: 0,
+        }
+    }
+
+    /// Virtual address of the next transaction, if any remain unissued.
+    pub(crate) fn peek(&self) -> Option<u64> {
+        (self.consumed < self.total).then_some(self.cursor)
+    }
+
+    pub(crate) fn advance(&mut self) {
+        debug_assert!(self.consumed < self.total);
+        self.consumed += 1;
+        let span = &self.spans[self.span_idx];
+        let end = span.addr + span.bytes;
+        self.cursor += TRANSACTION_BYTES;
+        if self.cursor >= end {
+            self.span_idx += 1;
+            if let Some(next) = self.spans.get(self.span_idx) {
+                self.cursor = next.addr / TRANSACTION_BYTES * TRANSACTION_BYTES;
+            }
+        }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnpu_systolic::SpanKind;
+    use proptest::prelude::*;
+
+    /// Drain a stage through the same peek/advance protocol the issue loop
+    /// uses, returning every transaction address in order.
+    fn drain(spans: Vec<MemSpan>) -> Vec<u64> {
+        let mut stage = Stage::new(0, 0, 0, false, spans);
+        let mut addrs = Vec::new();
+        while let Some(a) = stage.peek() {
+            addrs.push(a);
+            stage.advance();
+        }
+        addrs
+    }
+
+    proptest! {
+        /// For arbitrary (unaligned) span lists, the stage issues exactly
+        /// `span_txns` transactions per span, every address is 64-byte
+        /// aligned, and no transaction falls outside its span's bounds
+        /// rounded to transaction granularity.
+        #[test]
+        fn prop_burst_expansion(raw in proptest::collection::vec((0u64..(1 << 40), 1u64..8192), 1..6)) {
+            let spans: Vec<MemSpan> = raw
+                .iter()
+                .map(|&(addr, bytes)| MemSpan { addr, bytes, kind: SpanKind::Load })
+                .collect();
+            let expected: u64 = spans.iter().map(span_txns).sum();
+            let addrs = drain(spans.clone());
+            prop_assert_eq!(addrs.len() as u64, expected);
+
+            let mut it = addrs.iter().copied();
+            for s in &spans {
+                let first = s.addr / TRANSACTION_BYTES * TRANSACTION_BYTES;
+                let last = (s.addr + s.bytes - 1) / TRANSACTION_BYTES * TRANSACTION_BYTES;
+                for k in 0..span_txns(s) {
+                    let a = it.next().expect("count checked above");
+                    prop_assert_eq!(a % TRANSACTION_BYTES, 0);
+                    prop_assert!(a >= first && a <= last, "txn 0x{:x} outside [0x{:x}, 0x{:x}]", a, first, last);
+                    prop_assert_eq!(a, first + k * TRANSACTION_BYTES);
+                }
+            }
+            prop_assert!(it.next().is_none());
+        }
+
+        /// `done()` flips only once every issued transaction has completed.
+        #[test]
+        fn prop_done_requires_all_completions(addr in 0u64..(1 << 30), bytes in 1u64..4096) {
+            let span = MemSpan { addr, bytes, kind: SpanKind::Store };
+            let mut stage = Stage::new(0, 0, 0, true, vec![span]);
+            let total = stage.total;
+            while stage.peek().is_some() {
+                stage.advance();
+            }
+            for _ in 0..total {
+                prop_assert!(!stage.done());
+                stage.completed += 1;
+            }
+            prop_assert!(stage.done());
+        }
+    }
+
+    #[test]
+    fn zero_span_stage_is_empty() {
+        let addrs = drain(Vec::new());
+        assert!(addrs.is_empty());
+    }
+}

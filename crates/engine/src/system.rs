@@ -1,5 +1,6 @@
 //! Whole-system configuration: cores + MMU + DRAM + sharing level.
 
+use crate::memory::MemoryModel;
 use crate::sharing::SharingLevel;
 use mnpu_dram::DramConfig;
 use mnpu_mmu::MmuConfig;
@@ -66,6 +67,10 @@ pub struct SystemConfig {
     /// Optional on-chip interconnect between cores and the memory system
     /// (an extension; `None` = ideal interconnect, as the paper assumes).
     pub noc: Option<mnpu_noc::NocConfig>,
+    /// Which [`crate::MemorySystem`] backend services memory traffic:
+    /// the full DRAM timing model (default) or a fixed-latency ideal
+    /// memory.
+    pub memory: MemoryModel,
 }
 
 impl SystemConfig {
@@ -89,6 +94,7 @@ impl SystemConfig {
             ptw_bounds: None,
             max_cycles: None,
             noc: None,
+            memory: MemoryModel::Timing,
         }
     }
 
@@ -148,6 +154,14 @@ impl SystemConfig {
     /// of an ideal one.
     pub fn with_noc(mut self, noc: mnpu_noc::NocConfig) -> Self {
         self.noc = Some(noc);
+        self
+    }
+
+    /// Replace the DRAM timing model with a fixed-latency,
+    /// infinite-bandwidth [`crate::IdealMemory`] — a contention-free upper
+    /// bound that isolates compute and translation effects.
+    pub fn with_ideal_memory(mut self, latency: u64) -> Self {
+        self.memory = MemoryModel::Ideal { latency };
         self
     }
 
@@ -212,7 +226,7 @@ impl SystemConfig {
             if p.iter().sum::<usize>() != self.total_channels() {
                 return Err("channel partition must sum to the total channel count".into());
             }
-            if p.iter().any(|&c| c == 0) {
+            if p.contains(&0) {
                 return Err("every core needs at least one channel".into());
             }
         }

@@ -43,7 +43,7 @@ proptest! {
             .flat_map(|l| &l.tiles)
             .map(|t| (t.loads.len() + t.stores.len()) as u64)
             .sum();
-        let r = Simulation::new(&cfg, &[trace.clone()]).run();
+        let r = Simulation::new(&cfg, std::slice::from_ref(&trace)).run();
         prop_assert!(r.cores[0].traffic_bytes >= trace.total_traffic_bytes());
         prop_assert!(r.cores[0].traffic_bytes <= trace.total_traffic_bytes() + spans * 64);
     }
@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn prop_determinism(net in arb_network()) {
         let cfg = small_cfg(true);
-        let a = Simulation::run_networks(&cfg, &[net.clone()]);
+        let a = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
         let b = Simulation::run_networks(&cfg, &[net]);
         prop_assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
         prop_assert_eq!(a.dram.total.bytes, b.dram.total.bytes);
@@ -64,7 +64,7 @@ proptest! {
     fn prop_cycle_bounds(net in arb_network()) {
         let cfg = small_cfg(true);
         let trace = WorkloadTrace::generate(&net, &cfg.arch[0]);
-        let r = Simulation::new(&cfg, &[trace.clone()]).run();
+        let r = Simulation::new(&cfg, std::slice::from_ref(&trace)).run();
         prop_assert!(r.cores[0].cycles >= trace.total_compute_cycles());
         // Worst case: everything serialized — compute + every transaction
         // (data + 4-level walks per distinct page, no reuse) at one
@@ -77,7 +77,7 @@ proptest! {
     /// Removing translation never slows a run down.
     #[test]
     fn prop_translation_only_adds_time(net in arb_network()) {
-        let with = Simulation::run_networks(&small_cfg(true), &[net.clone()]);
+        let with = Simulation::run_networks(&small_cfg(true), std::slice::from_ref(&net));
         let without = Simulation::run_networks(&small_cfg(false), &[net]);
         prop_assert!(without.cores[0].cycles <= with.cores[0].cycles);
     }
@@ -88,7 +88,7 @@ proptest! {
     fn prop_more_resources_never_hurt(net in arb_network()) {
         let small = SystemConfig::bench(1, SharingLevel::Ideal);
         let big = SystemConfig::bench(2, SharingLevel::Ideal).ideal_solo();
-        let r_small = Simulation::run_networks(&small, &[net.clone()]);
+        let r_small = Simulation::run_networks(&small, std::slice::from_ref(&net));
         let r_big = Simulation::run_networks(&big, &[net]);
         // Allow 2% slack: more channels can shift row-buffer luck slightly.
         prop_assert!(

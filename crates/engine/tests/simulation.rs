@@ -24,7 +24,7 @@ fn bench_cfg(cores: usize, sharing: SharingLevel) -> SystemConfig {
 fn single_core_completes_and_accounts_traffic() {
     let net = tiny_net("t");
     let cfg = bench_cfg(1, SharingLevel::Ideal);
-    let r = Simulation::run_networks(&cfg, &[net.clone()]);
+    let r = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
     assert_eq!(r.cores.len(), 1);
     let c = &r.cores[0];
     assert_eq!(c.workload, "t");
@@ -65,7 +65,8 @@ fn simulation_is_deterministic() {
 #[test]
 fn translation_disabled_is_faster_and_walk_free() {
     let net = zoo::ncf(Scale::Bench);
-    let with = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
+    let with =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
     let without =
         Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal).without_translation(), &[net]);
     assert_eq!(without.cores[0].walk_bytes, 0);
@@ -77,11 +78,12 @@ fn translation_disabled_is_faster_and_walk_free() {
 #[test]
 fn co_runners_slow_each_other_down() {
     let net = zoo::selfish_rnn(Scale::Bench);
-    let solo = Simulation::run_networks(&bench_cfg(2, SharingLevel::PlusDwt).ideal_solo(), &[net.clone()]);
-    let duo = Simulation::run_networks(
-        &bench_cfg(2, SharingLevel::PlusDwt),
-        &[net.clone(), net.clone()],
+    let solo = Simulation::run_networks(
+        &bench_cfg(2, SharingLevel::PlusDwt).ideal_solo(),
+        std::slice::from_ref(&net),
     );
+    let duo =
+        Simulation::run_networks(&bench_cfg(2, SharingLevel::PlusDwt), &[net.clone(), net.clone()]);
     for c in &duo.cores {
         assert!(
             c.cycles >= solo.cores[0].cycles,
@@ -108,15 +110,9 @@ fn sharing_dram_beats_static_for_memory_heavy_mix() {
     let nets = [zoo::selfish_rnn(Scale::Bench), zoo::dlrm(Scale::Bench)];
     let stat = Simulation::run_networks(&bench_cfg(2, SharingLevel::Static), &nets);
     let dwt = Simulation::run_networks(&bench_cfg(2, SharingLevel::PlusDwt), &nets);
-    let geo = |r: &mnpu_engine::RunReport| {
-        (r.cores[0].cycles as f64 * r.cores[1].cycles as f64).sqrt()
-    };
-    assert!(
-        geo(&dwt) < geo(&stat),
-        "+DWT {} should beat Static {}",
-        geo(&dwt),
-        geo(&stat)
-    );
+    let geo =
+        |r: &mnpu_engine::RunReport| (r.cores[0].cycles as f64 * r.cores[1].cycles as f64).sqrt();
+    assert!(geo(&dwt) < geo(&stat), "+DWT {} should beat Static {}", geo(&dwt), geo(&stat));
 }
 
 #[test]
@@ -127,8 +123,14 @@ fn static_partition_isolates_corunners() {
     // quantization jitter but no resource coupling: all counters must match
     // exactly.
     let a = zoo::ncf(Scale::Bench);
-    let r1 = Simulation::run_networks(&bench_cfg(2, SharingLevel::Static), &[a.clone(), zoo::dlrm(Scale::Bench)]);
-    let r2 = Simulation::run_networks(&bench_cfg(2, SharingLevel::Static), &[a, zoo::gpt2(Scale::Bench)]);
+    let r1 = Simulation::run_networks(
+        &bench_cfg(2, SharingLevel::Static),
+        &[a.clone(), zoo::dlrm(Scale::Bench)],
+    );
+    let r2 = Simulation::run_networks(
+        &bench_cfg(2, SharingLevel::Static),
+        &[a, zoo::gpt2(Scale::Bench)],
+    );
     assert_eq!(r1.cores[0].traffic_bytes, r2.cores[0].traffic_bytes);
     assert_eq!(r1.cores[0].mmu, r2.cores[0].mmu, "no MMU coupling under Static");
     let (c1, c2) = (r1.cores[0].cycles as f64, r2.cores[0].cycles as f64);
@@ -164,7 +166,8 @@ fn unequal_ptw_partition_shifts_performance() {
 #[test]
 fn larger_pages_walk_less_and_run_faster_for_dlrm() {
     let net = zoo::dlrm(Scale::Bench);
-    let p4k = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
+    let p4k =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
     let p1m = Simulation::run_networks(
         &bench_cfg(1, SharingLevel::Ideal).with_page_size(1 << 20),
         &[net],
@@ -177,7 +180,7 @@ fn larger_pages_walk_less_and_run_faster_for_dlrm() {
 fn iterations_scale_cycles() {
     let net = tiny_net("i");
     let mut cfg = bench_cfg(1, SharingLevel::Ideal);
-    let once = Simulation::run_networks(&cfg, &[net.clone()]);
+    let once = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
     cfg.iterations = 3;
     let thrice = Simulation::run_networks(&cfg, &[net]);
     let (c1, c3) = (once.cores[0].cycles as f64, thrice.cores[0].cycles as f64);
@@ -204,7 +207,7 @@ fn slower_core_clock_stretches_execution() {
     let fast = bench_cfg(1, SharingLevel::Ideal);
     let mut slow = fast.clone();
     slow.arch[0].freq_mhz = 500; // half the DRAM clock
-    let rf = Simulation::run_networks(&fast, &[net.clone()]);
+    let rf = Simulation::run_networks(&fast, std::slice::from_ref(&net));
     let rs = Simulation::run_networks(&slow, &[net]);
     // In *global* cycles the slow core takes longer; its own cycle count is
     // lower per unit time, so compare via total_cycles.
@@ -252,11 +255,10 @@ fn pe_utilization_reported_in_unit_interval() {
 #[test]
 fn walk_bytes_proportional_to_levels() {
     let net = zoo::ncf(Scale::Bench);
-    let l4 = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
-    let l3 = Simulation::run_networks(
-        &bench_cfg(1, SharingLevel::Ideal).with_page_size(65536),
-        &[net],
-    );
+    let l4 =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
+    let l3 =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal).with_page_size(65536), &[net]);
     let w4 = l4.cores[0].walk_bytes as f64 / l4.cores[0].mmu.walks as f64;
     let w3 = l3.cores[0].walk_bytes as f64 / l3.cores[0].mmu.walks as f64;
     assert!((w4 - 256.0).abs() < 1.0, "4 levels x 64B: {w4}");
@@ -313,18 +315,24 @@ fn request_log_disabled_by_default() {
 fn fcfs_scheduling_is_not_faster_than_frfcfs() {
     use mnpu_dram::SchedPolicy;
     let net = zoo::gpt2(Scale::Bench);
-    let fr = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
+    let fr =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
     let mut cfg = bench_cfg(1, SharingLevel::Ideal);
     cfg.dram.policy = SchedPolicy::Fcfs;
     let fc = Simulation::run_networks(&cfg, &[net]);
-    assert!(fc.cores[0].cycles as f64 >= fr.cores[0].cycles as f64 * 0.99,
-        "FR-FCFS should not lose to FCFS: {} vs {}", fr.cores[0].cycles, fc.cores[0].cycles);
+    assert!(
+        fc.cores[0].cycles as f64 >= fr.cores[0].cycles as f64 * 0.99,
+        "FR-FCFS should not lose to FCFS: {} vs {}",
+        fr.cores[0].cycles,
+        fc.cores[0].cycles
+    );
 }
 
 #[test]
 fn disabling_walk_coalescing_starts_more_walks() {
     let net = zoo::dlrm(Scale::Bench);
-    let on = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
+    let on =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
     let mut cfg = bench_cfg(1, SharingLevel::Ideal);
     cfg.mmu.coalesce_walks = false;
     let off = Simulation::run_networks(&cfg, &[net]);
@@ -399,11 +407,12 @@ fn energy_report_is_positive_and_decomposes() {
 fn noc_adds_latency_and_reports_queueing() {
     use mnpu_noc::NocConfig;
     let net = zoo::ncf(Scale::Bench);
-    let ideal = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
+    let ideal =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
     assert_eq!(ideal.cores[0].noc_queue_cycles, 0, "no NoC, no queueing");
 
     let narrow = bench_cfg(1, SharingLevel::Ideal).with_noc(NocConfig::narrow());
-    let r = Simulation::run_networks(&narrow, &[net.clone()]);
+    let r = Simulation::run_networks(&narrow, std::slice::from_ref(&net));
     assert!(r.cores[0].cycles >= ideal.cores[0].cycles, "NoC can only add time");
     assert!(r.cores[0].noc_queue_cycles > 0, "16 B/cycle link must queue 64B bursts");
     assert_eq!(r.cores[0].traffic_bytes, ideal.cores[0].traffic_bytes, "same work");
@@ -443,8 +452,7 @@ fn fleet_of_chips_is_independent() {
 
 #[test]
 fn ideal_solo_clears_all_partitioning() {
-    let cfg = bench_cfg(2, SharingLevel::PlusDw)
-        .with_ptw_bounds(vec![1, 1], vec![3, 3]);
+    let cfg = bench_cfg(2, SharingLevel::PlusDw).with_ptw_bounds(vec![1, 1], vec![3, 3]);
     let solo = cfg.ideal_solo();
     assert!(solo.ptw_bounds.is_none());
     assert!(solo.channel_partition.is_none());
@@ -467,7 +475,8 @@ fn weight_stationary_cores_run_end_to_end() {
 #[test]
 fn layer_cycles_cover_the_whole_run() {
     let net = zoo::gpt2(Scale::Bench);
-    let r = Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), &[net.clone()]);
+    let r =
+        Simulation::run_networks(&bench_cfg(1, SharingLevel::Ideal), std::slice::from_ref(&net));
     let c = &r.cores[0];
     assert_eq!(c.layer_cycles.len(), net.num_layers());
     let sum: u64 = c.layer_cycles.iter().map(|(_, v)| v).sum();
@@ -477,4 +486,40 @@ fn layer_cycles_cover_the_whole_run() {
     for ((name, _), layer) in c.layer_cycles.iter().zip(net.iter()) {
         assert_eq!(name, layer.name());
     }
+}
+
+#[test]
+fn simulation_state_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Simulation>();
+}
+
+#[test]
+fn ideal_memory_backend_runs_and_is_contention_free() {
+    let net = tiny_net("t");
+    let timing = bench_cfg(2, SharingLevel::PlusDwt);
+    let ideal = bench_cfg(2, SharingLevel::PlusDwt).with_ideal_memory(8);
+    let nets = [net.clone(), net];
+    let rt = Simulation::run_networks(&timing, &nets);
+    let ri = Simulation::run_networks(&ideal, &nets);
+    // Same traffic either way; the ideal backend just never stalls it.
+    assert_eq!(ri.cores[0].traffic_bytes, rt.cores[0].traffic_bytes);
+    assert!(ri.dram.total.bytes > 0);
+    assert!(
+        ri.total_cycles <= rt.total_cycles,
+        "infinite-bandwidth memory must not be slower: ideal={} timing={}",
+        ri.total_cycles,
+        rt.total_cycles
+    );
+}
+
+#[test]
+fn ideal_memory_backend_is_deterministic() {
+    let net = tiny_net("t");
+    let cfg = bench_cfg(2, SharingLevel::PlusDw).with_ideal_memory(16);
+    let nets = [net.clone(), net];
+    let a = Simulation::run_networks(&cfg, &nets);
+    let b = Simulation::run_networks(&cfg, &nets);
+    let cycles = |r: &mnpu_engine::RunReport| r.cores.iter().map(|c| c.cycles).collect::<Vec<_>>();
+    assert_eq!(cycles(&a), cycles(&b));
 }

@@ -115,7 +115,7 @@ impl MmuConfig {
         if self.tlb_entries_per_core == 0 || self.tlb_assoc == 0 {
             return Err("TLB geometry must be positive".into());
         }
-        if self.tlb_entries_per_core % self.tlb_assoc != 0 {
+        if !self.tlb_entries_per_core.is_multiple_of(self.tlb_assoc) {
             return Err("TLB entries must be a multiple of associativity".into());
         }
         if !matches!(self.page_bytes, 4096 | 65536 | 1048576) {
@@ -128,7 +128,7 @@ impl MmuConfig {
             if p.len() != cores {
                 return Err("ptw_partition length must equal core count".into());
             }
-            if p.iter().any(|&c| c == 0) {
+            if p.contains(&0) {
                 return Err("every core needs at least one walker".into());
             }
         }

@@ -118,9 +118,7 @@ impl Mmu {
         let tlbs = if config.tlb_shared {
             vec![Tlb::new(config.tlb_entries_per_core * cores as u64, config.tlb_assoc)]
         } else {
-            (0..cores)
-                .map(|_| Tlb::new(config.tlb_entries_per_core, config.tlb_assoc))
-                .collect()
+            (0..cores).map(|_| Tlb::new(config.tlb_entries_per_core, config.tlb_assoc)).collect()
         };
         let walkers = if let Some(b) = &config.ptw_bounds {
             WalkerPool::bounded(config.total_walkers(cores), b.min.clone(), b.max.clone())
@@ -393,7 +391,9 @@ mod tests {
         let region = cfg.pt_region_bytes;
         let mut m = mmu(cfg, 2);
         for vpn in [0u64, 1, 1000, 123_456_789] {
-            let WalkStart::Started { walk, pt_addr } = m.start_or_join_walk(1, vpn) else { panic!() };
+            let WalkStart::Started { walk, pt_addr } = m.start_or_join_walk(1, vpn) else {
+                panic!()
+            };
             let base = 1u64 << 32;
             assert!(pt_addr >= base && pt_addr < base + region);
             let mut step = m.advance_walk(walk);

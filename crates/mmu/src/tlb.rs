@@ -41,7 +41,7 @@ impl Tlb {
     /// Panics if `entries` is not a positive multiple of `assoc`.
     pub fn new(entries: u64, assoc: u64) -> Self {
         assert!(assoc > 0 && entries > 0, "TLB geometry must be positive");
-        assert!(entries % assoc == 0, "entries must be a multiple of associativity");
+        assert!(entries.is_multiple_of(assoc), "entries must be a multiple of associativity");
         let n_sets = (entries / assoc) as usize;
         Tlb {
             sets: vec![Vec::with_capacity(assoc as usize); n_sets],
@@ -95,10 +95,8 @@ impl Tlb {
         if set.len() < assoc {
             set.push(entry);
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|e| e.last_use)
-                .expect("set is non-empty at capacity");
+            let victim =
+                set.iter_mut().min_by_key(|e| e.last_use).expect("set is non-empty at capacity");
             *victim = entry;
         }
     }

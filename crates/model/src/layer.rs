@@ -71,7 +71,14 @@ pub struct ConvSpec {
 
 impl ConvSpec {
     /// A square-kernel, square-input convolution.
-    pub const fn square(in_hw: u64, in_c: u64, out_c: u64, k: u64, stride: u64, padding: u64) -> Self {
+    pub const fn square(
+        in_hw: u64,
+        in_c: u64,
+        out_c: u64,
+        k: u64,
+        stride: u64,
+        padding: u64,
+    ) -> Self {
         ConvSpec { in_h: in_hw, in_w: in_hw, in_c, out_c, k_h: k, k_w: k, stride, padding }
     }
 
@@ -218,7 +225,13 @@ impl Layer {
         match kind {
             LayerKind::Conv(c) => {
                 assert!(
-                    c.in_h > 0 && c.in_w > 0 && c.in_c > 0 && c.out_c > 0 && c.k_h > 0 && c.k_w > 0 && c.stride > 0,
+                    c.in_h > 0
+                        && c.in_w > 0
+                        && c.in_c > 0
+                        && c.out_c > 0
+                        && c.k_h > 0
+                        && c.k_w > 0
+                        && c.stride > 0,
                     "conv dimensions must be positive"
                 );
                 assert!(
@@ -281,11 +294,7 @@ impl Layer {
         match self.kind {
             LayerKind::Conv(c) => c.to_gemm(self.batch),
             LayerKind::Gemm(g) => GemmSpec { m: g.m * self.batch, ..g },
-            LayerKind::Embedding(e) => GemmSpec {
-                m: self.batch * e.tables,
-                k: e.embed_dim,
-                n: 1,
-            },
+            LayerKind::Embedding(e) => GemmSpec { m: self.batch * e.tables, k: e.embed_dim, n: 1 },
         }
     }
 

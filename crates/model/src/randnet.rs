@@ -78,11 +78,17 @@ impl RandNetConfig {
 /// Panics if the configuration has empty choice lists or an inverted
 /// layer-count or spatial range.
 pub fn generate(config: &RandNetConfig, seed: u64) -> Network {
-    assert!(config.min_layers >= 1 && config.min_layers <= config.max_layers, "invalid layer range");
+    assert!(
+        config.min_layers >= 1 && config.min_layers <= config.max_layers,
+        "invalid layer range"
+    );
     assert!(!config.channel_choices.is_empty(), "channel_choices empty");
     assert!(!config.kernel_choices.is_empty(), "kernel_choices empty");
     assert!(!config.stride_choices.is_empty(), "stride_choices empty");
-    assert!(config.spatial_range.0 >= 4 && config.spatial_range.0 <= config.spatial_range.1, "invalid spatial range");
+    assert!(
+        config.spatial_range.0 >= 4 && config.spatial_range.0 <= config.spatial_range.1,
+        "invalid spatial range"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6d4e_5055_7369_6d00); // "mNPUsim"
     let n_layers = rng.random_range(config.min_layers..=config.max_layers);
@@ -99,7 +105,11 @@ pub fn generate(config: &RandNetConfig, seed: u64) -> Network {
             let k = if layers.is_empty() { in_c * hw * hw } else { in_c };
             let n = *pick(&mut rng, &config.channel_choices);
             let m = rng.random_range(1..=32);
-            layers.push(Layer::new(format!("fc{i}"), LayerKind::Gemm(GemmSpec::new(m, k.max(1), n)), 1));
+            layers.push(Layer::new(
+                format!("fc{i}"),
+                LayerKind::Gemm(GemmSpec::new(m, k.max(1), n)),
+                1,
+            ));
             in_c = n;
             continue;
         }
@@ -139,7 +149,8 @@ mod tests {
     fn different_seeds_differ() {
         let cfg = RandNetConfig::default();
         let nets: Vec<_> = (0..16).map(|s| generate(&cfg, s)).collect();
-        let distinct: std::collections::HashSet<_> = nets.iter().map(|n| n.summary().total_macs).collect();
+        let distinct: std::collections::HashSet<_> =
+            nets.iter().map(|n| n.summary().total_macs).collect();
         assert!(distinct.len() > 8, "networks suspiciously similar");
     }
 

@@ -39,15 +39,9 @@ pub fn training_unroll(net: &Network) -> Network {
             }
             _ => {
                 // dA = dC * B^T : (m x n) @ (n x k)
-                layers.push(Layer::gemm(
-                    format!("{}_dA", l.name()),
-                    GemmSpec::new(g.m, g.n, g.k),
-                ));
+                layers.push(Layer::gemm(format!("{}_dA", l.name()), GemmSpec::new(g.m, g.n, g.k)));
                 // dB = A^T * dC : (k x m) @ (m x n)
-                layers.push(Layer::gemm(
-                    format!("{}_dB", l.name()),
-                    GemmSpec::new(g.k, g.m, g.n),
-                ));
+                layers.push(Layer::gemm(format!("{}_dB", l.name()), GemmSpec::new(g.k, g.m, g.n)));
             }
         }
     }
@@ -112,7 +106,7 @@ mod tests {
     fn whole_zoo_unrolls_and_simulable_shapes() {
         for net in zoo::all(Scale::Bench) {
             let t = training_unroll(&net);
-            assert_eq!(t.num_layers() > net.num_layers(), true, "{}", net.name());
+            assert!(t.num_layers() > net.num_layers(), "{}", net.name());
             assert!(t.summary().total_macs >= 2 * net.summary().total_macs, "{}", net.name());
         }
     }

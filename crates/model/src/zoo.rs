@@ -108,11 +108,15 @@ pub fn resnet50(scale: Scale) -> Network {
             let in_hw = cur_hw;
             let out_hw = ((in_hw - 1) / stride + 1).max(3);
             let name = |op: &str| format!("{stage}_b{b}_{op}");
-            layers.push(Layer::conv(name("1x1a"), ConvSpec::square(in_hw, in_c, mid, 1, stride, 0)));
+            layers
+                .push(Layer::conv(name("1x1a"), ConvSpec::square(in_hw, in_c, mid, 1, stride, 0)));
             layers.push(Layer::conv(name("3x3"), ConvSpec::square(out_hw, mid, mid, 3, 1, 1)));
             layers.push(Layer::conv(name("1x1b"), ConvSpec::square(out_hw, mid, out_c, 1, 1, 0)));
             if b == 0 {
-                layers.push(Layer::conv(name("proj"), ConvSpec::square(in_hw, in_c, out_c, 1, stride, 0)));
+                layers.push(Layer::conv(
+                    name("proj"),
+                    ConvSpec::square(in_hw, in_c, out_c, 1, stride, 0),
+                ));
             }
             in_c = out_c;
             cur_hw = out_hw;
@@ -144,7 +148,10 @@ pub fn yolo_tiny(scale: Scale) -> Network {
         .map(|(i, &(hw, ic, oc, k))| {
             let ic = if i == 0 { ic } else { ch(ic) };
             let pad = if k == 3 { 1 } else { 0 };
-            Layer::conv(format!("conv{}", i + 1), ConvSpec::square(sp(hw).max(k), ic, ch(oc).max(8), k, 1, pad))
+            Layer::conv(
+                format!("conv{}", i + 1),
+                ConvSpec::square(sp(hw).max(k), ic, ch(oc).max(8), k, 1, pad),
+            )
         })
         .collect();
     Network::new("yt", layers)
@@ -177,8 +184,32 @@ pub fn deepspeech2(scale: Scale) -> Network {
     let h = scale.div(1280, 8);
     let t = scale.div(50, 10);
     let mut layers = vec![
-        Layer::conv("conv1", ConvSpec { in_h: scale.div(161, 2), in_w: scale.div(200, 4), in_c: 1, out_c: 32, k_h: 41, k_w: 11, stride: 2, padding: 20 }),
-        Layer::conv("conv2", ConvSpec { in_h: scale.div(81, 2), in_w: scale.div(100, 4), in_c: 32, out_c: 32, k_h: 21, k_w: 11, stride: 2, padding: 10 }),
+        Layer::conv(
+            "conv1",
+            ConvSpec {
+                in_h: scale.div(161, 2),
+                in_w: scale.div(200, 4),
+                in_c: 1,
+                out_c: 32,
+                k_h: 41,
+                k_w: 11,
+                stride: 2,
+                padding: 20,
+            },
+        ),
+        Layer::conv(
+            "conv2",
+            ConvSpec {
+                in_h: scale.div(81, 2),
+                in_w: scale.div(100, 4),
+                in_c: 32,
+                out_c: 32,
+                k_h: 21,
+                k_w: 11,
+                stride: 2,
+                padding: 10,
+            },
+        ),
     ];
     for l in 0..3u64 {
         for step in 0..t {
@@ -206,7 +237,12 @@ pub fn dlrm(scale: Scale) -> Network {
         Layer::new("bot_fc3", LayerKind::Gemm(GemmSpec::new(1, 256, 64)), batch),
         Layer::new(
             "embed",
-            LayerKind::Embedding(EmbeddingSpec { tables: 26, rows_per_table: rows, embed_dim: 64, lookups: 96 }),
+            LayerKind::Embedding(EmbeddingSpec {
+                tables: 26,
+                rows_per_table: rows,
+                embed_dim: 64,
+                lookups: 96,
+            }),
             batch,
         ),
         Layer::new("top_fc1", LayerKind::Gemm(GemmSpec::new(1, 27 * 64, 512)), batch),
@@ -224,7 +260,12 @@ pub fn ncf(scale: Scale) -> Network {
     let layers = vec![
         Layer::new(
             "embed",
-            LayerKind::Embedding(EmbeddingSpec { tables: 2, rows_per_table: rows, embed_dim: 128, lookups: 1 }),
+            LayerKind::Embedding(EmbeddingSpec {
+                tables: 2,
+                rows_per_table: rows,
+                embed_dim: 128,
+                lookups: 1,
+            }),
             batch,
         ),
         Layer::new("mlp1", LayerKind::Gemm(GemmSpec::new(1, 256, 256)), batch),
@@ -289,11 +330,7 @@ mod tests {
     #[test]
     fn resnet50_has_53_convs_at_full_scale() {
         let net = resnet50(Scale::Full);
-        let convs = net
-            .layers()
-            .iter()
-            .filter(|l| matches!(l.kind(), LayerKind::Conv(_)))
-            .count();
+        let convs = net.layers().iter().filter(|l| matches!(l.kind(), LayerKind::Conv(_))).count();
         assert_eq!(convs, 53);
     }
 

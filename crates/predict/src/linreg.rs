@@ -104,6 +104,9 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             if f == 0.0 {
                 continue;
             }
+            // `k` indexes two rows of `a` at once, which rules out the
+            // iterator form clippy would otherwise suggest.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }
@@ -128,9 +131,8 @@ mod tests {
 
     #[test]
     fn recovers_exact_linear_function() {
-        let xs: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![1.0, i as f64, (i * i) as f64 % 7.0])
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![1.0, i as f64, (i * i) as f64 % 7.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0] - 2.0 * x[1] + 0.5 * x[2]).collect();
         let m = LinearModel::fit(&xs, &ys, 0.0);
         assert!((m.weights()[0] - 4.0).abs() < 1e-8);

@@ -20,7 +20,7 @@
 ///
 /// Panics if `n` is zero or odd.
 pub fn perfect_matchings(n: usize) -> Vec<Vec<(usize, usize)>> {
-    assert!(n > 0 && n % 2 == 0, "need a positive even element count");
+    assert!(n > 0 && n.is_multiple_of(2), "need a positive even element count");
     let mut out = Vec::new();
     let mut used = vec![false; n];
     let mut current = Vec::with_capacity(n / 2);
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn matchings_cover_all_elements_once() {
         for m in perfect_matchings(6) {
-            let mut seen = vec![false; 6];
+            let mut seen = [false; 6];
             for (a, b) in m {
                 assert!(!seen[a] && !seen[b]);
                 seen[a] = true;

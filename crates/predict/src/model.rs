@@ -102,8 +102,16 @@ impl SlowdownModel {
             let r = Simulation::run_networks(chip, &[nets[i].clone(), nets[j].clone()]);
             let sa = r.cores[0].cycles as f64 / profiles[i].solo_cycles as f64;
             let sb = r.cores[1].cycles as f64 / profiles[j].solo_cycles as f64;
-            samples.push(TrainingSample { a: profiles[i].clone(), b: profiles[j].clone(), slowdown_a: sa });
-            samples.push(TrainingSample { a: profiles[j].clone(), b: profiles[i].clone(), slowdown_a: sb });
+            samples.push(TrainingSample {
+                a: profiles[i].clone(),
+                b: profiles[j].clone(),
+                slowdown_a: sa,
+            });
+            samples.push(TrainingSample {
+                a: profiles[j].clone(),
+                b: profiles[i].clone(),
+                slowdown_a: sb,
+            });
         }
         SlowdownModel::train(&samples)
     }

@@ -96,7 +96,10 @@ impl ArchConfig {
             return Err("DMA depth must be positive".into());
         }
         if self.tile_budget_bytes() < 4096 {
-            return Err(format!("SPM of {} bytes is too small to double-buffer tiles", self.spm_bytes));
+            return Err(format!(
+                "SPM of {} bytes is too small to double-buffer tiles",
+                self.spm_bytes
+            ));
         }
         Ok(())
     }

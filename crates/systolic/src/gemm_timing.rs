@@ -133,7 +133,10 @@ mod tests {
     fn ragged_folds_counted() {
         // 4x4 array, gemm 6x8x6 -> folds: (4,4), (4,2), (2,4), (2,2).
         let t = gemm_cycles(GemmSpec::new(6, 8, 6), &arch(4, 4));
-        let expect = fold_cycles(4, 4, 8) + fold_cycles(4, 2, 8) + fold_cycles(2, 4, 8) + fold_cycles(2, 2, 8);
+        let expect = fold_cycles(4, 4, 8)
+            + fold_cycles(4, 2, 8)
+            + fold_cycles(2, 4, 8)
+            + fold_cycles(2, 2, 8);
         assert_eq!(t.cycles, expect);
     }
 

@@ -169,7 +169,12 @@ impl WorkloadTrace {
             layers.push(lt);
         }
 
-        WorkloadTrace { name: net.name().to_string(), dtype: net.dtype(), layers, footprint_bytes: cursor - VIRT_BASE }
+        WorkloadTrace {
+            name: net.name().to_string(),
+            dtype: net.dtype(),
+            layers,
+            footprint_bytes: cursor - VIRT_BASE,
+        }
     }
 
     /// Workload name (the network's name).
@@ -225,6 +230,7 @@ impl WorkloadTrace {
 
 /// Emit spans for a row-major sub-matrix `rows x cols` region within a
 /// matrix of `row_stride` columns, starting at element `(r0, c0)`.
+#[allow(clippy::too_many_arguments)]
 fn submatrix_spans(
     base: u64,
     row_stride: u64,
@@ -272,11 +278,41 @@ fn trace_gemm_layer(
             while ki < gemm.k {
                 let cur_k = tk.min(gemm.k - ki);
                 let mut loads = Vec::new();
-                submatrix_spans(a_base, gemm.k, mi, ki, cur_m, cur_k, e, SpanKind::Load, &mut loads);
-                submatrix_spans(b_base, gemm.n, ki, ni, cur_k, cur_n, e, SpanKind::Load, &mut loads);
+                submatrix_spans(
+                    a_base,
+                    gemm.k,
+                    mi,
+                    ki,
+                    cur_m,
+                    cur_k,
+                    e,
+                    SpanKind::Load,
+                    &mut loads,
+                );
+                submatrix_spans(
+                    b_base,
+                    gemm.n,
+                    ki,
+                    ni,
+                    cur_k,
+                    cur_n,
+                    e,
+                    SpanKind::Load,
+                    &mut loads,
+                );
                 let mut stores = Vec::new();
                 if kc == k_chunks - 1 {
-                    submatrix_spans(c_base, gemm.n, mi, ni, cur_m, cur_n, e, SpanKind::Store, &mut stores);
+                    submatrix_spans(
+                        c_base,
+                        gemm.n,
+                        mi,
+                        ni,
+                        cur_m,
+                        cur_n,
+                        e,
+                        SpanKind::Store,
+                        &mut stores,
+                    );
                 }
                 let t = gemm_cycles(GemmSpec::new(cur_m, cur_k, cur_n), arch);
                 tiles.push(Tile { compute_cycles: t.cycles, macs: t.macs, loads, stores });

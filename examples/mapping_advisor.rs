@@ -9,7 +9,9 @@
 //! Defaults to one copy of every benchmark.
 
 use mnpusim::predict::mapping::{matching_slowdowns, perfect_matchings};
-use mnpusim::{geomean, zoo, Scale, SharingLevel, Simulation, SlowdownModel, SystemConfig, WorkloadProfile};
+use mnpusim::{
+    geomean, zoo, Scale, SharingLevel, Simulation, SlowdownModel, SystemConfig, WorkloadProfile,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,10 +20,8 @@ fn main() {
     } else {
         zoo::MODEL_NAMES.iter().map(|s| s.to_string()).collect()
     };
-    let nets: Vec<_> = names
-        .iter()
-        .map(|n| zoo::by_name(n, Scale::Bench).unwrap_or_else(|| usage(n)))
-        .collect();
+    let nets: Vec<_> =
+        names.iter().map(|n| zoo::by_name(n, Scale::Bench).unwrap_or_else(|| usage(n))).collect();
 
     let chip = SystemConfig::bench(2, SharingLevel::PlusDwt);
 
@@ -34,8 +34,10 @@ fn main() {
 
     // Choose the matching with the best predicted geomean speedup.
     let predicted = |i: usize, j: usize| {
-        (model.predict_slowdown(&profiles[i], &profiles[j]),
-         model.predict_slowdown(&profiles[j], &profiles[i]))
+        (
+            model.predict_slowdown(&profiles[i], &profiles[j]),
+            model.predict_slowdown(&profiles[j], &profiles[i]),
+        )
     };
     let slots: Vec<usize> = (0..8).collect();
     let score = |slow: &[f64]| geomean(&slow.iter().map(|s| 1.0 / s).collect::<Vec<_>>());

@@ -23,7 +23,7 @@ fn main() {
     let mut base = None;
     for page in [4096u64, 65536, 1 << 20] {
         let cfg = SystemConfig::bench(1, SharingLevel::Ideal).with_page_size(page);
-        let r = Simulation::run_networks(&cfg, &[net.clone()]);
+        let r = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
         let c = &r.cores[0];
         let base_cycles = *base.get_or_insert(c.cycles);
         let label = match page {

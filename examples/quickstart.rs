@@ -19,7 +19,10 @@ fn main() {
 
     // A dual-core chip with all shareable resources dynamically shared.
     let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
-    println!("simulating {a} + {b} on a dual-core NPU ({} total channels, +DWT)\n", cfg.total_channels());
+    println!(
+        "simulating {a} + {b} on a dual-core NPU ({} total channels, +DWT)\n",
+        cfg.total_channels()
+    );
 
     let report = Simulation::run_networks(&cfg, &[net_a.clone(), net_b.clone()]);
 

@@ -18,8 +18,8 @@ fn main() {
     // Ideal baselines.
     let base = SystemConfig::bench(2, SharingLevel::PlusDwt);
     let ideal = base.ideal_solo();
-    let ia = Simulation::run_networks(&ideal, &[net_a.clone()]).cores[0].cycles;
-    let ib = Simulation::run_networks(&ideal, &[net_b.clone()]).cores[0].cycles;
+    let ia = Simulation::run_networks(&ideal, std::slice::from_ref(&net_a)).cores[0].cycles;
+    let ib = Simulation::run_networks(&ideal, std::slice::from_ref(&net_b)).cores[0].cycles;
     println!("mix {a}+{b}: Ideal cycles = {ia} / {ib}\n");
     println!(
         "{:<8}{:>12}{:>12}{:>10}{:>10}{:>10}{:>10}",

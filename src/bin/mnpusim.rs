@@ -62,7 +62,11 @@ fn main() -> ExitCode {
 
     let result_path = Path::new(&args[5]);
     match write_results(result_path, "arch", &report) {
-        Ok(files) => println!("\nwrote {} result files under {}", files.len(), result_path.join("result").display()),
+        Ok(files) => println!(
+            "\nwrote {} result files under {}",
+            files.len(),
+            result_path.join("result").display()
+        ),
         Err(e) => {
             eprintln!("error writing results: {e}");
             return ExitCode::FAILURE;
@@ -70,7 +74,11 @@ fn main() -> ExitCode {
     }
     match write_request_logs(result_path, &report) {
         Ok(files) if !files.is_empty() => {
-            println!("wrote {} request logs under {}", files.len(), result_path.join("dramsim_output").display());
+            println!(
+                "wrote {} request logs under {}",
+                files.len(),
+                result_path.join("dramsim_output").display()
+            );
         }
         Ok(_) => {}
         Err(e) => {
@@ -79,7 +87,10 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n{:<8}{:>14}{:>10}{:>14}{:>10}", "core", "cycles", "PE util", "traffic MB", "TLB hit");
+    println!(
+        "\n{:<8}{:>14}{:>10}{:>14}{:>10}",
+        "core", "cycles", "PE util", "traffic MB", "TLB hit"
+    );
     for c in &report.cores {
         println!(
             "{:<8}{:>14}{:>10.3}{:>14.2}{:>10.3}",

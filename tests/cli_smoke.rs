@@ -58,7 +58,8 @@ fn cli_rejects_bad_usage_and_bad_files() {
 #[test]
 fn cli_is_deterministic_across_invocations() {
     let run = |tag: &str| {
-        let out_dir = std::env::temp_dir().join(format!("mnpu_cli_det_{tag}_{}", std::process::id()));
+        let out_dir =
+            std::env::temp_dir().join(format!("mnpu_cli_det_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&out_dir);
         let status = Command::new(env!("CARGO_BIN_EXE_mnpusim"))
             .args([

@@ -24,7 +24,7 @@ fn every_benchmark_simulates_end_to_end() {
             // Keep the debug-profile suite fast; the heavier five run in the
             // release-mode engine tests and the bench harness.
             let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
-            let r = Simulation::run_networks(&cfg, &[net.clone()]);
+            let r = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
             assert!(r.cores[0].cycles > 0, "{}", net.name());
             assert!(r.cores[0].traffic_bytes > 0, "{}", net.name());
         }
@@ -43,8 +43,8 @@ fn headline_result_sharing_beats_static() {
         let na = zoo::by_name(a, Scale::Bench).unwrap();
         let nb = zoo::by_name(b, Scale::Bench).unwrap();
         let ideal_cfg = SystemConfig::bench(2, SharingLevel::PlusDwt).ideal_solo();
-        let ia = Simulation::run_networks(&ideal_cfg, &[na.clone()]).cores[0].cycles;
-        let ib = Simulation::run_networks(&ideal_cfg, &[nb.clone()]).cores[0].cycles;
+        let ia = Simulation::run_networks(&ideal_cfg, std::slice::from_ref(&na)).cores[0].cycles;
+        let ib = Simulation::run_networks(&ideal_cfg, std::slice::from_ref(&nb)).cores[0].cycles;
         for (level, scores) in [
             (SharingLevel::Static, &mut static_scores),
             (SharingLevel::PlusDwt, &mut shared_scores),
@@ -71,8 +71,11 @@ fn fairness_of_static_is_near_perfect_for_twin_mix() {
     // so their slowdowns match and fairness approaches 1 (paper Fig. 6).
     let net = zoo::ncf(Scale::Bench);
     let ideal_cfg = SystemConfig::bench(2, SharingLevel::Static).ideal_solo();
-    let ideal = Simulation::run_networks(&ideal_cfg, &[net.clone()]).cores[0].cycles;
-    let r = Simulation::run_networks(&SystemConfig::bench(2, SharingLevel::Static), &[net.clone(), net]);
+    let ideal = Simulation::run_networks(&ideal_cfg, std::slice::from_ref(&net)).cores[0].cycles;
+    let r = Simulation::run_networks(
+        &SystemConfig::bench(2, SharingLevel::Static),
+        &[net.clone(), net],
+    );
     let slowdowns: Vec<f64> = r.cores.iter().map(|c| c.cycles as f64 / ideal as f64).collect();
     assert!(fairness(&slowdowns) > 0.98, "{slowdowns:?}");
 }
@@ -82,7 +85,7 @@ fn trace_and_simulation_agree_on_traffic() {
     let net = zoo::gpt2(Scale::Bench);
     let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
     let trace = WorkloadTrace::generate(&net, &cfg.arch[0]);
-    let r = Simulation::new(&cfg, &[trace.clone()]).run();
+    let r = Simulation::new(&cfg, std::slice::from_ref(&trace)).run();
     // The engine moves every trace byte, rounded up to 64B transactions.
     assert!(r.cores[0].traffic_bytes >= trace.total_traffic_bytes());
     assert!(r.cores[0].traffic_bytes <= trace.total_traffic_bytes() * 11 / 10);
@@ -103,12 +106,8 @@ fn quad_core_end_to_end_with_metrics() {
         .map(|n| Simulation::run_networks(&ideal_cfg, std::slice::from_ref(n)).cores[0].cycles)
         .collect();
     let r = Simulation::run_networks(&chip, &nets);
-    let slowdowns: Vec<f64> = r
-        .cores
-        .iter()
-        .zip(&ideals)
-        .map(|(c, &i)| c.cycles as f64 / i as f64)
-        .collect();
+    let slowdowns: Vec<f64> =
+        r.cores.iter().zip(&ideals).map(|(c, &i)| c.cycles as f64 / i as f64).collect();
     let f = fairness(&slowdowns);
     assert!(f > 0.0 && f <= 1.0, "{f}");
     // Symmetric mix: the two ncf copies behave alike, as do the gpt2 copies.
