@@ -1,0 +1,128 @@
+//! Wall-clock throughput benchmark for the simulation hot path.
+//!
+//! Runs the fig04 dual-core sweep workloads (all 36 mixes × 4 co-run
+//! sharing levels plus the 8 Ideal solos — 152 simulations) serially,
+//! measuring end-to-end sweep seconds and simulated-cycles-per-second, and
+//! appends the result to `BENCH_hotpath.json` at the repository root — the
+//! perf trajectory across PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mnpu-bench --bin mnpu_hotpath [-- --tiny] [-- --label NAME]
+//! ```
+//!
+//! * `--tiny` — a 3-simulation smoke workload (CI: catches pathological
+//!   slowdowns or panics in the bench path without paying for the sweep);
+//! * `--label NAME` — label recorded in the JSON entry (default `current`;
+//!   `MNPU_BENCH_LABEL` works too).
+//!
+//! `MNPU_BENCH_OUT` overrides the output path.
+
+use mnpu_bench::Harness;
+use mnpu_engine::{SharingLevel, SystemConfig};
+use mnpu_predict::mapping::multisets;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct SweepResult {
+    sims: usize,
+    wall_seconds: f64,
+    simulated_cycles: u64,
+    transactions: u64,
+}
+
+/// Run every request serially through the full report path (no run cache,
+/// memoized traces — the same work a cold sweep does per simulation).
+fn run_sweep(h: &Harness, reqs: &[(SystemConfig, Vec<usize>)]) -> SweepResult {
+    let t0 = Instant::now();
+    let mut simulated_cycles = 0u64;
+    let mut transactions = 0u64;
+    for (cfg, ws) in reqs {
+        let r = h.run_report(cfg, ws);
+        simulated_cycles += r.total_cycles;
+        transactions += r.dram.total.transactions();
+    }
+    SweepResult {
+        sims: reqs.len(),
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        simulated_cycles,
+        transactions,
+    }
+}
+
+/// The fig04 sweep: 8 Ideal solos + 36 mixes × 4 co-run levels.
+fn fig04_requests() -> Vec<(SystemConfig, Vec<usize>)> {
+    let solo = Harness::dual(SharingLevel::Static).ideal_solo();
+    let mut reqs: Vec<(SystemConfig, Vec<usize>)> =
+        (0..8).map(|w| (solo.clone(), vec![w])).collect();
+    for ws in multisets(8, 2) {
+        for lvl in SharingLevel::CO_RUN_LEVELS {
+            reqs.push((Harness::dual(lvl), ws.clone()));
+        }
+    }
+    reqs
+}
+
+/// CI smoke: two fast mixes and one solo — seconds, not minutes.
+fn tiny_requests() -> Vec<(SystemConfig, Vec<usize>)> {
+    vec![
+        (Harness::dual(SharingLevel::Static).ideal_solo(), vec![6]),
+        (Harness::dual(SharingLevel::Static), vec![6, 6]),
+        (Harness::dual(SharingLevel::PlusDwt), vec![6, 7]),
+    ]
+}
+
+/// Append `entry` to the JSON array in `path` (created when missing). The
+/// file stays a plain JSON array of objects, one entry per line.
+fn append_entry(path: &PathBuf, entry: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let inner = text.trim().trim_start_matches('[').trim_end_matches(']').trim();
+            if inner.is_empty() {
+                format!("[\n{entry}\n]\n")
+            } else {
+                format!("[\n{inner},\n{entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("MNPU_BENCH_LABEL").ok())
+        .unwrap_or_else(|| "current".to_string());
+
+    // The throughput benchmark must always measure real simulations.
+    std::env::set_var("MNPU_NO_CACHE", "1");
+
+    let h = Harness::new();
+    let (mode, reqs) = if tiny { ("tiny", tiny_requests()) } else { ("fig04", fig04_requests()) };
+    let r = run_sweep(&h, &reqs);
+
+    let cycles_per_sec = r.simulated_cycles as f64 / r.wall_seconds;
+    let entry = format!(
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"sims\":{},\"sweep_seconds\":{:.3},\
+         \"simulated_cycles\":{},\"simulated_cycles_per_sec\":{:.0},\"dram_transactions\":{}}}",
+        r.sims, r.wall_seconds, r.simulated_cycles, cycles_per_sec, r.transactions
+    );
+    println!("{entry}");
+
+    let out = std::env::var("MNPU_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json")
+    });
+    match append_entry(&out, &entry) {
+        Ok(()) => eprintln!("appended to {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

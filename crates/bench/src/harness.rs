@@ -2,7 +2,7 @@
 
 use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
 use mnpu_model::{zoo, Network, Scale};
-use mnpu_systolic::WorkloadTrace;
+use mnpu_systolic::{ArchConfig, WorkloadTrace};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
@@ -72,7 +72,10 @@ impl CacheState {
 #[derive(Clone)]
 pub struct Harness {
     networks: Arc<Vec<Network>>,
-    traces: Arc<Mutex<HashMap<(String, String), WorkloadTrace>>>,
+    /// Memoized `WorkloadTrace::generate` results keyed by (workload index,
+    /// arch). `ArchConfig` is `Hash + Eq`, so the key is structural — no
+    /// per-lookup string formatting on the sweep hot path.
+    traces: Arc<Mutex<HashMap<(usize, ArchConfig), WorkloadTrace>>>,
     cache: Arc<Mutex<CacheState>>,
 }
 
@@ -169,14 +172,12 @@ impl Harness {
         self.cache.lock().expect("cache lock").entries.get(&key).cloned()
     }
 
-    fn trace_for(&self, workload: usize, arch: &mnpu_systolic::ArchConfig) -> WorkloadTrace {
-        let net = &self.networks[workload];
-        let key = (net.name().to_string(), format!("{arch:?}"));
-        if let Some(t) = self.traces.lock().expect("trace lock").get(&key) {
+    fn trace_for(&self, workload: usize, arch: &ArchConfig) -> WorkloadTrace {
+        if let Some(t) = self.traces.lock().expect("trace lock").get(&(workload, arch.clone())) {
             return t.clone();
         }
-        let t = WorkloadTrace::generate(net, arch);
-        self.traces.lock().expect("trace lock").insert(key, t.clone());
+        let t = WorkloadTrace::generate(&self.networks[workload], arch);
+        self.traces.lock().expect("trace lock").insert((workload, arch.clone()), t.clone());
         t
     }
 
@@ -201,6 +202,22 @@ impl Harness {
         cache.entries.insert(key, cycles.clone());
         cache.flush();
         cycles
+    }
+
+    /// Run `workloads[i]` on core *i* of `cfg` and return the full
+    /// [`mnpu_engine::RunReport`], bypassing the cycles cache (the report
+    /// carries state — DRAM stats, traces — that the cache does not).
+    /// Traces still come from the shared memoized trace cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload count does not match the core count or an
+    /// index is out of range.
+    pub fn run_report(&self, cfg: &SystemConfig, workloads: &[usize]) -> mnpu_engine::RunReport {
+        assert_eq!(workloads.len(), cfg.cores, "one workload per core");
+        let traces: Vec<WorkloadTrace> =
+            workloads.iter().zip(&cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
+        Simulation::new(cfg, &traces).run()
     }
 
     /// Cycles of workload `w` running alone with all of `chip`'s resources

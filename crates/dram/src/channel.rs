@@ -4,11 +4,36 @@ use crate::address::DecodedAddr;
 use crate::config::DramConfig;
 use crate::dram::Completion;
 use crate::stats::ChannelStats;
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// FR-FCFS reordering window: row hits may bypass at most this many older
 /// requests, which bounds starvation.
 const FRFCFS_WINDOW: usize = 16;
+
+/// Memoized scheduler decision: which queued transaction the scheduler
+/// would commit next and at what cycle. The candidate (and its issue time)
+/// depends only on channel state — bank rows, bus history, refresh window,
+/// queued arrivals — never on the query cycle, so it stays valid until one
+/// of those changes: `Dirty` is set on enqueue into the reorder window, on
+/// every commit (the queue shifts and bank/bus state moves), on refresh,
+/// and on idle-refresh catch-up. This turns the per-event-loop rescan of
+/// the transaction queue into a single cached read on the (common) path
+/// where the channel's state did not change since the last query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NextCand {
+    /// State changed since the last scan; recompute on next query.
+    Dirty,
+    /// Transaction queue is empty: nothing to schedule.
+    Empty,
+    /// `queue[idx]` commits next, with CAS legal at `t_cas`.
+    At {
+        /// Queue index of the winning candidate.
+        idx: usize,
+        /// Earliest legal CAS cycle for that candidate.
+        t_cas: u64,
+    },
+}
 
 /// A transaction waiting in a channel queue.
 #[derive(Debug, Clone)]
@@ -63,6 +88,9 @@ pub struct Channel {
     // Refresh.
     next_refresh: u64,
     refresh_until: u64,
+    /// Memoized scheduler pick; see [`NextCand`]. `Cell` so read-only
+    /// queries (`earliest_action`) can fill it lazily.
+    next_cand: Cell<NextCand>,
     stats: ChannelStats,
 }
 
@@ -85,6 +113,7 @@ impl Channel {
             act_window: VecDeque::with_capacity(4),
             next_refresh: cfg.timing.trefi,
             refresh_until: 0,
+            next_cand: Cell::new(NextCand::Empty),
             stats: ChannelStats::default(),
         }
     }
@@ -109,25 +138,58 @@ impl Channel {
             return false;
         }
         self.queue.push_back(p);
+        // Only arrivals that land inside the reorder window can change the
+        // scheduler's pick; deeper arrivals are invisible until the queue
+        // drains into them (every drain dirties the cache anyway).
+        if self.queue.len() <= FRFCFS_WINDOW {
+            self.next_cand.set(NextCand::Dirty);
+        }
         true
+    }
+
+    /// The memoized scheduler pick, recomputing it if channel state changed
+    /// since the last query. Never returns [`NextCand::Dirty`].
+    fn cached_candidate(&self) -> NextCand {
+        let c = self.next_cand.get();
+        if c != NextCand::Dirty {
+            return c;
+        }
+        let fresh = match self.pick_candidate() {
+            None => NextCand::Empty,
+            Some(idx) => NextCand::At { idx, t_cas: self.issue_time(&self.queue[idx]) },
+        };
+        self.next_cand.set(fresh);
+        fresh
     }
 
     /// Commit every command legal at or before `now`; completed transactions
     /// are appended to `out` (their `completed_at` may lie in the future —
     /// the caller delivers them when the clock reaches it).
     pub(crate) fn advance(&mut self, now: u64, out: &mut Vec<Completion>) {
+        let refresh_due = self.cfg.timing.trefi > 0 && self.next_refresh <= now;
+        if !refresh_due {
+            // Fast path: no refresh pending and the memoized pick is not
+            // actionable yet — the channel cannot commit anything at `now`.
+            // (Idle-refresh catch-up only fires when a refresh is overdue,
+            // so skipping it here loses nothing.)
+            match self.cached_candidate() {
+                NextCand::Empty => return,
+                NextCand::At { t_cas, .. } if t_cas > now => return,
+                _ => {}
+            }
+        }
         self.catch_up_refresh(now);
         loop {
             if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
                 self.commit_refresh();
                 continue;
             }
-            let Some(idx) = self.pick_candidate() else { break };
-            let t_cas = self.issue_time(&self.queue[idx]);
+            let NextCand::At { idx, t_cas } = self.cached_candidate() else { break };
             if t_cas > now {
                 break;
             }
             let p = self.queue.remove(idx).expect("index valid");
+            self.next_cand.set(NextCand::Dirty);
             let done = self.commit(&p, t_cas);
             out.push(done);
         }
@@ -136,13 +198,30 @@ impl Channel {
     /// The earliest cycle at which this channel can commit another command,
     /// or `None` when the queue is empty.
     pub(crate) fn earliest_action(&self, now: u64) -> Option<u64> {
+        match self.cached_candidate() {
+            NextCand::Empty | NextCand::Dirty => None,
+            NextCand::At { t_cas, .. } => {
+                // A refresh deadline can precede (and gate) the next CAS.
+                if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
+                    Some(now)
+                } else {
+                    Some(t_cas.max(now))
+                }
+            }
+        }
+    }
+
+    /// [`Channel::earliest_action`] recomputed from scratch, bypassing the
+    /// memoized candidate — the reference the next-event property tests
+    /// compare the cache against.
+    #[doc(hidden)]
+    pub fn earliest_action_uncached(&self, now: u64) -> Option<u64> {
         let mut next = None;
         if !self.queue.is_empty() {
             if let Some(idx) = self.pick_candidate() {
                 let t = self.issue_time(&self.queue[idx]).max(now);
                 next = Some(t);
             }
-            // A refresh deadline can precede (and gate) the next CAS.
             if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
                 next = Some(now);
             }
@@ -164,6 +243,7 @@ impl Channel {
                 for b in &mut self.banks {
                     b.open_row = None;
                 }
+                self.next_cand.set(NextCand::Dirty);
             }
         }
     }
@@ -183,6 +263,7 @@ impl Channel {
         }
         self.refresh_until = end;
         self.next_refresh += t.trefi;
+        self.next_cand.set(NextCand::Dirty);
         self.stats.refreshes += 1;
     }
 

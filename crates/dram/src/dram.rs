@@ -61,6 +61,9 @@ pub struct Dram {
     config: DramConfig,
     channels: Vec<Channel>,
     core_channels: Vec<Vec<usize>>,
+    /// The full channel index set — the default subset for unpartitioned
+    /// cores, precomputed so address decode never allocates.
+    all_channels: Vec<usize>,
     in_flight: BinaryHeap<Reverse<(u64, u64)>>,
     in_flight_data: Vec<Option<Completion>>,
     free_slots: Vec<usize>,
@@ -68,6 +71,9 @@ pub struct Dram {
     trace: Option<BandwidthTrace>,
     now: u64,
     pending_count: usize,
+    /// Reusable buffer for commands committed within one `advance` call;
+    /// kept across calls so the steady state allocates nothing.
+    scratch_committed: Vec<Completion>,
 }
 
 impl Dram {
@@ -84,6 +90,7 @@ impl Dram {
         Dram {
             channels,
             core_channels: Vec::new(),
+            all_channels: (0..config.channels).collect(),
             in_flight: BinaryHeap::new(),
             in_flight_data: Vec::new(),
             free_slots: Vec::new(),
@@ -91,6 +98,7 @@ impl Dram {
             trace: None,
             now: 0,
             pending_count: 0,
+            scratch_committed: Vec::new(),
             config,
         }
     }
@@ -117,10 +125,10 @@ impl Dram {
         self.core_channels[core] = channels;
     }
 
-    fn subset_of(&self, core: usize) -> Vec<usize> {
+    fn subset_of(&self, core: usize) -> &[usize] {
         match self.core_channels.get(core) {
-            Some(v) if !v.is_empty() => v.clone(),
-            _ => (0..self.config.channels).collect(),
+            Some(v) if !v.is_empty() => v,
+            _ => &self.all_channels,
         }
     }
 
@@ -155,8 +163,7 @@ impl Dram {
         is_write: bool,
         meta: u64,
     ) -> Result<(), EnqueueError> {
-        let subset = self.subset_of(core);
-        let decoded = decode(addr, &self.config, &subset);
+        let decoded = decode(addr, &self.config, self.subset_of(core));
         let ch = decoded.channel;
         let p = Pending { meta, core, addr, decoded, is_write, arrival: now };
         if !self.channels[ch].enqueue(p) {
@@ -168,23 +175,33 @@ impl Dram {
 
     /// `true` when a transaction from `core` to `addr` can be accepted now.
     pub fn can_accept(&self, core: usize, addr: u64) -> bool {
-        let subset = self.subset_of(core);
-        let decoded = decode(addr, &self.config, &subset);
+        let decoded = decode(addr, &self.config, self.subset_of(core));
         self.channels[decoded.channel].has_room()
     }
 
     /// Advance the device clock to `now` (monotone non-decreasing), commit
     /// every command that becomes legal, and return the transactions whose
     /// data finished by `now`, ordered by completion cycle.
+    ///
+    /// Convenience wrapper around [`Dram::advance_into`]; hot callers should
+    /// pass a reused buffer to `advance_into` instead.
     pub fn advance(&mut self, now: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.advance_into(now, &mut done);
+        done
+    }
+
+    /// [`Dram::advance`], appending completions to a caller-owned buffer so
+    /// the per-tick path allocates nothing.
+    pub fn advance_into(&mut self, now: u64, out: &mut Vec<Completion>) {
         debug_assert!(now >= self.now, "clock must be monotone");
         self.now = self.now.max(now);
 
-        let mut committed = Vec::new();
+        let mut committed = std::mem::take(&mut self.scratch_committed);
         for ch in &mut self.channels {
             ch.advance(now, &mut committed);
         }
-        for c in committed {
+        for c in committed.drain(..) {
             // Account bytes at commit time (the data burst is scheduled).
             if self.per_core_bytes.len() <= c.core {
                 self.per_core_bytes.resize(c.core + 1, 0);
@@ -205,8 +222,8 @@ impl Dram {
             };
             self.in_flight.push(Reverse((c.completed_at, slot as u64)));
         }
+        self.scratch_committed = committed;
 
-        let mut done = Vec::new();
         while let Some(&Reverse((t, slot))) = self.in_flight.peek() {
             if t > now {
                 break;
@@ -215,9 +232,8 @@ impl Dram {
             let c = self.in_flight_data[slot as usize].take().expect("slot occupied");
             self.free_slots.push(slot as usize);
             self.pending_count -= 1;
-            done.push(c);
+            out.push(c);
         }
-        done
     }
 
     /// The next cycle at which the device changes state: a pending data
@@ -234,6 +250,24 @@ impl Dram {
             }
         }
         // Never return a cycle in the past.
+        next.map(|t| t.max(self.now + 1))
+    }
+
+    /// [`Dram::next_event`] recomputed from scratch, bypassing every
+    /// channel's memoized scheduler pick. Exists solely so property tests
+    /// can check the cached answer against a brute-force rescan; not part
+    /// of the stable API.
+    #[doc(hidden)]
+    pub fn next_event_uncached(&self) -> Option<u64> {
+        let mut next: Option<u64> = self.in_flight.peek().map(|Reverse((t, _))| *t);
+        for ch in &self.channels {
+            if let Some(t) = ch.earliest_action_uncached(self.now) {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
+            }
+        }
         next.map(|t| t.max(self.now + 1))
     }
 

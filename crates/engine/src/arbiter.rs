@@ -7,7 +7,7 @@ use crate::sim::{Simulation, META_WALK};
 use mnpu_dram::{EnqueueError, TRANSACTION_BYTES};
 use mnpu_mmu::WalkStart;
 use std::cmp::Reverse;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A transaction rejected by a full DRAM queue, waiting to be retried:
 /// `(core, paddr, is_write, meta)`.
@@ -26,7 +26,13 @@ pub(crate) struct Arbiter {
     /// Per-core FCFS order of VPNs waiting for a free walker.
     pub(crate) walker_wait_order: Vec<VecDeque<u64>>,
     /// Transactions parked on each waiting `(core, vpn)`: `(stage, vaddr)`.
-    pub(crate) walker_waiters: HashMap<(usize, u64), Vec<(usize, u64)>>,
+    /// A `BTreeMap` so any future iteration is deterministic by
+    /// construction (see `Simulation::walk_waiters`).
+    pub(crate) walker_waiters: BTreeMap<(usize, u64), Vec<(usize, u64)>>,
+    /// Reused per-core "pool exhausted" scratch for `drain_walker_wait`.
+    pub(crate) walker_blocked: Vec<bool>,
+    /// Reused scratch for the retry-queue drain in `issue_all`.
+    pub(crate) retry_scratch: VecDeque<RetryTxn>,
 }
 
 impl Arbiter {
@@ -35,7 +41,9 @@ impl Arbiter {
             rr_start: 0,
             dram_retry: VecDeque::new(),
             walker_wait_order: vec![VecDeque::new(); cores],
-            walker_waiters: HashMap::new(),
+            walker_waiters: BTreeMap::new(),
+            walker_blocked: vec![false; cores],
+            retry_scratch: VecDeque::new(),
         }
     }
 
@@ -79,7 +87,8 @@ impl Simulation {
     /// shared pool (each per-core queue stays FCFS internally).
     pub(crate) fn drain_walker_wait(&mut self) {
         let ncores = self.cores.len();
-        let mut blocked = vec![false; ncores];
+        let mut blocked = std::mem::take(&mut self.arbiter.walker_blocked);
+        blocked.iter_mut().for_each(|b| *b = false);
         // Rotate the starting core so freed walkers are granted round-robin
         // rather than by fixed core priority.
         let first = self.arbiter.rotate(ncores);
@@ -133,6 +142,7 @@ impl Simulation {
                 break;
             }
         }
+        self.arbiter.walker_blocked = blocked;
     }
 
     /// One arbitration round: drain the retry queue (FCFS), grant freed
@@ -141,13 +151,16 @@ impl Simulation {
     pub(crate) fn issue_all(&mut self) {
         // Retry previously blocked transactions first (FCFS).
         if !self.arbiter.dram_retry.is_empty() {
-            let mut remaining = VecDeque::new();
+            let mut remaining = std::mem::take(&mut self.arbiter.retry_scratch);
+            debug_assert!(remaining.is_empty());
             while let Some((core, paddr, is_write, meta)) = self.arbiter.dram_retry.pop_front() {
                 if self.memory.enqueue(self.now, core, paddr, is_write, meta).is_err() {
                     remaining.push_back((core, paddr, is_write, meta));
                 }
             }
-            self.arbiter.dram_retry = remaining;
+            // The drained (now empty) queue becomes next round's scratch.
+            std::mem::swap(&mut self.arbiter.dram_retry, &mut remaining);
+            self.arbiter.retry_scratch = remaining;
         }
         if self.arbiter.has_walker_waiters() {
             self.drain_walker_wait();
@@ -162,7 +175,7 @@ impl Simulation {
             if self.cores[ci].finished() || self.cores[ci].start_cycle > self.now {
                 continue;
             }
-            self.progress_core(ci);
+            self.progress_core_if_woken(ci);
             self.issue_core(ci);
         }
     }

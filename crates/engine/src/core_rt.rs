@@ -32,6 +32,12 @@ pub(crate) struct CoreRt {
     pub(crate) data_txns: u64,
     pub(crate) walk_txns: u64,
     pub(crate) blocked_on_dram: bool,
+    /// Set whenever an external event (a data completion) may have
+    /// unblocked the pipeline; cleared after a full `progress_core` pass.
+    /// Between the two, `progress_core` is a guaranteed no-op unless a
+    /// running compute has retired — which the wake check tests directly —
+    /// so the event loop skips the call entirely.
+    pub(crate) needs_progress: bool,
 }
 
 impl CoreRt {
@@ -66,6 +72,7 @@ impl CoreRt {
             data_txns: 0,
             walk_txns: 0,
             blocked_on_dram: false,
+            needs_progress: true,
         }
     }
 
@@ -100,8 +107,14 @@ impl Simulation {
     /// barrier), and handle iteration / workload completion.
     pub(crate) fn progress_core(&mut self, ci: usize) {
         if self.cores[ci].finished() || self.cores[ci].start_cycle > self.now {
+            // Not started yet: leave `needs_progress` set so the first
+            // pass at/after `start_cycle` runs unconditionally.
             return;
         }
+        // The pass below runs to a fixpoint, so afterwards only a new
+        // external event (tracked by `needs_progress`) or a compute
+        // retirement at a later cycle can enable further progress.
+        self.cores[ci].needs_progress = false;
         loop {
             let mut made_progress = false;
 
@@ -180,6 +193,25 @@ impl Simulation {
             if !made_progress {
                 break;
             }
+        }
+    }
+
+    /// `true` when `progress_core(ci)` could do anything at the current
+    /// cycle: an external event arrived since the last pass, or the
+    /// running compute has retired.
+    pub(crate) fn core_woken(&self, ci: usize) -> bool {
+        let rt = &self.cores[ci];
+        if rt.finished() {
+            return false;
+        }
+        rt.needs_progress || rt.computing.is_some_and(|(_, done_at)| done_at <= self.now)
+    }
+
+    /// [`Simulation::progress_core`], skipped when the core has no wake
+    /// condition — the common case for compute-bound cores between events.
+    pub(crate) fn progress_core_if_woken(&mut self, ci: usize) {
+        if self.core_woken(ci) {
+            self.progress_core(ci);
         }
     }
 }

@@ -1,0 +1,175 @@
+//! Deterministic JSON serialization of [`RunReport`].
+//!
+//! Hand-rolled (the workspace deliberately carries no serde): field order is
+//! fixed by the code below, integers print exactly, and floats use Rust's
+//! shortest-roundtrip `Display`, so two byte-identical reports serialize to
+//! byte-identical JSON. The golden equivalence test pins a fixture produced
+//! by this writer to prove hot-path changes are behaviorally invisible.
+
+use crate::report::{LogKind, RunReport};
+use mnpu_dram::ChannelStats;
+use std::fmt::Write as _;
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    // Workload/layer names are plain identifiers; escape the two JSON
+    // metacharacters they could ever contain, for strictness.
+    let escaped: String = val.chars().flat_map(char::escape_default).collect();
+    let _ = write!(out, "\"{key}\":\"{escaped}\"");
+}
+
+fn push_channel_stats(out: &mut String, s: &ChannelStats) {
+    let _ = write!(
+        out,
+        "{{\"reads\":{},\"writes\":{},\"row_hits\":{},\"row_misses\":{},\
+         \"row_conflicts\":{},\"busy_cycles\":{},\"bytes\":{},\"latency_sum\":{},\
+         \"latency_max\":{},\"refreshes\":{}}}",
+        s.reads,
+        s.writes,
+        s.row_hits,
+        s.row_misses,
+        s.row_conflicts,
+        s.busy_cycles,
+        s.bytes,
+        s.latency_sum,
+        s.latency_max,
+        s.refreshes
+    );
+}
+
+fn log_kind_name(k: LogKind) -> &'static str {
+    match k {
+        LogKind::TlbHit => "tlb_hit",
+        LogKind::TlbMiss => "tlb_miss",
+        LogKind::WalkStart => "walk_start",
+        LogKind::WalkDone => "walk_done",
+        LogKind::DramReadDone => "dram_read_done",
+        LogKind::DramWriteDone => "dram_write_done",
+    }
+}
+
+impl RunReport {
+    /// Serialize the full report as a single deterministic JSON object.
+    ///
+    /// Every field of the report is included — per-core results (with MMU
+    /// counters and layer cycles), DRAM statistics down to the per-channel
+    /// counters, the bandwidth trace when enabled, and the request log —
+    /// so byte-equality of two serializations implies behavioral equality
+    /// of the two runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"cores\":[");
+        for (i, c) in self.cores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "workload", &c.workload);
+            let _ = write!(
+                out,
+                ",\"cycles\":{},\"compute_cycles\":{},\"pe_utilization\":{},\
+                 \"traffic_bytes\":{},\"walk_bytes\":{},",
+                c.cycles, c.compute_cycles, c.pe_utilization, c.traffic_bytes, c.walk_bytes
+            );
+            let _ = write!(
+                out,
+                "\"mmu\":{{\"tlb_hits\":{},\"tlb_misses\":{},\"walks\":{},\
+                 \"coalesced\":{},\"walker_stalls\":{}}},",
+                c.mmu.tlb_hits, c.mmu.tlb_misses, c.mmu.walks, c.mmu.coalesced, c.mmu.walker_stalls
+            );
+            out.push_str("\"layer_cycles\":[");
+            for (j, (name, cycles)) in c.layer_cycles.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_str_field(&mut out, "name", name);
+                let _ = write!(out, ",\"cycles\":{cycles}]");
+            }
+            let _ = write!(
+                out,
+                "],\"footprint_bytes\":{},\"noc_queue_cycles\":{}}}",
+                c.footprint_bytes, c.noc_queue_cycles
+            );
+        }
+        let _ = write!(out, "],\"total_cycles\":{},", self.total_cycles);
+
+        out.push_str("\"dram\":{\"total\":");
+        push_channel_stats(&mut out, &self.dram.total);
+        out.push_str(",\"per_channel\":[");
+        for (i, ch) in self.dram.per_channel.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_channel_stats(&mut out, ch);
+        }
+        out.push_str("],\"per_core_bytes\":[");
+        for (i, b) in self.dram.per_core_bytes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]},");
+
+        out.push_str("\"bandwidth_trace\":");
+        match &self.bandwidth_trace {
+            None => out.push_str("null"),
+            Some(t) => {
+                let _ = write!(out, "{{\"window\":{},\"total_series\":[", t.window());
+                for (i, b) in t.total_series().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push_str("]}");
+            }
+        }
+
+        out.push_str(",\"request_log\":[");
+        for (i, e) in self.request_log.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cycle\":{},\"core\":{},\"kind\":\"{}\",\"addr\":{}}}",
+                e.cycle,
+                e.core,
+                log_kind_name(e.kind),
+                e.addr
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SharingLevel, Simulation, SystemConfig};
+    use mnpu_model::{zoo, Scale};
+
+    #[test]
+    fn json_is_deterministic_and_structured() {
+        let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+        let nets = [zoo::ncf(Scale::Bench)];
+        let a = Simulation::run_networks(&cfg, &nets).to_json();
+        let b = Simulation::run_networks(&cfg, &nets).to_json();
+        assert_eq!(a, b, "same run must serialize byte-identically");
+        assert!(a.starts_with("{\"cores\":["));
+        assert!(a.contains("\"total_cycles\":"));
+        assert!(a.contains("\"per_channel\":["));
+        assert!(a.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_includes_request_log_events() {
+        let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+        cfg.request_log = true;
+        let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+        let j = r.to_json();
+        assert!(j.contains("\"kind\":\"tlb_"));
+        assert!(j.contains("\"kind\":\"dram_read_done\""));
+    }
+}

@@ -40,6 +40,7 @@
 
 mod arbiter;
 mod core_rt;
+mod json;
 mod memmap;
 mod memory;
 mod report;

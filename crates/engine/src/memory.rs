@@ -72,8 +72,20 @@ pub trait MemorySystem: std::fmt::Debug + Send {
     /// completion buffer.
     fn tick(&mut self, now: u64);
 
-    /// Take all buffered completions, in service order.
-    fn drain_completions(&mut self) -> Vec<Completion>;
+    /// Move all buffered completions into `out` (appending, in service
+    /// order), leaving the internal buffer empty but with its capacity
+    /// intact — the event loop passes one reused buffer so the steady
+    /// state allocates nothing.
+    fn drain_completions_into(&mut self, out: &mut Vec<Completion>);
+
+    /// Take all buffered completions, in service order. Convenience form
+    /// of [`drain_completions_into`](MemorySystem::drain_completions_into)
+    /// for callers outside the hot loop.
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.drain_completions_into(&mut out);
+        out
+    }
 
     /// The next cycle at which the device needs attention, if any.
     fn next_event_cycle(&self) -> Option<u64>;
@@ -138,11 +150,11 @@ impl MemorySystem for DramMemory {
     }
 
     fn tick(&mut self, now: u64) {
-        self.ready.extend(self.dram.advance(now));
+        self.dram.advance_into(now, &mut self.ready);
     }
 
-    fn drain_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut self.ready)
+    fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.ready);
     }
 
     fn next_event_cycle(&self) -> Option<u64> {
@@ -238,8 +250,8 @@ impl MemorySystem for IdealMemory {
         }
     }
 
-    fn drain_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut self.ready)
+    fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.ready);
     }
 
     fn next_event_cycle(&self) -> Option<u64> {

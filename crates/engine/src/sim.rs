@@ -13,12 +13,12 @@ use crate::memory::{build_memory, MemorySystem};
 use crate::report::{CoreReport, LogEvent, LogKind, RunReport};
 use crate::stage::Stage;
 use crate::system::SystemConfig;
-use mnpu_dram::TRANSACTION_BYTES;
+use mnpu_dram::{Completion, TRANSACTION_BYTES};
 use mnpu_mmu::{Mmu, WalkStep};
 use mnpu_model::Network;
 use mnpu_systolic::WorkloadTrace;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Tag bit distinguishing page-table walk reads from data transactions.
 pub(crate) const META_WALK: u64 = 1 << 63;
@@ -43,8 +43,10 @@ pub struct Simulation {
     pub(crate) cores: Vec<CoreRt>,
     pub(crate) stages: Vec<Stage>,
     /// Transactions parked on each in-flight walk: raw walk id →
-    /// `(stage, vaddr)` list.
-    pub(crate) walk_waiters: HashMap<u64, Vec<(usize, u64)>>,
+    /// `(stage, vaddr)` list. A `BTreeMap` so any future iteration is in
+    /// deterministic key order by construction — replay determinism must
+    /// not hinge on which accessor someone reaches for.
+    pub(crate) walk_waiters: BTreeMap<u64, Vec<(usize, u64)>>,
     pub(crate) arbiter: Arbiter,
     pub(crate) log: Option<Vec<LogEvent>>,
     pub(crate) noc: Option<mnpu_noc::Crossbar>,
@@ -52,6 +54,8 @@ pub struct Simulation {
     pub(crate) noc_requests: BinaryHeap<Reverse<NocRequest>>,
     /// Responses in flight back to cores: (arrival, meta, core).
     pub(crate) noc_responses: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Reused buffer for draining memory completions each loop iteration.
+    completion_buf: Vec<Completion>,
     pub(crate) now: u64,
 }
 
@@ -102,12 +106,13 @@ impl Simulation {
             page_tables,
             cores,
             stages: Vec::new(),
-            walk_waiters: HashMap::new(),
+            walk_waiters: BTreeMap::new(),
             arbiter: Arbiter::new(cfg.cores),
             log: cfg.request_log.then(Vec::new),
             noc: cfg.noc.as_ref().map(|n| mnpu_noc::Crossbar::new(n, cfg.cores)),
             noc_requests: BinaryHeap::new(),
             noc_responses: BinaryHeap::new(),
+            completion_buf: Vec::new(),
             now: 0,
             cfg: cfg.clone(),
         }
@@ -176,7 +181,11 @@ impl Simulation {
             }
 
             self.memory.tick(self.now);
-            for c in self.memory.drain_completions() {
+            // Reused drain buffer: taken out for the duration of the walk
+            // because `handle_completion` needs `&mut self`.
+            let mut ready = std::mem::take(&mut self.completion_buf);
+            self.memory.drain_completions_into(&mut ready);
+            for c in ready.drain(..) {
                 if let Some(noc) = &mut self.noc {
                     let arrival = noc.response_delivery(
                         c.completed_at.min(self.now),
@@ -190,8 +199,9 @@ impl Simulation {
                 }
                 self.handle_completion(c.meta, c.core);
             }
+            self.completion_buf = ready;
             for core in 0..self.cores.len() {
-                self.progress_core(core);
+                self.progress_core_if_woken(core);
             }
             self.issue_all();
 
@@ -300,6 +310,10 @@ impl Simulation {
             };
             {
                 let rt = &mut self.cores[score];
+                // A data completion can unblock the tile pipeline (tile
+                // loaded, store drained, layer barrier released): wake the
+                // core for the next progress pass.
+                rt.needs_progress = true;
                 rt.outstanding -= 1;
                 rt.data_txns += 1;
                 rt.blocked_on_dram = false;

@@ -1,0 +1,55 @@
+//! Golden equivalence test: a quad-core mixed-benchmark run, serialized to
+//! JSON, must stay byte-identical across simulator changes.
+//!
+//! The fixture (`tests/fixtures/quad_golden.json`) was produced by the
+//! pre-optimization event loop; any hot-path change (next-event caching,
+//! scheduler candidate caches, buffer reuse) that alters even one cycle,
+//! one stat counter, or one completion ordering fails this test. Together
+//! with the serial/parallel determinism test in `mnpu-bench`, it pins the
+//! simulator's visible behavior exactly.
+//!
+//! Regenerate intentionally (after a *semantic* model change, never for an
+//! optimization) with:
+//!
+//! ```text
+//! MNPU_BLESS=1 cargo test -p mnpu-engine --test golden
+//! ```
+
+use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+use mnpu_model::{zoo, Scale};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/quad_golden.json");
+
+/// The pinned run: four different benchmarks (memory-bound ds2, the two
+/// language models, and compute-bound ncf) on a quad-core chip with every
+/// resource shared (+DWT) — the configuration that exercises DRAM FR-FCFS
+/// scheduling, refresh, TLB sharing, walk coalescing, and the walker pool
+/// all at once. Bandwidth tracing is enabled so completion *timing*, not
+/// just totals, is captured in the fixture.
+fn golden_report() -> String {
+    let mut cfg = SystemConfig::bench(4, SharingLevel::PlusDwt);
+    cfg.trace_window = Some(4096);
+    let nets = [
+        zoo::ncf(Scale::Bench),
+        zoo::gpt2(Scale::Bench),
+        zoo::yolo_tiny(Scale::Bench),
+        zoo::dlrm(Scale::Bench),
+    ];
+    Simulation::run_networks(&cfg, &nets).to_json()
+}
+
+#[test]
+fn quad_mixed_run_matches_golden_fixture() {
+    let json = golden_report();
+    if std::env::var("MNPU_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures")).unwrap();
+        std::fs::write(FIXTURE, &json).unwrap();
+        eprintln!("blessed fixture: {} bytes", json.len());
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — generate with MNPU_BLESS=1 (see module docs)");
+    // Compare lengths first for a readable failure before the full diff.
+    assert_eq!(json.len(), expected.len(), "serialized report size changed");
+    assert_eq!(json, expected, "quad-core golden report must be byte-identical");
+}
