@@ -15,12 +15,23 @@
 //! * `--tiny` — a 3-simulation smoke workload (CI: catches pathological
 //!   slowdowns or panics in the bench path without paying for the sweep);
 //! * `--label NAME` — label recorded in the JSON entry (default `current`;
-//!   `MNPU_BENCH_LABEL` works too).
+//!   `MNPU_BENCH_LABEL` works too);
+//! * `--probe-stats` — run every simulation with the statistics probe
+//!   ([`mnpu_engine::ProbeMode::Stats`]) instead of the zero-cost null
+//!   probe, to measure the observability overhead;
+//! * `--csv PATH` — write the final simulation's per-core counter CSV
+//!   ([`mnpu_engine::Format::Csv`]) to `PATH` (a CI artifact);
+//! * `--check PATH` — compare this run's `simulated_cycles_per_sec`
+//!   against the newest same-mode `"baseline"`-labeled entry in `PATH` and
+//!   exit non-zero below `MNPU_BENCH_TOLERANCE` (default 0.95) of it;
+//! * `--repeat N` — run the sweep `N` times and keep the fastest
+//!   (best-of-N suppresses scheduler noise; defaults to 5 under `--tiny`,
+//!   where the sweep is tens of milliseconds, and 1 otherwise).
 //!
 //! `MNPU_BENCH_OUT` overrides the output path.
 
 use mnpu_bench::Harness;
-use mnpu_engine::{SharingLevel, SystemConfig};
+use mnpu_engine::{Format, ProbeMode, RunReport, SharingLevel, SystemConfig};
 use mnpu_predict::mapping::multisets;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -30,6 +41,7 @@ struct SweepResult {
     wall_seconds: f64,
     simulated_cycles: u64,
     transactions: u64,
+    last_report: Option<RunReport>,
 }
 
 /// Run every request serially through the full report path (no run cache,
@@ -38,16 +50,19 @@ fn run_sweep(h: &Harness, reqs: &[(SystemConfig, Vec<usize>)]) -> SweepResult {
     let t0 = Instant::now();
     let mut simulated_cycles = 0u64;
     let mut transactions = 0u64;
+    let mut last_report = None;
     for (cfg, ws) in reqs {
         let r = h.run_report(cfg, ws);
         simulated_cycles += r.total_cycles;
         transactions += r.dram.total.transactions();
+        last_report = Some(r);
     }
     SweepResult {
         sims: reqs.len(),
         wall_seconds: t0.elapsed().as_secs_f64(),
         simulated_cycles,
         transactions,
+        last_report,
     }
 }
 
@@ -90,30 +105,78 @@ fn append_entry(path: &PathBuf, entry: &str) -> std::io::Result<()> {
     std::fs::write(path, body)
 }
 
+/// Newest `"label":"baseline"` entry of `mode` in the bench-history file:
+/// its `simulated_cycles_per_sec`. Entries are one object per line, written
+/// by this binary, so a line-wise scan is an honest parser for them.
+fn baseline_cycles_per_sec(path: &PathBuf, mode: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mode_tag = format!("\"mode\":\"{mode}\"");
+    text.lines()
+        .filter(|l| l.contains("\"label\":\"baseline\"") && l.contains(&mode_tag))
+        .filter_map(|l| {
+            let rest = l.split("\"simulated_cycles_per_sec\":").nth(1)?;
+            let num: String =
+                rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+            num.parse::<f64>().ok()
+        })
+        .next_back()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
-    let label = args
-        .iter()
-        .position(|a| a == "--label")
-        .and_then(|i| args.get(i + 1).cloned())
+    let probe_stats = args.iter().any(|a| a == "--probe-stats");
+    let arg_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned());
+    let label = arg_value("--label")
         .or_else(|| std::env::var("MNPU_BENCH_LABEL").ok())
         .unwrap_or_else(|| "current".to_string());
+    let csv_path = arg_value("--csv").map(PathBuf::from);
+    let check_path = arg_value("--check").map(PathBuf::from);
+    let repeat = arg_value("--repeat")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if tiny { 5 } else { 1 })
+        .max(1);
 
     // The throughput benchmark must always measure real simulations.
     std::env::set_var("MNPU_NO_CACHE", "1");
 
     let h = Harness::new();
-    let (mode, reqs) = if tiny { ("tiny", tiny_requests()) } else { ("fig04", fig04_requests()) };
-    let r = run_sweep(&h, &reqs);
+    let (mode, mut reqs) =
+        if tiny { ("tiny", tiny_requests()) } else { ("fig04", fig04_requests()) };
+    if probe_stats {
+        for (cfg, _) in &mut reqs {
+            cfg.probe = ProbeMode::Stats;
+        }
+    }
+    let mut r = run_sweep(&h, &reqs);
+    for _ in 1..repeat {
+        let again = run_sweep(&h, &reqs);
+        if again.wall_seconds < r.wall_seconds {
+            r = again;
+        }
+    }
 
     let cycles_per_sec = r.simulated_cycles as f64 / r.wall_seconds;
+    let probe_name = if probe_stats { "stats" } else { "null" };
     let entry = format!(
-        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"sims\":{},\"sweep_seconds\":{:.3},\
-         \"simulated_cycles\":{},\"simulated_cycles_per_sec\":{:.0},\"dram_transactions\":{}}}",
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"probe\":\"{probe_name}\",\"sims\":{},\
+         \"sweep_seconds\":{:.3},\"simulated_cycles\":{},\"simulated_cycles_per_sec\":{:.0},\
+         \"dram_transactions\":{}}}",
         r.sims, r.wall_seconds, r.simulated_cycles, cycles_per_sec, r.transactions
     );
     println!("{entry}");
+
+    if let Some(path) = &csv_path {
+        let report = r.last_report.as_ref().expect("sweep ran at least one simulation");
+        let mut buf = Vec::new();
+        report.emit(Format::Csv, &mut buf).expect("Vec sink never fails");
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("stats CSV written to {}", path.display());
+    }
 
     let out = std::env::var("MNPU_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|_| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json")
@@ -123,6 +186,36 @@ fn main() {
         Err(e) => {
             eprintln!("failed to write {}: {e}", out.display());
             std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &check_path {
+        let tolerance = std::env::var("MNPU_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .unwrap_or(0.95);
+        match baseline_cycles_per_sec(path, mode) {
+            Some(base) => {
+                let floor = base * tolerance;
+                if cycles_per_sec < floor {
+                    eprintln!(
+                        "PERF REGRESSION: {cycles_per_sec:.0} cycles/s < {floor:.0} \
+                         ({tolerance:.2} x baseline {base:.0}, mode {mode})"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "perf check ok: {cycles_per_sec:.0} cycles/s >= {floor:.0} \
+                     ({tolerance:.2} x baseline {base:.0}, mode {mode})"
+                );
+            }
+            None => {
+                eprintln!(
+                    "no \"baseline\"-labeled {mode} entry in {} — cannot check",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
         }
     }
 }

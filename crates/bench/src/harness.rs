@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Bump to invalidate cached run results after simulator changes.
-pub(crate) const CACHE_VERSION: u32 = 4;
+pub(crate) const CACHE_VERSION: u32 = 5;
 
 /// First line of the on-disk cache; a file whose header does not match is
 /// dropped wholesale (stale format or stale simulator).
@@ -196,7 +196,7 @@ impl Harness {
         }
         let traces: Vec<WorkloadTrace> =
             workloads.iter().zip(&cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
-        let report = Simulation::new(cfg, &traces).run();
+        let report = Simulation::run_traces(cfg, &traces);
         let cycles: Vec<u64> = report.cores.iter().map(|c| c.cycles).collect();
         let mut cache = self.cache.lock().expect("cache lock");
         cache.entries.insert(key, cycles.clone());
@@ -217,7 +217,7 @@ impl Harness {
         assert_eq!(workloads.len(), cfg.cores, "one workload per core");
         let traces: Vec<WorkloadTrace> =
             workloads.iter().zip(&cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
-        Simulation::new(cfg, &traces).run()
+        Simulation::run_traces(cfg, &traces)
     }
 
     /// Cycles of workload `w` running alone with all of `chip`'s resources

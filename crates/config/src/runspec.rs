@@ -98,12 +98,14 @@ pub fn build_system(
         iterations: misc.iterations.max(1),
         trace_window: (misc.trace_window > 0).then_some(misc.trace_window),
         request_log: misc.request_log,
+        request_log_cap: None,
+        probe: mnpu_engine::ProbeMode::None,
         ptw_bounds: misc.ptw_bounds,
         max_cycles: (misc.max_cycles > 0).then_some(misc.max_cycles),
         noc: dram_file.noc,
         memory: mnpu_engine::MemoryModel::Timing,
     };
-    cfg.validate().map_err(ConfigError::Inconsistent)?;
+    cfg.validate().map_err(|e| ConfigError::Inconsistent(e.to_string()))?;
     Ok(cfg)
 }
 

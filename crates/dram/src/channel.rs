@@ -4,6 +4,9 @@ use crate::address::DecodedAddr;
 use crate::config::DramConfig;
 use crate::dram::Completion;
 use crate::stats::ChannelStats;
+#[cfg(test)]
+use mnpu_probe::NullProbe;
+use mnpu_probe::{Event, Probe};
 use std::cell::Cell;
 use std::collections::VecDeque;
 
@@ -165,7 +168,21 @@ impl Channel {
     /// Commit every command legal at or before `now`; completed transactions
     /// are appended to `out` (their `completed_at` may lie in the future —
     /// the caller delivers them when the clock reaches it).
+    #[cfg(test)]
     pub(crate) fn advance(&mut self, now: u64, out: &mut Vec<Completion>) {
+        self.advance_probed(now, out, &mut NullProbe, 0);
+    }
+
+    /// [`Channel::advance`] with an observability probe; `ch_idx` tags the
+    /// emitted events with this channel's device-level index. With
+    /// [`NullProbe`] this monomorphizes to exactly the uninstrumented body.
+    pub(crate) fn advance_probed<P: Probe>(
+        &mut self,
+        now: u64,
+        out: &mut Vec<Completion>,
+        probe: &mut P,
+        ch_idx: usize,
+    ) {
         let refresh_due = self.cfg.timing.trefi > 0 && self.next_refresh <= now;
         if !refresh_due {
             // Fast path: no refresh pending and the memoized pick is not
@@ -181,7 +198,7 @@ impl Channel {
         self.catch_up_refresh(now);
         loop {
             if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
-                self.commit_refresh();
+                self.commit_refresh(probe, ch_idx);
                 continue;
             }
             let NextCand::At { idx, t_cas } = self.cached_candidate() else { break };
@@ -190,7 +207,7 @@ impl Channel {
             }
             let p = self.queue.remove(idx).expect("index valid");
             self.next_cand.set(NextCand::Dirty);
-            let done = self.commit(&p, t_cas);
+            let done = self.commit(&p, t_cas, probe, ch_idx);
             out.push(done);
         }
     }
@@ -248,7 +265,7 @@ impl Channel {
         }
     }
 
-    fn commit_refresh(&mut self) {
+    fn commit_refresh<P: Probe>(&mut self, probe: &mut P, ch_idx: usize) {
         let t = &self.cfg.timing;
         // Refresh begins once in-flight data and row-precharge constraints
         // drain; it blocks the whole channel for tRFC.
@@ -265,6 +282,9 @@ impl Channel {
         self.next_refresh += t.trefi;
         self.next_cand.set(NextCand::Dirty);
         self.stats.refreshes += 1;
+        if P::ENABLED {
+            probe.record(start, Event::DramRefresh { channel: ch_idx });
+        }
     }
 
     /// FR-FCFS with a readiness tie-break: among the reorder window, pick
@@ -346,21 +366,48 @@ impl Channel {
         t_cas
     }
 
-    fn commit(&mut self, p: &Pending, t_cas: u64) -> Completion {
+    fn commit<P: Probe>(
+        &mut self,
+        p: &Pending,
+        t_cas: u64,
+        probe: &mut P,
+        ch_idx: usize,
+    ) -> Completion {
         let t = self.cfg.timing;
         let flat = p.decoded.flat_bank(&self.cfg);
         let bank = &mut self.banks[flat];
+        // Cycles the transaction sat in the channel queue before its CAS
+        // became legal — the contention signal the probe reports.
+        let residency = t_cas - p.arrival;
 
         // Row-buffer bookkeeping (and ACT/PRE effects).
         match bank.open_row {
             Some(row) if row == p.decoded.row => {
                 self.stats.row_hits += 1;
+                if P::ENABLED {
+                    probe.record(
+                        t_cas,
+                        Event::DramRowHit { channel: ch_idx, core: p.core, residency },
+                    );
+                }
             }
             open => {
                 if open.is_some() {
                     self.stats.row_conflicts += 1;
+                    if P::ENABLED {
+                        probe.record(
+                            t_cas,
+                            Event::DramRowConflict { channel: ch_idx, core: p.core, residency },
+                        );
+                    }
                 } else {
                     self.stats.row_misses += 1;
+                    if P::ENABLED {
+                        probe.record(
+                            t_cas,
+                            Event::DramRowMiss { channel: ch_idx, core: p.core, residency },
+                        );
+                    }
                 }
                 let t_act = t_cas - t.trcd;
                 bank.open_row = Some(p.decoded.row);

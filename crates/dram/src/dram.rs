@@ -4,6 +4,7 @@ use crate::address::decode;
 use crate::channel::{Channel, Pending};
 use crate::config::DramConfig;
 use crate::stats::{BandwidthTrace, DramStats};
+use mnpu_probe::{Event, NullProbe, Probe};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
@@ -163,6 +164,27 @@ impl Dram {
         is_write: bool,
         meta: u64,
     ) -> Result<(), EnqueueError> {
+        self.try_enqueue_probed(now, core, addr, is_write, meta, &mut NullProbe)
+    }
+
+    /// [`Dram::try_enqueue`] with an observability probe: on acceptance it
+    /// emits [`Event::DramIssue`] carrying the target channel's queue
+    /// occupancy (reorder-window pressure). With [`NullProbe`] this
+    /// monomorphizes to exactly the unprobed path.
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] when the target channel queue is
+    /// saturated — the caller should retry after the next event.
+    pub fn try_enqueue_probed<P: Probe>(
+        &mut self,
+        now: u64,
+        core: usize,
+        addr: u64,
+        is_write: bool,
+        meta: u64,
+        probe: &mut P,
+    ) -> Result<(), EnqueueError> {
         let decoded = decode(addr, &self.config, self.subset_of(core));
         let ch = decoded.channel;
         let p = Pending { meta, core, addr, decoded, is_write, arrival: now };
@@ -170,6 +192,12 @@ impl Dram {
             return Err(EnqueueError::QueueFull { channel: ch });
         }
         self.pending_count += 1;
+        if P::ENABLED {
+            probe.record(
+                now,
+                Event::DramIssue { channel: ch, queue_depth: self.channels[ch].queue_len() },
+            );
+        }
         Ok(())
     }
 
@@ -194,12 +222,25 @@ impl Dram {
     /// [`Dram::advance`], appending completions to a caller-owned buffer so
     /// the per-tick path allocates nothing.
     pub fn advance_into(&mut self, now: u64, out: &mut Vec<Completion>) {
+        self.advance_into_probed(now, out, &mut NullProbe);
+    }
+
+    /// [`Dram::advance_into`] with an observability probe: each committed
+    /// command emits its row-buffer outcome (hit / miss / conflict, with
+    /// queue residency) and each all-bank refresh is reported. With
+    /// [`NullProbe`] this monomorphizes to exactly the unprobed path.
+    pub fn advance_into_probed<P: Probe>(
+        &mut self,
+        now: u64,
+        out: &mut Vec<Completion>,
+        probe: &mut P,
+    ) {
         debug_assert!(now >= self.now, "clock must be monotone");
         self.now = self.now.max(now);
 
         let mut committed = std::mem::take(&mut self.scratch_committed);
-        for ch in &mut self.channels {
-            ch.advance(now, &mut committed);
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.advance_probed(now, &mut committed, probe, i);
         }
         for c in committed.drain(..) {
             // Account bytes at commit time (the data burst is scheduled).

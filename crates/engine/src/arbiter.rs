@@ -6,6 +6,7 @@ use crate::report::LogKind;
 use crate::sim::{Simulation, META_WALK};
 use mnpu_dram::{EnqueueError, TRANSACTION_BYTES};
 use mnpu_mmu::WalkStart;
+use mnpu_probe::{Event, Probe};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -59,7 +60,7 @@ impl Arbiter {
     }
 }
 
-impl Simulation {
+impl<P: Probe> Simulation<P> {
     /// Route a memory-bound transaction: across the interconnect when one
     /// is modeled, then into the DRAM queue (or the retry list when full).
     pub(crate) fn enqueue_or_retry(&mut self, core: usize, paddr: u64, is_write: bool, meta: u64) {
@@ -75,8 +76,15 @@ impl Simulation {
 
     pub(crate) fn enqueue_direct(&mut self, core: usize, paddr: u64, is_write: bool, meta: u64) {
         match self.memory.enqueue(self.now, core, paddr, is_write, meta) {
-            Ok(()) => {}
+            Ok(()) => {
+                if P::ENABLED {
+                    self.probe.record(self.now, Event::DmaGrant { core });
+                }
+            }
             Err(EnqueueError::QueueFull { .. }) => {
+                if P::ENABLED {
+                    self.probe.record(self.now, Event::DmaRetry { core });
+                }
                 self.arbiter.dram_retry.push_back((core, paddr, is_write, meta));
             }
         }
@@ -118,6 +126,10 @@ impl Simulation {
                 }
                 match mmu.retry_walk(core, vpn) {
                     WalkStart::Started { walk, pt_addr } => {
+                        if P::ENABLED {
+                            self.probe
+                                .record(self.now, Event::WalkStart { core, walk: walk.raw() });
+                        }
                         self.log(core, LogKind::WalkStart, pt_addr);
                         self.arbiter.walker_wait_order[core].pop_front();
                         let waiters =
@@ -155,7 +167,12 @@ impl Simulation {
             debug_assert!(remaining.is_empty());
             while let Some((core, paddr, is_write, meta)) = self.arbiter.dram_retry.pop_front() {
                 if self.memory.enqueue(self.now, core, paddr, is_write, meta).is_err() {
+                    if P::ENABLED {
+                        self.probe.record(self.now, Event::DmaRetry { core });
+                    }
                     remaining.push_back((core, paddr, is_write, meta));
+                } else if P::ENABLED {
+                    self.probe.record(self.now, Event::DmaGrant { core });
                 }
             }
             // The drained (now empty) queue becomes next round's scratch.
@@ -215,11 +232,17 @@ impl Simulation {
             let paddr = self.page_tables[ci].translate(vaddr);
             match self.memory.enqueue(self.now, ci, paddr, is_write, stage_id as u64) {
                 Ok(()) => {
+                    if P::ENABLED {
+                        self.probe.record(self.now, Event::DmaGrant { core: ci });
+                    }
                     self.stages[stage_id].advance();
                     self.cores[ci].outstanding += 1;
                     true
                 }
                 Err(EnqueueError::QueueFull { .. }) => {
+                    if P::ENABLED {
+                        self.probe.record(self.now, Event::DmaRetry { core: ci });
+                    }
                     self.cores[ci].blocked_on_dram = true;
                     false
                 }
@@ -228,16 +251,26 @@ impl Simulation {
             let mmu = self.mmu.as_mut().expect("checked above");
             let vpn = mmu.vpn_of(vaddr);
             let hit = mmu.lookup(ci, vpn);
+            if P::ENABLED {
+                let ev = if hit { Event::TlbHit { core: ci } } else { Event::TlbMiss { core: ci } };
+                self.probe.record(self.now, ev);
+            }
             self.log(ci, if hit { LogKind::TlbHit } else { LogKind::TlbMiss }, vaddr);
             if hit {
                 let paddr = self.page_tables[ci].translate(vaddr);
                 match self.memory.enqueue(self.now, ci, paddr, is_write, stage_id as u64) {
                     Ok(()) => {
+                        if P::ENABLED {
+                            self.probe.record(self.now, Event::DmaGrant { core: ci });
+                        }
                         self.stages[stage_id].advance();
                         self.cores[ci].outstanding += 1;
                         true
                     }
                     Err(EnqueueError::QueueFull { .. }) => {
+                        if P::ENABLED {
+                            self.probe.record(self.now, Event::DmaRetry { core: ci });
+                        }
                         self.cores[ci].blocked_on_dram = true;
                         false
                     }
@@ -249,6 +282,10 @@ impl Simulation {
                 let mmu = self.mmu.as_mut().expect("checked above");
                 match mmu.start_or_join_walk(ci, vpn) {
                     WalkStart::Started { walk, pt_addr } => {
+                        if P::ENABLED {
+                            self.probe
+                                .record(self.now, Event::WalkStart { core: ci, walk: walk.raw() });
+                        }
                         self.log(ci, LogKind::WalkStart, pt_addr);
                         self.walk_waiters.insert(walk.raw(), vec![(stage_id, vaddr)]);
                         self.enqueue_or_retry(ci, pt_addr, false, META_WALK | walk.raw());
@@ -257,6 +294,9 @@ impl Simulation {
                         self.walk_waiters.entry(walk.raw()).or_default().push((stage_id, vaddr));
                     }
                     WalkStart::NoWalker => {
+                        if P::ENABLED {
+                            self.probe.record(self.now, Event::WalkerStall { core: ci });
+                        }
                         let entry = self.arbiter.walker_waiters.entry((ci, vpn)).or_default();
                         if entry.is_empty() {
                             self.arbiter.walker_wait_order[ci].push_back(vpn);

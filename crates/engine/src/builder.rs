@@ -1,0 +1,248 @@
+//! Validating builder for [`SystemConfig`].
+//!
+//! Historically a chip was configured by mutating the preset's public fields
+//! and the first validation happened inside [`crate::Simulation::new`] — as a
+//! panic. The builder front-loads that check: every chained setter is
+//! infallible and [`SystemConfigBuilder::build`] returns a typed
+//! [`ConfigError`] instead of panicking later, so sweep drivers can skip
+//! inconsistent points gracefully.
+//!
+//! ```
+//! use mnpu_engine::{ProbeMode, SharingLevel, SystemConfig};
+//!
+//! let cfg = SystemConfig::cloud(2, SharingLevel::PlusDw)
+//!     .trace_window(1000)
+//!     .probe_stats()
+//!     .build()
+//!     .expect("preset-derived config is consistent");
+//! assert_eq!(cfg.trace_window, Some(1000));
+//! assert_eq!(cfg.probe, ProbeMode::Stats);
+//! ```
+
+use crate::system::{ConfigError, ProbeMode, SystemConfig};
+use crate::MemoryModel;
+
+/// Chainable, validating constructor for [`SystemConfig`].
+///
+/// Obtained from a preset via [`SystemConfig::builder`] (or the
+/// [`SystemConfig::trace_window`] / [`SystemConfig::probe_stats`]
+/// conveniences). Setters never fail; [`SystemConfigBuilder::build`] runs
+/// [`SystemConfig::validate`] once at the end.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Wrap an existing configuration (usually a preset) for further tuning.
+    pub fn from_config(cfg: SystemConfig) -> Self {
+        SystemConfigBuilder { cfg }
+    }
+
+    /// Enable the windowed bandwidth trace (window in DRAM cycles).
+    #[must_use]
+    pub fn trace_window(mut self, window: u64) -> Self {
+        self.cfg.trace_window = Some(window);
+        self
+    }
+
+    /// Instrument the run with the statistics probe
+    /// ([`ProbeMode::Stats`]): stall breakdowns, contention counters and
+    /// latency histograms in the report.
+    #[must_use]
+    pub fn probe_stats(mut self) -> Self {
+        self.cfg.probe = ProbeMode::Stats;
+        self
+    }
+
+    /// Select the observability probe explicitly.
+    #[must_use]
+    pub fn probe(mut self, mode: ProbeMode) -> Self {
+        self.cfg.probe = mode;
+        self
+    }
+
+    /// Record the request log, optionally bounded by `cap` entries
+    /// (oldest-dropped ring buffer; `None` = unbounded).
+    #[must_use]
+    pub fn request_log(mut self, cap: Option<usize>) -> Self {
+        self.cfg.request_log = true;
+        self.cfg.request_log_cap = cap;
+        self
+    }
+
+    /// Repeat each core's network `iterations` times.
+    #[must_use]
+    pub fn iterations(mut self, iterations: u64) -> Self {
+        self.cfg.iterations = iterations;
+        self
+    }
+
+    /// Stagger core start cycles (empty = all start at 0).
+    #[must_use]
+    pub fn start_cycles(mut self, cycles: Vec<u64>) -> Self {
+        self.cfg.start_cycles = cycles;
+        self
+    }
+
+    /// Unequal static channel split (requires a non-DRAM-sharing level).
+    #[must_use]
+    pub fn channel_partition(mut self, counts: Vec<usize>) -> Self {
+        self.cfg.channel_partition = Some(counts);
+        self
+    }
+
+    /// Unequal static walker split (requires a non-PTW-sharing level).
+    #[must_use]
+    pub fn ptw_partition(mut self, counts: Vec<usize>) -> Self {
+        self.cfg.ptw_partition = Some(counts);
+        self
+    }
+
+    /// Per-core (min, max) occupancy bounds on the shared walker pool.
+    #[must_use]
+    pub fn ptw_bounds(mut self, bounds: mnpu_mmu::PtwBounds) -> Self {
+        self.cfg.ptw_bounds = Some(bounds);
+        self
+    }
+
+    /// Set the page size in bytes (4 KB, 64 KB or 1 MB).
+    #[must_use]
+    pub fn page_size(mut self, page_bytes: u64) -> Self {
+        self.cfg.mmu.page_bytes = page_bytes;
+        self
+    }
+
+    /// Enable or disable address translation (§4.3 bandwidth isolation).
+    #[must_use]
+    pub fn translation(mut self, enabled: bool) -> Self {
+        self.cfg.translation = enabled;
+        self
+    }
+
+    /// Watchdog limit on global cycles (`None` = unlimited).
+    #[must_use]
+    pub fn max_cycles(mut self, limit: u64) -> Self {
+        self.cfg.max_cycles = Some(limit);
+        self
+    }
+
+    /// Route traffic through an on-chip interconnect model.
+    #[must_use]
+    pub fn noc(mut self, noc: mnpu_noc::NocConfig) -> Self {
+        self.cfg.noc = Some(noc);
+        self
+    }
+
+    /// Select the memory backend (timing DRAM or fixed-latency ideal).
+    #[must_use]
+    pub fn memory(mut self, model: MemoryModel) -> Self {
+        self.cfg.memory = model;
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found by [`SystemConfig::validate`].
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Inspect the configuration accumulated so far without validating.
+    pub fn peek(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}
+
+impl From<SystemConfig> for SystemConfigBuilder {
+    fn from(cfg: SystemConfig) -> Self {
+        SystemConfigBuilder::from_config(cfg)
+    }
+}
+
+impl SystemConfig {
+    /// Start a validating builder from this configuration.
+    pub fn builder(self) -> SystemConfigBuilder {
+        SystemConfigBuilder::from_config(self)
+    }
+
+    /// Builder shortcut: enable the windowed bandwidth trace.
+    ///
+    /// Returns a [`SystemConfigBuilder`]; finish with
+    /// [`SystemConfigBuilder::build`]. (The field of the same name holds the
+    /// resulting value — direct field mutation still works but skips
+    /// validation.)
+    #[must_use]
+    pub fn trace_window(self, window: u64) -> SystemConfigBuilder {
+        self.builder().trace_window(window)
+    }
+
+    /// Builder shortcut: instrument the run with the statistics probe.
+    #[must_use]
+    pub fn probe_stats(self) -> SystemConfigBuilder {
+        self.builder().probe_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharingLevel;
+
+    #[test]
+    fn issue_example_compiles_and_builds() {
+        let cfg = SystemConfig::cloud(2, SharingLevel::PlusDw)
+            .trace_window(1000)
+            .probe_stats()
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.cores, 2);
+        assert_eq!(cfg.trace_window, Some(1000));
+        assert_eq!(cfg.probe, ProbeMode::Stats);
+    }
+
+    #[test]
+    fn build_reports_typed_errors() {
+        let err = SystemConfig::cloud(2, SharingLevel::Static)
+            .builder()
+            .channel_partition(vec![1, 2, 3])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::PartitionLength { resource: "channel", .. }), "{err}");
+
+        let err = SystemConfig::cloud(2, SharingLevel::Static)
+            .builder()
+            .channel_partition(vec![1, 3])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::PartitionSum { expected: 8, got: 4 }), "{err}");
+
+        let err = SystemConfig::cloud(2, SharingLevel::PlusDwt)
+            .builder()
+            .channel_partition(vec![4, 4])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::PartitionWithSharing { resource: "channel" }), "{err}");
+
+        let err = SystemConfig::cloud(1, SharingLevel::Static)
+            .builder()
+            .iterations(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroIterations), "{err}");
+    }
+
+    #[test]
+    fn request_log_ring_settings_flow_through() {
+        let cfg = SystemConfig::bench(1, SharingLevel::Static)
+            .builder()
+            .request_log(Some(128))
+            .build()
+            .expect("valid");
+        assert!(cfg.request_log);
+        assert_eq!(cfg.request_log_cap, Some(128));
+    }
+}

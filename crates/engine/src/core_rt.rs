@@ -3,6 +3,7 @@
 
 use crate::sim::Simulation;
 use crate::stage::{span_txns, Stage};
+use mnpu_probe::{Event, Phase, Probe};
 use mnpu_systolic::WorkloadTrace;
 
 /// Per-core pipeline state over the flattened tile list.
@@ -100,7 +101,7 @@ impl CoreRt {
     }
 }
 
-impl Simulation {
+impl<P: Probe> Simulation<P> {
     /// Advance core `ci`'s pipeline as far as the current cycle allows:
     /// retire a finished compute, start the next compute, open the next
     /// load stage (double buffering, gated by the cross-layer store
@@ -123,12 +124,28 @@ impl Simulation {
                 if done_at <= self.now {
                     self.cores[ci].computing = None;
                     self.cores[ci].computed = flat + 1;
+                    if P::ENABLED {
+                        self.probe.record(
+                            self.now,
+                            Event::PhaseEnd { core: ci, phase: Phase::Compute, id: flat as u64 },
+                        );
+                    }
                     let (layer, _) = self.cores[ci].flat_tiles[flat];
                     let stores = self.cores[ci].tile(flat).stores.clone();
                     if !stores.is_empty() {
                         let id = self.stages.len();
                         self.stages.push(Stage::new(ci, layer, flat, true, stores));
                         self.cores[ci].active_stores.push(id);
+                        if P::ENABLED {
+                            self.probe.record(
+                                self.now,
+                                Event::PhaseBegin {
+                                    core: ci,
+                                    phase: Phase::Store,
+                                    id: flat as u64,
+                                },
+                            );
+                        }
                     }
                     made_progress = true;
                 }
@@ -143,6 +160,12 @@ impl Simulation {
                     self.cores[ci].computing = Some((flat, self.now + dur.max(1)));
                     self.cores[ci].next_compute = flat + 1;
                     self.cores[ci].compute_cycles_total += cycles;
+                    if P::ENABLED {
+                        self.probe.record(
+                            self.now,
+                            Event::PhaseBegin { core: ci, phase: Phase::Compute, id: flat as u64 },
+                        );
+                    }
                     made_progress = true;
                 }
             }
@@ -160,10 +183,22 @@ impl Simulation {
                         let stage = Stage::new(ci, layer, flat, false, loads);
                         let rt = &mut self.cores[ci];
                         if stage.total == 0 {
+                            // No transactions: nothing observable happens,
+                            // so no Load span is opened either.
                             rt.tile_loaded[flat] = true;
                         } else {
                             rt.load_stage = Some(id);
                             self.stages.push(stage);
+                            if P::ENABLED {
+                                self.probe.record(
+                                    self.now,
+                                    Event::PhaseBegin {
+                                        core: ci,
+                                        phase: Phase::Load,
+                                        id: flat as u64,
+                                    },
+                                );
+                            }
                         }
                         rt.next_load = flat + 1;
                         made_progress = true;

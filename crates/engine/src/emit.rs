@@ -1,0 +1,221 @@
+//! Unified report emission: one sink-agnostic entry point for every
+//! serialization the toolchain knows — [`Format::Json`] (the golden-stable
+//! deterministic object), [`Format::Csv`] (per-core counter rows for
+//! spreadsheets and CI artifacts) and [`Format::ChromeTrace`] (a
+//! `chrome://tracing` / Perfetto-loadable timeline of tile phases).
+
+use crate::report::RunReport;
+use mnpu_probe::CoreStats;
+use std::io;
+
+/// Serialization formats understood by [`RunReport::emit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The deterministic JSON object of [`RunReport::to_json`].
+    Json,
+    /// Per-core counter rows plus a `total` row. Observability columns are
+    /// filled from [`RunReport::stats`] and left empty when the run was not
+    /// instrumented.
+    Csv,
+    /// Chrome trace-event JSON (`chrome://tracing`, Perfetto): one complete
+    /// (`"ph":"X"`) event per tile phase span, `tid` = core. One global
+    /// cycle is mapped to one microsecond. Needs a run instrumented with
+    /// [`crate::ProbeMode::Stats`]; otherwise the timeline is empty.
+    ChromeTrace,
+}
+
+/// CSV cell for a stats-derived column: empty when uninstrumented.
+fn cell(stats: Option<&CoreStats>, f: impl Fn(&CoreStats) -> u64) -> String {
+    stats.map(|c| f(c).to_string()).unwrap_or_default()
+}
+
+impl RunReport {
+    /// Serialize the report in `format` into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `out`; the formatting itself is
+    /// infallible.
+    pub fn emit<W: io::Write>(&self, format: Format, out: &mut W) -> io::Result<()> {
+        match format {
+            Format::Json => out.write_all(self.to_json().as_bytes()),
+            Format::Csv => self.emit_csv(out),
+            Format::ChromeTrace => self.emit_chrome_trace(out),
+        }
+    }
+
+    fn emit_csv<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        writeln!(
+            out,
+            "core,workload,cycles,compute_cycles,pe_utilization,traffic_bytes,walk_bytes,\
+             tlb_hits,tlb_misses,active_cycles,stall_compute,stall_wait_translation,\
+             stall_wait_load,stall_wait_store,tlb_evictions,walks_started,walks_done,\
+             walker_stalls,dma_grants,dma_retries,row_hits,row_misses,row_conflicts,\
+             walk_latency_mean,walk_latency_max"
+        )?;
+        for (ci, c) in self.cores.iter().enumerate() {
+            let s = self.stats.as_ref().and_then(|s| s.cores.get(ci));
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                ci,
+                c.workload,
+                c.cycles,
+                c.compute_cycles,
+                c.pe_utilization,
+                c.traffic_bytes,
+                c.walk_bytes,
+                c.mmu.tlb_hits,
+                c.mmu.tlb_misses,
+                cell(s, |c| c.active_cycles),
+                cell(s, |c| c.stall.compute),
+                cell(s, |c| c.stall.wait_translation),
+                cell(s, |c| c.stall.wait_load),
+                cell(s, |c| c.stall.wait_store),
+                cell(s, |c| c.tlb_evictions),
+                cell(s, |c| c.walks_started),
+                cell(s, |c| c.walks_done),
+                cell(s, |c| c.walker_stalls),
+                cell(s, |c| c.dma_grants),
+                cell(s, |c| c.dma_retries),
+                cell(s, |c| c.row_hits),
+                cell(s, |c| c.row_misses),
+                cell(s, |c| c.row_conflicts),
+                s.map(|c| c.walk_latency.mean().to_string()).unwrap_or_default(),
+                cell(s, |c| c.walk_latency.max()),
+            )?;
+        }
+        let sum = |f: fn(&crate::CoreReport) -> u64| -> u64 { self.cores.iter().map(f).sum() };
+        let ssum = |f: fn(&CoreStats) -> u64| -> String {
+            self.stats
+                .as_ref()
+                .map(|s| s.cores.iter().map(f).sum::<u64>().to_string())
+                .unwrap_or_default()
+        };
+        writeln!(
+            out,
+            "total,,{},{},,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,",
+            self.total_cycles,
+            sum(|c| c.compute_cycles),
+            sum(|c| c.traffic_bytes),
+            sum(|c| c.walk_bytes),
+            sum(|c| c.mmu.tlb_hits),
+            sum(|c| c.mmu.tlb_misses),
+            ssum(|c| c.active_cycles),
+            ssum(|c| c.stall.compute),
+            ssum(|c| c.stall.wait_translation),
+            ssum(|c| c.stall.wait_load),
+            ssum(|c| c.stall.wait_store),
+            ssum(|c| c.tlb_evictions),
+            ssum(|c| c.walks_started),
+            ssum(|c| c.walks_done),
+            ssum(|c| c.walker_stalls),
+            ssum(|c| c.dma_grants),
+            ssum(|c| c.dma_retries),
+            ssum(|c| c.row_hits),
+            ssum(|c| c.row_misses),
+            ssum(|c| c.row_conflicts),
+        )
+    }
+
+    fn emit_chrome_trace<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        out.write_all(b"{\"traceEvents\":[")?;
+        let mut first = true;
+        for ci in 0..self.cores.len() {
+            if !first {
+                out.write_all(b",")?;
+            }
+            first = false;
+            write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{ci},\
+                 \"args\":{{\"name\":\"core {ci}\"}}}}"
+            )?;
+        }
+        if let Some(stats) = &self.stats {
+            for sp in &stats.spans {
+                if !first {
+                    out.write_all(b",")?;
+                }
+                first = false;
+                write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"tile\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"tile\":{}}}}}",
+                    sp.phase.name(),
+                    sp.start,
+                    sp.end.saturating_sub(sp.start).max(1),
+                    sp.core,
+                    sp.id
+                )?;
+            }
+        }
+        out.write_all(b"],\"displayTimeUnit\":\"ms\"}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProbeMode, SharingLevel, Simulation, SystemConfig};
+    use mnpu_model::{zoo, Scale};
+
+    fn report(probe: ProbeMode) -> RunReport {
+        let mut cfg = SystemConfig::bench(2, SharingLevel::PlusDw);
+        cfg.probe = probe;
+        let nets = [zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench)];
+        Simulation::run_networks(&cfg, &nets)
+    }
+
+    #[test]
+    fn csv_has_header_core_rows_and_total() {
+        let r = report(ProbeMode::Stats);
+        let mut buf = Vec::new();
+        r.emit(Format::Csv, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 cores + total:\n{text}");
+        assert!(lines[0].starts_with("core,workload,cycles"));
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[3].starts_with("total,"));
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+        }
+    }
+
+    #[test]
+    fn csv_without_stats_leaves_probe_columns_empty() {
+        let r = report(ProbeMode::None);
+        let mut buf = Vec::new();
+        r.emit(Format::Csv, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row1: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row1[9], "", "active_cycles column must be empty without stats");
+    }
+
+    #[test]
+    fn chrome_trace_is_json_with_phase_events() {
+        let r = report(ProbeMode::Stats);
+        let mut buf = Vec::new();
+        r.emit(Format::ChromeTrace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"compute\""));
+        assert!(text.contains("\"tid\":1"), "second core must appear");
+        // Balanced braces — cheap structural sanity without a JSON parser.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_format_matches_to_json() {
+        let r = report(ProbeMode::Stats);
+        let mut buf = Vec::new();
+        r.emit(Format::Json, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), r.to_json());
+    }
+}

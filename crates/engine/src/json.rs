@@ -8,6 +8,7 @@
 
 use crate::report::{LogKind, RunReport};
 use mnpu_dram::ChannelStats;
+use mnpu_probe::{CoreStats, Histogram, StatsReport};
 use std::fmt::Write as _;
 
 fn push_str_field(out: &mut String, key: &str, val: &str) {
@@ -34,6 +35,97 @@ fn push_channel_stats(out: &mut String, s: &ChannelStats) {
         s.latency_max,
         s.refreshes
     );
+}
+
+fn push_u64_array(out: &mut String, vals: &[u64]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn push_hist(out: &mut String, h: &Histogram) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":",
+        h.count(),
+        h.sum(),
+        h.max()
+    );
+    push_u64_array(out, h.bucket_counts());
+    out.push('}');
+}
+
+fn push_core_stats(out: &mut String, c: &CoreStats) {
+    let _ = write!(
+        out,
+        "{{\"active_cycles\":{},\"stall\":{{\"compute\":{},\"wait_translation\":{},\
+         \"wait_load\":{},\"wait_store\":{}}},\"tlb_hits\":{},\"tlb_misses\":{},\
+         \"tlb_evictions\":{},\"walks_started\":{},\"walks_done\":{},\"walker_stalls\":{},\
+         \"dma_grants\":{},\"dma_retries\":{},\"row_hits\":{},\"row_misses\":{},\
+         \"row_conflicts\":{},\"walk_latency\":",
+        c.active_cycles,
+        c.stall.compute,
+        c.stall.wait_translation,
+        c.stall.wait_load,
+        c.stall.wait_store,
+        c.tlb_hits,
+        c.tlb_misses,
+        c.tlb_evictions,
+        c.walks_started,
+        c.walks_done,
+        c.walker_stalls,
+        c.dma_grants,
+        c.dma_retries,
+        c.row_hits,
+        c.row_misses,
+        c.row_conflicts
+    );
+    push_hist(out, &c.walk_latency);
+    out.push_str(",\"epoch_dram_txns\":");
+    push_u64_array(out, &c.epoch_dram_txns);
+    out.push_str(",\"epoch_tlb_misses\":");
+    push_u64_array(out, &c.epoch_tlb_misses);
+    out.push('}');
+}
+
+fn push_stats(out: &mut String, s: &StatsReport) {
+    let _ = write!(out, "{{\"epoch_cycles\":{},\"cores\":[", s.epoch_cycles);
+    for (i, c) in s.cores.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_core_stats(out, c);
+    }
+    let _ = write!(
+        out,
+        "],\"dram\":{{\"row_hits\":{},\"row_misses\":{},\"row_conflicts\":{},\
+         \"refreshes\":{},\"issues\":{},\"queue_residency\":",
+        s.dram.row_hits, s.dram.row_misses, s.dram.row_conflicts, s.dram.refreshes, s.dram.issues
+    );
+    push_hist(out, &s.dram.queue_residency);
+    out.push_str(",\"queue_depth\":");
+    push_hist(out, &s.dram.queue_depth);
+    out.push_str("},\"spans\":[");
+    for (i, sp) in s.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"start\":{},\"end\":{},\"core\":{},\"phase\":\"{}\",\"id\":{}}}",
+            sp.start,
+            sp.end,
+            sp.core,
+            sp.phase.name(),
+            sp.id
+        );
+    }
+    out.push_str("]}");
 }
 
 fn log_kind_name(k: LogKind) -> &'static str {
@@ -140,7 +232,18 @@ impl RunReport {
                 e.addr
             );
         }
-        out.push_str("]}");
+        out.push(']');
+        // Observability fields are emitted only when present, so reports of
+        // uninstrumented runs — including the golden fixtures — keep the
+        // exact historical byte layout.
+        if self.request_log_truncated {
+            out.push_str(",\"request_log_truncated\":true");
+        }
+        if let Some(s) = &self.stats {
+            out.push_str(",\"stats\":");
+            push_stats(&mut out, s);
+        }
+        out.push('}');
         out
     }
 }

@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+mod builder;
 mod core_rt;
+mod emit;
 mod json;
 mod memmap;
 mod memory;
@@ -49,9 +51,19 @@ mod sim;
 mod stage;
 mod system;
 
+pub use builder::SystemConfigBuilder;
+pub use emit::Format;
 pub use memmap::PageTable;
 pub use memory::{DramMemory, IdealMemory, MemoryModel, MemorySystem};
 pub use report::{ChipEnergy, CoreReport, EnergyModel, LogEvent, LogKind, RunReport};
 pub use sharing::SharingLevel;
 pub use sim::Simulation;
-pub use system::SystemConfig;
+pub use system::{ConfigError, ProbeMode, SystemConfig};
+
+// The observability vocabulary is part of the engine's public API surface:
+// callers matching on probe events or reading [`RunReport::stats`] should
+// not need a separate `mnpu_probe` dependency.
+pub use mnpu_probe::{
+    CoreState, CoreStats, DramContention, Event, Histogram, NullProbe, Phase, Probe, Span,
+    StallBreakdown, StatsProbe, StatsReport,
+};

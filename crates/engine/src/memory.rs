@@ -14,6 +14,7 @@
 use crate::sharing::partition_channels;
 use crate::system::SystemConfig;
 use mnpu_dram::{BandwidthTrace, Completion, Dram, DramStats, EnqueueError, TRANSACTION_BYTES};
+use mnpu_probe::{NullProbe, Probe};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -52,7 +53,13 @@ pub enum MemoryModel {
 ///    cycle at which the device state can change, letting the event loop
 ///    skip idle gaps. It must be strictly in the future once `tick` has
 ///    run, and `None` only when the device is completely idle.
-pub trait MemorySystem: std::fmt::Debug + Send {
+///
+/// The `P` parameter is the observability probe the backend feeds with
+/// device events (DRAM row outcomes, refreshes, queue depths). With the
+/// default [`NullProbe`] every emission site compiles away; the trait stays
+/// object-safe for any concrete `P`, so the engine holds a
+/// `Box<dyn MemorySystem<P>>`.
+pub trait MemorySystem<P: Probe = NullProbe>: std::fmt::Debug + Send {
     /// Submit a transaction at device cycle `now`. `meta` is an opaque tag
     /// handed back in the matching [`Completion`].
     ///
@@ -98,24 +105,42 @@ pub trait MemorySystem: std::fmt::Debug + Send {
 
     /// The windowed bandwidth trace, when tracing is enabled.
     fn bandwidth_trace(&self) -> Option<BandwidthTrace>;
+
+    /// Take the backend's accumulated probe, leaving a fresh default in its
+    /// place. The engine merges this into its own probe when the report is
+    /// assembled; with [`NullProbe`] the call is free.
+    fn take_probe(&mut self) -> P;
 }
 
 /// The banked FR-FCFS DRAM timing model, adapted to [`MemorySystem`].
 #[derive(Debug)]
-pub struct DramMemory {
+pub struct DramMemory<P: Probe = NullProbe> {
     dram: Dram,
     ready: Vec<Completion>,
+    probe: P,
 }
 
-impl DramMemory {
-    /// Wrap an already-configured [`Dram`] device.
+impl DramMemory<NullProbe> {
+    /// Wrap an already-configured [`Dram`] device (uninstrumented).
     pub fn new(dram: Dram) -> Self {
-        DramMemory { dram, ready: Vec::new() }
+        DramMemory::with_probe(dram, NullProbe)
     }
 
     /// Build the device for `cfg`: total channel count, bandwidth tracing,
     /// and — for non-DRAM-sharing levels — the static channel partition.
     pub fn from_config(cfg: &SystemConfig) -> Self {
+        DramMemory::from_config_probed(cfg, NullProbe)
+    }
+}
+
+impl<P: Probe> DramMemory<P> {
+    /// Wrap an already-configured [`Dram`] device, instrumented by `probe`.
+    pub fn with_probe(dram: Dram, probe: P) -> Self {
+        DramMemory { dram, ready: Vec::new(), probe }
+    }
+
+    /// [`DramMemory::from_config`] with an explicit probe.
+    pub fn from_config_probed(cfg: &SystemConfig, probe: P) -> Self {
         let mut dram_cfg = cfg.dram.clone();
         dram_cfg.channels = cfg.total_channels();
         let mut dram = Dram::new(dram_cfg);
@@ -133,11 +158,11 @@ impl DramMemory {
                 dram.set_core_channels(core, subset);
             }
         }
-        DramMemory::new(dram)
+        DramMemory::with_probe(dram, probe)
     }
 }
 
-impl MemorySystem for DramMemory {
+impl<P: Probe> MemorySystem<P> for DramMemory<P> {
     fn enqueue(
         &mut self,
         now: u64,
@@ -146,11 +171,11 @@ impl MemorySystem for DramMemory {
         is_write: bool,
         meta: u64,
     ) -> Result<(), EnqueueError> {
-        self.dram.try_enqueue(now, core, addr, is_write, meta)
+        self.dram.try_enqueue_probed(now, core, addr, is_write, meta, &mut self.probe)
     }
 
     fn tick(&mut self, now: u64) {
-        self.dram.advance_into(now, &mut self.ready);
+        self.dram.advance_into_probed(now, &mut self.ready, &mut self.probe);
     }
 
     fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
@@ -172,12 +197,16 @@ impl MemorySystem for DramMemory {
     fn bandwidth_trace(&self) -> Option<BandwidthTrace> {
         self.dram.trace().cloned()
     }
+
+    fn take_probe(&mut self) -> P {
+        std::mem::take(&mut self.probe)
+    }
 }
 
 /// Fixed-latency, infinite-bandwidth memory: the service time of every
 /// transaction is a constant and requests never queue against each other.
 #[derive(Debug)]
-pub struct IdealMemory {
+pub struct IdealMemory<P: Probe = NullProbe> {
     latency: u64,
     /// In-flight transactions ordered by `(done_at, seq)`; the sequence
     /// number keeps completion order deterministic within a cycle.
@@ -186,13 +215,23 @@ pub struct IdealMemory {
     seq: u64,
     stats: DramStats,
     trace: Option<BandwidthTrace>,
+    /// Held only so [`MemorySystem::take_probe`] has something to hand
+    /// back — an ideal memory has no row buffers or queues to report on.
+    probe: P,
 }
 
-impl IdealMemory {
+impl IdealMemory<NullProbe> {
     /// A device serving `cores` requesters with a fixed `latency` (DRAM
     /// cycles, clamped to at least 1). `trace_window` enables the windowed
     /// bandwidth trace.
     pub fn new(cores: usize, latency: u64, trace_window: Option<u64>) -> Self {
+        IdealMemory::with_probe(cores, latency, trace_window, NullProbe)
+    }
+}
+
+impl<P: Probe> IdealMemory<P> {
+    /// [`IdealMemory::new`] with an explicit probe.
+    pub fn with_probe(cores: usize, latency: u64, trace_window: Option<u64>, probe: P) -> Self {
         let stats = DramStats {
             // One pseudo-channel so per-channel consumers see the totals.
             per_channel: vec![Default::default()],
@@ -206,11 +245,12 @@ impl IdealMemory {
             seq: 0,
             stats,
             trace: trace_window.map(|w| BandwidthTrace::new(w, cores)),
+            probe,
         }
     }
 }
 
-impl MemorySystem for IdealMemory {
+impl<P: Probe> MemorySystem<P> for IdealMemory<P> {
     fn enqueue(
         &mut self,
         now: u64,
@@ -271,14 +311,19 @@ impl MemorySystem for IdealMemory {
     fn bandwidth_trace(&self) -> Option<BandwidthTrace> {
         self.trace.clone()
     }
+
+    fn take_probe(&mut self) -> P {
+        std::mem::take(&mut self.probe)
+    }
 }
 
-/// Build the backend selected by `cfg.memory`.
-pub(crate) fn build_memory(cfg: &SystemConfig) -> Box<dyn MemorySystem> {
+/// Build the backend selected by `cfg.memory`, instrumented by a fresh
+/// `P::default()` probe.
+pub(crate) fn build_memory<P: Probe>(cfg: &SystemConfig) -> Box<dyn MemorySystem<P>> {
     match cfg.memory {
-        MemoryModel::Timing => Box::new(DramMemory::from_config(cfg)),
+        MemoryModel::Timing => Box::new(DramMemory::from_config_probed(cfg, P::default())),
         MemoryModel::Ideal { latency } => {
-            Box::new(IdealMemory::new(cfg.cores, latency, cfg.trace_window))
+            Box::new(IdealMemory::with_probe(cfg.cores, latency, cfg.trace_window, P::default()))
         }
     }
 }

@@ -91,6 +91,13 @@ pub struct RunReport {
     /// set). Ordered by cycle; TLB entries log the lookup address, walk and
     /// DRAM entries log physical addresses.
     pub request_log: Vec<LogEvent>,
+    /// `true` when [`crate::SystemConfig::request_log_cap`] forced the log
+    /// ring buffer to drop its oldest entries.
+    pub request_log_truncated: bool,
+    /// Observability aggregates (stall breakdowns, contention counters,
+    /// latency histograms, tile-phase spans). `None` unless the run used
+    /// [`crate::ProbeMode::Stats`].
+    pub stats: Option<mnpu_probe::StatsReport>,
 }
 
 impl RunReport {

@@ -12,13 +12,14 @@ use crate::memmap::PageTable;
 use crate::memory::{build_memory, MemorySystem};
 use crate::report::{CoreReport, LogEvent, LogKind, RunReport};
 use crate::stage::Stage;
-use crate::system::SystemConfig;
+use crate::system::{ProbeMode, SystemConfig};
 use mnpu_dram::{Completion, TRANSACTION_BYTES};
 use mnpu_mmu::{Mmu, WalkStep};
 use mnpu_model::Network;
+use mnpu_probe::{CoreState, Event, NullProbe, Phase, Probe, StatsProbe};
 use mnpu_systolic::WorkloadTrace;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Tag bit distinguishing page-table walk reads from data transactions.
 pub(crate) const META_WALK: u64 = 1 << 63;
@@ -26,18 +27,53 @@ pub(crate) const META_WALK: u64 = 1 << 63;
 /// A request in flight on the interconnect: (arrival, core, paddr, is_write, meta).
 pub(crate) type NocRequest = (u64, usize, u64, bool, u64);
 
+/// The request log: optionally a bounded ring buffer. With a cap, the
+/// *oldest* entries are dropped once full and `truncated` is latched, so a
+/// long run keeps the most recent window instead of growing without bound.
+#[derive(Debug)]
+pub(crate) struct RequestLog {
+    events: VecDeque<LogEvent>,
+    cap: Option<usize>,
+    truncated: bool,
+}
+
+impl RequestLog {
+    fn new(cap: Option<usize>) -> Self {
+        RequestLog { events: VecDeque::new(), cap, truncated: false }
+    }
+
+    fn push(&mut self, e: LogEvent) {
+        if let Some(cap) = self.cap {
+            if cap == 0 {
+                self.truncated = true;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.truncated = true;
+            }
+        }
+        self.events.push_back(e);
+    }
+}
+
 /// An event-driven simulation of one multi-core NPU chip executing one
 /// workload per core.
 ///
-/// Most callers use [`Simulation::run`] (traces) or
-/// [`Simulation::run_networks`] (builds traces first); the struct itself is
+/// Most callers use [`Simulation::run_traces`] / [`Simulation::run_networks`],
+/// which pick the probe from [`SystemConfig::probe`]; the struct itself is
 /// exposed for step-wise debugging. The state is `Send`, so whole
 /// simulations can be farmed out to worker threads (each simulation is
 /// still single-threaded and deterministic).
+///
+/// `P` is the observability probe threaded through every subsystem. The
+/// default [`NullProbe`] has `ENABLED = false`, so all emission sites
+/// (`if P::ENABLED { ... }`) constant-fold away and the instrumented build
+/// is bit- and speed-identical to the uninstrumented one.
 #[derive(Debug)]
-pub struct Simulation {
+pub struct Simulation<P: Probe = NullProbe> {
     pub(crate) cfg: SystemConfig,
-    pub(crate) memory: Box<dyn MemorySystem>,
+    pub(crate) memory: Box<dyn MemorySystem<P>>,
     pub(crate) mmu: Option<Mmu>,
     pub(crate) page_tables: Vec<PageTable>,
     pub(crate) cores: Vec<CoreRt>,
@@ -48,7 +84,8 @@ pub struct Simulation {
     /// not hinge on which accessor someone reaches for.
     pub(crate) walk_waiters: BTreeMap<u64, Vec<(usize, u64)>>,
     pub(crate) arbiter: Arbiter,
-    pub(crate) log: Option<Vec<LogEvent>>,
+    pub(crate) log: Option<RequestLog>,
+    pub(crate) probe: P,
     pub(crate) noc: Option<mnpu_noc::Crossbar>,
     /// Requests in flight on the interconnect.
     pub(crate) noc_requests: BinaryHeap<Reverse<NocRequest>>,
@@ -59,20 +96,77 @@ pub struct Simulation {
     pub(crate) now: u64,
 }
 
-impl Simulation {
-    /// Build a simulation of `cfg` executing `traces[c]` on core `c`.
+impl Simulation<NullProbe> {
+    /// Build an uninstrumented simulation of `cfg` executing `traces[c]` on
+    /// core `c`. (This constructor always uses [`NullProbe`] regardless of
+    /// [`SystemConfig::probe`]; use [`Simulation::run_traces`] or
+    /// [`Simulation::with_probe`] for instrumented runs.)
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid or the trace count does not
     /// match the core count.
     pub fn new(cfg: &SystemConfig, traces: &[WorkloadTrace]) -> Self {
+        Simulation::with_probe(cfg, traces, NullProbe)
+    }
+
+    /// Run `traces` to completion with the probe selected by
+    /// [`SystemConfig::probe`]: [`ProbeMode::None`] runs the zero-cost
+    /// [`NullProbe`] build, [`ProbeMode::Stats`] runs [`StatsProbe`] and
+    /// fills [`RunReport::stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::new`].
+    pub fn run_traces(cfg: &SystemConfig, traces: &[WorkloadTrace]) -> RunReport {
+        match cfg.probe {
+            ProbeMode::None => Simulation::with_probe(cfg, traces, NullProbe).run(),
+            ProbeMode::Stats => Simulation::with_probe(cfg, traces, StatsProbe::default()).run(),
+        }
+    }
+
+    /// Convenience: generate traces for `networks` with each core's
+    /// [`mnpu_systolic::ArchConfig`] and run to completion with the probe
+    /// selected by [`SystemConfig::probe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::new`].
+    pub fn run_networks(cfg: &SystemConfig, networks: &[Network]) -> RunReport {
+        assert_eq!(networks.len(), cfg.cores, "one network per core");
+        let traces: Vec<WorkloadTrace> =
+            networks.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
+        Simulation::run_traces(cfg, &traces)
+    }
+
+    /// Run a fleet of independent chips (the paper's §4.6 system of
+    /// multiple multi-core NPUs): `assignments[i]` holds chip *i*'s
+    /// workloads, one per core. Chips share nothing, so each runs as its
+    /// own simulation; reports come back in chip order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment's length differs from `cfg.cores`.
+    pub fn run_fleet(cfg: &SystemConfig, assignments: &[Vec<Network>]) -> Vec<RunReport> {
+        assignments.iter().map(|nets| Simulation::run_networks(cfg, nets)).collect()
+    }
+}
+
+impl<P: Probe> Simulation<P> {
+    /// Build a simulation instrumented by `probe`; the memory backend gets
+    /// its own `P::default()` probe, merged into this one at report time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the trace count does not
+    /// match the core count.
+    pub fn with_probe(cfg: &SystemConfig, traces: &[WorkloadTrace], probe: P) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid system config: {e}");
         }
         assert_eq!(traces.len(), cfg.cores, "one workload trace per core");
 
-        let memory = build_memory(cfg);
+        let memory = build_memory::<P>(cfg);
 
         let cap = cfg.capacity_per_core();
         let page_tables: Vec<PageTable> = (0..cfg.cores)
@@ -108,7 +202,8 @@ impl Simulation {
             stages: Vec::new(),
             walk_waiters: BTreeMap::new(),
             arbiter: Arbiter::new(cfg.cores),
-            log: cfg.request_log.then(Vec::new),
+            log: cfg.request_log.then(|| RequestLog::new(cfg.request_log_cap)),
+            probe,
             noc: cfg.noc.as_ref().map(|n| mnpu_noc::Crossbar::new(n, cfg.cores)),
             noc_requests: BinaryHeap::new(),
             noc_responses: BinaryHeap::new(),
@@ -116,31 +211,6 @@ impl Simulation {
             now: 0,
             cfg: cfg.clone(),
         }
-    }
-
-    /// Convenience: generate traces for `networks` with each core's
-    /// [`mnpu_systolic::ArchConfig`] and run to completion.
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`Simulation::new`].
-    pub fn run_networks(cfg: &SystemConfig, networks: &[Network]) -> RunReport {
-        assert_eq!(networks.len(), cfg.cores, "one network per core");
-        let traces: Vec<WorkloadTrace> =
-            networks.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
-        Simulation::new(cfg, &traces).run()
-    }
-
-    /// Run a fleet of independent chips (the paper's §4.6 system of
-    /// multiple multi-core NPUs): `assignments[i]` holds chip *i*'s
-    /// workloads, one per core. Chips share nothing, so each runs as its
-    /// own simulation; reports come back in chip order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any assignment's length differs from `cfg.cores`.
-    pub fn run_fleet(cfg: &SystemConfig, assignments: &[Vec<Network>]) -> Vec<RunReport> {
-        assignments.iter().map(|nets| Simulation::run_networks(cfg, nets)).collect()
     }
 
     /// Convert `cycles` in core `c`'s clock domain to global (DRAM) cycles.
@@ -205,6 +275,13 @@ impl Simulation {
             }
             self.issue_all();
 
+            // One state sample per core per iteration. State only changes
+            // inside iterations, so the piecewise-constant integration in
+            // the probe is cycle-exact (free with `NullProbe`).
+            if P::ENABLED {
+                self.sample_core_states();
+            }
+
             if self.cores.iter().all(CoreRt::finished) {
                 break;
             }
@@ -267,6 +344,53 @@ impl Simulation {
         );
     }
 
+    // --- observability -----------------------------------------------------
+
+    /// Emit one [`Event::CoreState`] per core at the current cycle.
+    fn sample_core_states(&mut self) {
+        for ci in 0..self.cores.len() {
+            let state = self.classify_core(ci);
+            self.probe.record(self.now, Event::CoreState { core: ci, state });
+        }
+    }
+
+    /// What is core `ci` doing *right now*? Priority order matters: a core
+    /// that is computing is `Compute` even if a store is also draining —
+    /// the stall buckets answer "what would have to speed up for this core
+    /// to finish sooner".
+    fn classify_core(&self, ci: usize) -> CoreState {
+        let rt = &self.cores[ci];
+        if rt.finished() {
+            return CoreState::Finished;
+        }
+        if rt.start_cycle > self.now {
+            return CoreState::Idle;
+        }
+        if rt.computing.is_some() {
+            return CoreState::Compute;
+        }
+        if self.translation_pending(ci) {
+            return CoreState::WaitTranslation;
+        }
+        if rt.next_compute < rt.flat_tiles.len() && !rt.tile_loaded[rt.next_compute] {
+            return CoreState::WaitLoad;
+        }
+        CoreState::WaitStore
+    }
+
+    /// `true` when core `ci` has transactions parked on an in-flight or
+    /// walker-starved page-table walk. Only called from the probed sampling
+    /// path, so the linear scan is outside the `NullProbe` hot path.
+    fn translation_pending(&self, ci: usize) -> bool {
+        if self.mmu.is_none() {
+            return false;
+        }
+        if !self.arbiter.walker_wait_order[ci].is_empty() {
+            return true;
+        }
+        self.walk_waiters.values().flatten().any(|&(stage, _)| self.stages[stage].core == ci)
+    }
+
     // --- event handling ----------------------------------------------------
 
     fn handle_completion(&mut self, meta: u64, core: usize) {
@@ -280,6 +404,14 @@ impl Simulation {
                 }
                 WalkStep::Done { core: wcore, vpn } => {
                     debug_assert_eq!(core, wcore);
+                    if P::ENABLED {
+                        self.probe.record(self.now, Event::WalkDone { core, walk: walk.raw() });
+                        if let Some((owner, _vpn)) =
+                            self.mmu.as_mut().expect("checked").take_last_eviction()
+                        {
+                            self.probe.record(self.now, Event::TlbEvict { core: owner as usize });
+                        }
+                    }
                     let page = self.mmu.as_ref().expect("checked").page_bytes();
                     self.log(core, LogKind::WalkDone, vpn * page);
                     if let Some(waiters) = self.walk_waiters.remove(&walk.raw()) {
@@ -335,6 +467,11 @@ impl Simulation {
                 }
             }
             if done {
+                if P::ENABLED {
+                    let phase = if is_store { Phase::Store } else { Phase::Load };
+                    self.probe
+                        .record(self.now, Event::PhaseEnd { core: score, phase, id: flat as u64 });
+                }
                 self.stages[stage_id].spans = Vec::new(); // release memory
             }
         }
@@ -348,8 +485,25 @@ impl Simulation {
 
     // --- reporting -----------------------------------------------------------
 
-    fn report(self) -> RunReport {
+    fn report(mut self) -> RunReport {
         let total_cycles = self.cores.iter().filter_map(|c| c.finished_at).max().unwrap_or(0);
+        // Merge the memory backend's probe into the engine's, then freeze.
+        let stats = if P::ENABLED {
+            let mut probe = std::mem::take(&mut self.probe);
+            probe.merge(self.memory.take_probe());
+            probe.into_report().map(|mut r| {
+                // `active_cycles` is set from the engine's own clock rather
+                // than integrated from samples, so the stall-sum invariant
+                // (four buckets == active cycles) is a genuine cross-check.
+                for (ci, rt) in self.cores.iter().enumerate() {
+                    let finish = rt.finished_at.unwrap_or(self.now);
+                    r.core_mut(ci).active_cycles = finish.saturating_sub(rt.start_cycle);
+                }
+                r
+            })
+        } else {
+            None
+        };
         let cores = self
             .cores
             .iter()
@@ -390,12 +544,18 @@ impl Simulation {
                 }
             })
             .collect();
+        let (request_log, request_log_truncated) = match self.log {
+            Some(log) => (log.events.into_iter().collect(), log.truncated),
+            None => (Vec::new(), false),
+        };
         RunReport {
             cores,
             total_cycles,
             dram: self.memory.stats(),
             bandwidth_trace: self.memory.bandwidth_trace(),
-            request_log: self.log.unwrap_or_default(),
+            request_log,
+            request_log_truncated,
+            stats,
         }
     }
 }

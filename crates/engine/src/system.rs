@@ -5,6 +5,123 @@ use crate::sharing::SharingLevel;
 use mnpu_dram::DramConfig;
 use mnpu_mmu::MmuConfig;
 use mnpu_systolic::ArchConfig;
+use std::fmt;
+
+/// Which observability probe a simulation runs with (see [`mnpu_probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeMode {
+    /// No instrumentation: every emission site compiles to nothing
+    /// ([`mnpu_probe::NullProbe`]); reports carry no stats section.
+    #[default]
+    None,
+    /// Aggregate counters, histograms, stall breakdowns, and phase spans
+    /// with [`mnpu_probe::StatsProbe`]; the report gains a `stats` section
+    /// exportable as CSV or a Chrome trace.
+    Stats,
+}
+
+/// Why a [`SystemConfig`] failed validation. Produced by
+/// [`SystemConfig::validate`] and [`crate::SystemConfigBuilder::build`];
+/// the variants mirror the config surface so callers can match on the
+/// precise inconsistency instead of parsing a message.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `cores` is zero.
+    NoCores,
+    /// `arch.len()` disagrees with `cores`.
+    ArchCountMismatch {
+        /// Configured core count.
+        cores: usize,
+        /// Number of `ArchConfig` entries supplied.
+        archs: usize,
+    },
+    /// One core's [`ArchConfig`] is invalid.
+    InvalidArch {
+        /// Which core.
+        core: usize,
+        /// The arch validator's message.
+        reason: String,
+    },
+    /// `channels_per_core` is zero.
+    NoChannels,
+    /// The derived [`DramConfig`] is invalid.
+    InvalidDram(String),
+    /// The derived [`MmuConfig`] is invalid.
+    InvalidMmu(String),
+    /// The NoC configuration is invalid.
+    InvalidNoc(String),
+    /// A static partition was given for a resource the sharing level shares
+    /// dynamically.
+    PartitionWithSharing {
+        /// `"channel"` or `"ptw"`.
+        resource: &'static str,
+    },
+    /// A partition's length disagrees with the core count.
+    PartitionLength {
+        /// `"channel"` or `"ptw"`.
+        resource: &'static str,
+        /// Expected length (the core count).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The channel partition does not sum to the chip's channel count.
+    PartitionSum {
+        /// Required sum ([`SystemConfig::total_channels`]).
+        expected: usize,
+        /// Actual sum.
+        got: usize,
+    },
+    /// A partition gives some core zero channels.
+    PartitionZero,
+    /// PTW bounds were given without a PTW-sharing level.
+    BoundsWithoutSharedPool,
+    /// `start_cycles` is neither empty nor one entry per core.
+    StartCyclesLength {
+        /// The core count.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// `iterations` is zero.
+    ZeroIterations,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCores => write!(f, "at least one core required"),
+            ConfigError::ArchCountMismatch { cores, archs } => {
+                write!(f, "{cores} cores but {archs} ArchConfig entries (need one per core)")
+            }
+            ConfigError::InvalidArch { core, reason } => write!(f, "core {core}: {reason}"),
+            ConfigError::NoChannels => write!(f, "at least one channel per core required"),
+            ConfigError::InvalidDram(e) => write!(f, "dram: {e}"),
+            ConfigError::InvalidMmu(e) => write!(f, "mmu: {e}"),
+            ConfigError::InvalidNoc(e) => write!(f, "noc: {e}"),
+            ConfigError::PartitionWithSharing { resource } => {
+                write!(f, "{resource} partition requires a level that does not share {resource}s")
+            }
+            ConfigError::PartitionLength { resource, expected, got } => {
+                write!(f, "{resource} partition has {got} entries; need {expected} (one per core)")
+            }
+            ConfigError::PartitionSum { expected, got } => {
+                write!(f, "channel partition sums to {got}; must sum to {expected}")
+            }
+            ConfigError::PartitionZero => write!(f, "every core needs at least one channel"),
+            ConfigError::BoundsWithoutSharedPool => {
+                write!(f, "PTW bounds manage a shared pool; use a PTW-sharing level")
+            }
+            ConfigError::StartCyclesLength { expected, got } => {
+                write!(f, "start_cycles has {got} entries; must be empty or {expected}")
+            }
+            ConfigError::ZeroIterations => write!(f, "iterations must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of one simulated multi-core NPU chip.
 ///
@@ -53,10 +170,20 @@ pub struct SystemConfig {
     pub iterations: u64,
     /// Enable the windowed bandwidth trace (window in DRAM cycles).
     pub trace_window: Option<u64>,
-    /// Record a full request log (TLB lookups, walks, DRAM completions) in
-    /// the report — the original's `dramsim_output` logs. Memory grows with
-    /// every transaction; intended for small runs and debugging.
+    /// Record a request log (TLB lookups, walks, DRAM completions) in the
+    /// report — the original's `dramsim_output` logs. Bounded by
+    /// [`SystemConfig::request_log_cap`]; without a cap, memory grows with
+    /// every transaction (intended for small runs and debugging).
     pub request_log: bool,
+    /// Ring-buffer capacity of the request log: once full, the oldest
+    /// entries are dropped and the report's `request_log_truncated` flag is
+    /// set. `None` = unbounded (the historical behavior).
+    pub request_log_cap: Option<usize>,
+    /// Which observability probe instruments the run (see
+    /// [`crate::Simulation::run_traces`]). [`ProbeMode::None`] is free;
+    /// [`ProbeMode::Stats`] adds counters/histograms/stall breakdowns to
+    /// the report.
+    pub probe: ProbeMode,
     /// Managed walker sharing: per-core (min, max) occupancy bounds on the
     /// shared pool — the original `misc_config`'s PTW bounds. Requires a
     /// PTW-sharing level.
@@ -91,6 +218,8 @@ impl SystemConfig {
             iterations: 1,
             trace_window: None,
             request_log: false,
+            request_log_cap: None,
+            probe: ProbeMode::None,
             ptw_bounds: None,
             max_cycles: None,
             noc: None,
@@ -196,64 +325,81 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first inconsistency as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cores == 0 {
-            return Err("at least one core required".into());
+            return Err(ConfigError::NoCores);
         }
         if self.arch.len() != self.cores {
-            return Err("one ArchConfig per core required".into());
+            return Err(ConfigError::ArchCountMismatch {
+                cores: self.cores,
+                archs: self.arch.len(),
+            });
         }
         for (i, a) in self.arch.iter().enumerate() {
-            a.validate().map_err(|e| format!("core {i}: {e}"))?;
+            a.validate().map_err(|e| ConfigError::InvalidArch { core: i, reason: e })?;
         }
         if self.channels_per_core == 0 {
-            return Err("at least one channel per core required".into());
+            return Err(ConfigError::NoChannels);
         }
         let mut dram = self.dram.clone();
         dram.channels = self.total_channels();
-        dram.validate()?;
+        dram.validate().map_err(ConfigError::InvalidDram)?;
         let mut mmu = self.mmu.clone();
         mmu.ptw_partition = self.ptw_partition.clone();
-        mmu.validate(self.cores)?;
+        mmu.validate(self.cores).map_err(ConfigError::InvalidMmu)?;
         if let Some(p) = &self.channel_partition {
             if self.sharing.shares_dram() {
-                return Err("channel partition requires a non-DRAM-sharing level".into());
+                return Err(ConfigError::PartitionWithSharing { resource: "channel" });
             }
             if p.len() != self.cores {
-                return Err("channel partition length must equal core count".into());
+                return Err(ConfigError::PartitionLength {
+                    resource: "channel",
+                    expected: self.cores,
+                    got: p.len(),
+                });
             }
             if p.iter().sum::<usize>() != self.total_channels() {
-                return Err("channel partition must sum to the total channel count".into());
+                return Err(ConfigError::PartitionSum {
+                    expected: self.total_channels(),
+                    got: p.iter().sum(),
+                });
             }
             if p.contains(&0) {
-                return Err("every core needs at least one channel".into());
+                return Err(ConfigError::PartitionZero);
             }
         }
         if let Some(p) = &self.ptw_partition {
             if self.sharing.shares_ptw() {
-                return Err("PTW partition requires a non-PTW-sharing level".into());
+                return Err(ConfigError::PartitionWithSharing { resource: "ptw" });
             }
             if p.len() != self.cores {
-                return Err("PTW partition length must equal core count".into());
+                return Err(ConfigError::PartitionLength {
+                    resource: "ptw",
+                    expected: self.cores,
+                    got: p.len(),
+                });
             }
         }
         if self.ptw_bounds.is_some() && !self.sharing.shares_ptw() {
-            return Err("PTW bounds manage a shared pool; use a PTW-sharing level".into());
+            return Err(ConfigError::BoundsWithoutSharedPool);
         }
         if let Some(b) = &self.ptw_bounds {
             let mut m = self.mmu.clone();
             m.ptw_bounds = Some(b.clone());
-            m.validate(self.cores)?;
+            m.validate(self.cores).map_err(ConfigError::InvalidMmu)?;
         }
         if !self.start_cycles.is_empty() && self.start_cycles.len() != self.cores {
-            return Err("start_cycles must be empty or one per core".into());
+            return Err(ConfigError::StartCyclesLength {
+                expected: self.cores,
+                got: self.start_cycles.len(),
+            });
         }
         if let Some(n) = &self.noc {
-            n.validate()?;
+            n.validate().map_err(ConfigError::InvalidNoc)?;
         }
         if self.iterations == 0 {
-            return Err("iterations must be positive".into());
+            return Err(ConfigError::ZeroIterations);
         }
         Ok(())
     }

@@ -1,0 +1,168 @@
+//! Tests of the probe-based observability layer: the stall-breakdown
+//! exact-sum invariant, NullProbe/StatsProbe behavioral equivalence, probe
+//! counter consistency against the engine's own statistics, and the
+//! request-log ring buffer.
+
+use mnpu_engine::{ProbeMode, SharingLevel, Simulation, SystemConfig};
+use mnpu_model::{zoo, GemmSpec, Layer, Network, Scale};
+use proptest::prelude::*;
+
+fn dual_cfg(probe: ProbeMode) -> SystemConfig {
+    let mut cfg = SystemConfig::bench(2, SharingLevel::PlusDw);
+    cfg.probe = probe;
+    cfg
+}
+
+fn fig4_nets() -> [Network; 2] {
+    [zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench)]
+}
+
+/// A small random network, as in the `property.rs` suite.
+fn arb_network() -> impl Strategy<Value = Network> {
+    proptest::collection::vec((1u64..48, 1u64..256, 1u64..128), 1..4).prop_map(|dims| {
+        let layers = dims
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, k, n))| Layer::gemm(format!("l{i}"), GemmSpec::new(m, k, n)))
+            .collect();
+        Network::new("prop", layers)
+    })
+}
+
+#[test]
+fn null_and_stats_probes_agree_on_every_number() {
+    let nets = fig4_nets();
+    let base = Simulation::run_networks(&dual_cfg(ProbeMode::None), &nets);
+    let probed = Simulation::run_networks(&dual_cfg(ProbeMode::Stats), &nets);
+
+    // The probe observes; it must never perturb. Every simulated quantity
+    // is bit-identical between the two runs.
+    assert_eq!(base.total_cycles, probed.total_cycles);
+    assert_eq!(base.cores, probed.cores);
+    assert_eq!(base.dram, probed.dram);
+
+    assert!(base.stats.is_none(), "uninstrumented run must carry no stats");
+    assert!(probed.stats.is_some(), "instrumented run must carry stats");
+
+    // And the uninstrumented JSON keeps the historical byte layout.
+    assert!(!base.to_json().contains("\"stats\""));
+    assert!(probed.to_json().contains("\"stats\""));
+}
+
+#[test]
+fn stall_breakdown_sums_to_active_cycles_dual_core() {
+    let r = Simulation::run_networks(&dual_cfg(ProbeMode::Stats), &fig4_nets());
+    let stats = r.stats.expect("stats probe ran");
+    assert_eq!(stats.cores.len(), 2);
+    for (ci, c) in stats.cores.iter().enumerate() {
+        assert!(c.active_cycles > 0);
+        assert_eq!(
+            c.stall.total(),
+            c.active_cycles,
+            "core {ci}: {:?} must sum to active_cycles {}",
+            c.stall,
+            c.active_cycles
+        );
+        assert!(c.stall.compute > 0, "core {ci} must spend some time computing");
+    }
+}
+
+#[test]
+fn probe_counters_match_engine_statistics() {
+    let r = Simulation::run_networks(&dual_cfg(ProbeMode::Stats), &fig4_nets());
+    let stats = r.stats.as_ref().expect("stats probe ran");
+
+    // DRAM row outcomes observed by the probe are the DRAM model's own.
+    assert_eq!(stats.dram.row_hits, r.dram.total.row_hits);
+    assert_eq!(stats.dram.row_misses, r.dram.total.row_misses);
+    assert_eq!(stats.dram.row_conflicts, r.dram.total.row_conflicts);
+    assert_eq!(stats.dram.refreshes, r.dram.total.refreshes);
+    assert!(stats.dram.issues > 0);
+    let row_outcomes = stats.dram.row_hits + stats.dram.row_misses + stats.dram.row_conflicts;
+    assert_eq!(stats.dram.queue_residency.count(), row_outcomes);
+
+    // Per-core TLB traffic matches the MMU's counters, and every started
+    // walk finished with a recorded latency.
+    for (ci, c) in stats.cores.iter().enumerate() {
+        assert_eq!(c.tlb_hits, r.cores[ci].mmu.tlb_hits, "core {ci} tlb hits");
+        assert_eq!(c.tlb_misses, r.cores[ci].mmu.tlb_misses, "core {ci} tlb misses");
+        assert_eq!(c.tlb_evictions, r.cores[ci].mmu.tlb_evictions, "core {ci} evictions");
+        assert_eq!(c.walks_started, c.walks_done, "core {ci} walks must all finish");
+        assert_eq!(c.walk_latency.count(), c.walks_done, "core {ci} walk latencies");
+        assert!(c.tlb_hit_rate() > 0.0 && c.tlb_hit_rate() <= 1.0);
+    }
+
+    // The Fig. 4 acceptance quantities are all present and sane.
+    assert!(stats.cores.iter().any(|c| c.walk_latency.count() > 0));
+    assert!(stats.dram.row_hit_rate() > 0.0);
+    assert!(!stats.spans.is_empty());
+    for s in &stats.spans {
+        assert!(s.end >= s.start, "span {s:?} must close after it opens");
+        assert!(s.core < 2);
+    }
+}
+
+#[test]
+fn request_log_ring_buffer_keeps_newest_entries() {
+    let nets = [zoo::ncf(Scale::Bench)];
+    let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+    cfg.request_log = true;
+    let full = Simulation::run_networks(&cfg, &nets);
+    assert!(!full.request_log_truncated);
+    assert!(full.request_log.len() > 64, "run must be big enough to truncate");
+
+    cfg.request_log_cap = Some(64);
+    let capped = Simulation::run_networks(&cfg, &nets);
+    assert!(capped.request_log_truncated);
+    assert_eq!(capped.request_log.len(), 64);
+    // The ring drops the *oldest* entries: what remains is the tail.
+    assert_eq!(capped.request_log[..], full.request_log[full.request_log.len() - 64..]);
+    // The truncation marker reaches the serialized report too.
+    assert!(capped.to_json().contains("\"request_log_truncated\":true"));
+    assert!(!full.to_json().contains("request_log_truncated"));
+
+    // A cap wide enough never truncates and changes nothing.
+    cfg.request_log_cap = Some(full.request_log.len() + 1);
+    let wide = Simulation::run_networks(&cfg, &nets);
+    assert!(!wide.request_log_truncated);
+    assert_eq!(wide.request_log, full.request_log);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The exact-sum invariant holds for arbitrary workloads, sharing
+    /// levels with contention, and staggered starts: per core, the four
+    /// stall categories partition `[start_cycle, finished_at]` exactly.
+    #[test]
+    fn prop_stall_categories_partition_active_cycles(
+        net in arb_network(),
+        stagger in 0u64..2000,
+    ) {
+        let mut cfg = dual_cfg(ProbeMode::Stats);
+        cfg.start_cycles = vec![0, stagger];
+        let r = Simulation::run_networks(&cfg, &[net.clone(), net]);
+        let stats = r.stats.expect("stats probe ran");
+        for (ci, c) in stats.cores.iter().enumerate() {
+            prop_assert_eq!(
+                c.stall.total(),
+                c.active_cycles,
+                "core {}: {:?} != active {}",
+                ci,
+                c.stall,
+                c.active_cycles
+            );
+        }
+    }
+
+    /// Probing never changes simulated behavior, whatever the workload.
+    #[test]
+    fn prop_probe_is_behaviorally_invisible(net in arb_network()) {
+        let nets = [net];
+        let base = Simulation::run_networks(&dual_cfg(ProbeMode::None).ideal_solo(), &nets);
+        let probed = Simulation::run_networks(&dual_cfg(ProbeMode::Stats).ideal_solo(), &nets);
+        prop_assert_eq!(base.total_cycles, probed.total_cycles);
+        prop_assert_eq!(&base.cores, &probed.cores);
+        prop_assert_eq!(&base.dram, &probed.dram);
+    }
+}

@@ -73,6 +73,10 @@ pub struct MmuStats {
     pub coalesced: u64,
     /// Walk attempts deferred because no walker was free.
     pub walker_stalls: u64,
+    /// This core's TLB entries displaced by an insert (by any core, under a
+    /// shared TLB — the cross-core thrashing signal). Reported through the
+    /// observability layer, not the legacy JSON report.
+    pub tlb_evictions: u64,
 }
 
 impl MmuStats {
@@ -99,6 +103,9 @@ pub struct Mmu {
     next_walk_id: u64,
     pt_bases: Vec<u64>,
     stats: Vec<MmuStats>,
+    /// The `(owner_asid, vpn)` displaced by the most recent TLB fill, kept
+    /// until [`Mmu::take_last_eviction`] collects it for the probe layer.
+    last_eviction: Option<(u16, u64)>,
 }
 
 impl Mmu {
@@ -139,6 +146,7 @@ impl Mmu {
             next_walk_id: 0,
             pt_bases: pt_bases.to_vec(),
             stats: vec![MmuStats::default(); cores],
+            last_eviction: None,
             config,
         }
     }
@@ -246,9 +254,19 @@ impl Mmu {
         if self.active_by_page.get(&(w.core as u16, w.vpn)) == Some(&walk) {
             self.active_by_page.remove(&(w.core as u16, w.vpn));
         }
-        self.tlb_of(w.core).insert(w.core as u16, w.vpn);
+        if let Some(victim) = self.tlb_of(w.core).insert(w.core as u16, w.vpn) {
+            self.stats[victim.0 as usize].tlb_evictions += 1;
+            self.last_eviction = Some(victim);
+        }
         self.walkers.release(w.core);
         WalkStep::Done { core: w.core, vpn: w.vpn }
+    }
+
+    /// The `(owner_asid, vpn)` evicted by the most recent TLB fill, if any,
+    /// consuming it. The engine polls this after a [`WalkStep::Done`] to
+    /// emit the probe's eviction event without widening `WalkStep`.
+    pub fn take_last_eviction(&mut self) -> Option<(u16, u64)> {
+        self.last_eviction.take()
     }
 
     /// Physical address of the page-table entry read at `level`

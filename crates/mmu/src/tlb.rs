@@ -81,7 +81,13 @@ impl Tlb {
     }
 
     /// Insert `(asid, vpn)`, evicting the set's LRU entry if needed.
-    pub fn insert(&mut self, asid: u16, vpn: u64) {
+    ///
+    /// Returns the `(asid, vpn)` of the evicted entry, or `None` when the
+    /// insert refreshed an existing entry or filled a free way. Under a
+    /// shared TLB the victim's ASID may differ from `asid` — that
+    /// cross-core displacement is the thrashing signal the observability
+    /// layer attributes to the victim's owner.
+    pub fn insert(&mut self, asid: u16, vpn: u64) -> Option<(u16, u64)> {
         self.clock += 1;
         let idx = self.set_index(asid, vpn);
         let assoc = self.assoc;
@@ -89,15 +95,18 @@ impl Tlb {
         let set = &mut self.sets[idx];
         if let Some(e) = set.iter_mut().find(|e| e.asid == asid && e.vpn == vpn) {
             e.last_use = clock;
-            return;
+            return None;
         }
         let entry = Entry { asid, vpn, last_use: clock };
         if set.len() < assoc {
             set.push(entry);
+            None
         } else {
             let victim =
                 set.iter_mut().min_by_key(|e| e.last_use).expect("set is non-empty at capacity");
+            let evicted = (victim.asid, victim.vpn);
             *victim = entry;
+            Some(evicted)
         }
     }
 
@@ -165,6 +174,18 @@ mod tests {
         assert!(t.probe(0, 1));
         assert!(!t.probe(0, 2));
         assert!(t.probe(0, 3));
+    }
+
+    #[test]
+    fn insert_reports_victim() {
+        let mut t = Tlb::new(2, 2);
+        assert_eq!(t.insert(0, 1), None); // free way
+        assert_eq!(t.insert(0, 2), None); // free way
+        assert_eq!(t.insert(0, 1), None); // refresh in place
+                                          // Both ways of the single set are full; the LRU entry (0, 2) goes.
+        assert_eq!(t.insert(1, 9), Some((0, 2)));
+        assert!(!t.probe(0, 2), "victim must be gone");
+        assert!(t.probe(1, 9));
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! The aggregating probe and the report it produces.
+
+use crate::hist::Histogram;
+use crate::{CoreState, Event, Phase, Probe};
+use std::collections::HashMap;
+
+/// Default per-epoch bucketing window (global DRAM cycles) for the
+/// per-core time series.
+pub const DEFAULT_EPOCH_CYCLES: u64 = 4096;
+
+/// Cycle-exact attribution of a core's active cycles to one of four
+/// mutually exclusive categories. The categories sum to the core's active
+/// cycles ([`CoreStats::active_cycles`]) — a property the engine test suite
+/// asserts on randomized workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles with the systolic array busy.
+    pub compute: u64,
+    /// Cycles stalled with a transaction parked on a page-table walk.
+    pub wait_translation: u64,
+    /// Cycles stalled on an in-flight tile load.
+    pub wait_load: u64,
+    /// Cycles stalled draining stores (including the layer barrier).
+    pub wait_store: u64,
+}
+
+impl StallBreakdown {
+    /// Sum of all four categories.
+    pub fn total(&self) -> u64 {
+        self.compute + self.wait_translation + self.wait_load + self.wait_store
+    }
+
+    fn bucket_mut(&mut self, state: CoreState) -> Option<&mut u64> {
+        match state {
+            CoreState::Compute => Some(&mut self.compute),
+            CoreState::WaitTranslation => Some(&mut self.wait_translation),
+            CoreState::WaitLoad => Some(&mut self.wait_load),
+            CoreState::WaitStore => Some(&mut self.wait_store),
+            CoreState::Idle | CoreState::Finished => None,
+        }
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.compute += other.compute;
+        self.wait_translation += other.wait_translation;
+        self.wait_load += other.wait_load;
+        self.wait_store += other.wait_store;
+    }
+}
+
+/// Per-core aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Global cycles between the core's start and finish (filled in by the
+    /// engine when the report is assembled; the stall categories sum to it).
+    pub active_cycles: u64,
+    /// Cycle-exact stall breakdown.
+    pub stall: StallBreakdown,
+    /// TLB lookup hits.
+    pub tlb_hits: u64,
+    /// TLB lookup misses.
+    pub tlb_misses: u64,
+    /// This core's TLB entries evicted (by any core, under a shared TLB).
+    pub tlb_evictions: u64,
+    /// Page-table walks started.
+    pub walks_started: u64,
+    /// Page-table walks completed.
+    pub walks_done: u64,
+    /// Walk attempts deferred because the walker pool was exhausted.
+    pub walker_stalls: u64,
+    /// Transactions accepted by the memory system.
+    pub dma_grants: u64,
+    /// Transactions bounced off a full DRAM queue.
+    pub dma_retries: u64,
+    /// DRAM commands for this core that hit an open row.
+    pub row_hits: u64,
+    /// DRAM commands for this core that opened a closed row.
+    pub row_misses: u64,
+    /// DRAM commands for this core that displaced an open row.
+    pub row_conflicts: u64,
+    /// Page-table walk latency (issue of the first access to TLB fill),
+    /// in global cycles.
+    pub walk_latency: Histogram,
+    /// DRAM transactions serviced per epoch.
+    pub epoch_dram_txns: Vec<u64>,
+    /// TLB misses per epoch.
+    pub epoch_tlb_misses: Vec<u64>,
+}
+
+impl CoreStats {
+    /// TLB hit rate in `[0, 1]` (0 when never probed).
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let t = self.tlb_hits + self.tlb_misses;
+        if t == 0 {
+            return 0.0;
+        }
+        self.tlb_hits as f64 / t as f64
+    }
+
+    /// DRAM row-buffer hit rate in `[0, 1]` of this core's commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let t = self.row_hits + self.row_misses + self.row_conflicts;
+        if t == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / t as f64
+    }
+
+    fn merge(&mut self, other: &CoreStats) {
+        self.active_cycles += other.active_cycles;
+        self.stall.merge(&other.stall);
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.tlb_evictions += other.tlb_evictions;
+        self.walks_started += other.walks_started;
+        self.walks_done += other.walks_done;
+        self.walker_stalls += other.walker_stalls;
+        self.dma_grants += other.dma_grants;
+        self.dma_retries += other.dma_retries;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.walk_latency.merge(&other.walk_latency);
+        merge_series(&mut self.epoch_dram_txns, &other.epoch_dram_txns);
+        merge_series(&mut self.epoch_tlb_misses, &other.epoch_tlb_misses);
+    }
+}
+
+fn merge_series(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Chip-level DRAM contention aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DramContention {
+    /// Commands that hit an open row.
+    pub row_hits: u64,
+    /// Commands that opened a closed row.
+    pub row_misses: u64,
+    /// Commands that displaced an open row.
+    pub row_conflicts: u64,
+    /// All-bank refreshes committed.
+    pub refreshes: u64,
+    /// Transactions that entered a channel queue.
+    pub issues: u64,
+    /// Cycles each transaction waited in its channel queue before its CAS.
+    pub queue_residency: Histogram,
+    /// Channel-queue occupancy observed at each arrival (reorder-window
+    /// pressure).
+    pub queue_depth: Histogram,
+}
+
+impl DramContention {
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let t = self.row_hits + self.row_misses + self.row_conflicts;
+        if t == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / t as f64
+    }
+
+    fn merge(&mut self, other: &DramContention) {
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.refreshes += other.refreshes;
+        self.issues += other.issues;
+        self.queue_residency.merge(&other.queue_residency);
+        self.queue_depth.merge(&other.queue_depth);
+    }
+}
+
+/// One closed tile-phase interval, for the Chrome-trace timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// Start cycle (global clock).
+    pub start: u64,
+    /// End cycle (global clock); `end >= start`.
+    pub end: u64,
+    /// Owning core.
+    pub core: usize,
+    /// Which pipeline phase.
+    pub phase: Phase,
+    /// Flattened tile index.
+    pub id: u64,
+}
+
+/// Everything a [`StatsProbe`] aggregated over one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    /// Window (global cycles) of the per-epoch series.
+    pub epoch_cycles: u64,
+    /// Per-core aggregates, indexed by core.
+    pub cores: Vec<CoreStats>,
+    /// Chip-level DRAM contention counters.
+    pub dram: DramContention,
+    /// Closed tile-phase spans, sorted by `(start, end, core, phase, id)`.
+    pub spans: Vec<Span>,
+}
+
+impl StatsReport {
+    /// Mutable access to core `core`'s aggregates, growing the vector with
+    /// zeroed entries as needed (a core that never emitted an event still
+    /// deserves a row in the report).
+    pub fn core_mut(&mut self, core: usize) -> &mut CoreStats {
+        if self.cores.len() <= core {
+            self.cores.resize_with(core + 1, CoreStats::default);
+        }
+        &mut self.cores[core]
+    }
+}
+
+/// Per-core state-integration bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct StateTrack {
+    state: CoreState,
+    since: u64,
+}
+
+impl Default for StateTrack {
+    fn default() -> Self {
+        StateTrack { state: CoreState::Idle, since: 0 }
+    }
+}
+
+/// The aggregating probe: counters, histograms, per-epoch series, the
+/// stall-state integration, and phase spans. Everything it keeps is
+/// bounded by core count, bucket count and tile count — never by cycle
+/// count — so long runs stay cheap.
+#[derive(Debug, Clone)]
+pub struct StatsProbe {
+    report: StatsReport,
+    track: Vec<StateTrack>,
+    open_phases: HashMap<(usize, Phase, u64), u64>,
+    walk_starts: HashMap<u64, u64>,
+}
+
+impl Default for StatsProbe {
+    fn default() -> Self {
+        StatsProbe::new(DEFAULT_EPOCH_CYCLES)
+    }
+}
+
+impl StatsProbe {
+    /// A probe bucketing its time series into `epoch_cycles`-cycle epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_cycles` is zero.
+    pub fn new(epoch_cycles: u64) -> Self {
+        assert!(epoch_cycles > 0, "epoch must be positive");
+        StatsProbe {
+            report: StatsReport { epoch_cycles, ..StatsReport::default() },
+            track: Vec::new(),
+            open_phases: HashMap::new(),
+            walk_starts: HashMap::new(),
+        }
+    }
+
+    fn core_mut(&mut self, core: usize) -> &mut CoreStats {
+        if self.report.cores.len() <= core {
+            self.report.cores.resize_with(core + 1, CoreStats::default);
+            self.track.resize_with(core + 1, StateTrack::default);
+        }
+        &mut self.report.cores[core]
+    }
+
+    fn bump_epoch(series: &mut Vec<u64>, epoch: usize) {
+        if series.len() <= epoch {
+            series.resize(epoch + 1, 0);
+        }
+        series[epoch] += 1;
+    }
+}
+
+impl Probe for StatsProbe {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, cycle: u64, event: Event) {
+        let epoch = (cycle / self.report.epoch_cycles) as usize;
+        match event {
+            Event::DramIssue { channel: _, queue_depth } => {
+                self.report.dram.issues += 1;
+                self.report.dram.queue_depth.record(queue_depth as u64);
+            }
+            Event::DramRowHit { core, residency, .. } => {
+                self.report.dram.row_hits += 1;
+                self.report.dram.queue_residency.record(residency);
+                let c = self.core_mut(core);
+                c.row_hits += 1;
+                StatsProbe::bump_epoch(&mut self.report.cores[core].epoch_dram_txns, epoch);
+            }
+            Event::DramRowMiss { core, residency, .. } => {
+                self.report.dram.row_misses += 1;
+                self.report.dram.queue_residency.record(residency);
+                let c = self.core_mut(core);
+                c.row_misses += 1;
+                StatsProbe::bump_epoch(&mut self.report.cores[core].epoch_dram_txns, epoch);
+            }
+            Event::DramRowConflict { core, residency, .. } => {
+                self.report.dram.row_conflicts += 1;
+                self.report.dram.queue_residency.record(residency);
+                let c = self.core_mut(core);
+                c.row_conflicts += 1;
+                StatsProbe::bump_epoch(&mut self.report.cores[core].epoch_dram_txns, epoch);
+            }
+            Event::DramRefresh { .. } => self.report.dram.refreshes += 1,
+            Event::TlbHit { core } => self.core_mut(core).tlb_hits += 1,
+            Event::TlbMiss { core } => {
+                self.core_mut(core).tlb_misses += 1;
+                StatsProbe::bump_epoch(&mut self.report.cores[core].epoch_tlb_misses, epoch);
+            }
+            Event::TlbEvict { core } => self.core_mut(core).tlb_evictions += 1,
+            Event::WalkStart { core, walk } => {
+                self.core_mut(core).walks_started += 1;
+                self.walk_starts.insert(walk, cycle);
+            }
+            Event::WalkDone { core, walk } => {
+                let c = self.core_mut(core);
+                c.walks_done += 1;
+                if let Some(start) = self.walk_starts.remove(&walk) {
+                    self.report.cores[core].walk_latency.record(cycle.saturating_sub(start));
+                }
+            }
+            Event::WalkerStall { core } => self.core_mut(core).walker_stalls += 1,
+            Event::DmaGrant { core } => self.core_mut(core).dma_grants += 1,
+            Event::DmaRetry { core } => self.core_mut(core).dma_retries += 1,
+            Event::PhaseBegin { core, phase, id } => {
+                self.core_mut(core); // ensure the core exists in the report
+                self.open_phases.insert((core, phase, id), cycle);
+            }
+            Event::PhaseEnd { core, phase, id } => {
+                if let Some(start) = self.open_phases.remove(&(core, phase, id)) {
+                    self.report.spans.push(Span { start, end: cycle, core, phase, id });
+                }
+            }
+            Event::CoreState { core, state } => {
+                self.core_mut(core);
+                let t = &mut self.track[core];
+                let (prev, since) = (t.state, t.since);
+                t.state = state;
+                t.since = cycle;
+                if let Some(b) = self.report.cores[core].stall.bucket_mut(prev) {
+                    *b += cycle - since;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        let n = self.report.cores.len().max(other.report.cores.len());
+        if n > 0 {
+            self.core_mut(n - 1);
+        }
+        for (i, c) in other.report.cores.iter().enumerate() {
+            self.report.cores[i].merge(c);
+        }
+        self.report.dram.merge(&other.report.dram);
+        self.report.spans.extend(other.report.spans);
+    }
+
+    fn into_report(mut self) -> Option<StatsReport> {
+        self.report.spans.sort_unstable();
+        Some(self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_integration_is_cycle_exact() {
+        let mut p = StatsProbe::default();
+        // Idle [0,10), Compute [10,25), WaitLoad [25,40), Compute [40,60),
+        // WaitStore [60,70), Finished at 70.
+        for (t, s) in [
+            (0, CoreState::Idle),
+            (10, CoreState::Compute),
+            (25, CoreState::WaitLoad),
+            (40, CoreState::Compute),
+            (60, CoreState::WaitStore),
+            (70, CoreState::Finished),
+        ] {
+            p.record(t, Event::CoreState { core: 0, state: s });
+        }
+        let r = p.into_report().unwrap();
+        let s = &r.cores[0].stall;
+        assert_eq!(s.compute, 35);
+        assert_eq!(s.wait_load, 15);
+        assert_eq!(s.wait_store, 10);
+        assert_eq!(s.wait_translation, 0);
+        assert_eq!(s.total(), 60);
+    }
+
+    #[test]
+    fn resampling_same_state_accumulates() {
+        let mut p = StatsProbe::default();
+        for t in [0, 5, 9, 12] {
+            p.record(t, Event::CoreState { core: 0, state: CoreState::Compute });
+        }
+        p.record(20, Event::CoreState { core: 0, state: CoreState::Finished });
+        let r = p.into_report().unwrap();
+        assert_eq!(r.cores[0].stall.compute, 20);
+    }
+
+    #[test]
+    fn walk_latency_pairs_start_and_done() {
+        let mut p = StatsProbe::default();
+        p.record(100, Event::WalkStart { core: 1, walk: 7 });
+        p.record(340, Event::WalkDone { core: 1, walk: 7 });
+        let r = p.into_report().unwrap();
+        assert_eq!(r.cores[1].walk_latency.count(), 1);
+        assert_eq!(r.cores[1].walk_latency.sum(), 240);
+        assert_eq!(r.cores[1].walks_started, 1);
+        assert_eq!(r.cores[1].walks_done, 1);
+    }
+
+    #[test]
+    fn spans_pair_and_sort() {
+        let mut p = StatsProbe::default();
+        p.record(50, Event::PhaseBegin { core: 0, phase: Phase::Compute, id: 1 });
+        p.record(10, Event::PhaseBegin { core: 0, phase: Phase::Load, id: 0 });
+        p.record(45, Event::PhaseEnd { core: 0, phase: Phase::Load, id: 0 });
+        p.record(90, Event::PhaseEnd { core: 0, phase: Phase::Compute, id: 1 });
+        let r = p.into_report().unwrap();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.spans[0], Span { start: 10, end: 45, core: 0, phase: Phase::Load, id: 0 });
+        assert_eq!(r.spans[1].phase, Phase::Compute);
+    }
+
+    #[test]
+    fn merge_sums_both_halves() {
+        let mut engine = StatsProbe::default();
+        engine.record(0, Event::TlbMiss { core: 0 });
+        engine.record(1, Event::TlbHit { core: 0 });
+        let mut dram = StatsProbe::default();
+        dram.record(5, Event::DramRowConflict { channel: 0, core: 0, residency: 12 });
+        dram.record(6, Event::DramRowHit { channel: 1, core: 1, residency: 2 });
+        engine.merge(dram);
+        let r = engine.into_report().unwrap();
+        assert_eq!(r.cores.len(), 2);
+        assert_eq!(r.cores[0].tlb_misses, 1);
+        assert_eq!(r.cores[0].row_conflicts, 1);
+        assert_eq!(r.cores[1].row_hits, 1);
+        assert_eq!(r.dram.row_conflicts, 1);
+        assert_eq!(r.dram.queue_residency.count(), 2);
+        assert!((r.dram.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_series_buckets_by_cycle() {
+        let mut p = StatsProbe::new(100);
+        p.record(10, Event::TlbMiss { core: 0 });
+        p.record(150, Event::TlbMiss { core: 0 });
+        p.record(199, Event::TlbMiss { core: 0 });
+        p.record(901, Event::TlbMiss { core: 0 });
+        let r = p.into_report().unwrap();
+        assert_eq!(r.cores[0].epoch_tlb_misses.len(), 10);
+        assert_eq!(r.cores[0].epoch_tlb_misses[0], 1);
+        assert_eq!(r.cores[0].epoch_tlb_misses[1], 2);
+        assert_eq!(r.cores[0].epoch_tlb_misses[9], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be positive")]
+    fn zero_epoch_rejected() {
+        let _ = StatsProbe::new(0);
+    }
+}

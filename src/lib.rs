@@ -51,7 +51,10 @@ pub use mnpu_predict as predict;
 pub use mnpu_systolic as systolic;
 
 pub use mnpu_dram::{Dram, DramConfig};
-pub use mnpu_engine::{RunReport, SharingLevel, Simulation, SystemConfig};
+pub use mnpu_engine::{
+    ConfigError, Format, ProbeMode, RunReport, SharingLevel, Simulation, StatsReport, SystemConfig,
+    SystemConfigBuilder,
+};
 pub use mnpu_metrics::{fairness, geomean, BoxStats, Cdf, Speedup};
 pub use mnpu_mmu::{Mmu, MmuConfig};
 pub use mnpu_model::{zoo, Layer, Network, Scale};
