@@ -10,9 +10,17 @@ use mnpu_probe::{Event, Probe};
 use std::cell::Cell;
 use std::collections::VecDeque;
 
-/// FR-FCFS reordering window: row hits may bypass at most this many older
-/// requests, which bounds starvation.
+/// FR-FCFS reordering window: the scheduler considers at most this many
+/// queue entries when picking the next command.
 const FRFCFS_WINDOW: usize = 16;
+
+/// Starvation cap: once the oldest queued request has been bypassed this
+/// many times, it is scheduled next regardless of row state. Without the
+/// cap an endless row-hit stream from one core can park another core's
+/// row-conflicting request indefinitely (the config fuzzer produced a
+/// single store with a ~2900-cycle queue latency this way); real
+/// controllers bound reordering with exactly this kind of age threshold.
+const FRFCFS_MAX_BYPASS: u32 = 8;
 
 /// Memoized scheduler decision: which queued transaction the scheduler
 /// would commit next and at what cycle. The candidate (and its issue time)
@@ -47,6 +55,9 @@ pub(crate) struct Pending {
     pub decoded: DecodedAddr,
     pub is_write: bool,
     pub arrival: u64,
+    /// Times a younger request has been committed ahead of this one;
+    /// compared against [`FRFCFS_MAX_BYPASS`].
+    pub bypassed: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -205,6 +216,9 @@ impl Channel {
             if t_cas > now {
                 break;
             }
+            for j in 0..idx {
+                self.queue[j].bypassed += 1;
+            }
             let p = self.queue.remove(idx).expect("index valid");
             self.next_cand.set(NextCand::Dirty);
             let done = self.commit(&p, t_cas, probe, ch_idx);
@@ -298,6 +312,11 @@ impl Channel {
             return None;
         }
         if self.cfg.policy == crate::config::SchedPolicy::Fcfs {
+            return Some(0);
+        }
+        // Starvation cap: a head request bypassed too often goes next even
+        // if a younger row hit could issue earlier.
+        if self.queue[0].bypassed >= FRFCFS_MAX_BYPASS {
             return Some(0);
         }
         let window = self.queue.len().min(FRFCFS_WINDOW);
@@ -471,7 +490,15 @@ mod tests {
 
     fn make(cfg: &DramConfig, addr: u64, is_write: bool, arrival: u64, meta: u64) -> Pending {
         let all: Vec<usize> = (0..cfg.channels).collect();
-        Pending { meta, core: 0, addr, decoded: decode(addr, cfg, &all), is_write, arrival }
+        Pending {
+            meta,
+            core: 0,
+            addr,
+            decoded: decode(addr, cfg, &all),
+            is_write,
+            arrival,
+            bypassed: 0,
+        }
     }
 
     fn drain(ch: &mut Channel, until: u64) -> Vec<Completion> {

@@ -203,6 +203,13 @@ impl DramConfig {
         crate::address::TRANSACTION_BYTES as f64 / self.timing.burst_cycles as f64
     }
 
+    /// Hard floor on any read transaction's latency: even a row hit to an
+    /// idle channel pays the CAS latency plus its data burst. Analytical
+    /// oracles use this as a causality bound — no completion may beat it.
+    pub fn min_read_latency(&self) -> u64 {
+        self.timing.cl + self.timing.burst_cycles
+    }
+
     /// Peak bandwidth of the whole device in GB/s.
     pub fn peak_gbps(&self) -> f64 {
         self.channels as f64 * self.channel_bytes_per_cycle() * self.freq_mhz as f64 / 1000.0
@@ -298,6 +305,13 @@ mod tests {
     fn refresh_overhead_is_small_fraction() {
         let t = DramTiming::hbm2();
         assert!((t.trfc as f64) / (t.trefi as f64) < 0.1);
+    }
+
+    #[test]
+    fn min_read_latency_is_cas_plus_burst() {
+        assert_eq!(DramConfig::hbm2(1).min_read_latency(), 14 + 2);
+        assert_eq!(DramConfig::bench(1).min_read_latency(), 14 + 8);
+        assert_eq!(DramConfig::ddr4(1).min_read_latency(), 16 + 4);
     }
 }
 

@@ -187,7 +187,7 @@ impl Dram {
     ) -> Result<(), EnqueueError> {
         let decoded = decode(addr, &self.config, self.subset_of(core));
         let ch = decoded.channel;
-        let p = Pending { meta, core, addr, decoded, is_write, arrival: now };
+        let p = Pending { meta, core, addr, decoded, is_write, arrival: now, bypassed: 0 };
         if !self.channels[ch].enqueue(p) {
             return Err(EnqueueError::QueueFull { channel: ch });
         }

@@ -1,12 +1,39 @@
 //! Device-level soak tests: long pseudo-random request streams must respect
 //! the physical invariants of the model (causality, bandwidth ceiling,
 //! conservation) under every preset and policy.
+//!
+//! The request stream is driven by an explicit xorshift seed so a failure
+//! is reproducible from its message alone. Override the default with
+//! `MNPU_SOAK_SEED=<decimal or 0x-hex>` to re-run a reported failure or
+//! to widen coverage locally; the seed in use is printed by every
+//! assertion.
 
 use mnpu_dram::{AddressMapping, Completion, Dram, DramConfig, SchedPolicy, TRANSACTION_BYTES};
 
-/// Drive `n` pseudo-random requests through `dram` to completion.
-fn soak(dram: &mut Dram, n: u64, write_every: u64) -> Vec<Completion> {
-    let mut state = 0x243f_6a88_85a3_08d3u64;
+/// Default stream seed (pi's first 64 fractional bits, an arbitrary but
+/// fixed nothing-up-my-sleeve number).
+const DEFAULT_SEED: u64 = 0x243f_6a88_85a3_08d3;
+
+/// The seed for this run: `MNPU_SOAK_SEED` when set, else the default.
+fn soak_seed() -> u64 {
+    match std::env::var("MNPU_SOAK_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("MNPU_SOAK_SEED {v:?} is not a u64"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Drive `n` pseudo-random requests through `dram` to completion, with an
+/// xorshift stream started at `seed` (must be nonzero).
+fn soak(dram: &mut Dram, seed: u64, n: u64, write_every: u64) -> Vec<Completion> {
+    assert_ne!(seed, 0, "xorshift cannot leave the zero state");
+    let mut state = seed;
     let mut next = || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -34,33 +61,37 @@ fn soak(dram: &mut Dram, n: u64, write_every: u64) -> Vec<Completion> {
 }
 
 fn check_invariants(cfg: DramConfig, n: u64) {
+    let seed = soak_seed();
     let channels = cfg.channels as u64;
     let burst = cfg.timing.burst_cycles;
     let min_latency = cfg.timing.cl + burst;
     let mut dram = Dram::new(cfg);
-    let done = soak(&mut dram, n, 5);
+    let done = soak(&mut dram, seed, n, 5);
 
-    assert_eq!(done.len() as u64, n, "every request completes exactly once");
+    assert_eq!(done.len() as u64, n, "every request completes exactly once (seed {seed:#x})");
     let mut metas: Vec<u64> = done.iter().map(|c| c.meta).collect();
     metas.sort_unstable();
     metas.dedup();
-    assert_eq!(metas.len() as u64, n, "no duplicated completions");
+    assert_eq!(metas.len() as u64, n, "no duplicated completions (seed {seed:#x})");
 
     // Causality: nothing completes before the minimum CAS + burst latency.
-    assert!(done.iter().all(|c| c.completed_at >= min_latency));
+    assert!(
+        done.iter().all(|c| c.completed_at >= min_latency),
+        "completion beat the CAS+burst floor (seed {seed:#x})"
+    );
 
     // Bandwidth ceiling: total completions cannot beat the aggregate bus.
     let span = done.iter().map(|c| c.completed_at).max().unwrap();
     let max_txns = span / burst * channels + channels;
-    assert!(n <= max_txns, "{n} transactions in {span} cycles beats the bus");
+    assert!(n <= max_txns, "{n} transactions in {span} cycles beats the bus (seed {seed:#x})");
 
     // Conservation in the statistics.
     let s = dram.stats();
-    assert_eq!(s.total.transactions(), n);
-    assert_eq!(s.total.bytes, n * TRANSACTION_BYTES);
-    assert_eq!(s.total.row_hits + s.total.row_misses + s.total.row_conflicts, n);
-    assert_eq!(s.per_core_bytes.iter().sum::<u64>(), n * TRANSACTION_BYTES);
-    assert_eq!(dram.pending(), 0);
+    assert_eq!(s.total.transactions(), n, "seed {seed:#x}");
+    assert_eq!(s.total.bytes, n * TRANSACTION_BYTES, "seed {seed:#x}");
+    assert_eq!(s.total.row_hits + s.total.row_misses + s.total.row_conflicts, n, "seed {seed:#x}");
+    assert_eq!(s.per_core_bytes.iter().sum::<u64>(), n * TRANSACTION_BYTES, "seed {seed:#x}");
+    assert_eq!(dram.pending(), 0, "seed {seed:#x}");
 }
 
 #[test]
@@ -105,11 +136,32 @@ fn deep_queue_soak_invariants() {
 }
 
 #[test]
+fn multi_seed_soak_invariants() {
+    // A handful of fixed extra seeds so the default CI run already covers
+    // several distinct streams, not just the nothing-up-my-sleeve one.
+    for seed in [1u64, 0xdead_beef, 0x1234_5678_9abc_def0] {
+        let cfg = DramConfig::hbm2(2);
+        let burst = cfg.timing.burst_cycles;
+        let min_latency = cfg.timing.cl + burst;
+        let mut dram = Dram::new(cfg);
+        let done = soak(&mut dram, seed, 5_000, 5);
+        assert_eq!(done.len(), 5_000, "seed {seed:#x}");
+        assert!(
+            done.iter().all(|c| c.completed_at >= min_latency),
+            "completion beat the CAS+burst floor (seed {seed:#x})"
+        );
+        assert_eq!(dram.stats().total.transactions(), 5_000, "seed {seed:#x}");
+        assert_eq!(dram.pending(), 0, "seed {seed:#x}");
+    }
+}
+
+#[test]
 fn random_stream_has_low_row_hit_rate_streaming_high() {
     // Sanity of the row-buffer model itself: streaming accesses mostly hit,
     // random accesses mostly miss or conflict.
+    let seed = soak_seed();
     let mut rnd = Dram::new(DramConfig::hbm2(2));
-    let _ = soak(&mut rnd, 10_000, u64::MAX);
+    let _ = soak(&mut rnd, seed, 10_000, u64::MAX);
     let random_rate = rnd.stats().total.row_hit_rate();
 
     let mut streaming = Dram::new(DramConfig::hbm2(2));
@@ -130,6 +182,9 @@ fn random_stream_has_low_row_hit_rate_streaming_high() {
         }
     }
     let stream_rate = streaming.stats().total.row_hit_rate();
-    assert!(stream_rate > 0.8, "streaming should mostly hit: {stream_rate}");
-    assert!(random_rate < stream_rate, "random {random_rate} vs streaming {stream_rate}");
+    assert!(stream_rate > 0.8, "streaming should mostly hit: {stream_rate} (seed {seed:#x})");
+    assert!(
+        random_rate < stream_rate,
+        "random {random_rate} vs streaming {stream_rate} (seed {seed:#x})"
+    );
 }

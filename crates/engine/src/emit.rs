@@ -51,13 +51,13 @@ impl RunReport {
              tlb_hits,tlb_misses,active_cycles,stall_compute,stall_wait_translation,\
              stall_wait_load,stall_wait_store,tlb_evictions,walks_started,walks_done,\
              walker_stalls,dma_grants,dma_retries,row_hits,row_misses,row_conflicts,\
-             walk_latency_mean,walk_latency_max"
+             walk_latency_mean,walk_latency_max,request_log_truncated"
         )?;
         for (ci, c) in self.cores.iter().enumerate() {
             let s = self.stats.as_ref().and_then(|s| s.cores.get(ci));
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
                 ci,
                 c.workload,
                 c.cycles,
@@ -94,7 +94,7 @@ impl RunReport {
         };
         writeln!(
             out,
-            "total,,{},{},,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,",
+            "total,,{},{},,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,,{}",
             self.total_cycles,
             sum(|c| c.compute_cycles),
             sum(|c| c.traffic_bytes),
@@ -115,6 +115,7 @@ impl RunReport {
             ssum(|c| c.row_hits),
             ssum(|c| c.row_misses),
             ssum(|c| c.row_conflicts),
+            self.request_log_truncated,
         )
     }
 

@@ -58,6 +58,7 @@ pub use memory::{DramMemory, IdealMemory, MemoryModel, MemorySystem};
 pub use report::{ChipEnergy, CoreReport, EnergyModel, LogEvent, LogKind, RunReport};
 pub use sharing::SharingLevel;
 pub use sim::Simulation;
+pub use stage::expected_data_transactions;
 pub use system::{ConfigError, ProbeMode, SystemConfig};
 
 // The observability vocabulary is part of the engine's public API surface:

@@ -10,6 +10,23 @@ pub(crate) fn span_txns(s: &MemSpan) -> u64 {
     (s.addr + s.bytes - 1) / TRANSACTION_BYTES - s.addr / TRANSACTION_BYTES + 1
 }
 
+/// Exact number of 64-byte DRAM data transactions one execution of `trace`
+/// issues: the sum of every tile's load and store spans after burst
+/// expansion (walk traffic is separate). This is the same arithmetic the
+/// DMA stages use, exported so external validators can hold
+/// [`crate::CoreReport::traffic_bytes`] to an equality, not just a bound:
+/// `traffic_bytes == expected_data_transactions(trace) * 64 * iterations`.
+pub fn expected_data_transactions(trace: &mnpu_systolic::WorkloadTrace) -> u64 {
+    trace
+        .layers()
+        .iter()
+        .flat_map(|l| &l.tiles)
+        .map(|t| {
+            t.loads.iter().map(span_txns).sum::<u64>() + t.stores.iter().map(span_txns).sum::<u64>()
+        })
+        .sum()
+}
+
 /// A DMA stage: the load or store burst of one tile, expanded into 64-byte
 /// transactions on demand.
 #[derive(Debug)]

@@ -1,24 +1,31 @@
-//! Golden equivalence test: a quad-core mixed-benchmark run, serialized to
-//! JSON, must stay byte-identical across simulator changes.
+//! Golden equivalence suite: quad-core mixed-benchmark runs, serialized
+//! to JSON, must stay byte-identical across simulator changes.
 //!
-//! The fixture (`tests/fixtures/quad_golden.json`) was produced by the
-//! pre-optimization event loop; any hot-path change (next-event caching,
-//! scheduler candidate caches, buffer reuse) that alters even one cycle,
-//! one stat counter, or one completion ordering fails this test. Together
-//! with the serial/parallel determinism test in `mnpu-bench`, it pins the
-//! simulator's visible behavior exactly.
+//! The fixtures under `tests/fixtures/` pin the simulator's visible
+//! behavior exactly: any hot-path change (next-event caching, scheduler
+//! candidate caches, buffer reuse) that alters even one cycle, one stat
+//! counter, or one completion ordering fails these tests. Together with
+//! the serial/parallel determinism test in `mnpu-bench`, they are the
+//! regression net under every optimization PR.
 //!
-//! Regenerate intentionally (after a *semantic* model change, never for an
-//! optimization) with:
+//! Four variants of the same quad-core mixed workload are pinned:
+//! the HBM2-class bench chip (the original fixture), the DDR4 preset
+//! (longer CAS, slower clock, deeper refresh — a different event
+//! schedule shape), and the 64 KB and 1 MB page sizes (3- and 2-level
+//! walks, different TLB reach).
+//!
+//! Regenerate intentionally (after a *semantic* model change, never for
+//! an optimization) with:
 //!
 //! ```text
 //! MNPU_BLESS=1 cargo test -p mnpu-engine --test golden
 //! ```
+//!
+//! which rewrites every fixture in one pass and prints the new sizes.
 
+use mnpu_dram::DramConfig;
 use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
 use mnpu_model::{zoo, Scale};
-
-const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/quad_golden.json");
 
 /// The pinned run: four different benchmarks (memory-bound ds2, the two
 /// language models, and compute-bound ncf) on a quad-core chip with every
@@ -26,30 +33,61 @@ const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/quad_
 /// scheduling, refresh, TLB sharing, walk coalescing, and the walker pool
 /// all at once. Bandwidth tracing is enabled so completion *timing*, not
 /// just totals, is captured in the fixture.
-fn golden_report() -> String {
+fn golden_config() -> SystemConfig {
     let mut cfg = SystemConfig::bench(4, SharingLevel::PlusDwt);
     cfg.trace_window = Some(4096);
+    cfg
+}
+
+fn golden_report(cfg: &SystemConfig) -> String {
     let nets = [
         zoo::ncf(Scale::Bench),
         zoo::gpt2(Scale::Bench),
         zoo::yolo_tiny(Scale::Bench),
         zoo::dlrm(Scale::Bench),
     ];
-    Simulation::run_networks(&cfg, &nets).to_json()
+    Simulation::run_networks(cfg, &nets).to_json()
+}
+
+/// Compare `json` against the named fixture, or rewrite the fixture when
+/// `MNPU_BLESS=1` is set.
+fn check_fixture(name: &str, json: &str) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let path = format!("{dir}/{name}");
+    if std::env::var("MNPU_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(&path, json).unwrap();
+        eprintln!("blessed fixture {name}: {} bytes", json.len());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("fixture {name} missing — generate with MNPU_BLESS=1 (see module docs)")
+    });
+    // Compare lengths first for a readable failure before the full diff.
+    assert_eq!(json.len(), expected.len(), "{name}: serialized report size changed");
+    assert_eq!(json, &expected, "{name}: golden report must be byte-identical");
 }
 
 #[test]
 fn quad_mixed_run_matches_golden_fixture() {
-    let json = golden_report();
-    if std::env::var("MNPU_BLESS").as_deref() == Ok("1") {
-        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures")).unwrap();
-        std::fs::write(FIXTURE, &json).unwrap();
-        eprintln!("blessed fixture: {} bytes", json.len());
-        return;
-    }
-    let expected = std::fs::read_to_string(FIXTURE)
-        .expect("fixture missing — generate with MNPU_BLESS=1 (see module docs)");
-    // Compare lengths first for a readable failure before the full diff.
-    assert_eq!(json.len(), expected.len(), "serialized report size changed");
-    assert_eq!(json, expected, "quad-core golden report must be byte-identical");
+    check_fixture("quad_golden.json", &golden_report(&golden_config()));
+}
+
+#[test]
+fn quad_mixed_ddr4_matches_golden_fixture() {
+    let mut cfg = golden_config();
+    cfg.dram = DramConfig::ddr4(4);
+    check_fixture("quad_golden_ddr4.json", &golden_report(&cfg));
+}
+
+#[test]
+fn quad_mixed_64k_pages_matches_golden_fixture() {
+    let cfg = golden_config().with_page_size(65536);
+    check_fixture("quad_golden_64k.json", &golden_report(&cfg));
+}
+
+#[test]
+fn quad_mixed_1m_pages_matches_golden_fixture() {
+    let cfg = golden_config().with_page_size(1_048_576);
+    check_fixture("quad_golden_1m.json", &golden_report(&cfg));
 }

@@ -95,6 +95,14 @@ impl MmuConfig {
         walk_levels_for(self.page_bytes)
     }
 
+    /// Bytes of virtual address space one core's TLB can map at once
+    /// (entries × page size). A workload whose touched pages fit within the
+    /// reach can, absent cross-core interference, run without capacity
+    /// evictions — the analytical TLB-reach bound.
+    pub fn tlb_reach_bytes(&self) -> u64 {
+        self.tlb_entries_per_core * self.page_bytes
+    }
+
     /// Total walkers across `cores` cores.
     pub fn total_walkers(&self, cores: usize) -> usize {
         match &self.ptw_partition {
@@ -185,6 +193,12 @@ mod tests {
         assert_eq!(c.ptws_per_core, 8);
         assert!(c.validate(1).is_ok());
         assert!(c.validate(4).is_ok());
+    }
+
+    #[test]
+    fn tlb_reach_scales_with_page_size() {
+        assert_eq!(MmuConfig::neummu(4096).tlb_reach_bytes(), 2048 * 4096);
+        assert_eq!(MmuConfig::bench(65536).tlb_reach_bytes(), 512 * 65536);
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub struct Histogram {
     count: u64,
     sum: u64,
     max: u64,
+    min: u64,
 }
 
 impl Histogram {
@@ -28,6 +29,7 @@ impl Histogram {
             self.buckets.resize(b + 1, 0);
         }
         self.buckets[b] += 1;
+        self.min = if self.count == 0 { v } else { self.min.min(v) };
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
@@ -46,6 +48,14 @@ impl Histogram {
     /// Largest sample (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Smallest sample (0 when empty). Exact — tracked per sample, not
+    /// reconstructed from the log2 buckets — so analytical lower bounds
+    /// (e.g. a walk can never beat `levels * (CL + burst)`) can be checked
+    /// without slack.
+    pub fn min(&self) -> u64 {
+        self.min
     }
 
     /// Mean sample (0.0 when empty).
@@ -80,6 +90,11 @@ impl Histogram {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
+        self.min = match (self.count, other.count) {
+            (_, 0) => self.min,
+            (0, _) => other.min,
+            _ => self.min.min(other.min),
+        };
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
@@ -100,7 +115,19 @@ mod tests {
         assert_eq!(h.bucket_counts(), &[1, 1, 2, 2, 1, 0, 0, 0, 0, 0, 0, 1]);
         assert_eq!(h.count(), 8);
         assert_eq!(h.max(), 1024);
+        assert_eq!(h.min(), 0);
         assert_eq!(h.sum(), 1049);
+    }
+
+    #[test]
+    fn min_tracks_smallest_sample_exactly() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), 0, "empty histogram reports 0");
+        h.record(37);
+        assert_eq!(h.min(), 37);
+        h.record(5);
+        h.record(900);
+        assert_eq!(h.min(), 5);
     }
 
     #[test]
@@ -122,6 +149,16 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.sum(), 505);
         assert_eq!(a.max(), 500);
+        assert_eq!(a.min(), 0);
+
+        let empty = Histogram::default();
+        let mut c = Histogram::default();
+        c.record(9);
+        c.merge(&empty);
+        assert_eq!(c.min(), 9, "merging an empty histogram must not clobber min");
+        let mut d = Histogram::default();
+        d.merge(&c);
+        assert_eq!(d.min(), 9, "merging into an empty histogram adopts the other min");
     }
 
     proptest! {

@@ -1,0 +1,36 @@
+//! Correctness tooling for the simulator: the executable answer to "why
+//! should anyone believe these cycle counts?".
+//!
+//! Golden fixtures pin behavior byte-for-byte, but they only prove the
+//! engine still does *what it did yesterday* — not that what it does is
+//! physically possible. This crate adds three semantic layers on top:
+//!
+//! 1. **Analytical oracles** ([`oracle`]): closed-form bounds and
+//!    conservation laws every run must respect, derived independently from
+//!    the configuration and the workload trace — the compute roofline from
+//!    the systolic timing model, the per-channel DRAM bandwidth bound,
+//!    walk-byte conservation from the MMU's radix depth, and the
+//!    stall-category partition of active cycles. Several are exact
+//!    equalities, not just bounds.
+//! 2. **Metamorphic invariants** ([`metamorphic`]): directional laws
+//!    across *paired* simulations — more bandwidth never slows a chip
+//!    down, larger pages never walk more, a co-runner never speeds up its
+//!    victim, static partitioning isolates perfectly. No ground truth
+//!    needed: the second run is the first run's oracle.
+//! 3. **A deterministic fuzzer** ([`fuzz`], `mnpu_fuzz` binary): seeded
+//!    generation of random-but-valid configurations and networks, short
+//!    simulations under the stats probe, every oracle applied to each, one
+//!    metamorphic law sampled per iteration, and greedy shrinking to a
+//!    minimized JSON repro artifact on failure.
+//!
+//! Every future perf PR runs against this net in CI; a hot-path change
+//! that warps a single conservation law is caught even if it produces a
+//! plausible-looking report.
+
+pub mod fuzz;
+pub mod metamorphic;
+pub mod oracle;
+
+pub use fuzz::{run_fuzz, FuzzCase, FuzzOptions, FuzzOutcome};
+pub use metamorphic::Law;
+pub use oracle::{check_run, check_traced, Violation};

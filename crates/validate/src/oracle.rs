@@ -1,0 +1,609 @@
+//! Analytical oracles: closed-form bounds and conservation laws that any
+//! [`RunReport`] must respect, derived from the configuration and workload
+//! trace alone — never from another simulation.
+//!
+//! The oracles fall into three strength classes:
+//!
+//! * **Exact equalities** — quantities the simulator must reproduce to the
+//!   unit because they are determined by the trace, not by timing:
+//!   `compute_cycles`, `traffic_bytes` (burst expansion is arithmetic),
+//!   `walk_bytes == walks × levels × 64` (each radix walk reads exactly
+//!   one 64-byte PTE line per level), and every stats-vs-engine
+//!   cross-check.
+//! * **Rooflines** — lower bounds on time: a core can never finish faster
+//!   than its systolic array computes, a channel can never move more than
+//!   one burst per `burst_cycles`, a walk can never beat
+//!   `levels × (CL + burst)`.
+//! * **Conservation** — totals equal the sum of their parts: per-channel
+//!   counters fold into the chip total, per-core bytes fold into DRAM
+//!   bytes, the four stall categories partition active cycles.
+//!
+//! A violation means the engine, not the workload, is wrong — by
+//! construction the checks are valid for every legal configuration.
+
+use mnpu_engine::{expected_data_transactions, MemoryModel, RunReport, SystemConfig};
+use mnpu_model::Network;
+use mnpu_systolic::WorkloadTrace;
+use std::collections::HashSet;
+
+/// One failed oracle check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which law failed (stable kebab-case identifier).
+    pub oracle: &'static str,
+    /// The core the violation concerns, when per-core.
+    pub core: Option<usize>,
+    /// Human-readable statement of the expected vs observed quantities.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.core {
+            Some(c) => write!(f, "[{}] core {}: {}", self.oracle, c, self.detail),
+            None => write!(f, "[{}] {}", self.oracle, self.detail),
+        }
+    }
+}
+
+/// Run every oracle against `report`, which must be the result of
+/// simulating `nets` under `cfg`. Returns all violations found (empty =
+/// the report is consistent with the analytical model).
+pub fn check_run(cfg: &SystemConfig, nets: &[Network], report: &RunReport) -> Vec<Violation> {
+    let traces: Vec<WorkloadTrace> =
+        nets.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
+    check_traced(cfg, &traces, report)
+}
+
+/// [`check_run`] for callers that already hold the generated traces.
+pub fn check_traced(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    report: &RunReport,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_shape(cfg, report, &mut out);
+    if report.cores.len() != cfg.cores || traces.len() != cfg.cores {
+        return out; // per-core checks would index out of bounds
+    }
+    check_compute(cfg, traces, report, &mut out);
+    check_traffic(cfg, traces, report, &mut out);
+    check_walks(cfg, traces, report, &mut out);
+    check_dram(cfg, report, &mut out);
+    check_total_cycles(cfg, traces, report, &mut out);
+    check_stats(cfg, traces, report, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Violation>, oracle: &'static str, core: Option<usize>, detail: String) {
+    out.push(Violation { oracle, core, detail });
+}
+
+/// Ceiling of `x * num / den` in u128 to match the engine's clock-domain
+/// conversion exactly.
+fn ceil_mul_div(x: u64, num: u64, den: u64) -> u64 {
+    ((x as u128 * num as u128).div_ceil(den as u128)) as u64
+}
+
+/// Distinct virtual pages one execution of `trace` touches with data
+/// accesses (the pages the MMU must translate at least once each).
+fn distinct_pages(trace: &WorkloadTrace, page_bytes: u64) -> u64 {
+    let mut pages: HashSet<u64> = HashSet::new();
+    for layer in trace.layers() {
+        for tile in &layer.tiles {
+            for s in tile.loads.iter().chain(&tile.stores) {
+                let first = s.addr / page_bytes;
+                let last = (s.addr + s.bytes - 1) / page_bytes;
+                pages.extend(first..=last);
+            }
+        }
+    }
+    pages.len() as u64
+}
+
+/// The chip-level DRAM configuration (device template with the chip's
+/// total channel count), as the engine derives it.
+fn chip_dram(cfg: &SystemConfig) -> mnpu_dram::DramConfig {
+    let mut d = cfg.dram.clone();
+    d.channels = cfg.total_channels();
+    d
+}
+
+// --- structural shape ----------------------------------------------------
+
+fn check_shape(cfg: &SystemConfig, report: &RunReport, out: &mut Vec<Violation>) {
+    const O: &str = "report-shape";
+    if report.cores.len() != cfg.cores {
+        push(out, O, None, format!("{} core reports for {} cores", report.cores.len(), cfg.cores));
+    }
+    if report.total_cycles == 0 {
+        push(out, O, None, "total_cycles is zero".into());
+    }
+    let expect_channels = match cfg.memory {
+        MemoryModel::Timing => cfg.total_channels(),
+        MemoryModel::Ideal { .. } => 1, // one pseudo-channel carries the totals
+    };
+    if report.dram.per_channel.len() != expect_channels {
+        push(
+            out,
+            O,
+            None,
+            format!(
+                "{} per-channel entries, expected {expect_channels}",
+                report.dram.per_channel.len()
+            ),
+        );
+    }
+    if report.dram.per_core_bytes.len() != cfg.cores {
+        push(
+            out,
+            O,
+            None,
+            format!(
+                "{} per_core_bytes entries for {} cores",
+                report.dram.per_core_bytes.len(),
+                cfg.cores
+            ),
+        );
+    }
+}
+
+// --- compute roofline ----------------------------------------------------
+
+fn check_compute(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    report: &RunReport,
+    out: &mut Vec<Violation>,
+) {
+    for (ci, (trace, core)) in traces.iter().zip(&report.cores).enumerate() {
+        let expected = trace.total_compute_cycles() * cfg.iterations;
+        // The array executes every tile exactly once per iteration, so the
+        // accumulated compute time is trace arithmetic, not timing.
+        if core.compute_cycles != expected {
+            push(
+                out,
+                "compute-exact",
+                Some(ci),
+                format!("compute_cycles {} != trace total {expected}", core.compute_cycles),
+            );
+        }
+        // Roofline: with one systolic array, tiles serialize on it; the
+        // core clock can never run out faster than its compute alone.
+        if core.cycles < expected {
+            push(
+                out,
+                "compute-roofline",
+                Some(ci),
+                format!("cycles {} beat the compute roofline {expected}", core.cycles),
+            );
+        }
+        let macs = trace.total_macs() * cfg.iterations;
+        if macs > 0 && (core.pe_utilization <= 0.0 || core.pe_utilization > 1.0 + 1e-9) {
+            push(
+                out,
+                "pe-utilization",
+                Some(ci),
+                format!("pe_utilization {} outside (0, 1]", core.pe_utilization),
+            );
+        }
+        if core.footprint_bytes != trace.footprint_bytes() {
+            push(
+                out,
+                "report-shape",
+                Some(ci),
+                format!(
+                    "footprint_bytes {} != trace footprint {}",
+                    core.footprint_bytes,
+                    trace.footprint_bytes()
+                ),
+            );
+        }
+    }
+}
+
+// --- exact traffic law ---------------------------------------------------
+
+fn check_traffic(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    report: &RunReport,
+    out: &mut Vec<Violation>,
+) {
+    for (ci, (trace, core)) in traces.iter().zip(&report.cores).enumerate() {
+        let expected =
+            expected_data_transactions(trace) * mnpu_dram::TRANSACTION_BYTES * cfg.iterations;
+        if core.traffic_bytes != expected {
+            push(
+                out,
+                "traffic-exact",
+                Some(ci),
+                format!("traffic_bytes {} != burst-expanded trace {expected}", core.traffic_bytes),
+            );
+        }
+    }
+}
+
+// --- MMU conservation ----------------------------------------------------
+
+fn check_walks(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    report: &RunReport,
+    out: &mut Vec<Violation>,
+) {
+    let levels = cfg.mmu.walk_levels() as u64;
+    for (ci, (trace, core)) in traces.iter().zip(&report.cores).enumerate() {
+        if !cfg.translation {
+            if core.walk_bytes != 0 || core.mmu.walks != 0 {
+                push(
+                    out,
+                    "walk-conservation",
+                    Some(ci),
+                    format!(
+                        "translation disabled but walk_bytes={} walks={}",
+                        core.walk_bytes, core.mmu.walks
+                    ),
+                );
+            }
+            continue;
+        }
+        // Each radix walk reads exactly one 64-byte PTE line per level.
+        let expected = core.mmu.walks * levels * mnpu_dram::TRANSACTION_BYTES;
+        if core.walk_bytes != expected {
+            push(
+                out,
+                "walk-conservation",
+                Some(ci),
+                format!(
+                    "walk_bytes {} != walks {} x {levels} levels x 64",
+                    core.walk_bytes, core.mmu.walks
+                ),
+            );
+        }
+        // Cold TLB: every distinct page must be walked at least once.
+        let pages = distinct_pages(trace, cfg.mmu.page_bytes);
+        if core.mmu.walks < pages {
+            push(
+                out,
+                "walk-lower-bound",
+                Some(ci),
+                format!("walks {} below distinct page count {pages}", core.mmu.walks),
+            );
+        }
+        // Every walk or coalesced join was triggered by at least one miss.
+        if core.mmu.walks + core.mmu.coalesced > core.mmu.tlb_misses {
+            push(
+                out,
+                "tlb-accounting",
+                Some(ci),
+                format!(
+                    "walks {} + coalesced {} exceed misses {}",
+                    core.mmu.walks, core.mmu.coalesced, core.mmu.tlb_misses
+                ),
+            );
+        }
+        // Every data transaction performs at least one TLB lookup.
+        let txns = core.traffic_bytes / mnpu_dram::TRANSACTION_BYTES;
+        if core.mmu.tlb_hits + core.mmu.tlb_misses < txns {
+            push(
+                out,
+                "tlb-accounting",
+                Some(ci),
+                format!(
+                    "lookups {} below data transaction count {txns}",
+                    core.mmu.tlb_hits + core.mmu.tlb_misses
+                ),
+            );
+        }
+    }
+}
+
+// --- DRAM conservation and bandwidth -------------------------------------
+
+fn check_dram(cfg: &SystemConfig, report: &RunReport, out: &mut Vec<Violation>) {
+    const CONS: &str = "dram-conservation";
+    let d = &report.dram;
+
+    // The chip total is the per-channel fold.
+    let mut folded = mnpu_dram::ChannelStats::default();
+    for ch in &d.per_channel {
+        folded.merge(ch);
+    }
+    if folded != d.total {
+        push(out, CONS, None, "total != fold(per_channel)".into());
+    }
+    if d.total.bytes != d.total.transactions() * mnpu_dram::TRANSACTION_BYTES {
+        push(
+            out,
+            CONS,
+            None,
+            format!("bytes {} != transactions {} x 64", d.total.bytes, d.total.transactions()),
+        );
+    }
+    let core_sum: u64 = d.per_core_bytes.iter().sum();
+    if core_sum != d.total.bytes {
+        push(out, CONS, None, format!("per-core bytes {core_sum} != total {}", d.total.bytes));
+    }
+    let report_sum: u64 = report.cores.iter().map(|c| c.traffic_bytes + c.walk_bytes).sum();
+    if report_sum != d.total.bytes {
+        push(
+            out,
+            CONS,
+            None,
+            format!("core reports account {report_sum} bytes, DRAM moved {}", d.total.bytes),
+        );
+    }
+    if let Some(t) = &report.bandwidth_trace {
+        let series: u64 = t.total_series().iter().sum();
+        if series != d.total.bytes {
+            push(
+                out,
+                CONS,
+                None,
+                format!("bandwidth trace sums to {series}, DRAM moved {}", d.total.bytes),
+            );
+        }
+    }
+
+    match cfg.memory {
+        MemoryModel::Timing => {
+            let dram = chip_dram(cfg);
+            let burst = dram.timing.burst_cycles;
+            // Reads and writes both occupy CAS latency plus the burst.
+            let min_latency = dram.timing.cl.min(dram.timing.cwl) + burst;
+            for (i, ch) in d.per_channel.iter().enumerate() {
+                let txns = ch.transactions();
+                if ch.busy_cycles != txns * burst {
+                    push(
+                        out,
+                        "dram-bandwidth",
+                        None,
+                        format!(
+                            "channel {i}: busy {} != {txns} txns x burst {burst}",
+                            ch.busy_cycles
+                        ),
+                    );
+                }
+                if ch.busy_cycles > report.total_cycles {
+                    push(
+                        out,
+                        "dram-bandwidth",
+                        None,
+                        format!(
+                            "channel {i}: busy {} exceeds run length {}",
+                            ch.busy_cycles, report.total_cycles
+                        ),
+                    );
+                }
+                if ch.row_hits + ch.row_misses + ch.row_conflicts != txns {
+                    push(
+                        out,
+                        CONS,
+                        None,
+                        format!("channel {i}: row outcomes do not partition {txns} transactions"),
+                    );
+                }
+                if txns > 0 && ch.latency_max < min_latency {
+                    push(
+                        out,
+                        "dram-latency-floor",
+                        None,
+                        format!(
+                            "channel {i}: latency_max {} beats floor {min_latency}",
+                            ch.latency_max
+                        ),
+                    );
+                }
+                if ch.latency_sum < txns * min_latency {
+                    push(
+                        out,
+                        "dram-latency-floor",
+                        None,
+                        format!(
+                            "channel {i}: latency_sum {} below {txns} x floor {min_latency}",
+                            ch.latency_sum
+                        ),
+                    );
+                }
+            }
+            // Aggregate-bus roofline: the whole run cannot move the total
+            // traffic faster than every channel bursting back to back.
+            let floor = (d.total.transactions() * burst).div_ceil(dram.channels.max(1) as u64);
+            if report.total_cycles < floor {
+                push(
+                    out,
+                    "dram-bandwidth",
+                    None,
+                    format!(
+                        "total_cycles {} beat the aggregate bandwidth floor {floor}",
+                        report.total_cycles
+                    ),
+                );
+            }
+        }
+        MemoryModel::Ideal { latency } => {
+            let lat = latency.max(1);
+            let t = &d.total;
+            if t.busy_cycles != 0 || t.refreshes != 0 {
+                push(out, CONS, None, "ideal memory reported bus/refresh activity".into());
+            }
+            if t.row_hits + t.row_misses + t.row_conflicts != 0 {
+                push(out, CONS, None, "ideal memory reported row outcomes".into());
+            }
+            if t.latency_sum != t.transactions() * lat {
+                push(
+                    out,
+                    "dram-latency-floor",
+                    None,
+                    format!(
+                        "ideal latency_sum {} != {} txns x latency {lat}",
+                        t.latency_sum,
+                        t.transactions()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// --- end-to-end cycle floor ----------------------------------------------
+
+fn check_total_cycles(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    report: &RunReport,
+    out: &mut Vec<Violation>,
+) {
+    let g = cfg.dram.freq_mhz;
+    for (ci, trace) in traces.iter().enumerate() {
+        let f = cfg.arch[ci].freq_mhz;
+        let start = cfg.start_cycles.get(ci).copied().unwrap_or(0);
+        // Convert the compute roofline into the global clock the way the
+        // engine does (ceiling division), then add the start offset.
+        let floor = start + ceil_mul_div(trace.total_compute_cycles() * cfg.iterations, g, f);
+        if report.total_cycles < floor {
+            push(
+                out,
+                "total-cycles-floor",
+                Some(ci),
+                format!("total_cycles {} beat core floor {floor}", report.total_cycles),
+            );
+        }
+    }
+}
+
+// --- stats cross-checks ---------------------------------------------------
+
+fn check_stats(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    report: &RunReport,
+    out: &mut Vec<Violation>,
+) {
+    let Some(stats) = &report.stats else { return };
+    const O: &str = "stats-consistency";
+    if stats.cores.len() != cfg.cores {
+        push(out, O, None, format!("{} stats cores for {} cores", stats.cores.len(), cfg.cores));
+        return;
+    }
+    let levels = cfg.mmu.walk_levels() as u64;
+    let per_level_floor = match cfg.memory {
+        MemoryModel::Timing => cfg.dram.min_read_latency(),
+        MemoryModel::Ideal { latency } => latency.max(1),
+    };
+    for (ci, (c, core)) in stats.cores.iter().zip(&report.cores).enumerate() {
+        // The four stall categories partition [start, finish] exactly.
+        if c.stall.total() != c.active_cycles {
+            push(
+                out,
+                "stall-partition",
+                Some(ci),
+                format!("stall categories sum to {}, active {}", c.stall.total(), c.active_cycles),
+            );
+        }
+        // Probe counters mirror the MMU's own.
+        if c.tlb_hits != core.mmu.tlb_hits || c.tlb_misses != core.mmu.tlb_misses {
+            push(
+                out,
+                O,
+                Some(ci),
+                format!(
+                    "probe TLB {}/{} vs MMU {}/{}",
+                    c.tlb_hits, c.tlb_misses, core.mmu.tlb_hits, core.mmu.tlb_misses
+                ),
+            );
+        }
+        if c.walks_started != c.walks_done {
+            push(
+                out,
+                O,
+                Some(ci),
+                format!("walks started {} != done {}", c.walks_started, c.walks_done),
+            );
+        }
+        if c.walks_done != core.mmu.walks {
+            push(
+                out,
+                O,
+                Some(ci),
+                format!("probe walks {} vs MMU walks {}", c.walks_done, core.mmu.walks),
+            );
+        }
+        if c.walk_latency.count() != c.walks_done {
+            push(
+                out,
+                O,
+                Some(ci),
+                format!("{} walk latencies for {} walks", c.walk_latency.count(), c.walks_done),
+            );
+        }
+        // A walk serializes `levels` memory reads; none can beat the floor.
+        if c.walk_latency.count() > 0 && c.walk_latency.min() < levels * per_level_floor {
+            push(
+                out,
+                "walk-latency-floor",
+                Some(ci),
+                format!(
+                    "walk latency {} beats {levels} levels x {per_level_floor}",
+                    c.walk_latency.min()
+                ),
+            );
+        }
+        // A page absent from the TLB was either never loaded (first touch)
+        // or evicted since; with coalescing there is no third source of
+        // walks, so walks <= distinct pages + evictions.
+        if cfg.translation && cfg.mmu.coalesce_walks {
+            let pages = distinct_pages(&traces[ci], cfg.mmu.page_bytes);
+            // First touch accounts for `pages`; every further walk of an
+            // already-touched page requires an eviction of that page.
+            let bound = pages + c.tlb_evictions;
+            if c.walks_done > bound {
+                push(
+                    out,
+                    "walk-upper-bound",
+                    Some(ci),
+                    format!(
+                        "walks {} exceed distinct pages {pages} + evictions {}",
+                        c.walks_done, c.tlb_evictions
+                    ),
+                );
+            }
+        }
+    }
+    // DRAM-side probe counters mirror the device's.
+    if matches!(cfg.memory, MemoryModel::Timing) {
+        let t = &report.dram.total;
+        if stats.dram.issues != t.transactions() {
+            push(
+                out,
+                O,
+                None,
+                format!(
+                    "probe issues {} vs DRAM transactions {}",
+                    stats.dram.issues,
+                    t.transactions()
+                ),
+            );
+        }
+        if stats.dram.row_hits != t.row_hits
+            || stats.dram.row_misses != t.row_misses
+            || stats.dram.row_conflicts != t.row_conflicts
+            || stats.dram.refreshes != t.refreshes
+        {
+            push(out, O, None, "probe row/refresh counters diverge from DRAM stats".into());
+        }
+        let outcomes = stats.dram.row_hits + stats.dram.row_misses + stats.dram.row_conflicts;
+        if stats.dram.queue_residency.count() != outcomes {
+            push(
+                out,
+                O,
+                None,
+                format!(
+                    "{} queue residencies for {outcomes} serviced commands",
+                    stats.dram.queue_residency.count()
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Fuzzer smoke tests: a short deterministic run must be clean (the CI
+//! job runs the long version), and the outcome must be reproducible.
+
+use mnpu_validate::{run_fuzz, FuzzOptions};
+
+#[test]
+fn short_fuzz_run_is_clean() {
+    let outcome = run_fuzz(&FuzzOptions { iters: 12, seed: 42, ..FuzzOptions::default() });
+    assert_eq!(outcome.iterations, 12);
+    assert!(
+        outcome.clean(),
+        "violations: {:?}",
+        outcome
+            .failures
+            .iter()
+            .flat_map(|f| f.violations.iter().map(|v| v.to_string()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fuzz_outcome_is_deterministic() {
+    let opts = FuzzOptions { iters: 4, seed: 9, ..FuzzOptions::default() };
+    let a = run_fuzz(&opts);
+    let b = run_fuzz(&opts);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.failures.len(), b.failures.len());
+}

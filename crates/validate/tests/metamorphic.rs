@@ -1,0 +1,86 @@
+//! Every metamorphic law must hold on a stock configuration it applies
+//! to, and the applicability predicate must encode the scope rules the
+//! fuzzer established (private DRAM and translation off for the
+//! bandwidth-monotonicity laws; see the module doc in
+//! `mnpu_validate::metamorphic`).
+
+use mnpu_engine::{SharingLevel, SystemConfig};
+use mnpu_model::{zoo, Network, Scale};
+use mnpu_validate::Law;
+
+fn nets(n: usize) -> Vec<Network> {
+    let pool = [zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench), zoo::yolo_tiny(Scale::Bench)];
+    (0..n).map(|i| pool[i % pool.len()].clone()).collect()
+}
+
+/// A configuration each law applies to, used by `every_law_holds...`.
+fn config_for(law: Law) -> SystemConfig {
+    match law {
+        Law::SingleCoreSharingIrrelevant => SystemConfig::bench(1, SharingLevel::PlusDwt),
+        Law::StaticIsolation => SystemConfig::bench(2, SharingLevel::Static),
+        Law::MoreChannelsNeverSlower | Law::FasterDramNeverSlower => {
+            SystemConfig::bench(2, SharingLevel::Static).without_translation()
+        }
+        Law::LargerPagesNeverMoreWalks => SystemConfig::bench(2, SharingLevel::PlusDwt),
+        Law::CoRunnerNeverHelps => SystemConfig::bench(2, SharingLevel::PlusDwt),
+        Law::ChannelPartitionPreservesTraffic => SystemConfig::bench(2, SharingLevel::Static),
+        Law::IdealMemoryIsLowerBound => SystemConfig::bench(2, SharingLevel::PlusDwt),
+        Law::TranslationOffRemovesWalks => SystemConfig::bench(2, SharingLevel::PlusDwt),
+    }
+}
+
+#[test]
+fn every_law_holds_on_its_stock_configuration() {
+    for law in Law::ALL {
+        let cfg = config_for(law);
+        assert!(law.applicable(&cfg), "{} should apply to its stock config", law.name());
+        let violations = law.check(&cfg, &nets(cfg.cores));
+        assert!(
+            violations.is_empty(),
+            "law {} violated on a stock configuration:\n{}",
+            law.name(),
+            violations.iter().map(|v| format!("  {v}")).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+#[test]
+fn bandwidth_laws_refuse_shared_dram() {
+    // Under shared DRAM, faster service empties the queues FR-FCFS needs
+    // for row locality; monotonicity is false there and must not be
+    // claimed (the fuzzer produced a 43 % chip-level regression from a
+    // bandwidth doubling).
+    let shared = SystemConfig::bench(2, SharingLevel::PlusD).without_translation();
+    assert!(!Law::MoreChannelsNeverSlower.applicable(&shared));
+    assert!(!Law::FasterDramNeverSlower.applicable(&shared));
+    let private = SystemConfig::bench(2, SharingLevel::Static).without_translation();
+    assert!(Law::MoreChannelsNeverSlower.applicable(&private));
+    assert!(Law::FasterDramNeverSlower.applicable(&private));
+}
+
+#[test]
+fn bandwidth_laws_refuse_translation() {
+    // Translation assigns physical frames; changing DRAM geometry under a
+    // different frame layout is not a pointwise-comparable experiment.
+    let on = SystemConfig::bench(1, SharingLevel::PlusDwt);
+    assert!(on.translation);
+    assert!(!Law::MoreChannelsNeverSlower.applicable(&on));
+    assert!(!Law::FasterDramNeverSlower.applicable(&on));
+    assert!(Law::MoreChannelsNeverSlower.applicable(&on.clone().without_translation()));
+}
+
+#[test]
+fn static_isolation_requires_static_sharing() {
+    for sharing in [SharingLevel::PlusD, SharingLevel::PlusDw, SharingLevel::PlusDwt] {
+        assert!(!Law::StaticIsolation.applicable(&SystemConfig::bench(2, sharing)));
+    }
+    assert!(!Law::StaticIsolation.applicable(&SystemConfig::bench(1, SharingLevel::Static)));
+}
+
+#[test]
+fn larger_pages_law_stops_at_the_largest_page() {
+    let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt).with_page_size(1_048_576);
+    assert!(!Law::LargerPagesNeverMoreWalks.applicable(&cfg));
+    let cfg = cfg.without_translation();
+    assert!(!Law::TranslationOffRemovesWalks.applicable(&cfg));
+}
