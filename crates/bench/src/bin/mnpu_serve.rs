@@ -1,0 +1,272 @@
+//! Wall-clock throughput benchmark for the serve-mode scheduling layer.
+//!
+//! Runs a list of scheduling scenarios through [`mnpu_bench::ServeExecutor`]
+//! (respecting `MNPU_JOBS`), measuring end-to-end wall seconds, served
+//! jobs per wall second and simulated makespan cycles, and appends the
+//! result to `BENCH_serve.json` at the repository root — the scheduling
+//! layer's perf trajectory across PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mnpu-bench --bin mnpu_serve [-- --tiny] [-- --scenario PATH]
+//! ```
+//!
+//! * `--tiny` — a 2-scenario smoke workload (CI: catches panics or
+//!   pathological slowdowns in the scheduling path in seconds);
+//! * `--scenario PATH` — load one scenario file
+//!   ([`mnpu_config::load_scenario`] format) instead of the built-in list
+//!   and print its per-job records plus a completion-latency CDF;
+//! * `--label NAME` — label recorded in the JSON entry (default `current`;
+//!   `MNPU_BENCH_LABEL` works too);
+//! * `--check PATH` — compare this run's `jobs_per_sec` against the newest
+//!   same-mode `"baseline"`-labeled entry in `PATH` and exit non-zero
+//!   below `MNPU_BENCH_TOLERANCE` (default 0.95) of it;
+//! * `--repeat N` — serve the list `N` times, each on a fresh executor,
+//!   and keep the fastest (defaults to 5 under `--tiny`, 1 otherwise).
+//!
+//! `MNPU_BENCH_OUT` overrides the output path.
+
+use mnpu_bench::ServeExecutor;
+use mnpu_config::{load_scenario, parse_scenario, ScenarioSpec};
+use mnpu_sched::ServeReport;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ServeSweep {
+    scenarios: usize,
+    jobs: usize,
+    wall_seconds: f64,
+    simulated_cycles: u64,
+    reports: Vec<Arc<ServeReport>>,
+}
+
+/// Serve every scenario on a fresh executor (no memo hits — this is a
+/// throughput benchmark, every run must simulate).
+fn run_sweep(specs: &[ScenarioSpec]) -> ServeSweep {
+    let t0 = Instant::now();
+    let reports = ServeExecutor::new().run_scenarios(specs);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    ServeSweep {
+        scenarios: specs.len(),
+        jobs: reports.iter().map(|r| r.jobs.len()).sum(),
+        wall_seconds,
+        simulated_cycles: reports.iter().map(|r| r.makespan).sum(),
+        reports,
+    }
+}
+
+fn parse_builtin(name: &str, text: &str) -> ScenarioSpec {
+    parse_scenario(name, text).expect("built-in scenario parses")
+}
+
+/// The standard list: queueing pressure across core counts, policies and
+/// arrival patterns, on the cheap end of the zoo so the sweep stays in the
+/// seconds range.
+fn serve_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        parse_builtin(
+            "dual-firstfree",
+            "cores = 2\npattern = fixed:100000\n\
+             job = ncf\njob = dlrm\njob = ncf\njob = dlrm\njob = ncf\njob = dlrm\n",
+        ),
+        parse_builtin(
+            "dual-bursty",
+            "cores = 2\npattern = bursty:2:150000\nseed = 7\npolicy = round_robin\n\
+             job = ncf\njob = ncf\njob = dlrm\njob = dlrm\njob = ncf\njob = ncf\n",
+        ),
+        parse_builtin(
+            "quad-static",
+            "cores = 4\nsharing = Static\npattern = fixed:50000\n\
+             job = ncf\njob = dlrm\njob = ncf\njob = dlrm\n\
+             job = ncf\njob = dlrm\njob = ncf\njob = dlrm\n",
+        ),
+    ]
+}
+
+/// CI smoke: two fast scenarios — seconds, not minutes.
+fn tiny_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        parse_builtin("tiny-queue", "cores = 1\npattern = fixed:1000\njob = ncf\njob = ncf\n"),
+        parse_builtin(
+            "tiny-dual",
+            "cores = 2\npattern = fixed:50000\npolicy = round_robin\n\
+             job = ncf\njob = dlrm\njob = ncf\n",
+        ),
+    ]
+}
+
+/// Append `entry` to the JSON array in `path` (created when missing). The
+/// file stays a plain JSON array of objects, one entry per line.
+fn append_entry(path: &PathBuf, entry: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let inner = text.trim().trim_start_matches('[').trim_end_matches(']').trim();
+            if inner.is_empty() {
+                format!("[\n{entry}\n]\n")
+            } else {
+                format!("[\n{inner},\n{entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, body)
+}
+
+/// Newest `"label":"baseline"` entry of `mode` in the bench-history file:
+/// its `jobs_per_sec`. Entries are one object per line, written by this
+/// binary, so a line-wise scan is an honest parser for them.
+fn baseline_jobs_per_sec(path: &PathBuf, mode: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mode_tag = format!("\"mode\":\"{mode}\"");
+    text.lines()
+        .filter(|l| l.contains("\"label\":\"baseline\"") && l.contains(&mode_tag))
+        .filter_map(|l| {
+            let rest = l.split("\"jobs_per_sec\":").nth(1)?;
+            let num: String =
+                rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+            num.parse::<f64>().ok()
+        })
+        .next_back()
+}
+
+/// Print the scenario's per-job records and its completion-latency CDF —
+/// the raw material for the latency-CDF figure in EXPERIMENTS.md.
+fn print_scenario_report(report: &ServeReport) {
+    println!(
+        "{:>4} {:>10} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "job", "workload", "core", "arrival", "queueing", "service", "latency"
+    );
+    for j in &report.jobs {
+        println!(
+            "{:>4} {:>10} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            j.id,
+            j.workload,
+            j.core,
+            j.arrival,
+            j.queueing(),
+            j.service(),
+            j.latency()
+        );
+    }
+    let mut latencies: Vec<u64> = report.jobs.iter().map(|j| j.latency()).collect();
+    latencies.sort_unstable();
+    println!("latency CDF (cycles, fraction):");
+    for (i, l) in latencies.iter().enumerate() {
+        println!("cdf {l} {:.4}", (i + 1) as f64 / latencies.len() as f64);
+    }
+    println!(
+        "latency p50 {:.0} p95 {:.0} p99 {:.0} mean {:.1} max {:.0}",
+        report.latency.p50,
+        report.latency.p95,
+        report.latency.p99,
+        report.latency.mean,
+        report.latency.max
+    );
+    println!(
+        "queueing p50 {:.0} max {:.0} | service p50 {:.0} max {:.0}",
+        report.queueing.p50, report.queueing.max, report.service.p50, report.service.max
+    );
+    println!(
+        "makespan {} cycles, throughput {:.3} jobs/Mcycle",
+        report.makespan, report.throughput_per_mcycle
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let arg_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned());
+    let label = arg_value("--label")
+        .or_else(|| std::env::var("MNPU_BENCH_LABEL").ok())
+        .unwrap_or_else(|| "current".to_string());
+    let scenario_path = arg_value("--scenario").map(PathBuf::from);
+    let check_path = arg_value("--check").map(PathBuf::from);
+    let repeat = arg_value("--repeat")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if tiny { 5 } else { 1 })
+        .max(1);
+
+    // The throughput benchmark must always measure real simulations (the
+    // sweep run cache is not used by serve mode, but traces are regenerated
+    // per run either way; a fresh executor per repeat defeats the memo).
+    std::env::set_var("MNPU_NO_CACHE", "1");
+
+    let (mode, specs) = if let Some(path) = &scenario_path {
+        let spec = match load_scenario(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to load {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        ("scenario", vec![spec])
+    } else if tiny {
+        ("tiny", tiny_scenarios())
+    } else {
+        ("serve", serve_scenarios())
+    };
+
+    let mut r = run_sweep(&specs);
+    for _ in 1..repeat {
+        let again = run_sweep(&specs);
+        if again.wall_seconds < r.wall_seconds {
+            r = again;
+        }
+    }
+
+    if scenario_path.is_some() {
+        print_scenario_report(&r.reports[0]);
+    }
+
+    let jobs_per_sec = r.jobs as f64 / r.wall_seconds;
+    let entry = format!(
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"scenarios\":{},\"jobs\":{},\
+         \"sweep_seconds\":{:.3},\"simulated_cycles\":{},\"jobs_per_sec\":{:.2}}}",
+        r.scenarios, r.jobs, r.wall_seconds, r.simulated_cycles, jobs_per_sec
+    );
+    println!("{entry}");
+
+    let out = std::env::var("MNPU_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+    });
+    match append_entry(&out, &entry) {
+        Ok(()) => eprintln!("appended to {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &check_path {
+        let tolerance = std::env::var("MNPU_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .unwrap_or(0.95);
+        match baseline_jobs_per_sec(path, mode) {
+            Some(base) => {
+                let floor = base * tolerance;
+                if jobs_per_sec < floor {
+                    eprintln!(
+                        "PERF REGRESSION: {jobs_per_sec:.2} jobs/s < {floor:.2} \
+                         ({tolerance:.2} x baseline {base:.2}, mode {mode})"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "perf check ok: {jobs_per_sec:.2} jobs/s >= {floor:.2} \
+                     ({tolerance:.2} x baseline {base:.2}, mode {mode})"
+                );
+            }
+            None => {
+                eprintln!(
+                    "no \"baseline\"-labeled {mode} entry in {} — cannot check",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

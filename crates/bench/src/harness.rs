@@ -19,7 +19,7 @@ fn cache_header() -> String {
 }
 
 /// FNV-1a, for compact cache keys.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         h ^= u64::from(b);
@@ -87,7 +87,7 @@ impl Default for Harness {
 
 impl Harness {
     /// Build the harness at bench scale, loading any existing run cache.
-    /// A cache file whose version header does not match [`CACHE_VERSION`]
+    /// A cache file whose version header does not match `CACHE_VERSION`
     /// is discarded entirely.
     pub fn new() -> Self {
         let networks = zoo::all(Scale::Bench);

@@ -23,6 +23,8 @@
 pub mod executor;
 pub mod figures;
 pub mod harness;
+pub mod serve_exec;
 
 pub use executor::SweepExecutor;
 pub use harness::Harness;
+pub use serve_exec::ServeExecutor;

@@ -26,6 +26,35 @@ pub enum ConfigError {
     /// Files parsed but are mutually inconsistent (e.g. per-core list
     /// lengths differ).
     Inconsistent(String),
+    /// A scenario's `job` line referenced a workload the model zoo does not
+    /// know.
+    UnknownWorkload {
+        /// File (or logical source) of the bad line.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized workload name.
+        name: String,
+    },
+    /// A scenario named a core-assignment policy that does not exist.
+    UnknownPolicy {
+        /// File (or logical source) of the bad line.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized policy name.
+        name: String,
+    },
+    /// A scenario named an arrival pattern that does not exist or gave it
+    /// malformed parameters.
+    BadArrivalPattern {
+        /// File (or logical source) of the bad line.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized or malformed pattern spec.
+        spec: String,
+    },
 }
 
 impl ConfigError {
@@ -42,6 +71,15 @@ impl fmt::Display for ConfigError {
                 write!(f, "{file}:{line}: {message}")
             }
             ConfigError::Inconsistent(m) => write!(f, "inconsistent configuration: {m}"),
+            ConfigError::UnknownWorkload { file, line, name } => {
+                write!(f, "{file}:{line}: unknown workload `{name}`")
+            }
+            ConfigError::UnknownPolicy { file, line, name } => {
+                write!(f, "{file}:{line}: unknown scheduling policy `{name}`")
+            }
+            ConfigError::BadArrivalPattern { file, line, spec } => {
+                write!(f, "{file}:{line}: bad arrival pattern `{spec}`")
+            }
         }
     }
 }

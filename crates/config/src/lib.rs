@@ -41,6 +41,7 @@ mod parsers;
 mod results;
 mod runspec;
 pub mod scalesim;
+mod scenario;
 
 pub use error::ConfigError;
 pub use parsers::{
@@ -50,3 +51,4 @@ pub use parsers::{
 pub use results::{result_file_names, write_intermediate, write_request_logs, write_results};
 pub use runspec::{build_system, load_run, RunSpec};
 pub use scalesim::{parse_scalesim, write_scalesim};
+pub use scenario::{load_scenario, parse_scenario, ArrivalSpec, JobSpec, PolicySpec, ScenarioSpec};

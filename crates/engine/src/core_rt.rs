@@ -77,6 +77,17 @@ impl CoreRt {
         }
     }
 
+    /// The state of a core with nothing bound to it: the empty workload,
+    /// already finished at cycle 0 with no wake condition. Every event-loop
+    /// path (progress, issue, next-event scan) skips finished cores, so a
+    /// vacant core generates no events and costs nothing.
+    pub(crate) fn vacant() -> Self {
+        let mut rt = CoreRt::new(WorkloadTrace::empty(), 0);
+        rt.finished_at = Some(0);
+        rt.needs_progress = false;
+        rt
+    }
+
     pub(crate) fn tile(&self, flat: usize) -> &mnpu_systolic::Tile {
         let (l, t) = self.flat_tiles[flat];
         &self.trace.layers()[l].tiles[t]

@@ -150,6 +150,26 @@ impl RunReport {
                     sp.id
                 )?;
             }
+            // Serve-mode job lifetimes: one span per job on its core's row,
+            // from dispatch to completion, with arrival and queueing delay
+            // as args so the Perfetto tooltip tells the whole story.
+            for j in &stats.jobs {
+                if !first {
+                    out.write_all(b",")?;
+                }
+                first = false;
+                write!(
+                    out,
+                    "{{\"name\":\"job {}\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"arrival\":{},\"queueing\":{}}}}}",
+                    j.job,
+                    j.dispatch,
+                    j.complete.saturating_sub(j.dispatch).max(1),
+                    j.core,
+                    j.arrival,
+                    j.dispatch.saturating_sub(j.arrival)
+                )?;
+            }
         }
         out.write_all(b"],\"displayTimeUnit\":\"ms\"}")
     }

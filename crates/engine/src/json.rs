@@ -125,7 +125,34 @@ fn push_stats(out: &mut String, s: &StatsReport) {
             sp.id
         );
     }
-    out.push_str("]}");
+    out.push(']');
+    // Scheduler fields exist only for serve-mode runs; batch reports keep
+    // the exact historical byte layout (same idiom as
+    // `request_log_truncated` above).
+    if !s.jobs.is_empty() {
+        out.push_str(",\"jobs\":[");
+        for (i, j) in s.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"job\":{},\"core\":{},\"arrival\":{},\"dispatch\":{},\"complete\":{}}}",
+                j.job, j.core, j.arrival, j.dispatch, j.complete
+            );
+        }
+        out.push(']');
+    }
+    if s.sched.arrivals > 0 {
+        let _ = write!(
+            out,
+            ",\"sched\":{{\"arrivals\":{},\"dispatches\":{},\"completions\":{},\"queue_depth\":",
+            s.sched.arrivals, s.sched.dispatches, s.sched.completions
+        );
+        push_hist(out, &s.sched.queue_depth);
+        out.push('}');
+    }
+    out.push('}');
 }
 
 fn log_kind_name(k: LogKind) -> &'static str {

@@ -57,7 +57,7 @@ pub use memmap::PageTable;
 pub use memory::{DramMemory, IdealMemory, MemoryModel, MemorySystem};
 pub use report::{ChipEnergy, CoreReport, EnergyModel, LogEvent, LogKind, RunReport};
 pub use sharing::SharingLevel;
-pub use sim::Simulation;
+pub use sim::{Advance, Simulation};
 pub use stage::expected_data_transactions;
 pub use system::{ConfigError, ProbeMode, SystemConfig};
 
@@ -65,6 +65,6 @@ pub use system::{ConfigError, ProbeMode, SystemConfig};
 // callers matching on probe events or reading [`RunReport::stats`] should
 // not need a separate `mnpu_probe` dependency.
 pub use mnpu_probe::{
-    CoreState, CoreStats, DramContention, Event, Histogram, NullProbe, Phase, Probe, Span,
-    StallBreakdown, StatsProbe, StatsReport,
+    CoreState, CoreStats, DramContention, Event, Histogram, JobSpan, NullProbe, Phase, Probe,
+    SchedStats, Span, StallBreakdown, StatsProbe, StatsReport,
 };

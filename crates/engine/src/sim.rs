@@ -94,6 +94,36 @@ pub struct Simulation<P: Probe = NullProbe> {
     /// Reused buffer for draining memory completions each loop iteration.
     completion_buf: Vec<Completion>,
     pub(crate) now: u64,
+    /// Whether the current cycle has already had its fixpoint pass
+    /// ([`Simulation::pump`]). Stepping via [`Simulation::advance`] must
+    /// not pump the same cycle twice unless a new binding demands it: a
+    /// redundant pass would rotate the round-robin arbiter and perturb an
+    /// otherwise identical run.
+    pumped: bool,
+    /// Which cores' finishes have been surfaced through
+    /// [`Advance::CoreFinished`] — each is reported exactly once.
+    finish_reported: Vec<bool>,
+}
+
+/// What stopped a [`Simulation::advance`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// A core ran its bound workload to completion. Each finish is
+    /// reported exactly once; the core is then free for
+    /// [`Simulation::attach`].
+    CoreFinished {
+        /// The newly free core.
+        core: usize,
+        /// Global cycle the workload finished at.
+        at: u64,
+    },
+    /// The next internal event lies beyond `stop_at`; the clock was moved
+    /// to exactly `stop_at` so the caller can act there (e.g. admit a job
+    /// arrival).
+    Parked,
+    /// Every core is finished or vacant and all finishes have been
+    /// reported: nothing is left to simulate at any future cycle.
+    Drained,
 }
 
 impl Simulation<NullProbe> {
@@ -150,6 +180,17 @@ impl Simulation<NullProbe> {
     pub fn run_fleet(cfg: &SystemConfig, assignments: &[Vec<Network>]) -> Vec<RunReport> {
         assignments.iter().map(|nets| Simulation::run_networks(cfg, nets)).collect()
     }
+
+    /// Build an uninstrumented simulation with every core vacant — the
+    /// starting point for serve mode, where workloads are bound later with
+    /// [`Simulation::attach`] as jobs are dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new_idle(cfg: &SystemConfig) -> Self {
+        Simulation::with_probe_idle(cfg, NullProbe)
+    }
 }
 
 impl<P: Probe> Simulation<P> {
@@ -161,10 +202,34 @@ impl<P: Probe> Simulation<P> {
     /// Panics if the configuration is invalid or the trace count does not
     /// match the core count.
     pub fn with_probe(cfg: &SystemConfig, traces: &[WorkloadTrace], probe: P) -> Self {
+        assert_eq!(traces.len(), cfg.cores, "one workload trace per core");
+        let cores = traces
+            .iter()
+            .enumerate()
+            .map(|(c, t)| {
+                let start = cfg.start_cycles.get(c).copied().unwrap_or(0);
+                CoreRt::new(t.clone(), start)
+            })
+            .collect();
+        Simulation::build(cfg, cores, vec![false; cfg.cores], probe)
+    }
+
+    /// [`Simulation::new_idle`] with an explicit probe: every core starts
+    /// vacant (already finished, finish pre-reported) and waits for an
+    /// [`Simulation::attach`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_probe_idle(cfg: &SystemConfig, probe: P) -> Self {
+        let cores = (0..cfg.cores).map(|_| CoreRt::vacant()).collect();
+        Simulation::build(cfg, cores, vec![true; cfg.cores], probe)
+    }
+
+    fn build(cfg: &SystemConfig, cores: Vec<CoreRt>, finish_reported: Vec<bool>, probe: P) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid system config: {e}");
         }
-        assert_eq!(traces.len(), cfg.cores, "one workload trace per core");
 
         let memory = build_memory::<P>(cfg);
 
@@ -185,15 +250,6 @@ impl<P: Probe> Simulation<P> {
             Mmu::new(m, cfg.cores, &bases)
         });
 
-        let cores = traces
-            .iter()
-            .enumerate()
-            .map(|(c, t)| {
-                let start = cfg.start_cycles.get(c).copied().unwrap_or(0);
-                CoreRt::new(t.clone(), start)
-            })
-            .collect();
-
         Simulation {
             memory,
             mmu,
@@ -209,6 +265,8 @@ impl<P: Probe> Simulation<P> {
             noc_responses: BinaryHeap::new(),
             completion_buf: Vec::new(),
             now: 0,
+            pumped: false,
+            finish_reported,
             cfg: cfg.clone(),
         }
     }
@@ -234,87 +292,243 @@ impl<P: Probe> Simulation<P> {
     /// Panics on deadlock (a bug) with a state dump.
     pub fn run(mut self) -> RunReport {
         loop {
-            // Interconnect deliveries due by now.
-            while let Some(&Reverse((t, core, paddr, is_write, meta))) = self.noc_requests.peek() {
-                if t > self.now {
-                    break;
-                }
-                self.noc_requests.pop();
-                self.enqueue_direct(core, paddr, is_write, meta);
-            }
-            while let Some(&Reverse((t, meta, core))) = self.noc_responses.peek() {
-                if t > self.now {
-                    break;
-                }
-                self.noc_responses.pop();
-                self.handle_completion(meta, core);
-            }
-
-            self.memory.tick(self.now);
-            // Reused drain buffer: taken out for the duration of the walk
-            // because `handle_completion` needs `&mut self`.
-            let mut ready = std::mem::take(&mut self.completion_buf);
-            self.memory.drain_completions_into(&mut ready);
-            for c in ready.drain(..) {
-                if let Some(noc) = &mut self.noc {
-                    let arrival = noc.response_delivery(
-                        c.completed_at.min(self.now),
-                        c.core,
-                        TRANSACTION_BYTES,
-                    );
-                    if arrival > self.now {
-                        self.noc_responses.push(Reverse((arrival, c.meta, c.core)));
-                        continue;
-                    }
-                }
-                self.handle_completion(c.meta, c.core);
-            }
-            self.completion_buf = ready;
-            for core in 0..self.cores.len() {
-                self.progress_core_if_woken(core);
-            }
-            self.issue_all();
-
-            // One state sample per core per iteration. State only changes
-            // inside iterations, so the piecewise-constant integration in
-            // the probe is cycle-exact (free with `NullProbe`).
-            if P::ENABLED {
-                self.sample_core_states();
-            }
-
+            self.pump();
             if self.cores.iter().all(CoreRt::finished) {
                 break;
             }
-
-            let mut next: Option<u64> = self.memory.next_event_cycle();
-            if let Some(&Reverse((t, ..))) = self.noc_requests.peek() {
-                next = Some(next.map_or(t, |n| n.min(t)));
-            }
-            if let Some(&Reverse((t, ..))) = self.noc_responses.peek() {
-                next = Some(next.map_or(t, |n| n.min(t)));
-            }
-            for core in &self.cores {
-                if let Some((_, done_at)) = core.computing {
-                    next = Some(next.map_or(done_at, |n| n.min(done_at)));
-                }
-                if core.start_cycle > self.now && !core.finished() {
-                    next = Some(next.map_or(core.start_cycle, |n| n.min(core.start_cycle)));
-                }
-            }
-            match next {
-                Some(t) => {
-                    debug_assert!(t > self.now, "event time must advance");
-                    self.now = t.max(self.now + 1);
-                    if let Some(limit) = self.cfg.max_cycles {
-                        assert!(
-                            self.now <= limit,
-                            "simulation exceeded max_cycles = {limit} (watchdog)"
-                        );
-                    }
-                }
+            match self.next_event() {
+                Some(t) => self.advance_now(t),
                 None => self.deadlock_panic(),
             }
         }
+        self.report()
+    }
+
+    /// One fixpoint pass at the current cycle: deliver interconnect
+    /// traffic due by now, tick memory, retire completions, progress every
+    /// woken core, and let the arbiter issue. Marks the cycle pumped so
+    /// [`Simulation::advance`] never double-arbitrates it.
+    fn pump(&mut self) {
+        // Interconnect deliveries due by now.
+        while let Some(&Reverse((t, core, paddr, is_write, meta))) = self.noc_requests.peek() {
+            if t > self.now {
+                break;
+            }
+            self.noc_requests.pop();
+            self.enqueue_direct(core, paddr, is_write, meta);
+        }
+        while let Some(&Reverse((t, meta, core))) = self.noc_responses.peek() {
+            if t > self.now {
+                break;
+            }
+            self.noc_responses.pop();
+            self.handle_completion(meta, core);
+        }
+
+        self.memory.tick(self.now);
+        // Reused drain buffer: taken out for the duration of the walk
+        // because `handle_completion` needs `&mut self`.
+        let mut ready = std::mem::take(&mut self.completion_buf);
+        self.memory.drain_completions_into(&mut ready);
+        for c in ready.drain(..) {
+            if let Some(noc) = &mut self.noc {
+                let arrival =
+                    noc.response_delivery(c.completed_at.min(self.now), c.core, TRANSACTION_BYTES);
+                if arrival > self.now {
+                    self.noc_responses.push(Reverse((arrival, c.meta, c.core)));
+                    continue;
+                }
+            }
+            self.handle_completion(c.meta, c.core);
+        }
+        self.completion_buf = ready;
+        for core in 0..self.cores.len() {
+            self.progress_core_if_woken(core);
+        }
+        self.issue_all();
+
+        // One state sample per core per pass. State only changes inside
+        // passes, so the piecewise-constant integration in the probe is
+        // cycle-exact (free with `NullProbe`).
+        if P::ENABLED {
+            self.sample_core_states();
+        }
+        self.pumped = true;
+    }
+
+    /// The next cycle at which simulation state can change; `None` when
+    /// nothing is in flight anywhere.
+    fn next_event(&self) -> Option<u64> {
+        let mut next: Option<u64> = self.memory.next_event_cycle();
+        if let Some(&Reverse((t, ..))) = self.noc_requests.peek() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        if let Some(&Reverse((t, ..))) = self.noc_responses.peek() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        for core in &self.cores {
+            if let Some((_, done_at)) = core.computing {
+                next = Some(next.map_or(done_at, |n| n.min(done_at)));
+            }
+            if core.start_cycle > self.now && !core.finished() {
+                next = Some(next.map_or(core.start_cycle, |n| n.min(core.start_cycle)));
+            }
+        }
+        next
+    }
+
+    /// Advance the clock to event time `t`, entering a fresh (un-pumped)
+    /// cycle.
+    fn advance_now(&mut self, t: u64) {
+        debug_assert!(t > self.now, "event time must advance");
+        self.now = t.max(self.now + 1);
+        if let Some(limit) = self.cfg.max_cycles {
+            assert!(self.now <= limit, "simulation exceeded max_cycles = {limit} (watchdog)");
+        }
+        self.pumped = false;
+    }
+
+    /// Move the clock to `t` without simulating the gap — callers use this
+    /// only when no event lies in `(now, t]`, so the skipped cycles are
+    /// genuinely empty. The current cycle's pumped state is kept: nothing
+    /// changed, so re-arbitrating would only perturb the round-robin
+    /// pointers.
+    fn park_at(&mut self, t: u64) {
+        debug_assert!(t >= self.now, "cannot rewind the clock");
+        self.now = t;
+        if let Some(limit) = self.cfg.max_cycles {
+            assert!(self.now <= limit, "simulation exceeded max_cycles = {limit} (watchdog)");
+        }
+    }
+
+    // --- dynamic core binding (serve mode) ---------------------------------
+
+    /// Step the simulation until a core finishes, the next event passes
+    /// `stop_at`, or nothing is left to simulate.
+    ///
+    /// This is the batch loop of [`Simulation::run`] cut at the scheduler's
+    /// decision points. Driving a fresh simulation with
+    /// `advance(u64::MAX)` until [`Advance::Drained`] performs *exactly*
+    /// the same pump/advance sequence as `run()` — finish notifications
+    /// only flip a bookkeeping bit — which is what keeps serve mode
+    /// byte-identical to batch mode when every job arrives at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop_at` is in the past, on deadlock, or when the
+    /// watchdog limit is exceeded.
+    pub fn advance(&mut self, stop_at: u64) -> Advance {
+        assert!(stop_at >= self.now, "stop_at must not be in the past");
+        loop {
+            if !self.pumped {
+                self.pump();
+            }
+            if let Some(core) = (0..self.cores.len())
+                .find(|&c| self.cores[c].finished() && !self.finish_reported[c])
+            {
+                self.finish_reported[core] = true;
+                let at = self.cores[core].finished_at.expect("core finished");
+                return Advance::CoreFinished { core, at };
+            }
+            if self.cores.iter().all(CoreRt::finished) {
+                return Advance::Drained;
+            }
+            match self.next_event() {
+                Some(t) if t > stop_at => {
+                    if stop_at > self.now {
+                        self.park_at(stop_at);
+                    }
+                    return Advance::Parked;
+                }
+                Some(t) => self.advance_now(t),
+                None => self.deadlock_panic(),
+            }
+        }
+    }
+
+    /// Bind `trace` to `core` starting at `start_cycle`. The core must be
+    /// free: vacant, or finished with its completion already surfaced
+    /// through [`Advance::CoreFinished`]. The core's TLB entries are
+    /// flushed (its address space is reused), its pipeline state is
+    /// rebuilt from the new trace, and the current cycle is re-pumped so a
+    /// same-cycle dispatch starts issuing immediately instead of sleeping
+    /// until the next unrelated event.
+    ///
+    /// MMU, DRAM and link statistics accumulate across bindings — they
+    /// describe the core, not the job. Per-job timing belongs to the
+    /// scheduler driving this API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is still running, its finish has not been
+    /// observed, transactions are still in flight, or `start_cycle` is in
+    /// the past.
+    pub fn attach(&mut self, core: usize, trace: &WorkloadTrace, start_cycle: u64) {
+        let rt = &self.cores[core];
+        assert!(rt.finished(), "attach to a busy core");
+        assert!(self.finish_reported[core], "attach before the finish was observed");
+        assert_eq!(rt.outstanding, 0, "attach with transactions in flight");
+        assert!(start_cycle >= self.now, "start_cycle must not be in the past");
+        if let Some(mmu) = &mut self.mmu {
+            mmu.flush_core(core);
+        }
+        self.cores[core] = CoreRt::new(trace.clone(), start_cycle);
+        self.finish_reported[core] = false;
+        self.pumped = false;
+    }
+
+    /// Replace a free core's binding with the vacant workload, releasing
+    /// the old trace's memory. A vacant core is already finished, so the
+    /// event loop skips it everywhere and it contributes no events — an
+    /// idle core costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::attach`].
+    pub fn detach(&mut self, core: usize) {
+        let rt = &self.cores[core];
+        assert!(rt.finished(), "detach of a busy core");
+        assert!(self.finish_reported[core], "detach before the finish was observed");
+        assert_eq!(rt.outstanding, 0, "detach with transactions in flight");
+        if let Some(mmu) = &mut self.mmu {
+            mmu.flush_core(core);
+        }
+        self.cores[core] = CoreRt::vacant();
+    }
+
+    /// The current global (DRAM-clock) cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Jump an idle simulation's clock forward to `cycle` — e.g. to the
+    /// next job arrival after [`Advance::Drained`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is in the past or beyond the watchdog limit.
+    pub fn skip_to(&mut self, cycle: u64) {
+        assert!(cycle >= self.now, "cannot rewind the clock");
+        self.park_at(cycle);
+    }
+
+    /// Feed one external event (a scheduler's job-lifecycle marker) into
+    /// the simulation's probe at the current cycle. Free with
+    /// [`NullProbe`].
+    pub fn record_event(&mut self, event: Event) {
+        if P::ENABLED {
+            self.probe.record(self.now, event);
+        }
+    }
+
+    /// Consume a drained simulation and assemble the final [`RunReport`] —
+    /// the serve-mode counterpart of [`Simulation::run`]'s return value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core is still running.
+    pub fn into_report(self) -> RunReport {
+        assert!(self.cores.iter().all(CoreRt::finished), "cores still running");
         self.report()
     }
 

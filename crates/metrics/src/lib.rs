@@ -215,6 +215,75 @@ impl BoxStats {
     }
 }
 
+/// Tail-latency summary of a cycle-valued sample (per-job queueing delay,
+/// service time or completion latency from a serve-mode run).
+///
+/// Quantiles are nearest-rank over the empirical [`Cdf`], so every reported
+/// value is an actual observation.
+///
+/// ```
+/// use mnpu_metrics::LatencyStats;
+///
+/// let s = LatencyStats::from_cycles(&[100, 200, 300, 400]);
+/// assert_eq!(s.p50, 300.0);
+/// assert_eq!(s.max, 400.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Summarize a sample of latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn from_sample(sample: &[f64]) -> Self {
+        let cdf = Cdf::new(sample.to_vec());
+        LatencyStats {
+            p50: cdf.quantile(0.5),
+            p95: cdf.quantile(0.95),
+            p99: cdf.quantile(0.99),
+            mean: mean(cdf.values()),
+            max: cdf.quantile(1.0),
+        }
+    }
+
+    /// [`LatencyStats::from_sample`] over integer cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn from_cycles(cycles: &[u64]) -> Self {
+        let sample: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+        LatencyStats::from_sample(&sample)
+    }
+}
+
+/// Throughput of a serve-mode run in jobs per million cycles (`makespan` is
+/// the span from the first arrival to the last completion).
+///
+/// # Panics
+///
+/// Panics if `makespan` is zero while jobs completed.
+pub fn throughput_per_mcycle(jobs: usize, makespan: u64) -> f64 {
+    if jobs == 0 {
+        return 0.0;
+    }
+    assert!(makespan > 0, "jobs completed in a zero-cycle makespan");
+    jobs as f64 * 1e6 / makespan as f64
+}
+
 /// Trailing moving average with the given window, as in the paper's Fig. 2b
 /// (1000-cycle window over memory-request counts).
 ///
@@ -350,6 +419,31 @@ mod tests {
         let ma = moving_average(&[4.0, 0.0], 4);
         assert_eq!(ma[0], 4.0);
         assert_eq!(ma[1], 2.0);
+    }
+
+    #[test]
+    fn latency_stats_ordering_and_values() {
+        let cycles: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_cycles(&cycles);
+        assert_eq!(s.p50, 51.0); // nearest-rank over 100 observations
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn latency_stats_single_observation() {
+        let s = LatencyStats::from_cycles(&[42]);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (42.0, 42.0, 42.0, 42.0));
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn throughput_counts_jobs_per_mcycle() {
+        assert_eq!(throughput_per_mcycle(0, 0), 0.0);
+        assert!((throughput_per_mcycle(8, 2_000_000) - 4.0).abs() < 1e-12);
     }
 }
 

@@ -293,6 +293,23 @@ impl Mmu {
         self.walks.len()
     }
 
+    /// Invalidate every TLB entry belonging to `core`'s address space, as
+    /// on a workload swap. With a shared TLB only that core's entries are
+    /// dropped; other cores' translations survive. Statistics are *not*
+    /// reset — they accumulate over the core's lifetime, across bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` has a page-table walk in flight: the caller must
+    /// quiesce the core before rebinding it.
+    pub fn flush_core(&mut self, core: usize) {
+        assert!(
+            !self.walks.values().any(|w| w.core == core),
+            "cannot flush core {core}: walk in flight"
+        );
+        self.tlb_of(core).flush_asid(core as u16);
+    }
+
     /// Per-core statistics.
     pub fn stats(&self, core: usize) -> &MmuStats {
         &self.stats[core]

@@ -39,7 +39,9 @@ mod hist;
 mod stats;
 
 pub use hist::Histogram;
-pub use stats::{CoreStats, DramContention, Span, StallBreakdown, StatsProbe, StatsReport};
+pub use stats::{
+    CoreStats, DramContention, JobSpan, SchedStats, Span, StallBreakdown, StatsProbe, StatsReport,
+};
 
 /// A tile-pipeline phase, bounding one [`Event::PhaseBegin`] /
 /// [`Event::PhaseEnd`] span.
@@ -203,6 +205,29 @@ pub enum Event {
         core: usize,
         /// Its classified state.
         state: CoreState,
+    },
+    /// A job entered the scheduler's FIFO queue (serve mode).
+    JobArrive {
+        /// Scheduler-assigned job id, unique within a scenario.
+        job: u64,
+        /// Queue occupancy including the new arrival.
+        queue_depth: usize,
+    },
+    /// A queued job was bound to a core and started executing.
+    JobDispatch {
+        /// Job id from the matching [`Event::JobArrive`].
+        job: u64,
+        /// Core the job was bound to.
+        core: usize,
+        /// Queue occupancy after removal.
+        queue_depth: usize,
+    },
+    /// A dispatched job's workload ran to completion.
+    JobComplete {
+        /// Job id from the matching [`Event::JobDispatch`].
+        job: u64,
+        /// Core the job ran on.
+        core: usize,
     },
 }
 

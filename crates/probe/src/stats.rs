@@ -192,6 +192,45 @@ pub struct Span {
     pub id: u64,
 }
 
+/// One completed job lifetime in serve mode: arrival into the scheduler
+/// queue, dispatch onto a core, workload completion. All cycles are on the
+/// global clock, with `arrival <= dispatch <= complete`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JobSpan {
+    /// Arrival cycle (the matching [`Event::JobArrive`]).
+    pub arrival: u64,
+    /// Dispatch cycle (the matching [`Event::JobDispatch`]).
+    pub dispatch: u64,
+    /// Completion cycle (the matching [`Event::JobComplete`]).
+    pub complete: u64,
+    /// Core the job ran on.
+    pub core: usize,
+    /// Scheduler-assigned job id.
+    pub job: u64,
+}
+
+/// Scheduler-level aggregates (serve mode only; all zero for batch runs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedStats {
+    /// Jobs that entered the queue.
+    pub arrivals: u64,
+    /// Jobs dispatched onto a core.
+    pub dispatches: u64,
+    /// Jobs that ran to completion.
+    pub completions: u64,
+    /// Queue occupancy sampled at every arrival and dispatch.
+    pub queue_depth: Histogram,
+}
+
+impl SchedStats {
+    fn merge(&mut self, other: &SchedStats) {
+        self.arrivals += other.arrivals;
+        self.dispatches += other.dispatches;
+        self.completions += other.completions;
+        self.queue_depth.merge(&other.queue_depth);
+    }
+}
+
 /// Everything a [`StatsProbe`] aggregated over one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsReport {
@@ -203,6 +242,11 @@ pub struct StatsReport {
     pub dram: DramContention,
     /// Closed tile-phase spans, sorted by `(start, end, core, phase, id)`.
     pub spans: Vec<Span>,
+    /// Completed job lifetimes, sorted by `(arrival, dispatch, complete,
+    /// core, job)`. Empty for batch runs.
+    pub jobs: Vec<JobSpan>,
+    /// Scheduler counters. All zero for batch runs.
+    pub sched: SchedStats,
 }
 
 impl StatsReport {
@@ -240,6 +284,9 @@ pub struct StatsProbe {
     track: Vec<StateTrack>,
     open_phases: HashMap<(usize, Phase, u64), u64>,
     walk_starts: HashMap<u64, u64>,
+    /// Jobs seen arriving but not yet completed:
+    /// job id → (arrival, dispatch/core once dispatched).
+    open_jobs: HashMap<u64, (u64, Option<(u64, usize)>)>,
 }
 
 impl Default for StatsProbe {
@@ -261,6 +308,7 @@ impl StatsProbe {
             track: Vec::new(),
             open_phases: HashMap::new(),
             walk_starts: HashMap::new(),
+            open_jobs: HashMap::new(),
         }
     }
 
@@ -351,6 +399,31 @@ impl Probe for StatsProbe {
                     *b += cycle - since;
                 }
             }
+            Event::JobArrive { job, queue_depth } => {
+                self.report.sched.arrivals += 1;
+                self.report.sched.queue_depth.record(queue_depth as u64);
+                self.open_jobs.insert(job, (cycle, None));
+            }
+            Event::JobDispatch { job, core, queue_depth } => {
+                self.report.sched.dispatches += 1;
+                self.report.sched.queue_depth.record(queue_depth as u64);
+                if let Some(open) = self.open_jobs.get_mut(&job) {
+                    open.1 = Some((cycle, core));
+                }
+            }
+            Event::JobComplete { job, core } => {
+                self.report.sched.completions += 1;
+                if let Some((arrival, Some((dispatch, dcore)))) = self.open_jobs.remove(&job) {
+                    debug_assert_eq!(core, dcore, "job completed on a different core");
+                    self.report.jobs.push(JobSpan {
+                        arrival,
+                        dispatch,
+                        complete: cycle,
+                        core,
+                        job,
+                    });
+                }
+            }
         }
     }
 
@@ -364,10 +437,13 @@ impl Probe for StatsProbe {
         }
         self.report.dram.merge(&other.report.dram);
         self.report.spans.extend(other.report.spans);
+        self.report.jobs.extend(other.report.jobs);
+        self.report.sched.merge(&other.report.sched);
     }
 
     fn into_report(mut self) -> Option<StatsReport> {
         self.report.spans.sort_unstable();
+        self.report.jobs.sort_unstable();
         Some(self.report)
     }
 }
@@ -473,5 +549,39 @@ mod tests {
     #[should_panic(expected = "epoch must be positive")]
     fn zero_epoch_rejected() {
         let _ = StatsProbe::new(0);
+    }
+
+    #[test]
+    fn job_lifetimes_pair_arrive_dispatch_complete() {
+        let mut p = StatsProbe::default();
+        p.record(0, Event::JobArrive { job: 0, queue_depth: 1 });
+        p.record(5, Event::JobArrive { job: 1, queue_depth: 2 });
+        p.record(5, Event::JobDispatch { job: 0, core: 2, queue_depth: 1 });
+        p.record(9, Event::JobDispatch { job: 1, core: 0, queue_depth: 0 });
+        p.record(100, Event::JobComplete { job: 1, core: 0 });
+        p.record(120, Event::JobComplete { job: 0, core: 2 });
+        let r = p.into_report().unwrap();
+        assert_eq!(r.sched.arrivals, 2);
+        assert_eq!(r.sched.dispatches, 2);
+        assert_eq!(r.sched.completions, 2);
+        assert_eq!(r.sched.queue_depth.count(), 4);
+        assert_eq!(r.jobs.len(), 2);
+        assert_eq!(r.jobs[0], JobSpan { arrival: 0, dispatch: 5, complete: 120, core: 2, job: 0 });
+        assert_eq!(r.jobs[1], JobSpan { arrival: 5, dispatch: 9, complete: 100, core: 0, job: 1 });
+    }
+
+    #[test]
+    fn merge_combines_job_spans_and_sched_counters() {
+        let mut a = StatsProbe::default();
+        a.record(0, Event::JobArrive { job: 0, queue_depth: 1 });
+        a.record(0, Event::JobDispatch { job: 0, core: 0, queue_depth: 0 });
+        a.record(10, Event::JobComplete { job: 0, core: 0 });
+        let mut b = StatsProbe::default();
+        b.record(3, Event::JobArrive { job: 1, queue_depth: 1 });
+        a.merge(b);
+        let r = a.into_report().unwrap();
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.sched.arrivals, 2);
+        assert_eq!(r.sched.completions, 1);
     }
 }

@@ -1,0 +1,79 @@
+//! Open-loop arrival generation: scenario → concrete arrival cycles.
+
+use mnpu_config::{ArrivalSpec, ScenarioSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The arrival cycle of every job in `spec`, in job-declaration order.
+///
+/// A pure function of the scenario — the bursty pattern draws its gaps
+/// from a generator seeded with [`ScenarioSpec::seed`], never from
+/// wall-clock time — so the same scenario always produces the same
+/// arrival schedule. Arrivals are open-loop: they do not depend on when
+/// earlier jobs finish.
+pub fn arrivals(spec: &ScenarioSpec) -> Vec<u64> {
+    let n = spec.jobs.len();
+    match spec.arrival {
+        // `job` lines without an explicit `@ <cycle>` arrive at 0.
+        ArrivalSpec::Explicit => spec.jobs.iter().map(|j| j.arrival.unwrap_or(0)).collect(),
+        ArrivalSpec::FixedIncrement { increment } => (0..n as u64).map(|i| i * increment).collect(),
+        ArrivalSpec::Bursty { burst, mean_gap } => {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            let mut now = 0u64;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if i > 0 && i % burst == 0 {
+                    // Uniform over [1, 2*mean_gap] — mean ≈ `mean_gap`,
+                    // never zero, and cheap to reason about in tests.
+                    if mean_gap > 0 {
+                        now += rng.random_range(1..=2 * mean_gap);
+                    }
+                }
+                out.push(now);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnpu_config::parse_scenario;
+
+    fn spec(pattern: &str, jobs: usize, seed: u64) -> ScenarioSpec {
+        let mut text = format!("cores = 2\nseed = {seed}\npattern = {pattern}\n");
+        for _ in 0..jobs {
+            text.push_str("job = ncf\n");
+        }
+        parse_scenario("t", &text).unwrap()
+    }
+
+    #[test]
+    fn fixed_increment_is_an_arithmetic_series() {
+        assert_eq!(arrivals(&spec("fixed:250", 4, 0)), vec![0, 250, 500, 750]);
+    }
+
+    #[test]
+    fn explicit_defaults_missing_arrivals_to_zero() {
+        let s = parse_scenario("t", "cores = 1\njob = ncf\njob = ncf @ 77\n").unwrap();
+        assert_eq!(arrivals(&s), vec![0, 77]);
+    }
+
+    #[test]
+    fn bursty_groups_share_an_arrival_and_gaps_are_bounded() {
+        let a = arrivals(&spec("bursty:3:1000", 7, 9));
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[1], a[2]);
+        assert_eq!(a[3], a[4]);
+        let gap = a[3] - a[2];
+        assert!((1..=2000).contains(&gap), "gap {gap} outside [1, 2*mean]");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    }
+
+    #[test]
+    fn bursty_is_deterministic_per_seed_and_varies_across_seeds() {
+        assert_eq!(arrivals(&spec("bursty:2:500", 8, 3)), arrivals(&spec("bursty:2:500", 8, 3)));
+        assert_ne!(arrivals(&spec("bursty:2:500", 8, 3)), arrivals(&spec("bursty:2:500", 8, 4)));
+    }
+}

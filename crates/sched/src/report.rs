@@ -1,0 +1,118 @@
+//! Serve-mode results: per-job timing records and latency distributions.
+
+use mnpu_engine::RunReport;
+use mnpu_metrics::{throughput_per_mcycle, LatencyStats};
+use std::fmt::Write as _;
+
+/// The lifecycle timing of one completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Scenario job index (declaration order).
+    pub id: u64,
+    /// Network the job ran.
+    pub workload: String,
+    /// Core the job ran on.
+    pub core: usize,
+    /// Cycle the job entered the queue.
+    pub arrival: u64,
+    /// Cycle the job was bound to its core.
+    pub dispatch: u64,
+    /// Cycle the job finished.
+    pub completion: u64,
+}
+
+impl JobRecord {
+    /// Cycles spent waiting in the queue: `dispatch - arrival`.
+    pub fn queueing(&self) -> u64 {
+        self.dispatch - self.arrival
+    }
+
+    /// Cycles spent executing: `completion - dispatch`.
+    pub fn service(&self) -> u64 {
+        self.completion - self.dispatch
+    }
+
+    /// End-to-end latency: `completion - arrival`. By construction
+    /// `latency() == queueing() + service()` exactly — the conservation
+    /// law the validation oracle re-checks on every run.
+    pub fn latency(&self) -> u64 {
+        self.completion - self.arrival
+    }
+}
+
+/// Everything a serve run produces: the engine's [`RunReport`] plus the
+/// scheduling layer's per-job records and latency distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The underlying engine report (DRAM/MMU/core counters; the cores
+    /// describe each core's *last* binding).
+    pub run: RunReport,
+    /// One record per job, in scenario declaration order.
+    pub jobs: Vec<JobRecord>,
+    /// Distribution of end-to-end latency over all jobs.
+    pub latency: LatencyStats,
+    /// Distribution of queueing delay over all jobs.
+    pub queueing: LatencyStats,
+    /// Distribution of service time over all jobs.
+    pub service: LatencyStats,
+    /// Cycle the last job completed.
+    pub makespan: u64,
+    /// Jobs completed per million global cycles.
+    pub throughput_per_mcycle: f64,
+}
+
+impl ServeReport {
+    /// Assemble the derived statistics from per-job records and the
+    /// engine report.
+    pub(crate) fn new(run: RunReport, jobs: Vec<JobRecord>) -> Self {
+        let lat: Vec<u64> = jobs.iter().map(JobRecord::latency).collect();
+        let que: Vec<u64> = jobs.iter().map(JobRecord::queueing).collect();
+        let srv: Vec<u64> = jobs.iter().map(JobRecord::service).collect();
+        let makespan = jobs.iter().map(|j| j.completion).max().unwrap_or(0);
+        ServeReport {
+            latency: LatencyStats::from_cycles(&lat),
+            queueing: LatencyStats::from_cycles(&que),
+            service: LatencyStats::from_cycles(&srv),
+            makespan,
+            throughput_per_mcycle: throughput_per_mcycle(jobs.len(), makespan.max(1)),
+            run,
+            jobs,
+        }
+    }
+
+    /// Serialize as one deterministic JSON object, embedding the engine
+    /// report verbatim under `"run"` — same hand-rolled, fixed-field-order
+    /// style as [`RunReport::to_json`], so byte-equality of two serve
+    /// reports implies behavioral equality of the two runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"jobs\":[{}],\"makespan\":{},\"throughput_per_mcycle\":{},",
+            self.jobs
+                .iter()
+                .map(|j| {
+                    format!(
+                        "{{\"id\":{},\"workload\":\"{}\",\"core\":{},\"arrival\":{},\
+                         \"dispatch\":{},\"completion\":{}}}",
+                        j.id, j.workload, j.core, j.arrival, j.dispatch, j.completion
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+            self.makespan,
+            self.throughput_per_mcycle
+        );
+        for (key, stats) in
+            [("latency", &self.latency), ("queueing", &self.queueing), ("service", &self.service)]
+        {
+            let _ = write!(
+                out,
+                "\"{key}\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":{},\"max\":{}}},",
+                stats.p50, stats.p95, stats.p99, stats.mean, stats.max
+            );
+        }
+        let _ = write!(out, "\"run\":{}}}", self.run.to_json());
+        out
+    }
+}

@@ -1,0 +1,205 @@
+//! The serve loop: admit arrivals, dispatch via the policy, step the
+//! engine between scheduler decision points.
+
+use crate::arrival::arrivals;
+use crate::policy::Policy;
+use crate::report::{JobRecord, ServeReport};
+use mnpu_config::ScenarioSpec;
+use mnpu_engine::{Advance, Event, NullProbe, Probe, ProbeMode, Simulation, StatsProbe};
+use mnpu_model::zoo;
+use mnpu_systolic::WorkloadTrace;
+use std::collections::{HashMap, VecDeque};
+
+/// Run `spec` to completion and return the serve report.
+///
+/// The probe is chosen by the scenario's chip configuration exactly as in
+/// batch mode ([`ProbeMode::None`] = zero-cost, [`ProbeMode::Stats`] =
+/// counters plus job-lifetime spans in [`mnpu_engine::RunReport::stats`]).
+///
+/// Scheduling is deterministic: arrivals are a pure function of the
+/// scenario ([`arrivals`]), ties are broken by declaration order, and the
+/// engine itself is the validated deterministic batch engine stepped
+/// through [`Simulation::advance`]. Running the same scenario twice yields
+/// byte-identical reports.
+///
+/// # Panics
+///
+/// Panics if the chip configuration is invalid or a simulation watchdog
+/// trips — never on any well-formed scenario.
+pub fn serve(spec: &ScenarioSpec) -> ServeReport {
+    match spec.system.probe {
+        ProbeMode::None => drive(spec, Simulation::with_probe_idle(&spec.system, NullProbe)),
+        ProbeMode::Stats => {
+            drive(spec, Simulation::with_probe_idle(&spec.system, StatsProbe::default()))
+        }
+    }
+}
+
+fn drive<P: Probe>(spec: &ScenarioSpec, mut sim: Simulation<P>) -> ServeReport {
+    let n = spec.jobs.len();
+    let arr = arrivals(spec);
+    // Admission order: by arrival cycle, declaration order breaking ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (arr[i], i));
+
+    let mut policy = Policy::new(spec);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut core_job: Vec<Option<usize>> = vec![None; spec.system.cores];
+    let mut running: Vec<Option<String>> = vec![None; spec.system.cores];
+    let mut dispatch_at = vec![0u64; n];
+    let mut complete_at = vec![0u64; n];
+    let mut job_core = vec![0usize; n];
+    // Traces are memoized per (network, core): presets are homogeneous,
+    // but a heterogeneous chip compiles the network against the arch of
+    // the core it actually lands on.
+    let mut traces: HashMap<(String, usize), WorkloadTrace> = HashMap::new();
+    let mut next_arr = 0usize;
+    let mut done = 0usize;
+
+    while done < n {
+        // Admit everything that has arrived by now.
+        while next_arr < n && arr[order[next_arr]] <= sim.now() {
+            let j = order[next_arr];
+            next_arr += 1;
+            queue.push_back(j);
+            sim.record_event(Event::JobArrive { job: j as u64, queue_depth: queue.len() });
+        }
+        // Dispatch until the policy has nothing to place.
+        loop {
+            let free: Vec<usize> =
+                (0..spec.system.cores).filter(|&c| core_job[c].is_none()).collect();
+            let Some((pos, core)) = policy.pick(&queue, &spec.jobs, &free, &running) else {
+                break;
+            };
+            let j = queue.remove(pos).expect("policy returned a valid queue position");
+            let name = &spec.jobs[j].network;
+            let trace = traces.entry((name.clone(), core)).or_insert_with(|| {
+                let net = zoo::by_name(name, spec.scale)
+                    .expect("scenario parser validated workload names");
+                WorkloadTrace::generate(&net, &spec.system.arch[core])
+            });
+            let now = sim.now();
+            sim.attach(core, trace, now);
+            dispatch_at[j] = now;
+            job_core[j] = core;
+            core_job[core] = Some(j);
+            running[core] = Some(name.clone());
+            sim.record_event(Event::JobDispatch { job: j as u64, core, queue_depth: queue.len() });
+        }
+        // Step the engine to the next scheduler decision point.
+        let stop = if next_arr < n { arr[order[next_arr]] } else { u64::MAX };
+        match sim.advance(stop) {
+            Advance::CoreFinished { core, at } => {
+                let j = core_job[core].take().expect("finished core had a job bound");
+                running[core] = None;
+                complete_at[j] = at;
+                done += 1;
+                sim.record_event(Event::JobComplete { job: j as u64, core });
+                // The finished core stays bound until its next attach: a
+                // finished core already costs nothing in the event loop,
+                // the final report then describes the core's last job, and
+                // — decisively — an eager detach would flush the *shared*
+                // TLB mid-run and break byte-identity with batch mode.
+            }
+            // Parked at the next arrival, or drained with arrivals still
+            // pending: loop back to admission.
+            Advance::Parked => {}
+            Advance::Drained => {
+                if queue.is_empty() && next_arr < n {
+                    sim.skip_to(arr[order[next_arr]]);
+                }
+                // A non-empty queue with every core drained means the next
+                // policy pass must dispatch (all cores are free).
+            }
+        }
+    }
+
+    let records = (0..n)
+        .map(|j| JobRecord {
+            id: j as u64,
+            workload: spec.jobs[j].network.clone(),
+            core: job_core[j],
+            arrival: arr[j],
+            dispatch: dispatch_at[j],
+            completion: complete_at[j],
+        })
+        .collect();
+    ServeReport::new(sim.into_report(), records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnpu_config::parse_scenario;
+
+    #[test]
+    fn conservation_holds_for_every_job() {
+        let spec = parse_scenario(
+            "t",
+            "cores = 2\npattern = fixed:500\njob = ncf\njob = ncf\njob = ncf\njob = ncf\n",
+        )
+        .unwrap();
+        let r = serve(&spec);
+        assert_eq!(r.jobs.len(), 4);
+        for j in &r.jobs {
+            assert_eq!(j.arrival + j.queueing() + j.service(), j.completion);
+            assert!(j.dispatch >= j.arrival);
+        }
+        assert_eq!(r.makespan, r.jobs.iter().map(|j| j.completion).max().unwrap());
+    }
+
+    #[test]
+    fn more_jobs_than_cores_queue_up() {
+        // Four simultaneous arrivals on one core: strictly serialized, so
+        // queueing delay must be nonzero for all but the first job.
+        let spec = parse_scenario("t", "cores = 1\njob = ncf\njob = ncf\njob = ncf\n").unwrap();
+        let r = serve(&spec);
+        let mut by_dispatch = r.jobs.clone();
+        by_dispatch.sort_by_key(|j| j.dispatch);
+        assert_eq!(by_dispatch[0].queueing(), 0);
+        for w in by_dispatch.windows(2) {
+            assert_eq!(
+                w[1].dispatch, w[0].completion,
+                "next job must start the cycle its predecessor finished"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let text = "cores = 2\nseed = 5\npattern = bursty:2:3000\npolicy = round_robin\n\
+                    job = ncf\njob = dlrm\njob = ncf\njob = dlrm\n";
+        let spec = parse_scenario("t", text).unwrap();
+        let a = serve(&spec).to_json();
+        let b = serve(&spec).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_probe_records_job_lifecycle() {
+        let mut spec = parse_scenario("t", "cores = 1\njob = ncf\njob = ncf\n").unwrap();
+        spec.system.probe = ProbeMode::Stats;
+        let r = serve(&spec);
+        let stats = r.run.stats.as_ref().expect("stats probe requested");
+        assert_eq!(stats.jobs.len(), 2, "one JobSpan per job");
+        assert_eq!(stats.sched.arrivals, 2);
+        assert_eq!(stats.sched.dispatches, 2);
+        assert_eq!(stats.sched.completions, 2);
+        for (span, rec) in stats.jobs.iter().zip(&r.jobs) {
+            assert_eq!(span.arrival, rec.arrival);
+            assert_eq!(span.dispatch, rec.dispatch);
+            assert_eq!(span.complete, rec.completion);
+        }
+    }
+
+    #[test]
+    fn late_arrival_finds_an_idle_chip() {
+        // One job at 0, one far beyond the first's completion: the chip
+        // drains, skips to the second arrival, and serves it immediately.
+        let spec = parse_scenario("t", "cores = 1\njob = ncf\njob = ncf @ 100000000\n").unwrap();
+        let r = serve(&spec);
+        assert!(r.jobs[0].completion < 100_000_000, "first job must finish before the gap");
+        assert_eq!(r.jobs[1].arrival, 100_000_000);
+        assert_eq!(r.jobs[1].queueing(), 0, "idle chip serves a new arrival at once");
+    }
+}

@@ -177,6 +177,19 @@ impl WorkloadTrace {
         }
     }
 
+    /// A trace with no layers and no footprint: the workload of a vacant
+    /// core. An engine core bound to it finishes immediately without
+    /// touching memory, which is how a scheduler represents "nothing is
+    /// running here" without special-casing the event loop.
+    pub fn empty() -> WorkloadTrace {
+        WorkloadTrace {
+            name: String::new(),
+            dtype: DataType::Int8,
+            layers: Vec::new(),
+            footprint_bytes: 0,
+        }
+    }
+
     /// Workload name (the network's name).
     pub fn name(&self) -> &str {
         &self.name

@@ -15,11 +15,14 @@
 
 use crate::metamorphic::Law;
 use crate::oracle::{check_run, Violation};
+use crate::serve::check_serve;
+use mnpu_config::{ArrivalSpec, JobSpec, PolicySpec, ScenarioSpec};
 use mnpu_engine::{
     MemoryModel, ProbeMode, SharingLevel, Simulation, SystemConfig, SystemConfigBuilder,
 };
 use mnpu_model::randnet::{generate, RandNetConfig};
-use mnpu_model::Network;
+use mnpu_model::{Network, Scale};
+use mnpu_sched::serve;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +66,10 @@ pub struct FuzzCase {
     pub net_seeds: Vec<u64>,
     /// Metamorphic law sampled for this iteration, if one applies.
     pub law: Option<Law>,
+    /// Optional serve-mode scenario on the same chip — arrivals, policy
+    /// and job list all pure functions of `(seed, iteration)` — checked
+    /// with the [`crate::serve`] conservation oracles.
+    pub serve: Option<ScenarioSpec>,
 }
 
 /// One failing case, after shrinking.
@@ -220,7 +227,41 @@ pub fn generate_case(master_seed: u64, iteration: u64) -> FuzzCase {
     let applicable: Vec<Law> = Law::ALL.iter().copied().filter(|l| l.applicable(&config)).collect();
     let law = if applicable.is_empty() { None } else { Some(*pick(&mut rng, &applicable)) };
 
-    FuzzCase { config, nets, net_seeds, law }
+    // ~30% of cases also exercise the scheduling layer: a serve scenario
+    // on the same chip, with zoo workloads (the scenario format names
+    // networks) and arrivals derived purely from this case's RNG.
+    let serve = rng.random_bool(0.3).then(|| {
+        let names = ["ncf", "dlrm"];
+        let jobs: Vec<JobSpec> = (0..rng.random_range(2usize..=4))
+            .map(|_| JobSpec {
+                network: (*pick(&mut rng, &names)).to_string(),
+                arrival: None,
+                core: None,
+            })
+            .collect();
+        let arrival = if rng.random_bool(0.5) {
+            ArrivalSpec::FixedIncrement { increment: rng.random_range(0u64..=200_000) }
+        } else {
+            ArrivalSpec::Bursty {
+                burst: rng.random_range(1usize..=3),
+                mean_gap: rng.random_range(0u64..=100_000),
+            }
+        };
+        let policy =
+            if rng.random_bool(0.5) { PolicySpec::FirstFree } else { PolicySpec::RoundRobin };
+        // The predictor policy trains a model per scenario — far too slow
+        // for fuzzing; its decisions go through the same dispatch path.
+        ScenarioSpec {
+            system: config.clone(),
+            scale: Scale::Bench,
+            seed: rng.next_u64(),
+            arrival,
+            policy,
+            jobs,
+        }
+    });
+
+    FuzzCase { config, nets, net_seeds, law, serve }
 }
 
 /// Run one case: simulate, apply every oracle, then the sampled law.
@@ -231,6 +272,9 @@ pub fn check_case(case: &FuzzCase) -> Vec<Violation> {
         let mut v = check_run(&case.config, &case.nets, &report);
         if let Some(law) = case.law {
             v.extend(law.check(&case.config, &case.nets));
+        }
+        if let Some(scenario) = &case.serve {
+            v.extend(check_serve(scenario, &serve(scenario)));
         }
         v
     }));
@@ -248,7 +292,8 @@ pub fn check_case(case: &FuzzCase) -> Vec<Violation> {
 }
 
 /// The shrink moves, ordered roughly by how much each simplifies a case.
-const SHRINK_STEPS: [&str; 7] = [
+const SHRINK_STEPS: [&str; 8] = [
+    "drop-serve",
     "single-iteration",
     "drop-options",
     "drop-partitions",
@@ -263,6 +308,12 @@ const SHRINK_STEPS: [&str; 7] = [
 fn apply_step(case: &FuzzCase, step: &str) -> Option<FuzzCase> {
     let mut c = case.clone();
     match step {
+        // Kills a serve failure's repro only if the failure is in the
+        // batch path — the shrinker keeps a candidate only when the same
+        // oracle still fires, so serve-oracle failures reject this step.
+        "drop-serve" => {
+            c.serve.take()?;
+        }
         "single-iteration" => {
             if c.config.iterations == 1 {
                 return None;
@@ -413,6 +464,22 @@ pub fn repro_json(seed: u64, failure: &FuzzFailure, case: &FuzzCase) -> String {
         "  \"law\": {},\n",
         case.law.map_or("null".to_string(), |l| format!("\"{}\"", l.name()))
     ));
+    s.push_str(&format!(
+        "  \"serve\": {},\n",
+        case.serve.as_ref().map_or("null".to_string(), |scn| {
+            format!(
+                "{{\"jobs\": [{}], \"policy\": \"{:?}\", \"pattern\": \"{:?}\", \"seed\": {}}}",
+                scn.jobs
+                    .iter()
+                    .map(|j| format!("\"{}\"", j.network))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                scn.policy,
+                scn.arrival,
+                scn.seed
+            )
+        })
+    ));
     s.push_str("  \"config\": {\n");
     s.push_str(&format!("    \"cores\": {},\n", cfg.cores));
     s.push_str(&format!("    \"sharing\": \"{}\",\n", cfg.sharing.label()));
@@ -508,6 +575,7 @@ mod tests {
         assert_eq!(a.config, b.config);
         assert_eq!(a.nets, b.nets);
         assert_eq!(a.law, b.law);
+        assert_eq!(a.serve, b.serve);
     }
 
     #[test]
@@ -523,6 +591,24 @@ mod tests {
         }
         assert!(core_counts.len() >= 3, "core counts not varied: {core_counts:?}");
         assert!(sharings.len() >= 4, "sharing levels not varied: {sharings:?}");
+    }
+
+    #[test]
+    fn serve_scenarios_appear_and_are_well_formed() {
+        let mut with_serve = 0;
+        for i in 0..64 {
+            let case = generate_case(2, i);
+            if let Some(s) = &case.serve {
+                with_serve += 1;
+                assert!(!s.jobs.is_empty(), "iter {i}");
+                assert_eq!(s.system, case.config, "iter {i}: serve runs the case's chip");
+                if let ArrivalSpec::Bursty { burst, .. } = s.arrival {
+                    assert!(burst >= 1, "iter {i}");
+                }
+            }
+        }
+        // ~30% of 64; wide margins so the test pins presence, not the RNG.
+        assert!((8..=40).contains(&with_serve), "serve rate off: {with_serve}/64");
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //!    generation of random-but-valid configurations and networks, short
 //!    simulations under the stats probe, every oracle applied to each, one
 //!    metamorphic law sampled per iteration, and greedy shrinking to a
-//!    minimized JSON repro artifact on failure.
+//!    minimized JSON repro artifact on failure. A fraction of cases also
+//!    carry a serve-mode scenario, so the scheduling layer is fuzzed with
+//!    the same rigor as the engine.
+//! 4. **Serve-mode oracles** ([`serve`]): conservation laws for the
+//!    dynamic scheduling layer — `arrival + queueing + service =
+//!    completion` exactly, core exclusivity, arrival purity — and the
+//!    arrival-delay metamorphic law for private-resource scenarios.
 //!
 //! Every future perf PR runs against this net in CI; a hot-path change
 //! that warps a single conservation law is caught even if it produces a
@@ -30,7 +36,9 @@
 pub mod fuzz;
 pub mod metamorphic;
 pub mod oracle;
+pub mod serve;
 
 pub use fuzz::{run_fuzz, FuzzCase, FuzzOptions, FuzzOutcome};
 pub use metamorphic::Law;
 pub use oracle::{check_run, check_traced, Violation};
+pub use serve::{check_delay_law, check_serve};

@@ -1,0 +1,102 @@
+//! Property-based and metamorphic tests of the serve-mode scheduling
+//! layer: the conservation oracle over randomized scenarios, and the
+//! arrival-delay law on private-resource chips.
+
+use mnpu_config::{ArrivalSpec, JobSpec, PolicySpec, ScenarioSpec};
+use mnpu_engine::{SharingLevel, SystemConfig};
+use mnpu_sched::serve;
+use mnpu_validate::{check_delay_law, check_serve};
+use proptest::prelude::*;
+
+/// A small random scenario: 1–2 cores, 2–4 cheap zoo jobs, a random
+/// arrival pattern and FIFO policy. Kept tiny so the suite stays in the
+/// seconds range; the fuzzer covers the wilder chip configurations.
+fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (1usize..3, proptest::collection::vec(0usize..2, 2..5), 0u64..4, 0u64..150_000, 0u32..2)
+        .prop_map(|(cores, picks, seed, increment, round_robin)| {
+            let round_robin = round_robin == 1;
+            let names = ["ncf", "dlrm"];
+            let jobs = picks
+                .into_iter()
+                .map(|p| JobSpec { network: names[p].to_string(), arrival: None, core: None })
+                .collect();
+            ScenarioSpec {
+                system: SystemConfig::bench(cores, SharingLevel::PlusDwt),
+                scale: mnpu_model::Scale::Bench,
+                seed,
+                arrival: if increment % 2 == 0 {
+                    ArrivalSpec::FixedIncrement { increment }
+                } else {
+                    ArrivalSpec::Bursty { burst: 2, mean_gap: increment }
+                },
+                policy: if round_robin { PolicySpec::RoundRobin } else { PolicySpec::FirstFree },
+                jobs,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// `arrival + queueing + service = completion` — and every other serve
+    /// oracle — holds exactly on randomized scenarios.
+    #[test]
+    fn prop_serve_conservation(spec in arb_scenario()) {
+        let report = serve(&spec);
+        let violations = check_serve(&spec, &report);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        // Spell the keystone law out locally too, independent of the
+        // oracle's own arithmetic.
+        for j in &report.jobs {
+            prop_assert_eq!(j.arrival + j.queueing() + j.service(), j.completion);
+        }
+    }
+
+    /// Serving the same scenario twice is byte-identical.
+    #[test]
+    fn prop_serve_determinism(spec in arb_scenario()) {
+        prop_assert_eq!(serve(&spec).to_json(), serve(&spec).to_json());
+    }
+}
+
+/// Delaying one job's arrival never decreases any other job's completion
+/// when every job owns its core and resources are statically partitioned.
+#[test]
+fn delay_law_static_chip_various_delays() {
+    let spec = ScenarioSpec {
+        system: SystemConfig::bench(2, SharingLevel::Static),
+        scale: mnpu_model::Scale::Bench,
+        seed: 0,
+        arrival: ArrivalSpec::Explicit,
+        policy: PolicySpec::Pinned,
+        jobs: vec![
+            JobSpec { network: "ncf".into(), arrival: Some(0), core: Some(0) },
+            JobSpec { network: "dlrm".into(), arrival: Some(0), core: Some(1) },
+        ],
+    };
+    for (delayed, delay) in [(0, 10_000), (0, 1_000_000), (1, 250_000)] {
+        let v = check_delay_law(&spec, delayed, delay);
+        assert!(v.is_empty(), "delay {delay} of job {delayed}: {v:?}");
+    }
+}
+
+/// The law also holds with a queue involved: two jobs pinned to the same
+/// core plus a bystander on the other — delaying the bystander must not
+/// pull the pinned pair earlier.
+#[test]
+fn delay_law_with_queueing_on_the_other_core() {
+    let spec = ScenarioSpec {
+        system: SystemConfig::bench(2, SharingLevel::Static),
+        scale: mnpu_model::Scale::Bench,
+        seed: 0,
+        arrival: ArrivalSpec::Explicit,
+        policy: PolicySpec::Pinned,
+        jobs: vec![
+            JobSpec { network: "ncf".into(), arrival: Some(0), core: Some(0) },
+            JobSpec { network: "ncf".into(), arrival: Some(0), core: Some(0) },
+            JobSpec { network: "dlrm".into(), arrival: Some(0), core: Some(1) },
+        ],
+    };
+    let v = check_delay_law(&spec, 2, 400_000);
+    assert!(v.is_empty(), "{v:?}");
+}
