@@ -52,27 +52,50 @@ pub fn decode(addr: u64, config: &DramConfig, subset: &[usize]) -> DecodedAddr {
             // Bank-group bits sit below the column bits so that streaming
             // within one channel rotates bank groups and pays tCCD_S, not
             // tCCD_L — the same trick DRAMsim3's default mapping uses.
-            let channel = subset[(block % n) as usize];
-            let local = block / n;
-            let bankgroup = local % config.bankgroups;
-            let t = local / config.bankgroups;
-            let col = t % cols;
-            let t = t / cols;
-            let bank = t % config.banks_per_group;
-            let row = (t / config.banks_per_group) % config.rows;
+            let (local, ch) = divmod(block, n);
+            let channel = subset[ch as usize];
+            let (t, bankgroup) = divmod(local, config.bankgroups);
+            let (t, col) = divmod(t, cols);
+            let (t, bank) = divmod(t, config.banks_per_group);
+            let row = modulo(t, config.rows);
             DecodedAddr { channel, bankgroup, bank, row, col }
         }
         AddressMapping::RowInterleaved => {
-            let col = block % cols;
-            let t = block / cols;
-            let channel = subset[(t % n) as usize];
-            let t = t / n;
-            let bankgroup = t % config.bankgroups;
-            let t = t / config.bankgroups;
-            let bank = t % config.banks_per_group;
-            let row = (t / config.banks_per_group) % config.rows;
+            let (t, col) = divmod(block, cols);
+            let (t, ch) = divmod(t, n);
+            let channel = subset[ch as usize];
+            let (t, bankgroup) = divmod(t, config.bankgroups);
+            let (t, bank) = divmod(t, config.banks_per_group);
+            let row = modulo(t, config.rows);
             DecodedAddr { channel, bankgroup, bank, row, col }
         }
+    }
+}
+
+/// `(v / d, v % d)`, as shift/mask when the divisor is a power of two.
+/// Geometry divisors (channel-subset size, bank groups, banks, columns,
+/// rows) are runtime values, so LLVM cannot strength-reduce them itself —
+/// and on the decode-per-transaction hot path the two hardware divides per
+/// term were measurable. Powers of two cover every stock preset; odd
+/// subsets (e.g. the 7-channel half of a 1:7 split) take the divide.
+#[inline]
+fn divmod(v: u64, d: u64) -> (u64, u64) {
+    debug_assert!(d > 0);
+    if d.is_power_of_two() {
+        (v >> d.trailing_zeros(), v & (d - 1))
+    } else {
+        (v / d, v % d)
+    }
+}
+
+/// `v % d`, as a mask when the divisor is a power of two.
+#[inline]
+fn modulo(v: u64, d: u64) -> u64 {
+    debug_assert!(d > 0);
+    if d.is_power_of_two() {
+        v & (d - 1)
+    } else {
+        v % d
     }
 }
 

@@ -46,6 +46,20 @@ enum NextCand {
     },
 }
 
+/// An installed steady-state run: a prefix of the queue proven to commit
+/// as `next_cas, next_cas + burst, next_cas + 2*burst, ...` — tCCD-spaced
+/// bus slots from the current bus edge — with no scheduling decision left
+/// to make. See [`Channel::try_install_run`] for the exactness argument.
+#[derive(Debug, Clone, Copy)]
+struct FastRun {
+    /// Transactions left in the run; they occupy `queue[0..remaining]`.
+    remaining: u32,
+    /// CAS cycle of the run's next commit.
+    next_cas: u64,
+    /// CAS-to-data latency of the run's direction (`cwl` or `cl`).
+    lat: u64,
+}
+
 /// A transaction waiting in a channel queue.
 #[derive(Debug, Clone)]
 pub(crate) struct Pending {
@@ -53,6 +67,10 @@ pub(crate) struct Pending {
     pub core: usize,
     pub addr: u64,
     pub decoded: DecodedAddr,
+    /// `decoded.flat_bank(..)`, precomputed at enqueue: the scheduler reads
+    /// it on every FR-FCFS window scan, so the multiply is hoisted out of
+    /// the hot loop.
+    pub flat: u32,
     pub is_write: bool,
     pub arrival: u64,
     /// Times a younger request has been committed ahead of this one;
@@ -105,6 +123,14 @@ pub struct Channel {
     /// Memoized scheduler pick; see [`NextCand`]. `Cell` so read-only
     /// queries (`earliest_action`) can fill it lazily.
     next_cand: Cell<NextCand>,
+    /// Active steady-state run, if any; see [`FastRun`]. While a run is
+    /// active, `next_cand` is kept `Dirty` and every query goes through the
+    /// run's closed-form schedule instead.
+    run: Option<FastRun>,
+    /// Commits retired through the fast path — a coverage diagnostic for
+    /// tests and benches, deliberately *not* part of [`ChannelStats`] (the
+    /// fast path must not change any reported counter).
+    ff_commits: u64,
     stats: ChannelStats,
 }
 
@@ -128,8 +154,17 @@ impl Channel {
             next_refresh: cfg.timing.trefi,
             refresh_until: 0,
             next_cand: Cell::new(NextCand::Empty),
+            run: None,
+            ff_commits: 0,
             stats: ChannelStats::default(),
         }
+    }
+
+    /// Commits retired through the steady-state fast path. Diagnostic only:
+    /// not part of [`ChannelStats`] and absent from every report.
+    #[doc(hidden)]
+    pub fn fastfwd_commits(&self) -> u64 {
+        self.ff_commits
     }
 
     /// Number of queued (not yet issued) transactions.
@@ -151,6 +186,7 @@ impl Channel {
         if !self.has_room() {
             return false;
         }
+        debug_assert_eq!(p.flat as usize, p.decoded.flat_bank(&self.cfg), "stale flat-bank cache");
         self.queue.push_back(p);
         // Only arrivals that land inside the reorder window can change the
         // scheduler's pick; deeper arrivals are invisible until the queue
@@ -195,6 +231,26 @@ impl Channel {
         ch_idx: usize,
     ) {
         let refresh_due = self.cfg.timing.trefi > 0 && self.next_refresh <= now;
+        if self.run.is_some() {
+            if refresh_due {
+                // The slow loop services a due refresh before any further
+                // CAS, so the run's remaining schedule is no longer the
+                // next thing to happen: drop it and recompute honestly.
+                // (Entries still queued; nothing committed is undone.)
+                self.run = None;
+                self.next_cand.set(NextCand::Dirty);
+            } else {
+                self.pump_run(now, out, probe, ch_idx);
+                if self.run.is_some() {
+                    // Slots beyond `now` remain; nothing else can commit
+                    // first (every competitor's issue time is bounded below
+                    // by the run's next bus slot).
+                    return;
+                }
+                // Run exhausted at or before `now`: fall through — a fresh
+                // candidate (or follow-up run) may be actionable this cycle.
+            }
+        }
         if !refresh_due {
             // Fast path: no refresh pending and the memoized pick is not
             // actionable yet — the channel cannot commit anything at `now`.
@@ -216,6 +272,13 @@ impl Channel {
             if t_cas > now {
                 break;
             }
+            if idx == 0 && self.try_install_run(t_cas) {
+                self.pump_run(now, out, probe, ch_idx);
+                if self.run.is_some() {
+                    return;
+                }
+                continue;
+            }
             for j in 0..idx {
                 self.queue[j].bypassed += 1;
             }
@@ -226,9 +289,173 @@ impl Channel {
         }
     }
 
+    /// Try to prove the head of the queue leads a steady-state run whose
+    /// commit schedule is closed-form, and install it as [`FastRun`].
+    /// `t_cas` is the scheduler's (cached) commit cycle for the head.
+    ///
+    /// The run consists of the maximal queue prefix of same-direction row
+    /// hits whose arrival and `ready_cas` precede their bus slot
+    /// `t_s = t_cas + s * burst_cycles`. Exactness argument (the full
+    /// derivation lives in DESIGN.md):
+    ///
+    /// * Each run entry commits exactly at its slot: its CAS floor is the
+    ///   data-bus edge `last_data_end - lat = t_prev + burst`, every other
+    ///   term (arrival, `ready_cas`, `refresh_until`, tCCD with
+    ///   `tCCD_L <= burst`) is at or below the slot, and a committed row hit
+    ///   moves no bank/ACT state that a later run entry reads.
+    /// * No competitor can pre-empt a slot: every queued transaction shares
+    ///   the same data-bus floor, so its issue time is at least the slot,
+    ///   and ties lose to the head on the `(t, !hit, idx)` FR-FCFS key
+    ///   (head has `idx = 0` and is a hit). Opposite-direction entries pay
+    ///   turnaround on top: write-after-read adds `tRTW - cwl + cl` (the
+    ///   `cl + trtw >= cwl` guard), read-after-write adds `tWTR + cwl`
+    ///   (always nonnegative). The starvation cap and FCFS both pick index
+    ///   0 outright, so the argument is policy-independent.
+    /// * Refresh cannot interleave: [`Channel::advance_probed`] cancels the
+    ///   run before pumping whenever `next_refresh <= now`, mirroring the
+    ///   slow loop's refresh-first ordering.
+    fn try_install_run(&mut self, t_cas: u64) -> bool {
+        let t = &self.cfg.timing;
+        if !self.cfg.fastfwd
+            || self.cfg.queue_depth < 2
+            || t.burst_cycles == 0
+            || t.tccd_l.max(t.tccd_s) > t.burst_cycles
+        {
+            return false;
+        }
+        let head = &self.queue[0];
+        let d = head.is_write;
+        // A queued write could under-bid a read run's bus slot if the
+        // turnaround floor `last_data_end + tRTW - cwl` dipped below the
+        // read bus floor `last_data_end - cl`.
+        if !d && t.cl + t.trtw < t.cwl {
+            return false;
+        }
+        if self.banks[head.flat as usize].open_row != Some(head.decoded.row) {
+            return false;
+        }
+        let mut n = 1;
+        while n < self.queue.len() {
+            let p = &self.queue[n];
+            let t_s = t_cas + n as u64 * t.burst_cycles;
+            if p.is_write != d || p.arrival > t_s {
+                break;
+            }
+            let bank = &self.banks[p.flat as usize];
+            if bank.open_row != Some(p.decoded.row) || bank.ready_cas > t_s {
+                break;
+            }
+            n += 1;
+        }
+        if n < 2 {
+            return false;
+        }
+        let lat = if d { t.cwl } else { t.cl };
+        self.run = Some(FastRun { remaining: n as u32, next_cas: t_cas, lat });
+        // While the run is active the memoized pick is meaningless (the
+        // queue shifts without per-commit invalidation); keep it Dirty so
+        // any stray recompute is honest.
+        self.next_cand.set(NextCand::Dirty);
+        true
+    }
+
+    /// Retire every run slot due at or before `now`. Bit-for-bit the same
+    /// state updates, stats, probe events and completions as committing
+    /// each entry through [`Channel::commit`] — minus the per-commit
+    /// FR-FCFS window rescan, which the run's proof already paid for once.
+    fn pump_run<P: Probe>(
+        &mut self,
+        now: u64,
+        out: &mut Vec<Completion>,
+        probe: &mut P,
+        ch_idx: usize,
+    ) {
+        let Some(mut run) = self.run else { return };
+        if run.next_cas > now {
+            return;
+        }
+        let t = self.cfg.timing;
+        let due =
+            (((now - run.next_cas) / t.burst_cycles) + 1).min(u64::from(run.remaining)) as u32;
+        if P::ENABLED {
+            // Replay the per-command events the slow path would have
+            // emitted, in commit order, before any state moves: every run
+            // entry is a row hit by construction.
+            mnpu_probe::replay_batch(probe, due as usize, |s| {
+                let p = &self.queue[s];
+                let t_slot = run.next_cas + s as u64 * t.burst_cycles;
+                let residency = t_slot - p.arrival;
+                (t_slot, Event::DramRowHit { channel: ch_idx, core: p.core, residency })
+            });
+        }
+        for _ in 0..due {
+            let p = self.queue.pop_front().expect("run entries are queued");
+            let t_cas = run.next_cas;
+            debug_assert_eq!(
+                self.banks[p.flat as usize].open_row,
+                Some(p.decoded.row),
+                "run entry must still be a row hit"
+            );
+            let data_end = t_cas + run.lat + t.burst_cycles;
+            let bank = &mut self.banks[p.flat as usize];
+            bank.ready_pre =
+                bank.ready_pre.max(if p.is_write { data_end + t.twr } else { data_end });
+            self.last_cas_time = t_cas;
+            self.last_cas_bg = p.decoded.bankgroup;
+            self.any_cas = true;
+            self.last_data_end = data_end;
+            self.last_was_write = p.is_write;
+            self.any_data = true;
+            self.stats.row_hits += 1;
+            if p.is_write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            self.stats.bytes += crate::address::TRANSACTION_BYTES;
+            self.stats.busy_cycles += t.burst_cycles;
+            let latency = data_end - p.arrival;
+            self.stats.latency_sum += latency;
+            self.stats.latency_max = self.stats.latency_max.max(latency);
+            self.ff_commits += 1;
+            out.push(Completion {
+                meta: p.meta,
+                core: p.core,
+                addr: p.addr,
+                is_write: p.is_write,
+                completed_at: data_end,
+            });
+            run.next_cas += t.burst_cycles;
+            run.remaining -= 1;
+        }
+        if run.remaining == 0 {
+            self.run = None;
+            self.next_cand.set(NextCand::Dirty);
+        } else {
+            self.run = Some(run);
+        }
+    }
+
     /// The earliest cycle at which this channel can commit another command,
     /// or `None` when the queue is empty.
+    ///
+    /// The device no longer calls this on its hot path — [`crate::Dram`]
+    /// reads the cached [`Channel::ea_component`] instead — but it remains
+    /// the single-channel semantic reference that the cache (and the
+    /// channel-level tests) are held against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn earliest_action(&self, now: u64) -> Option<u64> {
+        if let Some(run) = self.run {
+            // The run invariant guarantees this equals what a fresh
+            // pick_candidate + issue_time scan would return (the next-event
+            // property tests compare against exactly that), at the cost of
+            // two compares instead of a window rescan.
+            return if self.cfg.timing.trefi > 0 && self.next_refresh <= now {
+                Some(now)
+            } else {
+                Some(run.next_cas.max(now))
+            };
+        }
         match self.cached_candidate() {
             NextCand::Empty | NextCand::Dirty => None,
             NextCand::At { t_cas, .. } => {
@@ -239,6 +466,54 @@ impl Channel {
                     Some(t_cas.max(now))
                 }
             }
+        }
+    }
+
+    /// The next cycle at which [`Channel::advance_probed`] can change any
+    /// state: the active run's next bus slot, the memoized candidate's
+    /// commit cycle, or the refresh deadline — `u64::MAX` when none apply
+    /// (idle channel with refresh disabled). The device caches this per
+    /// channel and skips channels whose attention cycle lies beyond `now`;
+    /// the skipped call is a provable no-op (run slot, candidate and
+    /// refresh are exactly the three things the advance loop acts on).
+    ///
+    /// Unlike [`Channel::earliest_action`] this *includes* the refresh
+    /// deadline of an idle channel: an overdue refresh is committed (and
+    /// counted in [`ChannelStats::refreshes`]) by `advance_probed` even
+    /// when no transaction is queued, so the attention filter must not
+    /// skip past it.
+    pub(crate) fn next_attention(&self) -> u64 {
+        let cand = if let Some(run) = self.run {
+            run.next_cas
+        } else {
+            match self.cached_candidate() {
+                NextCand::Empty | NextCand::Dirty => u64::MAX,
+                NextCand::At { t_cas, .. } => t_cas,
+            }
+        };
+        if self.cfg.timing.trefi > 0 {
+            cand.min(self.next_refresh)
+        } else {
+            cand
+        }
+    }
+
+    /// The candidate component of [`Channel::earliest_action`]: the next
+    /// CAS commit cycle (the active run's next slot, else the memoized
+    /// pick), or `u64::MAX` when the queue is empty. The device caches
+    /// this per channel so [`crate::Dram::next_event`] does not touch
+    /// every channel on every wake; the refresh-due branch of
+    /// `earliest_action` needs no cached counterpart because the device
+    /// advances (and re-caches) every channel whose refresh deadline has
+    /// been reached before `next_event` can observe it (`next_refresh >
+    /// now` holds whenever the device is between `advance` calls).
+    pub(crate) fn ea_component(&self) -> u64 {
+        if let Some(run) = self.run {
+            return run.next_cas;
+        }
+        match self.cached_candidate() {
+            NextCand::Empty | NextCand::Dirty => u64::MAX,
+            NextCand::At { t_cas, .. } => t_cas,
         }
     }
 
@@ -319,15 +594,35 @@ impl Channel {
         if self.queue[0].bypassed >= FRFCFS_MAX_BYPASS {
             return Some(0);
         }
+        // Universal lower bound on any entry's CAS time: the refresh
+        // window, the command-bus tCCD floor and the data-bus edge apply
+        // to every queued transaction regardless of bank or direction
+        // (per-entry terms — arrival, ACT/PRE, turnaround — only add).
+        // The scan visits entries in age order and the key is
+        // (issue, !hit, idx), so the first row hit that reaches this
+        // bound is unbeatable: any later entry ties at best and loses on
+        // index. In a row-hit stream this ends the window rescan after
+        // one entry instead of sixteen.
+        let tim = &self.cfg.timing;
+        let mut lb = self.refresh_until;
+        if self.any_cas {
+            lb = lb.max(self.last_cas_time + tim.tccd_s.min(tim.tccd_l));
+        }
+        if self.any_data {
+            lb = lb.max(self.last_data_end.saturating_sub(tim.cl.max(tim.cwl)));
+        }
         let window = self.queue.len().min(FRFCFS_WINDOW);
         let mut best: Option<(u64, bool, usize)> = None; // (issue, !hit, idx)
         for (i, p) in self.queue.iter().take(window).enumerate() {
-            let bank = &self.banks[p.decoded.flat_bank(&self.cfg)];
+            let bank = &self.banks[p.flat as usize];
             let hit = bank.open_row == Some(p.decoded.row);
             let t = self.issue_time(p);
             let key = (t, !hit, i);
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
+                if hit && t <= lb {
+                    break;
+                }
             }
         }
         best.map(|(_, _, i)| i)
@@ -336,7 +631,7 @@ impl Channel {
     /// Earliest legal CAS time for `p` under current channel state.
     fn issue_time(&self, p: &Pending) -> u64 {
         let t = &self.cfg.timing;
-        let bank = &self.banks[p.decoded.flat_bank(&self.cfg)];
+        let bank = &self.banks[p.flat as usize];
         let mut t_cas = p.arrival.max(self.refresh_until);
 
         match bank.open_row {
@@ -393,7 +688,7 @@ impl Channel {
         ch_idx: usize,
     ) -> Completion {
         let t = self.cfg.timing;
-        let flat = p.decoded.flat_bank(&self.cfg);
+        let flat = p.flat as usize;
         let bank = &mut self.banks[flat];
         // Cycles the transaction sat in the channel queue before its CAS
         // became legal — the contention signal the probe reports.
@@ -490,11 +785,13 @@ mod tests {
 
     fn make(cfg: &DramConfig, addr: u64, is_write: bool, arrival: u64, meta: u64) -> Pending {
         let all: Vec<usize> = (0..cfg.channels).collect();
+        let decoded = decode(addr, cfg, &all);
         Pending {
             meta,
             core: 0,
             addr,
-            decoded: decode(addr, cfg, &all),
+            decoded,
+            flat: decoded.flat_bank(cfg) as u32,
             is_write,
             arrival,
             bypassed: 0,

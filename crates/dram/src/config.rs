@@ -141,6 +141,15 @@ pub struct DramConfig {
     pub mapping: AddressMapping,
     /// Intra-channel scheduling policy.
     pub policy: SchedPolicy,
+    /// Enable the exact steady-state fast-forward: when a channel detects a
+    /// run of same-row, same-direction row hits whose commit times are fully
+    /// determined by the data bus (`tCCD_L <= burst_cycles`), it retires the
+    /// run arithmetically instead of re-scanning the FR-FCFS window per
+    /// command. Bit-exact by construction — disabling it (or setting
+    /// `MNPU_NO_FASTFWD=1`) changes wall-clock time only, never a single
+    /// counter or commit cycle (enforced by proptests and a metamorphic
+    /// law). Default `true`.
+    pub fastfwd: bool,
 }
 
 impl DramConfig {
@@ -159,6 +168,7 @@ impl DramConfig {
             timing: DramTiming::hbm2(),
             mapping: AddressMapping::BlockInterleaved,
             policy: SchedPolicy::FrFcfs,
+            fastfwd: true,
         }
     }
 
@@ -185,6 +195,7 @@ impl DramConfig {
             timing: DramTiming::ddr4(),
             mapping: AddressMapping::BlockInterleaved,
             policy: SchedPolicy::FrFcfs,
+            fastfwd: true,
         }
     }
 

@@ -5,6 +5,7 @@ use crate::channel::{Channel, Pending};
 use crate::config::DramConfig;
 use crate::stats::{BandwidthTrace, DramStats};
 use mnpu_probe::{Event, NullProbe, Probe};
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
@@ -65,6 +66,10 @@ pub struct Dram {
     /// The full channel index set — the default subset for unpartitioned
     /// cores, precomputed so address decode never allocates.
     all_channels: Vec<usize>,
+    /// In-flight data bursts keyed `(completed_at, slot)`. A heap (not a
+    /// per-channel [`crate::MonotonicQueue`]) on purpose: `advance` peeks
+    /// this on *every* tick, and a heap peek is one load where the lane
+    /// scan is O(channels) — measured slower at this call frequency.
     in_flight: BinaryHeap<Reverse<(u64, u64)>>,
     in_flight_data: Vec<Option<Completion>>,
     free_slots: Vec<usize>,
@@ -75,19 +80,48 @@ pub struct Dram {
     /// Reusable buffer for commands committed within one `advance` call;
     /// kept across calls so the steady state allocates nothing.
     scratch_committed: Vec<Completion>,
+    /// Per-channel attention cache: the next cycle at which the channel's
+    /// `advance` can change any state ([`Channel::next_attention`]).
+    /// `advance_into_probed` skips channels whose cached cycle lies beyond
+    /// `now` — the skipped call is a provable no-op. Refreshed after every
+    /// advance of the channel; an enqueue stores the `0` sentinel ("attend
+    /// at the next tick"), which doubles as the dirty flag so the per-wake
+    /// scan reads one word per channel. `0` can never be a live skip
+    /// threshold (`0 > now` is false for every clock value).
+    ch_att: Vec<Cell<u64>>,
+    /// Per-channel cache of [`Channel::ea_component`] (`u64::MAX` = idle),
+    /// so [`Dram::next_event`] reads one word per channel instead of
+    /// re-deriving the scheduler pick. Refreshed after every advance of
+    /// the channel; an enqueue stores the `0` sentinel ("stale") and
+    /// `next_event` recomputes lazily through the `Cell` (an enqueue can
+    /// land between an advance and the next-event query). A legitimately
+    /// zero earliest action only exists at cycle 0, where the recompute
+    /// returns the same value.
+    ch_ea: Vec<Cell<u64>>,
 }
 
 impl Dram {
     /// Create a device.
     ///
+    /// Setting `MNPU_NO_FASTFWD=1` in the environment forces
+    /// [`DramConfig::fastfwd`] off for every device built afterwards — the
+    /// one-run bisection switch for any suspected fast-path divergence
+    /// (see EXPERIMENTS.md). The fast path is bit-exact, so flipping it
+    /// must never change a report; only wall-clock time moves.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`DramConfig::validate`].
-    pub fn new(config: DramConfig) -> Self {
+    pub fn new(mut config: DramConfig) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid DRAM config: {e}");
         }
-        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        if std::env::var_os("MNPU_NO_FASTFWD").is_some_and(|v| v != "0") {
+            config.fastfwd = false;
+        }
+        let channels: Vec<Channel> = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        let ch_att = channels.iter().map(|c| Cell::new(c.next_attention())).collect();
+        let ch_ea = channels.iter().map(|c| Cell::new(c.ea_component())).collect();
         Dram {
             channels,
             core_channels: Vec::new(),
@@ -100,6 +134,8 @@ impl Dram {
             now: 0,
             pending_count: 0,
             scratch_committed: Vec::new(),
+            ch_att,
+            ch_ea,
             config,
         }
     }
@@ -187,10 +223,16 @@ impl Dram {
     ) -> Result<(), EnqueueError> {
         let decoded = decode(addr, &self.config, self.subset_of(core));
         let ch = decoded.channel;
-        let p = Pending { meta, core, addr, decoded, is_write, arrival: now, bypassed: 0 };
+        let flat = decoded.flat_bank(&self.config) as u32;
+        let p = Pending { meta, core, addr, decoded, flat, is_write, arrival: now, bypassed: 0 };
         if !self.channels[ch].enqueue(p) {
             return Err(EnqueueError::QueueFull { channel: ch });
         }
+        // `0` sentinel: attend this channel at the next tick (the arrival
+        // may be committable immediately) and recompute its earliest
+        // action lazily.
+        self.ch_att[ch].set(0);
+        self.ch_ea[ch].set(0);
         self.pending_count += 1;
         if P::ENABLED {
             probe.record(
@@ -239,29 +281,42 @@ impl Dram {
         self.now = self.now.max(now);
 
         let mut committed = std::mem::take(&mut self.scratch_committed);
-        for (i, ch) in self.channels.iter_mut().enumerate() {
+        for i in 0..self.channels.len() {
+            // Attention filter: a channel whose cached attention cycle lies
+            // beyond `now` has no run slot, no actionable candidate and no
+            // due refresh — its `advance_probed` would be a pure no-op, so
+            // the call is skipped outright. An enqueue stores 0 (never
+            // beyond `now`), so freshly fed channels are always attended.
+            // This is what turns the per-wake cost from O(channels) into
+            // O(channels with work).
+            if self.ch_att[i].get() > now {
+                continue;
+            }
+            let ch = &mut self.channels[i];
             ch.advance_probed(now, &mut committed, probe, i);
-        }
-        for c in committed.drain(..) {
-            // Account bytes at commit time (the data burst is scheduled).
-            if self.per_core_bytes.len() <= c.core {
-                self.per_core_bytes.resize(c.core + 1, 0);
-            }
-            self.per_core_bytes[c.core] += crate::address::TRANSACTION_BYTES;
-            if let Some(t) = &mut self.trace {
-                t.record(c.completed_at, c.core, crate::address::TRANSACTION_BYTES);
-            }
-            let slot = match self.free_slots.pop() {
-                Some(s) => {
-                    self.in_flight_data[s] = Some(c);
-                    s
+            self.ch_att[i].set(ch.next_attention());
+            self.ch_ea[i].set(ch.ea_component());
+            for c in committed.drain(..) {
+                // Account bytes at commit time (the data burst is scheduled).
+                if self.per_core_bytes.len() <= c.core {
+                    self.per_core_bytes.resize(c.core + 1, 0);
                 }
-                None => {
-                    self.in_flight_data.push(Some(c));
-                    self.in_flight_data.len() - 1
+                self.per_core_bytes[c.core] += crate::address::TRANSACTION_BYTES;
+                if let Some(t) = &mut self.trace {
+                    t.record(c.completed_at, c.core, crate::address::TRANSACTION_BYTES);
                 }
-            };
-            self.in_flight.push(Reverse((c.completed_at, slot as u64)));
+                let slot = match self.free_slots.pop() {
+                    Some(s) => {
+                        self.in_flight_data[s] = Some(c);
+                        s
+                    }
+                    None => {
+                        self.in_flight_data.push(Some(c));
+                        self.in_flight_data.len() - 1
+                    }
+                };
+                self.in_flight.push(Reverse((c.completed_at, slot as u64)));
+            }
         }
         self.scratch_committed = committed;
 
@@ -281,9 +336,24 @@ impl Dram {
     /// burst completes or a channel can commit another command. `None` when
     /// fully idle.
     pub fn next_event(&self) -> Option<u64> {
-        let mut next: Option<u64> = self.in_flight.peek().map(|Reverse((t, _))| *t);
-        for ch in &self.channels {
-            if let Some(t) = ch.earliest_action(self.now) {
+        let mut next: Option<u64> = self.in_flight.peek().map(|&Reverse((t, _))| t);
+        for (i, ch) in self.channels.iter().enumerate() {
+            // One cached word per channel instead of re-deriving the
+            // scheduler pick; an enqueue since the last advance stores the
+            // 0 ("stale") sentinel and the entry is refilled here (through
+            // the `Cell`). The refresh-due branch of
+            // `Channel::earliest_action` has no cached counterpart because
+            // `next_refresh > self.now` holds for every channel between
+            // `advance` calls: the attention filter forces an advance
+            // (which pushes the deadline out) before a due refresh can be
+            // observed here.
+            let mut t = self.ch_ea[i].get();
+            if t == 0 {
+                t = ch.ea_component();
+                self.ch_ea[i].set(t);
+            }
+            if t != u64::MAX {
+                let t = t.max(self.now);
                 next = Some(match next {
                     Some(n) => n.min(t),
                     None => t,
@@ -300,7 +370,7 @@ impl Dram {
     /// of the stable API.
     #[doc(hidden)]
     pub fn next_event_uncached(&self) -> Option<u64> {
-        let mut next: Option<u64> = self.in_flight.peek().map(|Reverse((t, _))| *t);
+        let mut next: Option<u64> = self.in_flight.peek().map(|&Reverse((t, _))| t);
         for ch in &self.channels {
             if let Some(t) = ch.earliest_action_uncached(self.now) {
                 next = Some(match next {
@@ -310,6 +380,14 @@ impl Dram {
             }
         }
         next.map(|t| t.max(self.now + 1))
+    }
+
+    /// Commits retired through the steady-state fast path, summed over
+    /// channels. Diagnostic for equivalence tests and benches — never part
+    /// of [`DramStats`] (the fast path must not change any reported field).
+    #[doc(hidden)]
+    pub fn fastfwd_commits(&self) -> u64 {
+        self.channels.iter().map(|c| c.fastfwd_commits()).sum()
     }
 
     /// Snapshot of device statistics.

@@ -2,8 +2,11 @@
 //! is the equivalent for our rewrite).
 //!
 //! Energy is computed *post-hoc* from the counters in
-//! [`crate::DramStats`] — the hot path pays nothing. The model follows the
-//! usual current-profile decomposition:
+//! [`crate::DramStats`] — the hot path pays nothing, and because the
+//! steady-state fast-forward path maintains those counters bit-for-bit
+//! (see the invariants in DESIGN.md), energy estimates are unchanged by
+//! whether the fast path serviced a run. The model follows the usual
+//! current-profile decomposition:
 //!
 //! * one activation energy per ACT/PRE pair (row misses + conflicts),
 //! * per-access read/write energy (CAS + I/O),

@@ -46,6 +46,7 @@ mod channel;
 mod config;
 mod dram;
 pub mod energy;
+mod eventq;
 mod stats;
 
 pub use address::{decode, DecodedAddr, TRANSACTION_BYTES};
@@ -53,4 +54,5 @@ pub use channel::Channel;
 pub use config::{AddressMapping, DramConfig, DramTiming, SchedPolicy};
 pub use dram::{Completion, Dram, EnqueueError};
 pub use energy::{estimate_energy, DramEnergy, EnergyBreakdown};
+pub use eventq::MonotonicQueue;
 pub use stats::{BandwidthTrace, ChannelStats, DramStats};

@@ -1,6 +1,12 @@
 //! Statistics and bandwidth tracing.
 
 /// Counters for one channel.
+///
+/// Every field is maintained identically by the per-command scheduler loop
+/// and the steady-state fast path (`pump_run` updates each counter per
+/// retired entry, bit-for-bit like `Channel::commit`), so no consumer —
+/// including the energy model, which is a pure function of these counters —
+/// can observe which path serviced a transaction.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Read transactions serviced.

@@ -1,0 +1,160 @@
+//! Lockstep equivalence between the steady-state fast-forward and the
+//! per-command reference scheduler.
+//!
+//! Two devices differing *only* in [`DramConfig::fastfwd`] replay the same
+//! random operation script. After every single operation the pair must
+//! agree on everything externally observable: the completions returned by
+//! `advance` (order included), the next-event cycle, the full statistics
+//! snapshot, the pending count — and, at the end, the energy estimate
+//! derived from those statistics. The fast path's claim is *bit-exactness*,
+//! not approximate equivalence, so any drift at any step is a failure.
+//!
+//! The generated scripts lean on a streaming bias (runs of sequential
+//! same-direction addresses) so the fast path actually installs runs; a
+//! deterministic test pins `fastfwd_commits() > 0` to prove the suite is
+//! exercising the fast path rather than vacuously comparing two slow paths.
+
+use mnpu_dram::{estimate_energy, Dram, DramConfig, DramEnergy, TRANSACTION_BYTES};
+use proptest::prelude::*;
+
+/// One scripted device operation, decoded from a generated tuple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A burst of `len` sequential same-direction transactions starting at
+    /// `base` — the row-hit streams the fast path is built for.
+    Stream { base: u64, len: u8, is_write: bool },
+    /// A single transaction at an arbitrary address (breaks runs).
+    Single { addr: u64, is_write: bool },
+    /// Jump the clock to the device's own next event and `advance`.
+    AdvanceToNext,
+    /// Jump the clock forward by an arbitrary stride and `advance` —
+    /// large strides land mid-run and cross refresh deadlines.
+    AdvanceBy { delta: u64 },
+}
+
+fn decode_op((kind, addr, delta): (u8, u64, u64)) -> Op {
+    match kind {
+        0 | 1 => Op::Stream { base: addr, len: (delta % 24) as u8 + 2, is_write: kind == 1 },
+        2 => Op::Single { addr, is_write: delta % 2 == 0 },
+        3 => Op::AdvanceToNext,
+        _ => Op::AdvanceBy { delta: delta * 29 },
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..5, 0u64..(1 << 26), 0u64..512), 1..96)
+        .prop_map(|raw| raw.into_iter().map(decode_op).collect())
+}
+
+/// Replay `ops` on a fast-forwarding device and its per-command twin,
+/// diffing every observable after every operation.
+fn check(cfg: DramConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut fast = Dram::new(DramConfig { fastfwd: true, ..cfg.clone() });
+    let mut slow = Dram::new(DramConfig { fastfwd: false, ..cfg });
+    let mut now = 0u64;
+    let mut meta = 0u64;
+    let enqueue_both = |f: &mut Dram, s: &mut Dram, now, addr: u64, w, meta: &mut u64| {
+        let addr = addr / TRANSACTION_BYTES * TRANSACTION_BYTES;
+        let core = (addr % 3) as usize;
+        let rf = f.try_enqueue(now, core, addr, w, *meta);
+        let rs = s.try_enqueue(now, core, addr, w, *meta);
+        assert_eq!(rf, rs, "enqueue acceptance diverged at {addr:#x}");
+        *meta += 1;
+    };
+    for &op in ops {
+        match op {
+            Op::Stream { base, len, is_write } => {
+                for i in 0..u64::from(len) {
+                    let addr = base + i * TRANSACTION_BYTES;
+                    enqueue_both(&mut fast, &mut slow, now, addr, is_write, &mut meta);
+                }
+            }
+            Op::Single { addr, is_write } => {
+                enqueue_both(&mut fast, &mut slow, now, addr, is_write, &mut meta);
+            }
+            Op::AdvanceToNext => {
+                prop_assert_eq!(fast.next_event(), slow.next_event());
+                now = fast.next_event().unwrap_or(now + 1);
+                prop_assert_eq!(fast.advance(now), slow.advance(now));
+            }
+            Op::AdvanceBy { delta } => {
+                now += delta;
+                prop_assert_eq!(fast.advance(now), slow.advance(now));
+            }
+        }
+        prop_assert_eq!(fast.next_event(), slow.next_event(), "next_event after {:?}", op);
+        prop_assert_eq!(fast.pending(), slow.pending(), "pending after {:?}", op);
+        prop_assert_eq!(fast.stats(), slow.stats(), "stats after {:?}", op);
+    }
+    // Drain both to idle, still in lockstep.
+    while let Some(t) = fast.next_event() {
+        prop_assert_eq!(Some(t), slow.next_event());
+        now = t;
+        prop_assert_eq!(fast.advance(now), slow.advance(now));
+        prop_assert_eq!(fast.stats(), slow.stats());
+    }
+    prop_assert_eq!(slow.next_event(), None);
+    prop_assert_eq!(fast.pending(), 0);
+    prop_assert_eq!(slow.pending(), 0);
+    // Energy is derived from the counters, so equal stats must yield equal
+    // energy — checked anyway to pin the whole reporting chain.
+    let model = DramEnergy::hbm2();
+    let ef = estimate_energy(&fast.stats(), fast.config(), &model, now);
+    let es = estimate_energy(&slow.stats(), slow.config(), &model, now);
+    prop_assert_eq!(ef, es, "energy diverged");
+    prop_assert_eq!(slow.fastfwd_commits(), 0, "reference device must stay on the slow path");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The bench device (`tCCD_L <= burst`) — the geometry where the fast
+    /// path actually engages.
+    #[test]
+    fn prop_fastfwd_matches_reference_bench(ops in arb_ops()) {
+        check(DramConfig::bench(2), &ops)?;
+    }
+
+    /// Single channel concentrates every stream on one queue: longer runs,
+    /// constant queue-full backpressure.
+    #[test]
+    fn prop_fastfwd_matches_reference_single_channel(ops in arb_ops()) {
+        check(DramConfig::bench(1), &ops)?;
+    }
+
+    /// HBM2 timing (`tCCD_L > burst`) — the install guard must reject every
+    /// run, making fastfwd-on literally the same machine as fastfwd-off.
+    #[test]
+    fn prop_fastfwd_vacuous_on_hbm2(ops in arb_ops()) {
+        check(DramConfig::hbm2(2), &ops)?;
+    }
+}
+
+/// A plain streaming read shows the suite is not vacuous: the fast path
+/// must retire most of the stream, and still match the reference exactly.
+#[test]
+fn streaming_read_uses_fast_path_and_matches() {
+    let mk = |ff: bool| {
+        let mut d = Dram::new(DramConfig { fastfwd: ff, ..DramConfig::bench(1) });
+        let mut now = 0;
+        let mut done = Vec::new();
+        for i in 0..256u64 {
+            while d.try_enqueue(now, 0, i * TRANSACTION_BYTES, false, i).is_err() {
+                now = d.next_event().expect("must drain");
+                d.advance_into(now, &mut done);
+            }
+        }
+        while let Some(t) = d.next_event() {
+            now = t;
+            d.advance_into(now, &mut done);
+        }
+        (done, d.stats(), d.fastfwd_commits())
+    };
+    let (done_f, stats_f, ff) = mk(true);
+    let (done_s, stats_s, ss) = mk(false);
+    assert_eq!(done_f, done_s);
+    assert_eq!(stats_f, stats_s);
+    assert_eq!(ss, 0);
+    assert!(ff > 128, "fast path should retire most of a 256-read stream, got {ff}");
+}

@@ -7,7 +7,6 @@ use crate::sim::{Simulation, META_WALK};
 use mnpu_dram::{EnqueueError, TRANSACTION_BYTES};
 use mnpu_mmu::WalkStart;
 use mnpu_probe::{Event, Probe};
-use std::cmp::Reverse;
 use std::collections::{BTreeMap, VecDeque};
 
 /// A transaction rejected by a full DRAM queue, waiting to be retried:
@@ -32,6 +31,13 @@ pub(crate) struct Arbiter {
     pub(crate) walker_waiters: BTreeMap<(usize, u64), Vec<(usize, u64)>>,
     /// Reused per-core "pool exhausted" scratch for `drain_walker_wait`.
     pub(crate) walker_blocked: Vec<bool>,
+    /// `true` when a walk finished since the last `drain_walker_wait` —
+    /// the only event that can free a walker or make a parked page
+    /// resident. While it is `false`, the drain body is a provable no-op
+    /// (`Mmu::probe` is `&self`, a failed `try_acquire` mutates nothing)
+    /// and `issue_all` skips it, keeping only its round-robin rotation so
+    /// the arbitration sequence stays bit-identical.
+    pub(crate) walker_event: bool,
     /// Reused scratch for the retry-queue drain in `issue_all`.
     pub(crate) retry_scratch: VecDeque<RetryTxn>,
 }
@@ -44,6 +50,7 @@ impl Arbiter {
             walker_wait_order: vec![VecDeque::new(); cores],
             walker_waiters: BTreeMap::new(),
             walker_blocked: vec![false; cores],
+            walker_event: true,
             retry_scratch: VecDeque::new(),
         }
     }
@@ -67,7 +74,7 @@ impl<P: Probe> Simulation<P> {
         if let Some(noc) = &mut self.noc {
             let arrival = noc.request_delivery(self.now, core, TRANSACTION_BYTES);
             if arrival > self.now {
-                self.noc_requests.push(Reverse((arrival, core, paddr, is_write, meta)));
+                self.noc_requests.push(core, (arrival, core, paddr, is_write, meta));
                 return;
             }
         }
@@ -114,13 +121,14 @@ impl<P: Probe> Simulation<P> {
                 // walk.
                 if mmu.probe(core, vpn) {
                     self.arbiter.walker_wait_order[core].pop_front();
-                    let waiters =
+                    let mut waiters =
                         self.arbiter.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
-                    for (stage_id, vaddr) in waiters {
+                    for (stage_id, vaddr) in waiters.drain(..) {
                         let is_write = self.stages[stage_id].is_store;
                         let paddr = self.page_tables[core].translate(vaddr);
                         self.enqueue_or_retry(core, paddr, is_write, stage_id as u64);
                     }
+                    self.recycle_waiters(waiters);
                     progressed = true;
                     continue;
                 }
@@ -140,9 +148,10 @@ impl<P: Probe> Simulation<P> {
                     }
                     WalkStart::Joined(walk) => {
                         self.arbiter.walker_wait_order[core].pop_front();
-                        let waiters =
+                        let mut waiters =
                             self.arbiter.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
-                        self.walk_waiters.entry(walk.raw()).or_default().extend(waiters);
+                        self.walk_waiters.entry(walk.raw()).or_default().append(&mut waiters);
+                        self.recycle_waiters(waiters);
                         progressed = true;
                     }
                     WalkStart::NoWalker => {
@@ -155,6 +164,8 @@ impl<P: Probe> Simulation<P> {
             }
         }
         self.arbiter.walker_blocked = blocked;
+        // Progress from here on requires another walk completion.
+        self.arbiter.walker_event = false;
     }
 
     /// One arbitration round: drain the retry queue (FCFS), grant freed
@@ -180,7 +191,16 @@ impl<P: Probe> Simulation<P> {
             self.arbiter.retry_scratch = remaining;
         }
         if self.arbiter.has_walker_waiters() {
-            self.drain_walker_wait();
+            if self.arbiter.walker_event {
+                self.drain_walker_wait();
+            } else {
+                // No walk finished since the last drain, so no walker can
+                // have freed and no parked page can have become resident —
+                // the drain body would probe every queue and do nothing.
+                // Its round-robin rotation is kept so the arbitration
+                // sequence (and thus the report) is bit-identical.
+                self.arbiter.rotate(self.cores.len());
+            }
         }
 
         // Rotate the starting core so no core gets systematic first pick of
@@ -287,7 +307,9 @@ impl<P: Probe> Simulation<P> {
                                 .record(self.now, Event::WalkStart { core: ci, walk: walk.raw() });
                         }
                         self.log(ci, LogKind::WalkStart, pt_addr);
-                        self.walk_waiters.insert(walk.raw(), vec![(stage_id, vaddr)]);
+                        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+                        waiters.push((stage_id, vaddr));
+                        self.walk_waiters.insert(walk.raw(), waiters);
                         self.enqueue_or_retry(ci, pt_addr, false, META_WALK | walk.raw());
                     }
                     WalkStart::Joined(walk) => {

@@ -55,6 +55,17 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enable or disable the DRAM steady-state fast-forward
+    /// ([`mnpu_dram::DramConfig::fastfwd`]). The fast path is bit-exact, so
+    /// this knob trades wall-clock time only; disabling it (equivalently,
+    /// setting `MNPU_NO_FASTFWD=1`, which overrides this setter) is the
+    /// one-run bisection switch for any suspected fast-path divergence.
+    #[must_use]
+    pub fn fastfwd(mut self, enabled: bool) -> Self {
+        self.cfg.dram.fastfwd = enabled;
+        self
+    }
+
     /// Select the observability probe explicitly.
     #[must_use]
     pub fn probe(mut self, mode: ProbeMode) -> Self {

@@ -5,7 +5,7 @@
 //! page-table region (walk reads scatter there); the rest is a frame pool
 //! allocated on first touch.
 
-use std::collections::HashMap;
+use mnpu_mmu::FxHashMap;
 
 /// One core's page table: allocates physical frames on demand and maps
 /// virtual pages to them.
@@ -28,7 +28,10 @@ pub struct PageTable {
     page_bytes: u64,
     frames: u64,
     next_frame: u64,
-    map: HashMap<u64, u64>,
+    /// Deterministic fast hasher: the map is probed once per transaction,
+    /// and SipHash was measurable in sweep profiles (see
+    /// [`mnpu_mmu::FxHasher`]).
+    map: FxHashMap<u64, u64>,
     pt_region_base: u64,
 }
 
@@ -52,7 +55,7 @@ impl PageTable {
             page_bytes,
             frames: usable / page_bytes,
             next_frame: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             pt_region_base: phys_base + usable,
         }
     }

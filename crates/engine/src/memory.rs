@@ -179,7 +179,14 @@ impl<P: Probe> MemorySystem<P> for DramMemory<P> {
     }
 
     fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
-        out.append(&mut self.ready);
+        // The caller's buffer is normally empty here, so a whole batch —
+        // e.g. a fast-forwarded run of row hits — changes hands as one
+        // pointer swap instead of a copy.
+        if out.is_empty() {
+            std::mem::swap(out, &mut self.ready);
+        } else {
+            out.append(&mut self.ready);
+        }
     }
 
     fn next_event_cycle(&self) -> Option<u64> {
@@ -291,7 +298,11 @@ impl<P: Probe> MemorySystem<P> for IdealMemory<P> {
     }
 
     fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
-        out.append(&mut self.ready);
+        if out.is_empty() {
+            std::mem::swap(out, &mut self.ready);
+        } else {
+            out.append(&mut self.ready);
+        }
     }
 
     fn next_event_cycle(&self) -> Option<u64> {

@@ -18,8 +18,9 @@ use mnpu_mmu::{Mmu, WalkStep};
 use mnpu_model::Network;
 use mnpu_probe::{CoreState, Event, NullProbe, Phase, Probe, StatsProbe};
 use mnpu_systolic::WorkloadTrace;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+use mnpu_dram::MonotonicQueue;
 
 /// Tag bit distinguishing page-table walk reads from data transactions.
 pub(crate) const META_WALK: u64 = 1 << 63;
@@ -87,12 +88,20 @@ pub struct Simulation<P: Probe = NullProbe> {
     pub(crate) log: Option<RequestLog>,
     pub(crate) probe: P,
     pub(crate) noc: Option<mnpu_noc::Crossbar>,
-    /// Requests in flight on the interconnect.
-    pub(crate) noc_requests: BinaryHeap<Reverse<NocRequest>>,
-    /// Responses in flight back to cores: (arrival, meta, core).
-    pub(crate) noc_responses: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Requests in flight on the interconnect. Lane = producing core: each
+    /// crossbar request link hands out nondecreasing delivery times, so
+    /// pushes are `O(1)` ring-buffer appends (see [`MonotonicQueue`]).
+    pub(crate) noc_requests: MonotonicQueue<NocRequest>,
+    /// Responses in flight back to cores: (arrival, meta, core). Lane =
+    /// destination core, matching the per-core response links.
+    pub(crate) noc_responses: MonotonicQueue<(u64, u64, usize)>,
     /// Reused buffer for draining memory completions each loop iteration.
     completion_buf: Vec<Completion>,
+    /// Recycled waiter vectors for `walk_waiters`: registration on
+    /// walk-heavy configs (4 KB pages) parks transactions every few cycles,
+    /// and each parking used to allocate a fresh `Vec`. Mirrors the
+    /// arbiter's `retry_scratch` reuse pattern.
+    pub(crate) waiter_pool: Vec<Vec<(usize, u64)>>,
     pub(crate) now: u64,
     /// Whether the current cycle has already had its fixpoint pass
     /// ([`Simulation::pump`]). Stepping via [`Simulation::advance`] must
@@ -261,9 +270,10 @@ impl<P: Probe> Simulation<P> {
             log: cfg.request_log.then(|| RequestLog::new(cfg.request_log_cap)),
             probe,
             noc: cfg.noc.as_ref().map(|n| mnpu_noc::Crossbar::new(n, cfg.cores)),
-            noc_requests: BinaryHeap::new(),
-            noc_responses: BinaryHeap::new(),
+            noc_requests: MonotonicQueue::new(cfg.cores),
+            noc_responses: MonotonicQueue::new(cfg.cores),
             completion_buf: Vec::new(),
+            waiter_pool: Vec::new(),
             now: 0,
             pumped: false,
             finish_reported,
@@ -310,14 +320,14 @@ impl<P: Probe> Simulation<P> {
     /// [`Simulation::advance`] never double-arbitrates it.
     fn pump(&mut self) {
         // Interconnect deliveries due by now.
-        while let Some(&Reverse((t, core, paddr, is_write, meta))) = self.noc_requests.peek() {
+        while let Some(&(t, core, paddr, is_write, meta)) = self.noc_requests.peek() {
             if t > self.now {
                 break;
             }
             self.noc_requests.pop();
             self.enqueue_direct(core, paddr, is_write, meta);
         }
-        while let Some(&Reverse((t, meta, core))) = self.noc_responses.peek() {
+        while let Some(&(t, meta, core)) = self.noc_responses.peek() {
             if t > self.now {
                 break;
             }
@@ -335,7 +345,7 @@ impl<P: Probe> Simulation<P> {
                 let arrival =
                     noc.response_delivery(c.completed_at.min(self.now), c.core, TRANSACTION_BYTES);
                 if arrival > self.now {
-                    self.noc_responses.push(Reverse((arrival, c.meta, c.core)));
+                    self.noc_responses.push(c.core, (arrival, c.meta, c.core));
                     continue;
                 }
             }
@@ -360,10 +370,10 @@ impl<P: Probe> Simulation<P> {
     /// nothing is in flight anywhere.
     fn next_event(&self) -> Option<u64> {
         let mut next: Option<u64> = self.memory.next_event_cycle();
-        if let Some(&Reverse((t, ..))) = self.noc_requests.peek() {
+        if let Some(&(t, ..)) = self.noc_requests.peek() {
             next = Some(next.map_or(t, |n| n.min(t)));
         }
-        if let Some(&Reverse((t, ..))) = self.noc_responses.peek() {
+        if let Some(&(t, ..)) = self.noc_responses.peek() {
             next = Some(next.map_or(t, |n| n.min(t)));
         }
         for core in &self.cores {
@@ -607,6 +617,16 @@ impl<P: Probe> Simulation<P> {
 
     // --- event handling ----------------------------------------------------
 
+    /// Return a drained waiter vector to the reuse pool. Bounded so a
+    /// pathological workload cannot hoard memory through the pool; beyond
+    /// the cap the vector just drops, which is the old behavior.
+    pub(crate) fn recycle_waiters(&mut self, waiters: Vec<(usize, u64)>) {
+        debug_assert!(waiters.is_empty(), "recycled waiter vec must be drained");
+        if self.waiter_pool.len() < 64 {
+            self.waiter_pool.push(waiters);
+        }
+    }
+
     fn handle_completion(&mut self, meta: u64, core: usize) {
         if meta & META_WALK != 0 {
             self.cores[core].walk_txns += 1;
@@ -628,14 +648,16 @@ impl<P: Probe> Simulation<P> {
                     }
                     let page = self.mmu.as_ref().expect("checked").page_bytes();
                     self.log(core, LogKind::WalkDone, vpn * page);
-                    if let Some(waiters) = self.walk_waiters.remove(&walk.raw()) {
-                        for (stage_id, vaddr) in waiters {
+                    if let Some(mut waiters) = self.walk_waiters.remove(&walk.raw()) {
+                        for (stage_id, vaddr) in waiters.drain(..) {
                             let is_write = self.stages[stage_id].is_store;
                             let paddr = self.page_tables[core].translate(vaddr);
                             self.enqueue_or_retry(core, paddr, is_write, stage_id as u64);
                         }
+                        self.recycle_waiters(waiters);
                     }
                     // A walker was freed: try to start queued walks.
+                    self.arbiter.walker_event = true;
                     self.drain_walker_wait();
                 }
             }

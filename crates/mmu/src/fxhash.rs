@@ -1,0 +1,113 @@
+//! A deterministic, multiplication-based hasher for hot integer-keyed maps.
+//!
+//! The in-flight walk table and the engine's page-table allocator are
+//! probed on every transaction, and with `std`'s default SipHash the
+//! hashing itself shows up in profiles (several percent of a full sweep).
+//! These maps are keyed by small integers under no adversarial pressure,
+//! so the DoS resistance buys nothing here. [`FxHasher`] is the classic
+//! rotate–xor–multiply folding hash (the scheme rustc itself uses): one
+//! multiply per word instead of SipHash's full permutation.
+//!
+//! Determinism note: swapping the randomly-seeded default hasher for a
+//! fixed one makes iteration order reproducible across runs. Simulation
+//! results were already bit-reproducible *with* the random seed, which
+//! proves no observable output depends on map order; the swap can
+//! therefore only change wall-clock time.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A [`HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Word-at-a-time folding hasher; see the module-level docs.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Odd constant with a balanced bit pattern (2^64 / golden ratio), the
+/// usual Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_and_is_deterministic() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 0x1_0000, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 0x1_0000)), Some(&i));
+        }
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(0xdead_beef);
+        h2.write_u64(0xdead_beef);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_ne!(FxHasher::default().finish(), h1.finish());
+    }
+
+    #[test]
+    fn tuple_keys_work() {
+        let mut m: FxHashMap<(u16, u64), u64> = FxHashMap::default();
+        m.insert((3, 77), 1);
+        m.insert((4, 77), 2);
+        assert_eq!(m[&(3, 77)], 1);
+        assert_eq!(m[&(4, 77)], 2);
+    }
+}

@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fxhash;
 mod mmu;
 mod tlb;
 mod walker;
 
 pub use config::{walk_levels_for, MmuConfig, PtwBounds};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use mmu::{Mmu, MmuStats, WalkId, WalkStart, WalkStep};
 pub use tlb::Tlb;
 pub use walker::WalkerPool;

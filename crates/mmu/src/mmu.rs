@@ -1,9 +1,9 @@
 //! The MMU façade: TLB lookups, walk lifecycle, coalescing.
 
 use crate::config::MmuConfig;
+use crate::fxhash::FxHashMap;
 use crate::tlb::Tlb;
 use crate::walker::WalkerPool;
-use std::collections::HashMap;
 
 /// Identifier of an in-flight page-table walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,8 +98,8 @@ pub struct Mmu {
     cores: usize,
     tlbs: Vec<Tlb>,
     walkers: WalkerPool,
-    walks: HashMap<u64, Walk>,
-    active_by_page: HashMap<(u16, u64), WalkId>,
+    walks: FxHashMap<u64, Walk>,
+    active_by_page: FxHashMap<(u16, u64), WalkId>,
     next_walk_id: u64,
     pt_bases: Vec<u64>,
     stats: Vec<MmuStats>,
@@ -141,8 +141,8 @@ impl Mmu {
             cores,
             tlbs,
             walkers,
-            walks: HashMap::new(),
-            active_by_page: HashMap::new(),
+            walks: FxHashMap::default(),
+            active_by_page: FxHashMap::default(),
             next_walk_id: 0,
             pt_bases: pt_bases.to_vec(),
             stats: vec![MmuStats::default(); cores],

@@ -56,7 +56,12 @@ impl Tlb {
         // Mix the ASID with a golden-ratio multiple so co-runners' identical
         // VPNs land in different sets of a shared TLB.
         let h = vpn ^ (u64::from(asid)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (h % self.sets.len() as u64) as usize
+        let n = self.sets.len() as u64;
+        // The set count is a runtime value LLVM cannot strength-reduce, and
+        // this runs once per translation; every stock geometry is a power of
+        // two, so the mask path is the common case. Same result either way.
+        let idx = if n.is_power_of_two() { h & (n - 1) } else { h % n };
+        idx as usize
     }
 
     /// Probe for `(asid, vpn)`; updates LRU state and hit/miss counters.

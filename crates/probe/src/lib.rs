@@ -258,6 +258,26 @@ pub trait Probe: std::fmt::Debug + Clone + Send + Default + 'static {
     fn into_report(self) -> Option<StatsReport>;
 }
 
+/// Replay a batch of synthesized per-command events into `probe`, in index
+/// order: `f(i)` produces the `(cycle, event)` pair the uninstrumented
+/// per-command path would have emitted for the batch's `i`-th command.
+///
+/// Batched fast paths (the DRAM steady-state fast-forward) retire many
+/// commands in one step; this helper reconstructs the identical event
+/// stream — same events, same cycles, same order — so instrumented runs
+/// cannot tell the fast path apart from the slow one. Under [`NullProbe`]
+/// (`ENABLED == false`) the whole call, closure included, const-folds away,
+/// preserving the zero-cost contract.
+#[inline]
+pub fn replay_batch<P: Probe>(probe: &mut P, n: usize, mut f: impl FnMut(usize) -> (u64, Event)) {
+    if P::ENABLED {
+        for i in 0..n {
+            let (cycle, event) = f(i);
+            probe.record(cycle, event);
+        }
+    }
+}
+
 /// The default probe: records nothing, costs nothing. `ENABLED == false`
 /// lets the compiler eliminate every guarded emission site.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

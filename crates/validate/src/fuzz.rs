@@ -156,6 +156,12 @@ pub fn generate_case(master_seed: u64, iteration: u64) -> FuzzCase {
     );
     cfg.dram.policy =
         *pick(&mut rng, &[mnpu_dram::SchedPolicy::FrFcfs, mnpu_dram::SchedPolicy::Fcfs]);
+    // Fuzz both scheduler paths: most cases keep the steady-state
+    // fast-forward on (the production default), a quarter pin the
+    // per-command reference. Any oracle that fires on one but not the
+    // other is a fast-path exactness bug — the `force-slow-path` shrink
+    // step and the `fastfwd-exact` law triangulate those directly.
+    cfg.dram.fastfwd = rng.random_bool(0.75);
 
     // MMU: page size, TLB geometry (entries must stay a multiple of the
     // associativity), walker count.
@@ -292,7 +298,7 @@ pub fn check_case(case: &FuzzCase) -> Vec<Violation> {
 }
 
 /// The shrink moves, ordered roughly by how much each simplifies a case.
-const SHRINK_STEPS: [&str; 8] = [
+const SHRINK_STEPS: [&str; 9] = [
     "drop-serve",
     "single-iteration",
     "drop-options",
@@ -300,6 +306,7 @@ const SHRINK_STEPS: [&str; 8] = [
     "truncate-nets",
     "drop-last-core",
     "fewer-channels",
+    "force-slow-path",
     "ideal-memory",
 ];
 
@@ -377,6 +384,17 @@ fn apply_step(case: &FuzzCase, step: &str) -> Option<FuzzCase> {
             }
             c.config.channels_per_core /= 2;
             c.config.channel_partition = None;
+        }
+        // If the failure survives on the per-command reference scheduler,
+        // the fast-forward is exonerated and the minimized repro is easier
+        // to step through; if it does not survive, the *shrinker's
+        // rejection of this step* is itself the finding — the case fails
+        // only with fastfwd on, i.e. the fast path diverged.
+        "force-slow-path" => {
+            if !c.config.dram.fastfwd {
+                return None;
+            }
+            c.config.dram.fastfwd = false;
         }
         "ideal-memory" => {
             if !matches!(c.config.memory, MemoryModel::Timing) {
@@ -493,6 +511,7 @@ pub fn repro_json(seed: u64, failure: &FuzzFailure, case: &FuzzCase) -> String {
     s.push_str(&format!("    \"iterations\": {},\n", cfg.iterations));
     s.push_str(&format!("    \"burst_cycles\": {},\n", cfg.dram.timing.burst_cycles));
     s.push_str(&format!("    \"queue_depth\": {},\n", cfg.dram.queue_depth));
+    s.push_str(&format!("    \"fastfwd\": {},\n", cfg.dram.fastfwd));
     s.push_str(&format!(
         "    \"memory\": \"{}\"\n",
         match cfg.memory {

@@ -116,11 +116,18 @@ pub enum Law {
     /// physical layout, and better row/channel locality can outweigh the
     /// walk overhead.)
     TranslationOffRemovesWalks,
+    /// The DRAM steady-state fast-forward is a wall-clock optimization and
+    /// nothing else: flipping [`mnpu_dram::DramConfig::fastfwd`] must leave
+    /// the *entire* [`RunReport`] bit-identical — cycles, stats, energy,
+    /// logs. Exact, with zero slack: unlike every directional law above,
+    /// the two runs simulate the same machine, so any divergence at all is
+    /// a fast-path bug (see the invariants section in DESIGN.md).
+    FastForwardExact,
 }
 
 impl Law {
     /// Every law, in a stable order.
-    pub const ALL: [Law; 9] = [
+    pub const ALL: [Law; 10] = [
         Law::SingleCoreSharingIrrelevant,
         Law::StaticIsolation,
         Law::MoreChannelsNeverSlower,
@@ -130,6 +137,7 @@ impl Law {
         Law::ChannelPartitionPreservesTraffic,
         Law::IdealMemoryIsLowerBound,
         Law::TranslationOffRemovesWalks,
+        Law::FastForwardExact,
     ];
 
     /// Stable identifier used in violations and repro artifacts.
@@ -144,6 +152,7 @@ impl Law {
             Law::ChannelPartitionPreservesTraffic => "channel-partition-preserves-traffic",
             Law::IdealMemoryIsLowerBound => "ideal-memory-is-lower-bound",
             Law::TranslationOffRemovesWalks => "translation-off-removes-walks",
+            Law::FastForwardExact => "fastfwd-exact",
         }
     }
 
@@ -175,6 +184,12 @@ impl Law {
             }
             Law::IdealMemoryIsLowerBound => timing,
             Law::TranslationOffRemovesWalks => cfg.translation,
+            // Only the timing model has a scheduler to fast-forward. The
+            // flip must go the interesting way, so require it on (the
+            // fuzzer generates both settings). Note `MNPU_NO_FASTFWD`
+            // forces both runs to the slow path, making the check vacuous
+            // rather than wrong.
+            Law::FastForwardExact => timing && cfg.dram.fastfwd,
         }
     }
 
@@ -197,6 +212,7 @@ impl Law {
             Law::ChannelPartitionPreservesTraffic => partition_traffic(cfg, nets),
             Law::IdealMemoryIsLowerBound => ideal_lower_bound(cfg, nets),
             Law::TranslationOffRemovesWalks => translation_off(cfg, nets),
+            Law::FastForwardExact => fastfwd_exact(cfg, nets),
         }
     }
 }
@@ -274,6 +290,31 @@ fn single_core_sharing(cfg: &SystemConfig, nets: &[Network]) -> Vec<Violation> {
                 ),
             ));
         }
+    }
+    out
+}
+
+fn fastfwd_exact(cfg: &SystemConfig, nets: &[Network]) -> Vec<Violation> {
+    let law = Law::FastForwardExact;
+    let mut out = Vec::new();
+    let base = run(cfg, nets);
+    let mut alt = cfg.clone();
+    alt.dram.fastfwd = false;
+    let r = run(&alt, nets);
+    // Zero slack: the fast path is a closed-form replay of the exact
+    // per-command schedule, so the *entire* report must be bit-identical.
+    if r != base {
+        out.push(violation(
+            law,
+            None,
+            format!(
+                "fast-forward changed the report (cycles {} vs {}, dram txns {} vs {})",
+                base.total_cycles,
+                r.total_cycles,
+                base.dram.total.transactions(),
+                r.dram.total.transactions()
+            ),
+        ));
     }
     out
 }

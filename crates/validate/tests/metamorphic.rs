@@ -26,6 +26,10 @@ fn config_for(law: Law) -> SystemConfig {
         Law::ChannelPartitionPreservesTraffic => SystemConfig::bench(2, SharingLevel::Static),
         Law::IdealMemoryIsLowerBound => SystemConfig::bench(2, SharingLevel::PlusDwt),
         Law::TranslationOffRemovesWalks => SystemConfig::bench(2, SharingLevel::PlusDwt),
+        // The bench preset's timing (tCCD <= burst) is exactly the regime
+        // where the DRAM fast path activates, so this exercises real
+        // fast-forwarded runs, not a vacuous comparison.
+        Law::FastForwardExact => SystemConfig::bench(2, SharingLevel::PlusDwt),
     }
 }
 
