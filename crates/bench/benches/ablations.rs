@@ -13,7 +13,7 @@ use mnpu_model::{zoo, Scale};
 
 fn run(cfg: &SystemConfig) -> Vec<u64> {
     let nets = [zoo::selfish_rnn(Scale::Bench), zoo::dlrm(Scale::Bench)];
-    Simulation::run_networks(cfg, &nets).cores.iter().map(|c| c.cycles).collect()
+    Simulation::execute_networks(cfg, &nets).cores.iter().map(|c| c.cycles).collect()
 }
 
 fn report(label: &str, base: &[u64], variant: &[u64]) {

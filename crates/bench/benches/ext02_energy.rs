@@ -27,7 +27,7 @@ fn main() {
     );
     for level in SharingLevel::CO_RUN_LEVELS {
         let cfg = SystemConfig::bench(2, level);
-        let r = Simulation::run_networks(&cfg, &nets);
+        let r = Simulation::execute_networks(&cfg, &nets);
         let e = r.estimate_energy(&cfg, &model);
         println!(
             "{:<8}{:>12}{:>10.0}{:>10.0}{:>10.0}{:>10.0}{:>12.0}{:>12.0}{:>12.0}",

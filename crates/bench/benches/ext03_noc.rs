@@ -26,7 +26,7 @@ fn main() {
         if let Some(n) = noc {
             cfg = cfg.with_noc(n);
         }
-        let r = Simulation::run_networks(&cfg, &nets);
+        let r = Simulation::execute_networks(&cfg, &nets);
         println!(
             "{:<22}{:>12}{:>12}{:>14}{:>14}",
             label,

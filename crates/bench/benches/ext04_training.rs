@@ -15,13 +15,13 @@ fn main() {
 
     let base = SystemConfig::bench(2, SharingLevel::PlusDwt);
     let ideal = base.ideal_solo();
-    let ia = Simulation::run_networks(&ideal, std::slice::from_ref(&a)).cores[0].cycles;
-    let ib = Simulation::run_networks(&ideal, std::slice::from_ref(&b)).cores[0].cycles;
+    let ia = Simulation::execute_networks(&ideal, std::slice::from_ref(&a)).cores[0].cycles;
+    let ib = Simulation::execute_networks(&ideal, std::slice::from_ref(&b)).cores[0].cycles;
     println!("ideal cycles: {ia} / {ib}");
     println!("{:<8}{:>10}{:>10}{:>10}", "level", "spdup A", "spdup B", "geomean");
     for level in SharingLevel::CO_RUN_LEVELS {
         let cfg = SystemConfig::bench(2, level);
-        let r = Simulation::run_networks(&cfg, &[a.clone(), b.clone()]);
+        let r = Simulation::execute_networks(&cfg, &[a.clone(), b.clone()]);
         let sa = ia as f64 / r.cores[0].cycles as f64;
         let sb = ib as f64 / r.cores[1].cycles as f64;
         println!("{:<8}{:>10.3}{:>10.3}{:>10.3}", level.label(), sa, sb, geomean(&[sa, sb]));

@@ -12,8 +12,9 @@
 //! cargo run --release -p mnpu-bench --bin mnpu_hotpath [-- --tiny] [-- --label NAME]
 //! ```
 //!
-//! * `--tiny` — a 3-simulation smoke workload (CI: catches pathological
-//!   slowdowns or panics in the bench path without paying for the sweep);
+//! * `--tiny` — a 5-simulation smoke workload including one warm-start
+//!   prefix group (CI: catches pathological slowdowns or panics in the
+//!   bench path without paying for the sweep);
 //! * `--label NAME` — label recorded in the JSON entry (default `current`;
 //!   `MNPU_BENCH_LABEL` works too);
 //! * `--probe-stats` — run every simulation with the statistics probe
@@ -28,10 +29,13 @@
 //!   (best-of-N suppresses scheduler noise; defaults to 5 under `--tiny`,
 //!   where the sweep is tens of milliseconds, and 1 otherwise).
 //!
-//! `MNPU_BENCH_OUT` overrides the output path.
+//! `MNPU_BENCH_OUT` overrides the output path. `MNPU_NO_PREFIX_SHARE=1`
+//! disables warm-start prefix sharing across sharing levels; the recorded
+//! `simulated_cycles` and `dram_transactions` are identical in both modes
+//! (the entry's `prefix_share` field says which one ran).
 
-use mnpu_bench::Harness;
-use mnpu_engine::{Format, ProbeMode, RunReport, SharingLevel, SystemConfig};
+use mnpu_bench::{plan_units, prefix_share_enabled, Harness, SweepUnit};
+use mnpu_engine::{Emit, Format, ProbeMode, RunReport, SharingLevel, SystemConfig};
 use mnpu_predict::mapping::multisets;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -46,13 +50,36 @@ struct SweepResult {
 
 /// Run every request serially through the full report path (no run cache,
 /// memoized traces — the same work a cold sweep does per simulation).
+///
+/// Requests differing only in MMU organization run as warm-start prefix
+/// groups unless `MNPU_NO_PREFIX_SHARE=1` (see `mnpu_bench::prefix`); the
+/// accumulated counts are bit-identical in both modes — only the wall
+/// clock moves.
 fn run_sweep(h: &Harness, reqs: &[(SystemConfig, Vec<usize>)]) -> SweepResult {
     let t0 = Instant::now();
+    let units = plan_units(reqs.iter().map(|(cfg, ws)| (cfg, ws.as_slice())));
+    let mut reports: Vec<Option<RunReport>> = reqs.iter().map(|_| None).collect();
+    for unit in &units {
+        match unit {
+            SweepUnit::Single(i) => {
+                let (cfg, ws) = &reqs[*i];
+                reports[*i] = Some(h.run_report(cfg, ws));
+            }
+            SweepUnit::Group(members) => {
+                let cfgs: Vec<SystemConfig> = members.iter().map(|&i| reqs[i].0.clone()).collect();
+                let group = h.run_reports_shared(&cfgs, &reqs[members[0]].1);
+                for (&i, r) in members.iter().zip(group) {
+                    reports[i] = Some(r);
+                }
+            }
+        }
+    }
+    // Accumulate in request order so the "last" report is stable across
+    // execution plans.
     let mut simulated_cycles = 0u64;
     let mut transactions = 0u64;
     let mut last_report = None;
-    for (cfg, ws) in reqs {
-        let r = h.run_report(cfg, ws);
+    for r in reports.into_iter().map(|r| r.expect("every request ran")) {
         simulated_cycles += r.total_cycles;
         transactions += r.dram.total.transactions();
         last_report = Some(r);
@@ -79,11 +106,16 @@ fn fig04_requests() -> Vec<(SystemConfig, Vec<usize>)> {
     reqs
 }
 
-/// CI smoke: two fast mixes and one solo — seconds, not minutes.
+/// CI smoke: one solo, one static mix, and one mix across all three co-run
+/// MMU levels — seconds, not minutes. The last three share a divergence
+/// key, so the tiny sweep exercises a real warm-start prefix group (and
+/// degrades to three independent runs under `MNPU_NO_PREFIX_SHARE=1`).
 fn tiny_requests() -> Vec<(SystemConfig, Vec<usize>)> {
     vec![
         (Harness::dual(SharingLevel::Static).ideal_solo(), vec![6]),
         (Harness::dual(SharingLevel::Static), vec![6, 6]),
+        (Harness::dual(SharingLevel::PlusD), vec![6, 7]),
+        (Harness::dual(SharingLevel::PlusDw), vec![6, 7]),
         (Harness::dual(SharingLevel::PlusDwt), vec![6, 7]),
     ]
 }
@@ -159,8 +191,10 @@ fn main() {
 
     let cycles_per_sec = r.simulated_cycles as f64 / r.wall_seconds;
     let probe_name = if probe_stats { "stats" } else { "null" };
+    let prefix_share = if prefix_share_enabled() { "on" } else { "off" };
     let entry = format!(
-        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"probe\":\"{probe_name}\",\"sims\":{},\
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"probe\":\"{probe_name}\",\
+         \"prefix_share\":\"{prefix_share}\",\"sims\":{},\
          \"sweep_seconds\":{:.3},\"simulated_cycles\":{},\"simulated_cycles_per_sec\":{:.0},\
          \"dram_transactions\":{}}}",
         r.sims, r.wall_seconds, r.simulated_cycles, cycles_per_sec, r.transactions

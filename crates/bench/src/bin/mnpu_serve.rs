@@ -141,7 +141,7 @@ fn print_scenario_report(report: &ServeReport) {
     for j in &report.jobs {
         println!(
             "{:>4} {:>10} {:>6} {:>12} {:>12} {:>12} {:>12}",
-            j.id,
+            j.job,
             j.workload,
             j.core,
             j.arrival,

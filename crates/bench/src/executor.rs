@@ -9,6 +9,7 @@
 //! worker count or scheduling.
 
 use crate::harness::Harness;
+use crate::prefix::{plan_units, SweepUnit};
 use mnpu_engine::SystemConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -55,6 +56,12 @@ impl SweepExecutor {
     /// Run every request (deduplicated, cache hits skipped), then return
     /// per-core cycle counts in request order. Results are memoized in the
     /// harness cache exactly as [`Harness::run_mix`] would.
+    ///
+    /// Uncached requests that differ only in MMU organization are coalesced
+    /// into warm-start prefix groups (see [`crate::prefix`]) — each group
+    /// is one unit of worker parallelism, its members simulated from one
+    /// shared prefix. `MNPU_NO_PREFIX_SHARE=1` restores the one-request-
+    /// per-unit plan; results are byte-identical either way.
     pub fn run_mixes(&self, h: &Harness, requests: &[MixRequest]) -> Vec<Vec<u64>> {
         // Dedup by cache key and drop already-memoized runs so workers only
         // see fresh work.
@@ -63,11 +70,26 @@ impl SweepExecutor {
             .iter()
             .filter(|(cfg, ws)| seen.insert(Harness::key(cfg, ws)) && h.cached(cfg, ws).is_none())
             .collect();
+        let units = plan_units(todo.iter().map(|(cfg, ws)| (cfg, ws.as_slice())));
 
-        let workers = self.jobs.min(todo.len());
+        fn run_unit(h: &Harness, todo: &[&MixRequest], unit: &SweepUnit) {
+            match unit {
+                SweepUnit::Single(i) => {
+                    let (cfg, ws) = todo[*i];
+                    h.run_mix(cfg, ws);
+                }
+                SweepUnit::Group(members) => {
+                    let cfgs: Vec<SystemConfig> =
+                        members.iter().map(|&i| todo[i].0.clone()).collect();
+                    h.run_mix_group(&cfgs, &todo[members[0]].1);
+                }
+            }
+        }
+
+        let workers = self.jobs.min(units.len());
         if workers <= 1 {
-            for (cfg, ws) in &todo {
-                h.run_mix(cfg, ws);
+            for unit in &units {
+                run_unit(h, &todo, unit);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -75,11 +97,11 @@ impl SweepExecutor {
                 for _ in 0..workers {
                     let worker = h.clone();
                     let next = &next;
-                    let todo = &todo;
+                    let (todo, units) = (&todo, &units);
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((cfg, ws)) = todo.get(i) else { break };
-                        worker.run_mix(cfg, ws);
+                        let Some(unit) = units.get(i) else { break };
+                        run_unit(&worker, todo, unit);
                     });
                 }
             });

@@ -25,7 +25,7 @@ pub fn fig02_burstiness() -> Burstiness {
     let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
     let window = 100;
     cfg.trace_window = Some(window);
-    let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+    let r = Simulation::execute_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
     let trace = r.bandwidth_trace.expect("trace enabled");
     // Requests per cycle in each 100-cycle window, then a 10-window moving
     // average = the paper's 1000-cycle smoothing.
@@ -166,7 +166,7 @@ pub fn fig12_bw_timeline() -> BwTimeline {
         let mut cfg = Harness::dual(SharingLevel::PlusDwt).ideal_solo();
         cfg.trace_window = Some(window);
         let net = zoo::by_name(name, Scale::Bench).expect("known benchmark");
-        let r = Simulation::run_networks(&cfg, &[net]);
+        let r = Simulation::execute_networks(&cfg, &[net]);
         let peak = {
             let mut d = cfg.dram.clone();
             d.channels = cfg.total_channels();

@@ -1,6 +1,6 @@
 //! Shared experiment machinery: workloads, Ideal baselines, run cache.
 
-use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
+use mnpu_engine::{Advance, Probe, RunReport, SharingLevel, SimSnapshot, Simulation, SystemConfig};
 use mnpu_model::{zoo, Network, Scale};
 use mnpu_systolic::{ArchConfig, WorkloadTrace};
 use std::collections::HashMap;
@@ -196,7 +196,7 @@ impl Harness {
         }
         let traces: Vec<WorkloadTrace> =
             workloads.iter().zip(&cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
-        let report = Simulation::run_traces(cfg, &traces);
+        let report = Simulation::execute(cfg, &traces);
         let cycles: Vec<u64> = report.cores.iter().map(|c| c.cycles).collect();
         let mut cache = self.cache.lock().expect("cache lock");
         cache.entries.insert(key, cycles.clone());
@@ -217,7 +217,92 @@ impl Harness {
         assert_eq!(workloads.len(), cfg.cores, "one workload per core");
         let traces: Vec<WorkloadTrace> =
             workloads.iter().zip(&cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
-        Simulation::run_traces(cfg, &traces)
+        Simulation::execute(cfg, &traces)
+    }
+
+    /// Run one prefix-sharing group — configurations identical except for
+    /// MMU organization (see [`crate::prefix::eligible`] and
+    /// [`crate::prefix::divergence_key`]), all executing `workloads` — and
+    /// return the full report of each, in `cfgs` order.
+    ///
+    /// `cfgs[0]` is simulated as the representative with one shadow MMU
+    /// per remaining configuration; each variant is then finished from the
+    /// last checkpoint at which its shadow was still in lockstep. The
+    /// engine only forks checkpoints it has *verified* equivalent, so the
+    /// reports are byte-identical to independent runs no matter when (or
+    /// whether) each variant diverges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfgs` is empty, the workload count does not match the
+    /// core count, or a configuration violates the shadow machinery's
+    /// requirements (translation off, mismatched core counts).
+    pub fn run_reports_shared(&self, cfgs: &[SystemConfig], workloads: &[usize]) -> Vec<RunReport> {
+        fn drive<P: Probe>(sim: &mut Simulation<P>, stop: u64) -> Advance {
+            loop {
+                match sim.advance(stop) {
+                    Advance::CoreFinished { .. } => continue,
+                    outcome => return outcome,
+                }
+            }
+        }
+        let rep_cfg = cfgs.first().expect("a prefix group has a representative");
+        assert_eq!(workloads.len(), rep_cfg.cores, "one workload per core");
+        let traces: Vec<WorkloadTrace> =
+            workloads.iter().zip(&rep_cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
+
+        let variants = &cfgs[1..];
+        let mut rep = Simulation::new(rep_cfg, &traces);
+        for v in variants {
+            rep.add_shadow_config(v);
+        }
+        // Keep, per variant, the newest checkpoint proven in-lockstep;
+        // the pristine initial state always qualifies.
+        let mut forks: Vec<SimSnapshot> = (0..variants.len())
+            .map(|i| rep.fork_snapshot(i).expect("pristine shadows fork"))
+            .collect();
+        const CHUNK: u64 = 1 << 16;
+        let mut stop = CHUNK;
+        let refresh = |rep: &Simulation, forks: &mut Vec<SimSnapshot>| {
+            for (i, fork) in forks.iter_mut().enumerate() {
+                if let Some(snap) = rep.fork_snapshot(i) {
+                    *fork = snap;
+                }
+            }
+        };
+        loop {
+            match drive(&mut rep, stop) {
+                Advance::Drained => break,
+                _ => {
+                    refresh(&rep, &mut forks);
+                    stop = stop.saturating_add(CHUNK);
+                }
+            }
+        }
+        refresh(&rep, &mut forks);
+
+        let mut reports = Vec::with_capacity(cfgs.len());
+        reports.push(rep.into_report());
+        for (vcfg, fork) in variants.iter().zip(&forks) {
+            let mut sim = Simulation::new(vcfg, &traces);
+            sim.restore(fork).expect("a fork restores into its own variant");
+            drive(&mut sim, u64::MAX);
+            reports.push(sim.into_report());
+        }
+        reports
+    }
+
+    /// Run a prefix-sharing group through [`Harness::run_reports_shared`]
+    /// and memoize each member's per-core cycles exactly as
+    /// [`Harness::run_mix`] would.
+    pub(crate) fn run_mix_group(&self, cfgs: &[SystemConfig], workloads: &[usize]) {
+        let reports = self.run_reports_shared(cfgs, workloads);
+        let mut cache = self.cache.lock().expect("cache lock");
+        for (cfg, report) in cfgs.iter().zip(&reports) {
+            let cycles = report.cores.iter().map(|c| c.cycles).collect();
+            cache.entries.insert(Harness::key(cfg, workloads), cycles);
+        }
+        cache.flush();
     }
 
     /// Cycles of workload `w` running alone with all of `chip`'s resources

@@ -15,7 +15,10 @@
 //! * `MNPU_QUAD_STRIDE=k` — sample every *k*-th quad mix (default 10);
 //! * `MNPU_NO_CACHE=1` — ignore and don't write the run cache;
 //! * `MNPU_JOBS=n` — worker threads for the [`SweepExecutor`] fan-out
-//!   (default: available parallelism; `1` = serial).
+//!   (default: available parallelism; `1` = serial);
+//! * `MNPU_NO_PREFIX_SHARE=1` — disable warm-start prefix sharing (the
+//!   [`prefix`] module), forcing every sweep point to simulate from
+//!   cycle 0. Results are bit-exact either way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +26,10 @@
 pub mod executor;
 pub mod figures;
 pub mod harness;
+pub mod prefix;
 pub mod serve_exec;
 
 pub use executor::SweepExecutor;
 pub use harness::Harness;
+pub use prefix::{plan_units, prefix_share_enabled, SweepUnit};
 pub use serve_exec::ServeExecutor;

@@ -83,7 +83,7 @@ mod tests {
     fn writes_four_files_per_core() {
         let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
         let nets = [zoo::ncf(Scale::Bench), zoo::ncf(Scale::Bench)];
-        let report = Simulation::run_networks(&cfg, &nets);
+        let report = Simulation::execute_networks(&cfg, &nets);
         let dir = std::env::temp_dir().join(format!("mnpu_results_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
 
@@ -192,7 +192,7 @@ mod log_tests {
     fn request_logs_written_per_core() {
         let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
         cfg.request_log = true;
-        let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+        let r = Simulation::execute_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
         let dir = std::env::temp_dir().join(format!("mnpu_logs_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let files = write_request_logs(&dir, &r).unwrap();
@@ -208,7 +208,7 @@ mod log_tests {
     #[test]
     fn no_log_no_files() {
         let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
-        let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+        let r = Simulation::execute_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
         let dir = std::env::temp_dir().join("mnpu_logs_none");
         assert!(write_request_logs(&dir, &r).unwrap().is_empty());
     }

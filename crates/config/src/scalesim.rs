@@ -203,7 +203,7 @@ FC6, 1, 1, 9216, 1, 1, 4096, 1,
         use mnpu_engine::{SharingLevel, Simulation, SystemConfig};
         let net = parse_scalesim("alex_head", ALEXNET_HEAD).unwrap();
         let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
-        let r = Simulation::run_networks(&cfg, &[net]);
+        let r = Simulation::execute_networks(&cfg, &[net]);
         assert!(r.cores[0].cycles > 0);
     }
 }

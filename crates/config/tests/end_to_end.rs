@@ -32,7 +32,7 @@ fn config_files_to_result_files() {
     let misc = write(&dir, "misc.cfg", "iterations=1\ntranslation=true\n");
 
     let spec = load_run(&arch_list, &net_list, &dram, &mem_list, &misc).unwrap();
-    let report = Simulation::run_networks(&spec.system, &spec.networks);
+    let report = Simulation::execute_networks(&spec.system, &spec.networks);
     assert_eq!(report.cores.len(), 2);
     assert!(report.cores.iter().all(|c| c.cycles > 0));
 
@@ -45,7 +45,7 @@ fn config_files_to_result_files() {
     }
 
     // The CLI-visible result equals a direct API run of the same spec.
-    let direct = Simulation::run_networks(&spec.system, &spec.networks);
+    let direct = Simulation::execute_networks(&spec.system, &spec.networks);
     assert_eq!(direct.cores[0].cycles, report.cores[0].cycles);
     let _ = fs::remove_dir_all(&dir);
 }
@@ -74,11 +74,11 @@ fn file_config_equals_preset_config() {
     let misc = write(&dir, "misc.cfg", "");
 
     let spec = load_run(&arch_list, &net_list, &dram, &mem_list, &misc).unwrap();
-    let from_files = Simulation::run_networks(&spec.system, &spec.networks);
+    let from_files = Simulation::execute_networks(&spec.system, &spec.networks);
 
     let preset = SystemConfig::bench(2, SharingLevel::PlusDwt);
     let nets = [zoo::ncf(Scale::Bench), zoo::ncf(Scale::Bench)];
-    let from_preset = Simulation::run_networks(&preset, &nets);
+    let from_preset = Simulation::execute_networks(&preset, &nets);
 
     assert_eq!(from_files.cores[0].cycles, from_preset.cores[0].cycles);
     assert_eq!(from_files.cores[1].cycles, from_preset.cores[1].cycles);

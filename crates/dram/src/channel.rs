@@ -7,6 +7,7 @@ use crate::stats::ChannelStats;
 #[cfg(test)]
 use mnpu_probe::NullProbe;
 use mnpu_probe::{Event, Probe};
+use mnpu_snapshot::{Reader, SnapError, Writer};
 use std::cell::Cell;
 use std::collections::VecDeque;
 
@@ -775,6 +776,149 @@ impl Channel {
             is_write: p.is_write,
             completed_at: data_end,
         }
+    }
+}
+
+impl Pending {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.meta);
+        w.usize(self.core);
+        w.u64(self.addr);
+        w.usize(self.decoded.channel);
+        w.u64(self.decoded.bankgroup);
+        w.u64(self.decoded.bank);
+        w.u64(self.decoded.row);
+        w.u64(self.decoded.col);
+        w.u32(self.flat);
+        w.bool(self.is_write);
+        w.u64(self.arrival);
+        w.u32(self.bypassed);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Pending, SnapError> {
+        Ok(Pending {
+            meta: r.u64()?,
+            core: r.usize()?,
+            addr: r.u64()?,
+            decoded: DecodedAddr {
+                channel: r.usize()?,
+                bankgroup: r.u64()?,
+                bank: r.u64()?,
+                row: r.u64()?,
+                col: r.u64()?,
+            },
+            flat: r.u32()?,
+            is_write: r.bool()?,
+            arrival: r.u64()?,
+            bypassed: r.u32()?,
+        })
+    }
+}
+
+impl Channel {
+    /// Serialize all mutable channel state (queue, banks, bus/ACT history,
+    /// refresh timers, active fast-forward run, stats). The configuration
+    /// is deliberately excluded: state is restored into a channel built
+    /// from the same config.
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        w.seq(self.queue.as_slices().0, |w, p| p.save(w));
+        w.seq(self.queue.as_slices().1, |w, p| p.save(w));
+        w.seq(&self.banks, |w, b| {
+            w.opt(&b.open_row, |w, r| w.u64(*r));
+            w.u64(b.ready_act);
+            w.u64(b.ready_cas);
+            w.u64(b.ready_pre);
+        });
+        w.u64(self.last_cas_time);
+        w.u64(self.last_cas_bg);
+        w.bool(self.any_cas);
+        w.u64(self.last_data_end);
+        w.bool(self.last_was_write);
+        w.bool(self.any_data);
+        w.u64(self.last_act_time);
+        w.u64(self.last_act_bg);
+        w.bool(self.any_act);
+        w.seq(self.act_window.as_slices().0, |w, t| w.u64(*t));
+        w.seq(self.act_window.as_slices().1, |w, t| w.u64(*t));
+        w.u64(self.next_refresh);
+        w.u64(self.refresh_until);
+        // `next_cand` is a pure memo over the state above; it is restored
+        // `Dirty` and recomputed honestly on the next query.
+        w.opt(&self.run, |w, run| {
+            w.u32(run.remaining);
+            w.u64(run.next_cas);
+            w.u64(run.lat);
+        });
+        w.u64(self.ff_commits);
+        let s = &self.stats;
+        for v in [
+            s.reads,
+            s.writes,
+            s.row_hits,
+            s.row_misses,
+            s.row_conflicts,
+            s.busy_cycles,
+            s.bytes,
+            s.latency_sum,
+            s.latency_max,
+            s.refreshes,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restore state saved by [`Channel::save_state`] into a channel built
+    /// from the same configuration.
+    pub(crate) fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let mut queue: VecDeque<Pending> = r.seq(Pending::load)?.into();
+        queue.extend(r.seq(Pending::load)?);
+        if queue.len() > self.cfg.queue_depth {
+            return Err(SnapError::BadValue("channel queue exceeds configured depth"));
+        }
+        let banks = r.seq(|r| {
+            Ok(BankState {
+                open_row: r.opt(|r| r.u64())?,
+                ready_act: r.u64()?,
+                ready_cas: r.u64()?,
+                ready_pre: r.u64()?,
+            })
+        })?;
+        if banks.len() != self.banks.len() {
+            return Err(SnapError::BadValue("bank count mismatch"));
+        }
+        self.queue = queue;
+        self.banks = banks;
+        self.last_cas_time = r.u64()?;
+        self.last_cas_bg = r.u64()?;
+        self.any_cas = r.bool()?;
+        self.last_data_end = r.u64()?;
+        self.last_was_write = r.bool()?;
+        self.any_data = r.bool()?;
+        self.last_act_time = r.u64()?;
+        self.last_act_bg = r.u64()?;
+        self.any_act = r.bool()?;
+        let mut act_window: VecDeque<u64> = r.seq(|r| r.u64())?.into();
+        act_window.extend(r.seq(|r| r.u64())?);
+        self.act_window = act_window;
+        self.next_refresh = r.u64()?;
+        self.refresh_until = r.u64()?;
+        self.next_cand.set(NextCand::Dirty);
+        self.run =
+            r.opt(|r| Ok(FastRun { remaining: r.u32()?, next_cas: r.u64()?, lat: r.u64()? }))?;
+        self.ff_commits = r.u64()?;
+        self.stats = ChannelStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            busy_cycles: r.u64()?,
+            bytes: r.u64()?,
+            latency_sum: r.u64()?,
+            latency_max: r.u64()?,
+            refreshes: r.u64()?,
+        };
+        Ok(())
     }
 }
 

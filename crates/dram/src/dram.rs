@@ -5,6 +5,7 @@ use crate::channel::{Channel, Pending};
 use crate::config::DramConfig;
 use crate::stats::{BandwidthTrace, DramStats};
 use mnpu_probe::{Event, NullProbe, Probe};
+use mnpu_snapshot::{Reader, SnapError, Writer};
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -388,6 +389,97 @@ impl Dram {
     #[doc(hidden)]
     pub fn fastfwd_commits(&self) -> u64 {
         self.channels.iter().map(|c| c.fastfwd_commits()).sum()
+    }
+
+    /// Serialize all mutable device state: every channel, the in-flight
+    /// burst buffer (verbatim, including slot numbering and the free-slot
+    /// stack — slot numbers tie-break equal completion cycles, so the
+    /// allocation history is observable and must survive restore
+    /// bit-exactly), byte accounting, the bandwidth trace and the clock.
+    /// Structural state (config, channel partitions) is excluded: restore
+    /// targets a device built from the same configuration.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.tag(0xD0);
+        w.usize(self.channels.len());
+        for ch in &self.channels {
+            ch.save_state(w);
+        }
+        // The heap's keys, sorted: `(completed_at, slot)` is unique per
+        // entry, so heap pop order is a pure function of this set.
+        let mut keys: Vec<(u64, u64)> = self.in_flight.iter().map(|&Reverse(k)| k).collect();
+        keys.sort_unstable();
+        w.seq(&keys, |w, &(t, slot)| {
+            w.u64(t);
+            w.u64(slot);
+        });
+        w.seq(&self.in_flight_data, |w, slot| {
+            w.opt(slot, |w, c| {
+                w.u64(c.meta);
+                w.usize(c.core);
+                w.u64(c.addr);
+                w.bool(c.is_write);
+                w.u64(c.completed_at);
+            });
+        });
+        w.seq(&self.free_slots, |w, &s| w.usize(s));
+        w.seq(&self.per_core_bytes, |w, &b| w.u64(b));
+        w.opt(&self.trace, |w, t| t.save_state(w));
+        w.u64(self.now);
+        w.usize(self.pending_count);
+        w.seq(&self.ch_att, |w, c| w.u64(c.get()));
+        w.seq(&self.ch_ea, |w, c| w.u64(c.get()));
+    }
+
+    /// Restore state saved by [`Dram::save_state`] into a device built from
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or shaped for a
+    /// different configuration (channel/bank counts disagree).
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(0xD0)?;
+        if r.usize()? != self.channels.len() {
+            return Err(SnapError::BadValue("channel count mismatch"));
+        }
+        for ch in &mut self.channels {
+            ch.load_state(r)?;
+        }
+        let keys = r.seq(|r| Ok((r.u64()?, r.u64()?)))?;
+        self.in_flight = keys.into_iter().map(Reverse).collect();
+        self.in_flight_data = r.seq(|r| {
+            r.opt(|r| {
+                Ok(Completion {
+                    meta: r.u64()?,
+                    core: r.usize()?,
+                    addr: r.u64()?,
+                    is_write: r.bool()?,
+                    completed_at: r.u64()?,
+                })
+            })
+        })?;
+        self.free_slots = r.seq(|r| r.usize())?;
+        self.per_core_bytes = r.seq(|r| r.u64())?;
+        let trace = r.opt(BandwidthTrace::load_state)?;
+        if trace.is_some() != self.trace.is_some() {
+            return Err(SnapError::BadValue("bandwidth trace enablement mismatch"));
+        }
+        self.trace = trace;
+        self.now = r.u64()?;
+        self.pending_count = r.usize()?;
+        let att = r.seq(|r| r.u64())?;
+        let ea = r.seq(|r| r.u64())?;
+        if att.len() != self.ch_att.len() || ea.len() != self.ch_ea.len() {
+            return Err(SnapError::BadValue("attention cache length mismatch"));
+        }
+        for (c, v) in self.ch_att.iter().zip(att) {
+            c.set(v);
+        }
+        for (c, v) in self.ch_ea.iter().zip(ea) {
+            c.set(v);
+        }
+        self.scratch_committed.clear();
+        Ok(())
     }
 
     /// Snapshot of device statistics.

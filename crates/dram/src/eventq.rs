@@ -91,6 +91,19 @@ impl<T: Ord + Copy> MonotonicQueue<T> {
         }
     }
 
+    /// The queued elements as a sorted multiset — the snapshot form.
+    ///
+    /// Pop order (ties included) is decided by `T`'s full `Ord` over the
+    /// queue's *contents*, never by lane assignment, so rebuilding a queue
+    /// by pushing these elements in order into any single lane is
+    /// observationally exact (the pushes are monotone, so none overflow).
+    pub fn snapshot_items(&self) -> Vec<T> {
+        let mut items: Vec<T> = self.lanes.iter().flatten().copied().collect();
+        items.extend(self.overflow.iter().map(|Reverse(t)| *t));
+        items.sort_unstable();
+        items
+    }
+
     /// Number of queued elements across all lanes and the overflow heap.
     pub fn len(&self) -> usize {
         self.len

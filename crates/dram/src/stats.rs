@@ -147,6 +147,26 @@ impl BandwidthTrace {
         self.windows.iter().map(|w| w.iter().sum()).collect()
     }
 
+    /// Serialize the trace (window length, core count, windowed counters).
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.u64(self.window);
+        w.usize(self.cores);
+        w.seq(&self.windows, |w, row| w.seq(row, |w, &b| w.u64(b)));
+    }
+
+    /// Restore a trace saved by [`BandwidthTrace::save_state`].
+    pub fn load_state(
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<BandwidthTrace, mnpu_snapshot::SnapError> {
+        let window = r.u64()?;
+        let cores = r.usize()?;
+        if window == 0 || cores == 0 {
+            return Err(mnpu_snapshot::SnapError::BadValue("degenerate bandwidth trace"));
+        }
+        let windows = r.seq(|r| r.seq(|r| r.u64()))?;
+        Ok(BandwidthTrace { window, cores, windows })
+    }
+
     /// Per-window bandwidth of `core` normalized to a peak of
     /// `peak_bytes_per_cycle` (values may exceed 1.0 when demand exceeds a
     /// partition's share but not the device peak).

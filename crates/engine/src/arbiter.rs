@@ -115,11 +115,12 @@ impl<P: Probe> Simulation<P> {
                     continue;
                 }
                 let vpn = self.arbiter.walker_wait_order[core][0];
-                let mmu = self.mmu.as_mut().expect("walker wait without MMU");
                 // The page may have become resident through a walk that
                 // finished while this entry waited; never start a redundant
                 // walk.
-                if mmu.probe(core, vpn) {
+                let resident = self.mmu.as_ref().expect("walker wait without MMU").probe(core, vpn);
+                self.mirror_probe(core, vpn, resident);
+                if resident {
                     self.arbiter.walker_wait_order[core].pop_front();
                     let mut waiters =
                         self.arbiter.walker_waiters.remove(&(core, vpn)).unwrap_or_default();
@@ -132,7 +133,9 @@ impl<P: Probe> Simulation<P> {
                     progressed = true;
                     continue;
                 }
-                match mmu.retry_walk(core, vpn) {
+                let started = self.mmu.as_mut().expect("checked above").retry_walk(core, vpn);
+                self.mirror_retry_walk(core, vpn, started);
+                match started {
                     WalkStart::Started { walk, pt_addr } => {
                         if P::ENABLED {
                             self.probe
@@ -271,6 +274,7 @@ impl<P: Probe> Simulation<P> {
             let mmu = self.mmu.as_mut().expect("checked above");
             let vpn = mmu.vpn_of(vaddr);
             let hit = mmu.lookup(ci, vpn);
+            self.mirror_lookup(ci, vpn, hit);
             if P::ENABLED {
                 let ev = if hit { Event::TlbHit { core: ci } } else { Event::TlbMiss { core: ci } };
                 self.probe.record(self.now, ev);
@@ -299,8 +303,9 @@ impl<P: Probe> Simulation<P> {
                 // TLB miss: the transaction parks on a walk.
                 self.stages[stage_id].advance();
                 self.cores[ci].outstanding += 1;
-                let mmu = self.mmu.as_mut().expect("checked above");
-                match mmu.start_or_join_walk(ci, vpn) {
+                let started = self.mmu.as_mut().expect("checked above").start_or_join_walk(ci, vpn);
+                self.mirror_start_walk(ci, vpn, started);
+                match started {
                     WalkStart::Started { walk, pt_addr } => {
                         if P::ENABLED {
                             self.probe

@@ -3,25 +3,51 @@
 //! deterministic object), [`Format::Csv`] (per-core counter rows for
 //! spreadsheets and CI artifacts) and [`Format::ChromeTrace`] (a
 //! `chrome://tracing` / Perfetto-loadable timeline of tile phases).
+//!
+//! The [`Emit`] trait is the shared surface: every report type in the
+//! workspace ([`RunReport`] here, `ServeReport` in `mnpu-sched`) implements
+//! it against the *same* [`Format`] enum, so tools that write reports
+//! (`--csv` flags, CI artifact steps) are generic over what they ran.
 
 use crate::report::RunReport;
 use mnpu_probe::CoreStats;
 use std::io;
 
-/// Serialization formats understood by [`RunReport::emit`].
+/// Serialization formats understood by every [`Emit`] implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {
-    /// The deterministic JSON object of [`RunReport::to_json`].
+    /// The report's deterministic JSON object (e.g.
+    /// [`RunReport::to_json`]): fixed field order, byte-stable, suitable
+    /// for golden fixtures.
     Json,
-    /// Per-core counter rows plus a `total` row. Observability columns are
-    /// filled from [`RunReport::stats`] and left empty when the run was not
-    /// instrumented.
+    /// Counter rows plus a `total` row — per core for [`RunReport`], per
+    /// job for `ServeReport`. Columns a run was not instrumented for are
+    /// left empty.
     Csv,
     /// Chrome trace-event JSON (`chrome://tracing`, Perfetto): one complete
-    /// (`"ph":"X"`) event per tile phase span, `tid` = core. One global
-    /// cycle is mapped to one microsecond. Needs a run instrumented with
-    /// [`crate::ProbeMode::Stats`]; otherwise the timeline is empty.
+    /// (`"ph":"X"`) event per span, `tid` = core. One global cycle is
+    /// mapped to one microsecond. [`RunReport`] needs a run instrumented
+    /// with [`crate::ProbeMode::Stats`] (otherwise the timeline is empty);
+    /// `ServeReport` always has its job spans.
     ChromeTrace,
+}
+
+/// Sink-agnostic report serialization, shared by every report type.
+pub trait Emit {
+    /// Serialize `self` in `format` into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `out`; the formatting itself is
+    /// infallible.
+    fn emit<W: io::Write>(&self, format: Format, out: &mut W) -> io::Result<()>;
+
+    /// [`emit`](Emit::emit) into an in-memory string.
+    fn emit_to_string(&self, format: Format) -> String {
+        let mut buf = Vec::new();
+        self.emit(format, &mut buf).expect("Vec sink never fails");
+        String::from_utf8(buf).expect("emitters produce UTF-8")
+    }
 }
 
 /// CSV cell for a stats-derived column: empty when uninstrumented.
@@ -29,21 +55,17 @@ fn cell(stats: Option<&CoreStats>, f: impl Fn(&CoreStats) -> u64) -> String {
     stats.map(|c| f(c).to_string()).unwrap_or_default()
 }
 
-impl RunReport {
-    /// Serialize the report in `format` into `out`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates write errors from `out`; the formatting itself is
-    /// infallible.
-    pub fn emit<W: io::Write>(&self, format: Format, out: &mut W) -> io::Result<()> {
+impl Emit for RunReport {
+    fn emit<W: io::Write>(&self, format: Format, out: &mut W) -> io::Result<()> {
         match format {
             Format::Json => out.write_all(self.to_json().as_bytes()),
             Format::Csv => self.emit_csv(out),
             Format::ChromeTrace => self.emit_chrome_trace(out),
         }
     }
+}
 
+impl RunReport {
     fn emit_csv<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
         writeln!(
             out,
@@ -164,7 +186,7 @@ impl RunReport {
                      \"pid\":0,\"tid\":{},\"args\":{{\"arrival\":{},\"queueing\":{}}}}}",
                     j.job,
                     j.dispatch,
-                    j.complete.saturating_sub(j.dispatch).max(1),
+                    j.completion.saturating_sub(j.dispatch).max(1),
                     j.core,
                     j.arrival,
                     j.dispatch.saturating_sub(j.arrival)
@@ -185,7 +207,7 @@ mod tests {
         let mut cfg = SystemConfig::bench(2, SharingLevel::PlusDw);
         cfg.probe = probe;
         let nets = [zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench)];
-        Simulation::run_networks(&cfg, &nets)
+        Simulation::execute_networks(&cfg, &nets)
     }
 
     #[test]

@@ -137,8 +137,8 @@ fn push_stats(out: &mut String, s: &StatsReport) {
             }
             let _ = write!(
                 out,
-                "{{\"job\":{},\"core\":{},\"arrival\":{},\"dispatch\":{},\"complete\":{}}}",
-                j.job, j.core, j.arrival, j.dispatch, j.complete
+                "{{\"job\":{},\"core\":{},\"arrival\":{},\"dispatch\":{},\"completion\":{}}}",
+                j.job, j.core, j.arrival, j.dispatch, j.completion
             );
         }
         out.push(']');
@@ -284,8 +284,8 @@ mod tests {
     fn json_is_deterministic_and_structured() {
         let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
         let nets = [zoo::ncf(Scale::Bench)];
-        let a = Simulation::run_networks(&cfg, &nets).to_json();
-        let b = Simulation::run_networks(&cfg, &nets).to_json();
+        let a = Simulation::execute_networks(&cfg, &nets).to_json();
+        let b = Simulation::execute_networks(&cfg, &nets).to_json();
         assert_eq!(a, b, "same run must serialize byte-identically");
         assert!(a.starts_with("{\"cores\":["));
         assert!(a.contains("\"total_cycles\":"));
@@ -297,7 +297,7 @@ mod tests {
     fn json_includes_request_log_events() {
         let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
         cfg.request_log = true;
-        let r = Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
+        let r = Simulation::execute_networks(&cfg, &[zoo::ncf(Scale::Bench)]);
         let j = r.to_json();
         assert!(j.contains("\"kind\":\"tlb_"));
         assert!(j.contains("\"kind\":\"dram_read_done\""));

@@ -30,7 +30,7 @@
 //! // Run the ncf+ncf dual-core mix with everything shared (+DWT).
 //! let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
 //! let nets = [zoo::ncf(Scale::Bench), zoo::ncf(Scale::Bench)];
-//! let report = Simulation::run_networks(&cfg, &nets);
+//! let report = Simulation::execute_networks(&cfg, &nets);
 //! assert_eq!(report.cores.len(), 2);
 //! assert!(report.cores[0].cycles > 0);
 //! ```
@@ -46,20 +46,27 @@ mod json;
 mod memmap;
 mod memory;
 mod report;
+mod shadow;
 mod sharing;
 mod sim;
+mod snapshot;
 mod stage;
 mod system;
 
 pub use builder::SystemConfigBuilder;
-pub use emit::Format;
+pub use emit::{Emit, Format};
 pub use memmap::PageTable;
 pub use memory::{DramMemory, IdealMemory, MemoryModel, MemorySystem};
 pub use report::{ChipEnergy, CoreReport, EnergyModel, LogEvent, LogKind, RunReport};
 pub use sharing::SharingLevel;
 pub use sim::{Advance, Simulation};
+pub use snapshot::{config_fingerprint, trace_fingerprint};
 pub use stage::expected_data_transactions;
 pub use system::{ConfigError, ProbeMode, SystemConfig};
+
+// Re-exported so snapshot consumers (sweep executors, schedulers, external
+// tools) need no direct `mnpu_snapshot` dependency for the common flow.
+pub use mnpu_snapshot::{SimSnapshot, SnapError, SNAPSHOT_VERSION};
 
 // The observability vocabulary is part of the engine's public API surface:
 // callers matching on probe events or reading [`RunReport::stats`] should

@@ -107,6 +107,43 @@ impl PageTable {
     pub fn capacity_frames(&self) -> u64 {
         self.frames
     }
+
+    /// Serialize the mutable mapping state (allocation cursor plus the
+    /// virtual→frame map, in sorted VPN order so equal tables produce equal
+    /// bytes). The geometry (base, page size, capacity) is excluded:
+    /// restore targets a table built from the same configuration.
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.u64(self.next_frame);
+        let mut entries: Vec<(u64, u64)> = self.map.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        w.seq(&entries, |w, &(vpn, frame)| {
+            w.u64(vpn);
+            w.u64(frame);
+        });
+    }
+
+    /// Restore state saved by [`PageTable::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is malformed or the
+    /// allocation state exceeds this table's capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        let next_frame = r.u64()?;
+        if next_frame > self.frames {
+            return Err(mnpu_snapshot::SnapError::BadValue("page table overflows capacity"));
+        }
+        let entries = r.seq(|r| Ok((r.u64()?, r.u64()?)))?;
+        if entries.len() as u64 != next_frame {
+            return Err(mnpu_snapshot::SnapError::BadValue("page table map/cursor mismatch"));
+        }
+        self.next_frame = next_frame;
+        self.map = entries.into_iter().collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

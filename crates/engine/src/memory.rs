@@ -15,8 +15,12 @@ use crate::sharing::partition_channels;
 use crate::system::SystemConfig;
 use mnpu_dram::{BandwidthTrace, Completion, Dram, DramStats, EnqueueError, TRANSACTION_BYTES};
 use mnpu_probe::{NullProbe, Probe};
+use mnpu_snapshot::{Reader, SnapError, Writer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Section tag for the memory backend's snapshot payload.
+const MEMORY_TAG: u8 = 0xB0;
 
 /// An in-flight ideal-memory transaction:
 /// `(done_at, seq, core, addr, is_write, meta)`.
@@ -110,6 +114,42 @@ pub trait MemorySystem<P: Probe = NullProbe>: std::fmt::Debug + Send {
     /// place. The engine merges this into its own probe when the report is
     /// assembled; with [`NullProbe`] the call is free.
     fn take_probe(&mut self) -> P;
+
+    /// Serialize every piece of mutable device state (including the
+    /// backend's probe) into `w`, so a restored simulation's memory system
+    /// is bit-identical to the snapshotted one.
+    fn save_state(&self, w: &mut Writer);
+
+    /// Restore state saved by [`save_state`](MemorySystem::save_state)
+    /// into a device built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or shaped for a
+    /// different device configuration.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError>;
+}
+
+fn save_completions(w: &mut Writer, ready: &[Completion]) {
+    w.seq(ready, |w, c| {
+        w.u64(c.meta);
+        w.usize(c.core);
+        w.u64(c.addr);
+        w.bool(c.is_write);
+        w.u64(c.completed_at);
+    });
+}
+
+fn load_completions(r: &mut Reader<'_>) -> Result<Vec<Completion>, SnapError> {
+    r.seq(|r| {
+        Ok(Completion {
+            meta: r.u64()?,
+            core: r.usize()?,
+            addr: r.u64()?,
+            is_write: r.bool()?,
+            completed_at: r.u64()?,
+        })
+    })
 }
 
 /// The banked FR-FCFS DRAM timing model, adapted to [`MemorySystem`].
@@ -207,6 +247,20 @@ impl<P: Probe> MemorySystem<P> for DramMemory<P> {
 
     fn take_probe(&mut self) -> P {
         std::mem::take(&mut self.probe)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.tag(MEMORY_TAG);
+        self.dram.save_state(w);
+        save_completions(w, &self.ready);
+        self.probe.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(MEMORY_TAG)?;
+        self.dram.load_state(r)?;
+        self.ready = load_completions(r)?;
+        self.probe.load_state(r)
     }
 }
 
@@ -325,6 +379,77 @@ impl<P: Probe> MemorySystem<P> for IdealMemory<P> {
 
     fn take_probe(&mut self) -> P {
         std::mem::take(&mut self.probe)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.tag(MEMORY_TAG);
+        w.u64(self.latency);
+        // The heap as its sorted key multiset: `(done_at, seq)` is unique
+        // per entry, so pop order is a pure function of this set.
+        let mut items: Vec<InFlightTxn> = self.in_flight.iter().map(|&Reverse(t)| t).collect();
+        items.sort_unstable();
+        w.seq(&items, |w, &(done_at, seq, core, addr, is_write, meta)| {
+            w.u64(done_at);
+            w.u64(seq);
+            w.usize(core);
+            w.u64(addr);
+            w.bool(is_write);
+            w.u64(meta);
+        });
+        save_completions(w, &self.ready);
+        w.u64(self.seq);
+        let ch = &self.stats.per_channel[0];
+        for v in [
+            ch.reads,
+            ch.writes,
+            ch.row_hits,
+            ch.row_misses,
+            ch.row_conflicts,
+            ch.busy_cycles,
+            ch.bytes,
+            ch.latency_sum,
+            ch.latency_max,
+            ch.refreshes,
+        ] {
+            w.u64(v);
+        }
+        w.seq(&self.stats.per_core_bytes, |w, &b| w.u64(b));
+        w.opt(&self.trace, |w, t| t.save_state(w));
+        self.probe.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(MEMORY_TAG)?;
+        if r.u64()? != self.latency {
+            return Err(SnapError::BadValue("ideal memory latency mismatch"));
+        }
+        let items =
+            r.seq(|r| Ok((r.u64()?, r.u64()?, r.usize()?, r.u64()?, r.bool()?, r.u64()?)))?;
+        self.in_flight = items.into_iter().map(Reverse).collect();
+        self.ready = load_completions(r)?;
+        self.seq = r.u64()?;
+        let ch = &mut self.stats.per_channel[0];
+        ch.reads = r.u64()?;
+        ch.writes = r.u64()?;
+        ch.row_hits = r.u64()?;
+        ch.row_misses = r.u64()?;
+        ch.row_conflicts = r.u64()?;
+        ch.busy_cycles = r.u64()?;
+        ch.bytes = r.u64()?;
+        ch.latency_sum = r.u64()?;
+        ch.latency_max = r.u64()?;
+        ch.refreshes = r.u64()?;
+        let per_core = r.seq(|r| r.u64())?;
+        if per_core.len() != self.stats.per_core_bytes.len() {
+            return Err(SnapError::BadValue("per-core byte counter count mismatch"));
+        }
+        self.stats.per_core_bytes = per_core;
+        let trace = r.opt(BandwidthTrace::load_state)?;
+        if trace.is_some() != self.trace.is_some() {
+            return Err(SnapError::BadValue("bandwidth trace enablement mismatch"));
+        }
+        self.trace = trace;
+        self.probe.load_state(r)
     }
 }
 

@@ -1,0 +1,166 @@
+//! Shadow MMUs: the divergence detector behind warm-start prefix sharing.
+//!
+//! Configurations in a sweep often differ only in MMU organization — the
+//! paper's `+D` / `+DW` / `+DWT` sharing levels keep DRAM shared and vary
+//! only which cores share TLB capacity and page-table walkers. Until the
+//! first cycle where that organization changes an MMU *answer* (a hit vs a
+//! miss, a walk started vs joined vs stalled), such variants execute
+//! byte-identical prefixes: the MMU's method returns are the only channel
+//! through which its organization reaches the rest of the engine.
+//!
+//! A [`ShadowMmus`] rides along on one *representative* simulation and
+//! replays every primary MMU call into per-variant shadow MMUs built from
+//! the variant configurations. Each return value is compared against the
+//! primary's; the first mismatch freezes that shadow and records the
+//! divergence cycle. While a shadow is unfrozen, an inductive invariant
+//! holds: every mutating MMU call has been mirrored with identical
+//! arguments and results, so the shadow's walk-id allocation, TLB
+//! residency and walker occupancy track the variant's native run exactly.
+//! A frozen shadow is never touched again — its state stays valid as of
+//! the divergence cycle, but forks are only taken from checkpoints strictly
+//! before it (the executor's job).
+//!
+//! [`Simulation::fork_snapshot`] then emits a [`SimSnapshot`] in which the
+//! MMU section and config fingerprint are the *shadow's*: restoring it into
+//! a freshly built simulation of the variant configuration resumes the
+//! variant's native run from the shared prefix. Correctness never depends
+//! on divergence being rare — a variant that diverges immediately just
+//! falls back to (almost) a full native run.
+
+use crate::sim::{build_mmu, Simulation};
+use crate::snapshot::config_fingerprint;
+use crate::system::SystemConfig;
+use mnpu_mmu::{Mmu, WalkId, WalkStart, WalkStep};
+use mnpu_probe::Probe;
+
+/// Per-variant shadow MMUs attached to a representative simulation.
+#[derive(Debug)]
+pub(crate) struct ShadowMmus {
+    /// One MMU per registered variant, built from that variant's config.
+    pub(crate) mmus: Vec<Mmu>,
+    /// The variant's config fingerprint, stamped into forked snapshots.
+    pub(crate) fps: Vec<u64>,
+    /// `Some(cycle)` once the variant's MMU answered differently from the
+    /// primary; the shadow is frozen from that cycle on.
+    pub(crate) diverged: Vec<Option<u64>>,
+}
+
+impl<P: Probe> Simulation<P> {
+    /// Register `cfg` as a shadow variant of this simulation, returning its
+    /// shadow index for [`Simulation::shadow_diverged`] /
+    /// [`Simulation::fork_snapshot`].
+    ///
+    /// The caller owns the eligibility argument: `cfg` must describe the
+    /// *same machine* as this simulation's config everywhere the engine can
+    /// observe outside MMU method returns (cores, clocks, DRAM geometry and
+    /// partitioning, NoC, memory model, probe mode, workload bindings) and
+    /// differ only in MMU organization — in practice, only in
+    /// [`SystemConfig::sharing`] among the DRAM-sharing levels. The sweep
+    /// executor's prefix-share gate enforces this; the engine checks what
+    /// it cheaply can.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already run (shadows must start from
+    /// the same pristine state as the primary), if either config disables
+    /// translation, or if the core counts disagree.
+    pub fn add_shadow_config(&mut self, cfg: &SystemConfig) -> usize {
+        assert_eq!(self.now, 0, "shadows must be registered before the first cycle");
+        assert!(self.mmu.is_some(), "prefix sharing requires translation on the primary");
+        assert!(cfg.translation, "prefix sharing requires translation on the variant");
+        assert_eq!(cfg.cores, self.cfg.cores, "shadow config must match the core count");
+        let mmu = build_mmu(cfg, &self.page_tables).expect("translation checked above");
+        let sh = self.shadows.get_or_insert_with(|| ShadowMmus {
+            mmus: Vec::new(),
+            fps: Vec::new(),
+            diverged: Vec::new(),
+        });
+        sh.mmus.push(mmu);
+        sh.fps.push(config_fingerprint(cfg));
+        sh.diverged.push(None);
+        sh.mmus.len() - 1
+    }
+
+    /// Number of registered shadow variants.
+    pub fn shadow_count(&self) -> usize {
+        self.shadows.as_ref().map_or(0, |s| s.mmus.len())
+    }
+
+    /// The cycle at which shadow `i` diverged from the primary, or `None`
+    /// while it is still in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a registered shadow index.
+    pub fn shadow_diverged(&self, i: usize) -> Option<u64> {
+        self.shadows.as_ref().expect("no shadows registered").diverged[i]
+    }
+
+    /// Snapshot the current state *as variant `i`*: identical to
+    /// [`Simulation::snapshot`] except the MMU section holds the shadow's
+    /// state and the config fingerprint is the variant's, so the result
+    /// restores into a simulation built from the variant configuration.
+    /// Returns `None` once the shadow has diverged — from then on only
+    /// checkpoints taken strictly before the divergence cycle are valid
+    /// fork points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a registered shadow index.
+    pub fn fork_snapshot(&self, i: usize) -> Option<mnpu_snapshot::SimSnapshot> {
+        let sh = self.shadows.as_ref().expect("no shadows registered");
+        if sh.diverged[i].is_some() {
+            return None;
+        }
+        Some(self.snapshot_as(Some(&sh.mmus[i]), sh.fps[i]))
+    }
+
+    /// Replay one primary MMU call into every unfrozen shadow, freezing any
+    /// whose return value differs from the primary's.
+    fn mirror<T: PartialEq>(&mut self, expect: T, mut call: impl FnMut(&mut Mmu) -> T) {
+        let now = self.now;
+        let Some(sh) = self.shadows.as_mut() else { return };
+        for i in 0..sh.mmus.len() {
+            if sh.diverged[i].is_some() {
+                continue;
+            }
+            if call(&mut sh.mmus[i]) != expect {
+                sh.diverged[i] = Some(now);
+            }
+        }
+    }
+
+    pub(crate) fn mirror_lookup(&mut self, core: usize, vpn: u64, expect: bool) {
+        self.mirror(expect, |m| m.lookup(core, vpn));
+    }
+
+    pub(crate) fn mirror_probe(&mut self, core: usize, vpn: u64, expect: bool) {
+        self.mirror(expect, |m| m.probe(core, vpn));
+    }
+
+    pub(crate) fn mirror_start_walk(&mut self, core: usize, vpn: u64, expect: WalkStart) {
+        self.mirror(expect, |m| m.start_or_join_walk(core, vpn));
+    }
+
+    pub(crate) fn mirror_retry_walk(&mut self, core: usize, vpn: u64, expect: WalkStart) {
+        self.mirror(expect, |m| m.retry_walk(core, vpn));
+    }
+
+    pub(crate) fn mirror_advance_walk(&mut self, walk: WalkId, expect: WalkStep) {
+        self.mirror(expect, |m| m.advance_walk(walk));
+    }
+
+    pub(crate) fn mirror_take_eviction(&mut self, expect: Option<(u16, u64)>) {
+        self.mirror(expect, Mmu::take_last_eviction);
+    }
+
+    /// Flushes have no return value to compare; mirror them verbatim.
+    pub(crate) fn mirror_flush_core(&mut self, core: usize) {
+        let Some(sh) = self.shadows.as_mut() else { return };
+        for i in 0..sh.mmus.len() {
+            if sh.diverged[i].is_none() {
+                sh.mmus[i].flush_core(core);
+            }
+        }
+    }
+}

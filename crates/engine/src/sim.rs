@@ -33,9 +33,9 @@ pub(crate) type NocRequest = (u64, usize, u64, bool, u64);
 /// long run keeps the most recent window instead of growing without bound.
 #[derive(Debug)]
 pub(crate) struct RequestLog {
-    events: VecDeque<LogEvent>,
-    cap: Option<usize>,
-    truncated: bool,
+    pub(crate) events: VecDeque<LogEvent>,
+    pub(crate) cap: Option<usize>,
+    pub(crate) truncated: bool,
 }
 
 impl RequestLog {
@@ -96,7 +96,13 @@ pub struct Simulation<P: Probe = NullProbe> {
     /// destination core, matching the per-core response links.
     pub(crate) noc_responses: MonotonicQueue<(u64, u64, usize)>,
     /// Reused buffer for draining memory completions each loop iteration.
-    completion_buf: Vec<Completion>,
+    /// Always drained back to empty within [`Simulation::pump`], which is
+    /// why snapshots may skip it.
+    pub(crate) completion_buf: Vec<Completion>,
+    /// Shadow MMUs mirroring the primary's call sequence for warm-start
+    /// prefix sharing (`None` outside prefix-shared sweeps; see
+    /// [`crate::shadow`]).
+    pub(crate) shadows: Option<crate::shadow::ShadowMmus>,
     /// Recycled waiter vectors for `walk_waiters`: registration on
     /// walk-heavy configs (4 KB pages) parks transactions every few cycles,
     /// and each parking used to allocate a fresh `Vec`. Mirrors the
@@ -108,10 +114,10 @@ pub struct Simulation<P: Probe = NullProbe> {
     /// not pump the same cycle twice unless a new binding demands it: a
     /// redundant pass would rotate the round-robin arbiter and perturb an
     /// otherwise identical run.
-    pumped: bool,
+    pub(crate) pumped: bool,
     /// Which cores' finishes have been surfaced through
     /// [`Advance::CoreFinished`] — each is reported exactly once.
-    finish_reported: Vec<bool>,
+    pub(crate) finish_reported: Vec<bool>,
 }
 
 /// What stopped a [`Simulation::advance`] call.
@@ -135,6 +141,23 @@ pub enum Advance {
     Drained,
 }
 
+/// Build the MMU for `cfg` (when translation is enabled), deriving the
+/// sharing-level flags and per-core page-table bases exactly as the
+/// simulation constructor does. Shadow MMUs for warm-start prefix sharing
+/// ([`Simulation::add_shadow_config`]) go through this same path so a
+/// shadow is indistinguishable from the MMU a native run would build.
+pub(crate) fn build_mmu(cfg: &SystemConfig, page_tables: &[PageTable]) -> Option<Mmu> {
+    cfg.translation.then(|| {
+        let mut m = cfg.mmu.clone();
+        m.tlb_shared = cfg.sharing.shares_tlb();
+        m.ptw_shared = cfg.sharing.shares_ptw();
+        m.ptw_partition = if m.ptw_shared { None } else { cfg.ptw_partition.clone() };
+        m.ptw_bounds = cfg.ptw_bounds.clone();
+        let bases: Vec<u64> = page_tables.iter().map(PageTable::pt_region_base).collect();
+        Mmu::new(m, cfg.cores, &bases)
+    })
+}
+
 impl Simulation<NullProbe> {
     /// Build an uninstrumented simulation of `cfg` executing `traces[c]` on
     /// core `c`. (This constructor always uses [`NullProbe`] regardless of
@@ -154,14 +177,88 @@ impl Simulation<NullProbe> {
     /// [`NullProbe`] build, [`ProbeMode::Stats`] runs [`StatsProbe`] and
     /// fills [`RunReport::stats`].
     ///
+    /// This is the engine's canonical batch entry point. The
+    /// `mnpusim::RunRequest` facade routes here; the retired
+    /// `run_traces` / `run_networks` / `run_fleet` trio are shims over it.
+    ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`Simulation::new`].
-    pub fn run_traces(cfg: &SystemConfig, traces: &[WorkloadTrace]) -> RunReport {
+    pub fn execute(cfg: &SystemConfig, traces: &[WorkloadTrace]) -> RunReport {
         match cfg.probe {
             ProbeMode::None => Simulation::with_probe(cfg, traces, NullProbe).run(),
             ProbeMode::Stats => Simulation::with_probe(cfg, traces, StatsProbe::default()).run(),
         }
+    }
+
+    /// Convenience over [`Simulation::execute`]: generate traces for
+    /// `networks` with each core's [`mnpu_systolic::ArchConfig`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::new`].
+    pub fn execute_networks(cfg: &SystemConfig, networks: &[Network]) -> RunReport {
+        assert_eq!(networks.len(), cfg.cores, "one network per core");
+        let traces: Vec<WorkloadTrace> =
+            networks.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
+        Simulation::execute(cfg, &traces)
+    }
+
+    /// [`Simulation::execute`], but checkpointed at cycle `at`: drive to
+    /// `at`, snapshot, restore the snapshot into a *freshly built*
+    /// simulation, and finish the run there.
+    ///
+    /// Stepping a fresh simulation with [`Simulation::advance`]`(u64::MAX)`
+    /// until [`Advance::Drained`] performs exactly the same pump/advance
+    /// sequence as [`Simulation::run`], and restore reinstates every bit of
+    /// mutable state, so the returned report is byte-identical to
+    /// [`Simulation::execute`] for every `at` — the lockstep property the
+    /// validation suite fences.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::new`], or if the
+    /// engine produced a snapshot its twin refuses to restore (a bug).
+    pub fn execute_checkpointed(
+        cfg: &SystemConfig,
+        traces: &[WorkloadTrace],
+        at: u64,
+    ) -> RunReport {
+        fn drive<P: Probe>(sim: &mut Simulation<P>, stop_at: u64) {
+            while let Advance::CoreFinished { .. } = sim.advance(stop_at) {}
+        }
+        fn checkpointed<P: Probe>(
+            cfg: &SystemConfig,
+            traces: &[WorkloadTrace],
+            at: u64,
+        ) -> RunReport {
+            let mut sim = Simulation::with_probe(cfg, traces, P::default());
+            drive(&mut sim, at);
+            let snap = sim.snapshot();
+            drop(sim);
+            let mut resumed = Simulation::with_probe(cfg, traces, P::default());
+            resumed.restore(&snap).expect("snapshot restores into its twin");
+            drive(&mut resumed, u64::MAX);
+            resumed.into_report()
+        }
+        match cfg.probe {
+            ProbeMode::None => checkpointed::<NullProbe>(cfg, traces, at),
+            ProbeMode::Stats => checkpointed::<StatsProbe>(cfg, traces, at),
+        }
+    }
+
+    /// Run `traces` to completion with the probe selected by
+    /// [`SystemConfig::probe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::new`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::execute or the mnpusim::RunRequest facade"
+    )]
+    pub fn run_traces(cfg: &SystemConfig, traces: &[WorkloadTrace]) -> RunReport {
+        Simulation::execute(cfg, traces)
     }
 
     /// Convenience: generate traces for `networks` with each core's
@@ -171,11 +268,12 @@ impl Simulation<NullProbe> {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Simulation::new`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::execute_networks or the mnpusim::RunRequest facade"
+    )]
     pub fn run_networks(cfg: &SystemConfig, networks: &[Network]) -> RunReport {
-        assert_eq!(networks.len(), cfg.cores, "one network per core");
-        let traces: Vec<WorkloadTrace> =
-            networks.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
-        Simulation::run_traces(cfg, &traces)
+        Simulation::execute_networks(cfg, networks)
     }
 
     /// Run a fleet of independent chips (the paper's §4.6 system of
@@ -186,8 +284,20 @@ impl Simulation<NullProbe> {
     /// # Panics
     ///
     /// Panics if any assignment's length differs from `cfg.cores`.
+    #[deprecated(since = "0.1.0", note = "use the mnpusim::RunRequest facade's fleet mode")]
     pub fn run_fleet(cfg: &SystemConfig, assignments: &[Vec<Network>]) -> Vec<RunReport> {
-        assignments.iter().map(|nets| Simulation::run_networks(cfg, nets)).collect()
+        assignments
+            .iter()
+            .map(|nets| {
+                assert_eq!(nets.len(), cfg.cores, "one network per core");
+                let traces: Vec<WorkloadTrace> = nets
+                    .iter()
+                    .zip(&cfg.arch)
+                    .map(|(n, a)| WorkloadTrace::generate(n, a))
+                    .collect();
+                Simulation::execute(cfg, &traces)
+            })
+            .collect()
     }
 
     /// Build an uninstrumented simulation with every core vacant — the
@@ -249,15 +359,7 @@ impl<P: Probe> Simulation<P> {
             })
             .collect();
 
-        let mmu = cfg.translation.then(|| {
-            let mut m = cfg.mmu.clone();
-            m.tlb_shared = cfg.sharing.shares_tlb();
-            m.ptw_shared = cfg.sharing.shares_ptw();
-            m.ptw_partition = if m.ptw_shared { None } else { cfg.ptw_partition.clone() };
-            m.ptw_bounds = cfg.ptw_bounds.clone();
-            let bases: Vec<u64> = page_tables.iter().map(PageTable::pt_region_base).collect();
-            Mmu::new(m, cfg.cores, &bases)
-        });
+        let mmu = build_mmu(cfg, &page_tables);
 
         Simulation {
             memory,
@@ -273,6 +375,7 @@ impl<P: Probe> Simulation<P> {
             noc_requests: MonotonicQueue::new(cfg.cores),
             noc_responses: MonotonicQueue::new(cfg.cores),
             completion_buf: Vec::new(),
+            shadows: None,
             waiter_pool: Vec::new(),
             now: 0,
             pumped: false,
@@ -481,6 +584,7 @@ impl<P: Probe> Simulation<P> {
         assert!(start_cycle >= self.now, "start_cycle must not be in the past");
         if let Some(mmu) = &mut self.mmu {
             mmu.flush_core(core);
+            self.mirror_flush_core(core);
         }
         self.cores[core] = CoreRt::new(trace.clone(), start_cycle);
         self.finish_reported[core] = false;
@@ -502,6 +606,7 @@ impl<P: Probe> Simulation<P> {
         assert_eq!(rt.outstanding, 0, "detach with transactions in flight");
         if let Some(mmu) = &mut self.mmu {
             mmu.flush_core(core);
+            self.mirror_flush_core(core);
         }
         self.cores[core] = CoreRt::vacant();
     }
@@ -632,7 +737,9 @@ impl<P: Probe> Simulation<P> {
             self.cores[core].walk_txns += 1;
             let walk = mnpu_mmu::WalkId::from_raw(meta & !META_WALK);
             let mmu = self.mmu.as_mut().expect("walk completion without MMU");
-            match mmu.advance_walk(walk) {
+            let step = mmu.advance_walk(walk);
+            self.mirror_advance_walk(walk, step);
+            match step {
                 WalkStep::Access(addr) => {
                     self.enqueue_or_retry(core, addr, false, meta);
                 }
@@ -640,9 +747,9 @@ impl<P: Probe> Simulation<P> {
                     debug_assert_eq!(core, wcore);
                     if P::ENABLED {
                         self.probe.record(self.now, Event::WalkDone { core, walk: walk.raw() });
-                        if let Some((owner, _vpn)) =
-                            self.mmu.as_mut().expect("checked").take_last_eviction()
-                        {
+                        let evicted = self.mmu.as_mut().expect("checked").take_last_eviction();
+                        self.mirror_take_eviction(evicted);
+                        if let Some((owner, _vpn)) = evicted {
                             self.probe.record(self.now, Event::TlbEvict { core: owner as usize });
                         }
                     }

@@ -2,7 +2,7 @@
 //! DRAM transactions.
 
 use mnpu_dram::TRANSACTION_BYTES;
-use mnpu_systolic::MemSpan;
+use mnpu_systolic::{MemSpan, SpanKind};
 
 /// Number of 64-byte transactions needed to cover `s`, counting the partial
 /// transactions at both unaligned ends.
@@ -89,12 +89,60 @@ impl Stage {
     pub(crate) fn done(&self) -> bool {
         self.completed == self.total
     }
+
+    /// Serialize the stage verbatim, span list included — a completed
+    /// stage's released (empty) span list round-trips as empty.
+    pub(crate) fn save(&self, w: &mut mnpu_snapshot::Writer) {
+        w.usize(self.core);
+        w.usize(self.layer);
+        w.usize(self.flat_tile);
+        w.bool(self.is_store);
+        w.seq(&self.spans, |w, s| {
+            w.u64(s.addr);
+            w.u64(s.bytes);
+            w.u8(match s.kind {
+                SpanKind::Load => 0,
+                SpanKind::Store => 1,
+            });
+        });
+        w.usize(self.span_idx);
+        w.u64(self.cursor);
+        w.u64(self.total);
+        w.u64(self.consumed);
+        w.u64(self.completed);
+    }
+
+    pub(crate) fn load(
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<Stage, mnpu_snapshot::SnapError> {
+        Ok(Stage {
+            core: r.usize()?,
+            layer: r.usize()?,
+            flat_tile: r.usize()?,
+            is_store: r.bool()?,
+            spans: r.seq(|r| {
+                Ok(MemSpan {
+                    addr: r.u64()?,
+                    bytes: r.u64()?,
+                    kind: match r.u8()? {
+                        0 => SpanKind::Load,
+                        1 => SpanKind::Store,
+                        _ => return Err(mnpu_snapshot::SnapError::BadValue("unknown span kind")),
+                    },
+                })
+            })?,
+            span_idx: r.usize()?,
+            cursor: r.u64()?,
+            total: r.u64()?,
+            consumed: r.u64()?,
+            completed: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mnpu_systolic::SpanKind;
     use proptest::prelude::*;
 
     /// Drain a stage through the same peek/advance protocol the issue loop

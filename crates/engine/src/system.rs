@@ -180,7 +180,7 @@ pub struct SystemConfig {
     /// set. `None` = unbounded (the historical behavior).
     pub request_log_cap: Option<usize>,
     /// Which observability probe instruments the run (see
-    /// [`crate::Simulation::run_traces`]). [`ProbeMode::None`] is free;
+    /// [`crate::Simulation::execute`]). [`ProbeMode::None`] is free;
     /// [`ProbeMode::Stats`] adds counters/histograms/stall breakdowns to
     /// the report.
     pub probe: ProbeMode,

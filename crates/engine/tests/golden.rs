@@ -46,7 +46,7 @@ fn golden_report(cfg: &SystemConfig) -> String {
         zoo::yolo_tiny(Scale::Bench),
         zoo::dlrm(Scale::Bench),
     ];
-    Simulation::run_networks(cfg, &nets).to_json()
+    Simulation::execute_networks(cfg, &nets).to_json()
 }
 
 /// Compare `json` against the named fixture, or rewrite the fixture when

@@ -36,7 +36,7 @@ fn quad_report(cfg: &SystemConfig) -> mnpu_engine::RunReport {
         zoo::yolo_tiny(Scale::Bench),
         zoo::dlrm(Scale::Bench),
     ];
-    Simulation::run_networks(cfg, &nets)
+    Simulation::execute_networks(cfg, &nets)
 }
 
 /// Compare `json` against the named fixture, or rewrite it when
@@ -96,12 +96,12 @@ fn response_links_queue_under_contention_and_only_add_time() {
 #[test]
 fn pure_hop_latency_delay_is_visible_end_to_end() {
     let net = [zoo::ncf(Scale::Bench)];
-    let ideal = Simulation::run_networks(&SystemConfig::bench(1, SharingLevel::Ideal), &net);
+    let ideal = Simulation::execute_networks(&SystemConfig::bench(1, SharingLevel::Ideal), &net);
 
     let run = |hop_latency: u64| {
         let noc = NocConfig { bytes_per_cycle: 4096, hop_latency };
         let cfg = SystemConfig::bench(1, SharingLevel::Ideal).with_noc(noc);
-        Simulation::run_networks(&cfg, &net)
+        Simulation::execute_networks(&cfg, &net)
     };
     let short = run(1);
     let long = run(256);

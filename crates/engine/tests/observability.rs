@@ -32,8 +32,8 @@ fn arb_network() -> impl Strategy<Value = Network> {
 #[test]
 fn null_and_stats_probes_agree_on_every_number() {
     let nets = fig4_nets();
-    let base = Simulation::run_networks(&dual_cfg(ProbeMode::None), &nets);
-    let probed = Simulation::run_networks(&dual_cfg(ProbeMode::Stats), &nets);
+    let base = Simulation::execute_networks(&dual_cfg(ProbeMode::None), &nets);
+    let probed = Simulation::execute_networks(&dual_cfg(ProbeMode::Stats), &nets);
 
     // The probe observes; it must never perturb. Every simulated quantity
     // is bit-identical between the two runs.
@@ -51,7 +51,7 @@ fn null_and_stats_probes_agree_on_every_number() {
 
 #[test]
 fn stall_breakdown_sums_to_active_cycles_dual_core() {
-    let r = Simulation::run_networks(&dual_cfg(ProbeMode::Stats), &fig4_nets());
+    let r = Simulation::execute_networks(&dual_cfg(ProbeMode::Stats), &fig4_nets());
     let stats = r.stats.expect("stats probe ran");
     assert_eq!(stats.cores.len(), 2);
     for (ci, c) in stats.cores.iter().enumerate() {
@@ -69,7 +69,7 @@ fn stall_breakdown_sums_to_active_cycles_dual_core() {
 
 #[test]
 fn probe_counters_match_engine_statistics() {
-    let r = Simulation::run_networks(&dual_cfg(ProbeMode::Stats), &fig4_nets());
+    let r = Simulation::execute_networks(&dual_cfg(ProbeMode::Stats), &fig4_nets());
     let stats = r.stats.as_ref().expect("stats probe ran");
 
     // DRAM row outcomes observed by the probe are the DRAM model's own.
@@ -107,12 +107,12 @@ fn request_log_ring_buffer_keeps_newest_entries() {
     let nets = [zoo::ncf(Scale::Bench)];
     let mut cfg = SystemConfig::bench(1, SharingLevel::Ideal);
     cfg.request_log = true;
-    let full = Simulation::run_networks(&cfg, &nets);
+    let full = Simulation::execute_networks(&cfg, &nets);
     assert!(!full.request_log_truncated);
     assert!(full.request_log.len() > 64, "run must be big enough to truncate");
 
     cfg.request_log_cap = Some(64);
-    let capped = Simulation::run_networks(&cfg, &nets);
+    let capped = Simulation::execute_networks(&cfg, &nets);
     assert!(capped.request_log_truncated);
     assert_eq!(capped.request_log.len(), 64);
     // The ring drops the *oldest* entries: what remains is the tail.
@@ -123,7 +123,7 @@ fn request_log_ring_buffer_keeps_newest_entries() {
 
     // A cap wide enough never truncates and changes nothing.
     cfg.request_log_cap = Some(full.request_log.len() + 1);
-    let wide = Simulation::run_networks(&cfg, &nets);
+    let wide = Simulation::execute_networks(&cfg, &nets);
     assert!(!wide.request_log_truncated);
     assert_eq!(wide.request_log, full.request_log);
 }
@@ -141,7 +141,7 @@ proptest! {
     ) {
         let mut cfg = dual_cfg(ProbeMode::Stats);
         cfg.start_cycles = vec![0, stagger];
-        let r = Simulation::run_networks(&cfg, &[net.clone(), net]);
+        let r = Simulation::execute_networks(&cfg, &[net.clone(), net]);
         let stats = r.stats.expect("stats probe ran");
         for (ci, c) in stats.cores.iter().enumerate() {
             prop_assert_eq!(
@@ -159,8 +159,8 @@ proptest! {
     #[test]
     fn prop_probe_is_behaviorally_invisible(net in arb_network()) {
         let nets = [net];
-        let base = Simulation::run_networks(&dual_cfg(ProbeMode::None).ideal_solo(), &nets);
-        let probed = Simulation::run_networks(&dual_cfg(ProbeMode::Stats).ideal_solo(), &nets);
+        let base = Simulation::execute_networks(&dual_cfg(ProbeMode::None).ideal_solo(), &nets);
+        let probed = Simulation::execute_networks(&dual_cfg(ProbeMode::Stats).ideal_solo(), &nets);
         prop_assert_eq!(base.total_cycles, probed.total_cycles);
         prop_assert_eq!(&base.cores, &probed.cores);
         prop_assert_eq!(&base.dram, &probed.dram);

@@ -52,8 +52,8 @@ proptest! {
     #[test]
     fn prop_determinism(net in arb_network()) {
         let cfg = small_cfg(true);
-        let a = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
-        let b = Simulation::run_networks(&cfg, &[net]);
+        let a = Simulation::execute_networks(&cfg, std::slice::from_ref(&net));
+        let b = Simulation::execute_networks(&cfg, &[net]);
         prop_assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
         prop_assert_eq!(a.dram.total.bytes, b.dram.total.bytes);
     }
@@ -77,8 +77,8 @@ proptest! {
     /// Removing translation never slows a run down.
     #[test]
     fn prop_translation_only_adds_time(net in arb_network()) {
-        let with = Simulation::run_networks(&small_cfg(true), std::slice::from_ref(&net));
-        let without = Simulation::run_networks(&small_cfg(false), &[net]);
+        let with = Simulation::execute_networks(&small_cfg(true), std::slice::from_ref(&net));
+        let without = Simulation::execute_networks(&small_cfg(false), &[net]);
         prop_assert!(without.cores[0].cycles <= with.cores[0].cycles);
     }
 
@@ -88,8 +88,8 @@ proptest! {
     fn prop_more_resources_never_hurt(net in arb_network()) {
         let small = SystemConfig::bench(1, SharingLevel::Ideal);
         let big = SystemConfig::bench(2, SharingLevel::Ideal).ideal_solo();
-        let r_small = Simulation::run_networks(&small, std::slice::from_ref(&net));
-        let r_big = Simulation::run_networks(&big, &[net]);
+        let r_small = Simulation::execute_networks(&small, std::slice::from_ref(&net));
+        let r_big = Simulation::execute_networks(&big, &[net]);
         // Allow 2% slack: more channels can shift row-buffer luck slightly.
         prop_assert!(
             r_big.cores[0].cycles as f64 <= r_small.cores[0].cycles as f64 * 1.02,

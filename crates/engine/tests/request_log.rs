@@ -6,7 +6,9 @@
 //! and latches the flag. The flag must then survive serialization in both
 //! the JSON object and the trailing `request_log_truncated` CSV column.
 
-use mnpu_engine::{Format, RunReport, SharingLevel, Simulation, SystemConfig, SystemConfigBuilder};
+use mnpu_engine::{
+    Emit, Format, RunReport, SharingLevel, Simulation, SystemConfig, SystemConfigBuilder,
+};
 use mnpu_model::{zoo, Scale};
 
 fn run(cap: Option<usize>) -> RunReport {
@@ -14,7 +16,7 @@ fn run(cap: Option<usize>) -> RunReport {
         .request_log(cap)
         .build()
         .unwrap();
-    Simulation::run_networks(&cfg, &[zoo::ncf(Scale::Bench)])
+    Simulation::execute_networks(&cfg, &[zoo::ncf(Scale::Bench)])
 }
 
 fn emit(report: &RunReport, format: Format) -> String {

@@ -319,6 +319,99 @@ impl Mmu {
     pub fn walker_pool(&self) -> &WalkerPool {
         &self.walkers
     }
+
+    /// Serialize all mutable MMU state: TLB contents, walker occupancy,
+    /// in-flight walks and the coalescing table (both in sorted key order —
+    /// their map iteration order is never behaviorally observed), the walk
+    /// id counter, per-core stats and the pending eviction. Configuration,
+    /// core count and page-table bases are excluded: restore targets an MMU
+    /// built from the same inputs.
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.tag(0xE0);
+        w.seq(&self.tlbs, |w, t| t.save_state(w));
+        self.walkers.save_state(w);
+        let mut walks: Vec<(&u64, &Walk)> = self.walks.iter().collect();
+        walks.sort_unstable_by_key(|(id, _)| **id);
+        w.seq(&walks, |w, (id, walk)| {
+            w.u64(**id);
+            w.usize(walk.core);
+            w.u64(walk.vpn);
+            w.u32(walk.levels_left);
+            w.u32(walk.joined);
+        });
+        let mut active: Vec<(&(u16, u64), &WalkId)> = self.active_by_page.iter().collect();
+        active.sort_unstable_by_key(|(k, _)| **k);
+        w.seq(&active, |w, (&(asid, vpn), id)| {
+            w.u16(asid);
+            w.u64(vpn);
+            w.u64(id.raw());
+        });
+        w.u64(self.next_walk_id);
+        w.seq(&self.stats, |w, s| {
+            w.u64(s.tlb_hits);
+            w.u64(s.tlb_misses);
+            w.u64(s.walks);
+            w.u64(s.coalesced);
+            w.u64(s.walker_stalls);
+            w.u64(s.tlb_evictions);
+        });
+        w.opt(&self.last_eviction, |w, &(asid, vpn)| {
+            w.u16(asid);
+            w.u64(vpn);
+        });
+    }
+
+    /// Restore state saved by [`Mmu::save_state`] into an MMU built from
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is malformed or shaped
+    /// for a different MMU organization.
+    pub fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        use mnpu_snapshot::SnapError;
+        r.tag(0xE0)?;
+        let n_tlbs = r.usize()?;
+        if n_tlbs != self.tlbs.len() {
+            return Err(SnapError::BadValue("TLB count mismatch"));
+        }
+        for t in &mut self.tlbs {
+            t.load_state(r)?;
+        }
+        self.walkers.load_state(r)?;
+        let walks = r.seq(|r| {
+            Ok((
+                r.u64()?,
+                Walk { core: r.usize()?, vpn: r.u64()?, levels_left: r.u32()?, joined: r.u32()? },
+            ))
+        })?;
+        if walks.iter().any(|(_, w)| w.core >= self.cores || w.levels_left == 0) {
+            return Err(SnapError::BadValue("in-flight walk out of range"));
+        }
+        self.walks = walks.into_iter().collect();
+        let active = r.seq(|r| Ok(((r.u16()?, r.u64()?), WalkId(r.u64()?))))?;
+        self.active_by_page = active.into_iter().collect();
+        self.next_walk_id = r.u64()?;
+        let stats = r.seq(|r| {
+            Ok(MmuStats {
+                tlb_hits: r.u64()?,
+                tlb_misses: r.u64()?,
+                walks: r.u64()?,
+                coalesced: r.u64()?,
+                walker_stalls: r.u64()?,
+                tlb_evictions: r.u64()?,
+            })
+        })?;
+        if stats.len() != self.cores {
+            return Err(SnapError::BadValue("MMU stats core count mismatch"));
+        }
+        self.stats = stats;
+        self.last_eviction = r.opt(|r| Ok((r.u16()?, r.u64()?)))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

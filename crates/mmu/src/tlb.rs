@@ -145,6 +145,45 @@ impl Tlb {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+
+    /// Serialize all mutable TLB state (resident entries in stored order,
+    /// LRU clock, counters). Geometry is excluded: restore targets a TLB
+    /// built with the same `entries`/`assoc`.
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.seq(&self.sets, |w, set| {
+            w.seq(set, |w, e| {
+                w.u16(e.asid);
+                w.u64(e.vpn);
+                w.u64(e.last_use);
+            });
+        });
+        w.u64(self.clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    /// Restore state saved by [`Tlb::save_state`] into a TLB of the same
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is malformed or shaped
+    /// for a different geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        let sets =
+            r.seq(|r| r.seq(|r| Ok(Entry { asid: r.u16()?, vpn: r.u64()?, last_use: r.u64()? })))?;
+        if sets.len() != self.sets.len() || sets.iter().any(|s| s.len() > self.assoc) {
+            return Err(mnpu_snapshot::SnapError::BadValue("TLB geometry mismatch"));
+        }
+        self.sets = sets;
+        self.clock = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

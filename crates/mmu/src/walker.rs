@@ -228,6 +228,57 @@ impl WalkerPool {
     pub fn rejects(&self) -> u64 {
         self.rejects
     }
+
+    /// Serialize all mutable pool state (free/occupancy counts, peak,
+    /// acquire/reject counters). The policy shape and capacities are
+    /// excluded: restore targets a pool built under the same policy.
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.seq(&self.free, |w, &f| w.usize(f));
+        match &self.policy {
+            Policy::Bounded { in_use, .. } => {
+                w.bool(true);
+                w.seq(in_use, |w, &u| w.usize(u));
+            }
+            _ => w.bool(false),
+        }
+        w.usize(self.busy_peak);
+        w.u64(self.acquires);
+        w.u64(self.rejects);
+    }
+
+    /// Restore state saved by [`WalkerPool::save_state`] into a pool built
+    /// under the same policy.
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is malformed or was
+    /// taken under a different pool policy or shape.
+    pub fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        use mnpu_snapshot::SnapError;
+        let free = r.seq(|r| r.usize())?;
+        if free.len() != self.free.len() {
+            return Err(SnapError::BadValue("walker pool shape mismatch"));
+        }
+        let in_use = if r.bool()? { Some(r.seq(|r| r.usize())?) } else { None };
+        match (&mut self.policy, in_use) {
+            (Policy::Bounded { in_use: dst, .. }, Some(src)) => {
+                if src.len() != dst.len() {
+                    return Err(SnapError::BadValue("bounded pool core count mismatch"));
+                }
+                *dst = src;
+            }
+            (Policy::Shared | Policy::PerCore, None) => {}
+            _ => return Err(SnapError::BadValue("walker pool policy mismatch")),
+        }
+        self.free = free;
+        self.busy_peak = r.usize()?;
+        self.acquires = r.u64()?;
+        self.rejects = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

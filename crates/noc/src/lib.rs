@@ -104,6 +104,30 @@ impl Link {
     pub fn queue_cycles(&self) -> u64 {
         self.queue_cycles
     }
+
+    /// Serialize the link's full state (it is all mutable).
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.u64(self.busy_until);
+        w.u64(self.bytes);
+        w.u64(self.transfers);
+        w.u64(self.queue_cycles);
+    }
+
+    /// Restore state saved by [`Link::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is truncated.
+    pub fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        self.busy_until = r.u64()?;
+        self.bytes = r.u64()?;
+        self.transfers = r.u64()?;
+        self.queue_cycles = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Per-core request/response links between cores and the memory system.
@@ -162,6 +186,36 @@ impl Crossbar {
     /// The configuration.
     pub fn config(&self) -> &NocConfig {
         &self.cfg
+    }
+
+    /// Serialize all link state. The configuration and core count are
+    /// excluded: restore targets a crossbar built from the same inputs.
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.seq(&self.requests, |w, l| l.save_state(w));
+        w.seq(&self.responses, |w, l| l.save_state(w));
+    }
+
+    /// Restore state saved by [`Crossbar::save_state`] into a crossbar of
+    /// the same shape.
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is malformed or the
+    /// core counts disagree.
+    pub fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        for dir in [&mut self.requests, &mut self.responses] {
+            let n = r.usize()?;
+            if n != dir.len() {
+                return Err(mnpu_snapshot::SnapError::BadValue("crossbar core count mismatch"));
+            }
+            for l in dir.iter_mut() {
+                l.load_state(r)?;
+            }
+        }
+        Ok(())
     }
 }
 

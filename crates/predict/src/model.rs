@@ -99,7 +99,7 @@ impl SlowdownModel {
             let i = p % n_networks;
             let j = (p * 7 + 3) % n_networks;
             let (i, j) = if i == j { (i, (j + 1) % n_networks) } else { (i, j) };
-            let r = Simulation::run_networks(chip, &[nets[i].clone(), nets[j].clone()]);
+            let r = Simulation::execute_networks(chip, &[nets[i].clone(), nets[j].clone()]);
             let sa = r.cores[0].cycles as f64 / profiles[i].solo_cycles as f64;
             let sb = r.cores[1].cycles as f64 / profiles[j].solo_cycles as f64;
             samples.push(TrainingSample {

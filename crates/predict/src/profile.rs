@@ -27,7 +27,7 @@ impl WorkloadProfile {
     /// Panics if the chip configuration is invalid.
     pub fn measure(chip: &SystemConfig, net: &Network) -> Self {
         let cfg = chip.ideal_solo();
-        let r = Simulation::run_networks(&cfg, std::slice::from_ref(net));
+        let r = Simulation::execute_networks(&cfg, std::slice::from_ref(net));
         let c = &r.cores[0];
         WorkloadProfile {
             name: c.workload.clone(),

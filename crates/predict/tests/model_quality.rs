@@ -20,7 +20,7 @@ fn predictions_correlate_with_measured_slowdowns() {
     let mut measured = Vec::new();
     for i in 0..nets.len() {
         for j in 0..nets.len() {
-            let r = Simulation::run_networks(&chip, &[nets[i].clone(), nets[j].clone()]);
+            let r = Simulation::execute_networks(&chip, &[nets[i].clone(), nets[j].clone()]);
             measured.push(r.cores[0].cycles as f64 / profiles[i].solo_cycles as f64);
             predicted.push(model.predict_slowdown(&profiles[i], &profiles[j]));
         }

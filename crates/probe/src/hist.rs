@@ -82,6 +82,32 @@ impl Histogram {
         (lo, hi)
     }
 
+    /// Serialize the histogram's full state.
+    pub fn save_state(&self, w: &mut mnpu_snapshot::Writer) {
+        w.seq(&self.buckets, |w, &b| w.u64(b));
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.max);
+        w.u64(self.min);
+    }
+
+    /// Restore a histogram saved by [`Histogram::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is truncated.
+    pub fn load_state(
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<Histogram, mnpu_snapshot::SnapError> {
+        Ok(Histogram {
+            buckets: r.seq(|r| r.u64())?,
+            count: r.u64()?,
+            sum: r.u64()?,
+            max: r.u64()?,
+            min: r.u64()?,
+        })
+    }
+
     /// Fold `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         if self.buckets.len() < other.buckets.len() {

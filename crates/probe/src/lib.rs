@@ -256,6 +256,21 @@ pub trait Probe: std::fmt::Debug + Clone + Send + Default + 'static {
     /// Finalize into a [`StatsReport`]; `None` for probes that aggregate
     /// nothing.
     fn into_report(self) -> Option<StatsReport>;
+
+    /// Serialize all accumulated probe state for a checkpoint. A probe
+    /// that aggregates nothing writes nothing.
+    fn save_state(&self, w: &mut mnpu_snapshot::Writer);
+
+    /// Restore state saved by [`Probe::save_state`] into a freshly built
+    /// probe of the same type.
+    ///
+    /// # Errors
+    ///
+    /// [`mnpu_snapshot::SnapError`] when the payload is malformed.
+    fn load_state(
+        &mut self,
+        r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError>;
 }
 
 /// Replay a batch of synthesized per-command events into `probe`, in index
@@ -294,6 +309,17 @@ impl Probe for NullProbe {
 
     fn into_report(self) -> Option<StatsReport> {
         None
+    }
+
+    #[inline(always)]
+    fn save_state(&self, _w: &mut mnpu_snapshot::Writer) {}
+
+    #[inline(always)]
+    fn load_state(
+        &mut self,
+        _r: &mut mnpu_snapshot::Reader<'_>,
+    ) -> Result<(), mnpu_snapshot::SnapError> {
+        Ok(())
     }
 }
 

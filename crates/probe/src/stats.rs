@@ -2,6 +2,7 @@
 
 use crate::hist::Histogram;
 use crate::{CoreState, Event, Phase, Probe};
+use mnpu_snapshot::{Reader, SnapError, Writer};
 use std::collections::HashMap;
 
 /// Default per-epoch bucketing window (global DRAM cycles) for the
@@ -194,7 +195,7 @@ pub struct Span {
 
 /// One completed job lifetime in serve mode: arrival into the scheduler
 /// queue, dispatch onto a core, workload completion. All cycles are on the
-/// global clock, with `arrival <= dispatch <= complete`.
+/// global clock, with `arrival <= dispatch <= completion`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct JobSpan {
     /// Arrival cycle (the matching [`Event::JobArrive`]).
@@ -202,7 +203,7 @@ pub struct JobSpan {
     /// Dispatch cycle (the matching [`Event::JobDispatch`]).
     pub dispatch: u64,
     /// Completion cycle (the matching [`Event::JobComplete`]).
-    pub complete: u64,
+    pub completion: u64,
     /// Core the job ran on.
     pub core: usize,
     /// Scheduler-assigned job id.
@@ -242,7 +243,7 @@ pub struct StatsReport {
     pub dram: DramContention,
     /// Closed tile-phase spans, sorted by `(start, end, core, phase, id)`.
     pub spans: Vec<Span>,
-    /// Completed job lifetimes, sorted by `(arrival, dispatch, complete,
+    /// Completed job lifetimes, sorted by `(arrival, dispatch, completion,
     /// core, job)`. Empty for batch runs.
     pub jobs: Vec<JobSpan>,
     /// Scheduler counters. All zero for batch runs.
@@ -325,6 +326,151 @@ impl StatsProbe {
             series.resize(epoch + 1, 0);
         }
         series[epoch] += 1;
+    }
+}
+
+/// Section tag for a serialized [`StatsProbe`].
+const PROBE_TAG: u8 = 0xA0;
+
+fn phase_code(p: Phase) -> u8 {
+    match p {
+        Phase::Load => 0,
+        Phase::Compute => 1,
+        Phase::Store => 2,
+    }
+}
+
+fn phase_from(c: u8) -> Result<Phase, SnapError> {
+    Ok(match c {
+        0 => Phase::Load,
+        1 => Phase::Compute,
+        2 => Phase::Store,
+        _ => return Err(SnapError::BadValue("unknown phase code")),
+    })
+}
+
+fn state_code(s: CoreState) -> u8 {
+    match s {
+        CoreState::Idle => 0,
+        CoreState::Compute => 1,
+        CoreState::WaitTranslation => 2,
+        CoreState::WaitLoad => 3,
+        CoreState::WaitStore => 4,
+        CoreState::Finished => 5,
+    }
+}
+
+fn state_from(c: u8) -> Result<CoreState, SnapError> {
+    Ok(match c {
+        0 => CoreState::Idle,
+        1 => CoreState::Compute,
+        2 => CoreState::WaitTranslation,
+        3 => CoreState::WaitLoad,
+        4 => CoreState::WaitStore,
+        5 => CoreState::Finished,
+        _ => return Err(SnapError::BadValue("unknown core-state code")),
+    })
+}
+
+impl StallBreakdown {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.compute);
+        w.u64(self.wait_translation);
+        w.u64(self.wait_load);
+        w.u64(self.wait_store);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<StallBreakdown, SnapError> {
+        Ok(StallBreakdown {
+            compute: r.u64()?,
+            wait_translation: r.u64()?,
+            wait_load: r.u64()?,
+            wait_store: r.u64()?,
+        })
+    }
+}
+
+impl CoreStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.active_cycles);
+        self.stall.save(w);
+        w.u64(self.tlb_hits);
+        w.u64(self.tlb_misses);
+        w.u64(self.tlb_evictions);
+        w.u64(self.walks_started);
+        w.u64(self.walks_done);
+        w.u64(self.walker_stalls);
+        w.u64(self.dma_grants);
+        w.u64(self.dma_retries);
+        w.u64(self.row_hits);
+        w.u64(self.row_misses);
+        w.u64(self.row_conflicts);
+        self.walk_latency.save_state(w);
+        w.seq(&self.epoch_dram_txns, |w, &v| w.u64(v));
+        w.seq(&self.epoch_tlb_misses, |w, &v| w.u64(v));
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<CoreStats, SnapError> {
+        Ok(CoreStats {
+            active_cycles: r.u64()?,
+            stall: StallBreakdown::load(r)?,
+            tlb_hits: r.u64()?,
+            tlb_misses: r.u64()?,
+            tlb_evictions: r.u64()?,
+            walks_started: r.u64()?,
+            walks_done: r.u64()?,
+            walker_stalls: r.u64()?,
+            dma_grants: r.u64()?,
+            dma_retries: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            walk_latency: Histogram::load_state(r)?,
+            epoch_dram_txns: r.seq(|r| r.u64())?,
+            epoch_tlb_misses: r.seq(|r| r.u64())?,
+        })
+    }
+}
+
+impl DramContention {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.row_hits);
+        w.u64(self.row_misses);
+        w.u64(self.row_conflicts);
+        w.u64(self.refreshes);
+        w.u64(self.issues);
+        self.queue_residency.save_state(w);
+        self.queue_depth.save_state(w);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<DramContention, SnapError> {
+        Ok(DramContention {
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            refreshes: r.u64()?,
+            issues: r.u64()?,
+            queue_residency: Histogram::load_state(r)?,
+            queue_depth: Histogram::load_state(r)?,
+        })
+    }
+}
+
+impl SchedStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.arrivals);
+        w.u64(self.dispatches);
+        w.u64(self.completions);
+        self.queue_depth.save_state(w);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<SchedStats, SnapError> {
+        Ok(SchedStats {
+            arrivals: r.u64()?,
+            dispatches: r.u64()?,
+            completions: r.u64()?,
+            queue_depth: Histogram::load_state(r)?,
+        })
     }
 }
 
@@ -418,7 +564,7 @@ impl Probe for StatsProbe {
                     self.report.jobs.push(JobSpan {
                         arrival,
                         dispatch,
-                        complete: cycle,
+                        completion: cycle,
                         core,
                         job,
                     });
@@ -445,6 +591,112 @@ impl Probe for StatsProbe {
         self.report.spans.sort_unstable();
         self.report.jobs.sort_unstable();
         Some(self.report)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.tag(PROBE_TAG);
+        w.u64(self.report.epoch_cycles);
+        w.seq(&self.report.cores, |w, c| c.save(w));
+        self.report.dram.save(w);
+        w.seq(&self.report.spans, |w, s| {
+            w.u64(s.start);
+            w.u64(s.end);
+            w.usize(s.core);
+            w.u8(phase_code(s.phase));
+            w.u64(s.id);
+        });
+        w.seq(&self.report.jobs, |w, j| {
+            w.u64(j.arrival);
+            w.u64(j.dispatch);
+            w.u64(j.completion);
+            w.usize(j.core);
+            w.u64(j.job);
+        });
+        self.report.sched.save(w);
+        w.seq(&self.track, |w, t| {
+            w.u8(state_code(t.state));
+            w.u64(t.since);
+        });
+        // The open-interval maps are HashMaps whose iteration order is not
+        // deterministic; serialize in sorted key order so equal probes
+        // produce byte-equal payloads.
+        let mut phases: Vec<_> = self.open_phases.iter().collect();
+        phases.sort_unstable_by_key(|&(k, _)| *k);
+        w.seq(&phases, |w, &(&(core, phase, id), &start)| {
+            w.usize(core);
+            w.u8(phase_code(phase));
+            w.u64(id);
+            w.u64(start);
+        });
+        let mut walks: Vec<_> = self.walk_starts.iter().collect();
+        walks.sort_unstable_by_key(|&(k, _)| *k);
+        w.seq(&walks, |w, &(&walk, &start)| {
+            w.u64(walk);
+            w.u64(start);
+        });
+        let mut jobs: Vec<_> = self.open_jobs.iter().collect();
+        jobs.sort_unstable_by_key(|&(k, _)| *k);
+        w.seq(&jobs, |w, &(&job, &(arrival, dispatched))| {
+            w.u64(job);
+            w.u64(arrival);
+            w.opt(&dispatched, |w, &(cycle, core)| {
+                w.u64(cycle);
+                w.usize(core);
+            });
+        });
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(PROBE_TAG)?;
+        let epoch_cycles = r.u64()?;
+        if epoch_cycles == 0 {
+            return Err(SnapError::BadValue("probe epoch must be positive"));
+        }
+        let cores = r.seq(CoreStats::load)?;
+        let dram = DramContention::load(r)?;
+        let spans = r.seq(|r| {
+            Ok(Span {
+                start: r.u64()?,
+                end: r.u64()?,
+                core: r.usize()?,
+                phase: phase_from(r.u8()?)?,
+                id: r.u64()?,
+            })
+        })?;
+        let jobs = r.seq(|r| {
+            Ok(JobSpan {
+                arrival: r.u64()?,
+                dispatch: r.u64()?,
+                completion: r.u64()?,
+                core: r.usize()?,
+                job: r.u64()?,
+            })
+        })?;
+        let sched = SchedStats::load(r)?;
+        let track = r.seq(|r| Ok(StateTrack { state: state_from(r.u8()?)?, since: r.u64()? }))?;
+        if track.len() != cores.len() {
+            return Err(SnapError::BadValue("probe track/core length mismatch"));
+        }
+        let open_phases = r
+            .seq(|r| Ok(((r.usize()?, phase_from(r.u8()?)?, r.u64()?), r.u64()?)))?
+            .into_iter()
+            .collect();
+        let walk_starts = r.seq(|r| Ok((r.u64()?, r.u64()?)))?.into_iter().collect();
+        let open_jobs = r
+            .seq(|r| {
+                let job = r.u64()?;
+                let arrival = r.u64()?;
+                let dispatched = r.opt(|r| Ok((r.u64()?, r.usize()?)))?;
+                Ok((job, (arrival, dispatched)))
+            })?
+            .into_iter()
+            .collect();
+        self.report = StatsReport { epoch_cycles, cores, dram, spans, jobs, sched };
+        self.track = track;
+        self.open_phases = open_phases;
+        self.walk_starts = walk_starts;
+        self.open_jobs = open_jobs;
+        Ok(())
     }
 }
 
@@ -566,8 +818,61 @@ mod tests {
         assert_eq!(r.sched.completions, 2);
         assert_eq!(r.sched.queue_depth.count(), 4);
         assert_eq!(r.jobs.len(), 2);
-        assert_eq!(r.jobs[0], JobSpan { arrival: 0, dispatch: 5, complete: 120, core: 2, job: 0 });
-        assert_eq!(r.jobs[1], JobSpan { arrival: 5, dispatch: 9, complete: 100, core: 0, job: 1 });
+        assert_eq!(
+            r.jobs[0],
+            JobSpan { arrival: 0, dispatch: 5, completion: 120, core: 2, job: 0 }
+        );
+        assert_eq!(
+            r.jobs[1],
+            JobSpan { arrival: 5, dispatch: 9, completion: 100, core: 0, job: 1 }
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_open_state() {
+        let mut p = StatsProbe::new(128);
+        // Closed state of every kind...
+        p.record(10, Event::TlbHit { core: 0 });
+        p.record(20, Event::TlbMiss { core: 1 });
+        p.record(30, Event::DramRowConflict { channel: 0, core: 0, residency: 7 });
+        p.record(31, Event::DramIssue { channel: 0, queue_depth: 3 });
+        p.record(40, Event::PhaseBegin { core: 0, phase: Phase::Load, id: 0 });
+        p.record(90, Event::PhaseEnd { core: 0, phase: Phase::Load, id: 0 });
+        p.record(50, Event::CoreState { core: 0, state: CoreState::Compute });
+        // ...plus dangling open intervals that only matter after resume.
+        p.record(100, Event::PhaseBegin { core: 1, phase: Phase::Store, id: 9 });
+        p.record(110, Event::WalkStart { core: 1, walk: 42 });
+        p.record(120, Event::JobArrive { job: 0, queue_depth: 1 });
+        p.record(130, Event::JobDispatch { job: 0, core: 1, queue_depth: 0 });
+        p.record(140, Event::JobArrive { job: 1, queue_depth: 1 });
+
+        let mut w = Writer::new();
+        p.save_state(&mut w);
+        let bytes = w.finish();
+        let mut q = StatsProbe::default();
+        let mut r = Reader::new(&bytes);
+        q.load_state(&mut r).unwrap();
+        r.done().unwrap();
+
+        // Identical futures close the open intervals identically.
+        for probe in [&mut p, &mut q] {
+            probe.record(200, Event::PhaseEnd { core: 1, phase: Phase::Store, id: 9 });
+            probe.record(210, Event::WalkDone { core: 1, walk: 42 });
+            probe.record(220, Event::JobComplete { job: 0, core: 1 });
+            probe.record(230, Event::CoreState { core: 0, state: CoreState::Finished });
+        }
+        assert_eq!(p.into_report(), q.into_report());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage_codes() {
+        let p = StatsProbe::default();
+        let mut w = Writer::new();
+        p.save_state(&mut w);
+        let mut bytes = w.finish();
+        bytes[0] = 0xFF; // clobber the section tag
+        let mut q = StatsProbe::default();
+        assert!(q.load_state(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod server;
 pub use arrival::arrivals;
 pub use policy::Policy;
 pub use report::{JobRecord, ServeReport};
-pub use server::serve;
+pub use server::{scenario_fingerprint, serve, ServeSession, ServeSnapshot};
 
 // Re-export the scenario vocabulary so scheduler callers need only this
 // crate and `mnpu-config`'s parser entry points.

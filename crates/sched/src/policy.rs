@@ -3,6 +3,7 @@
 use mnpu_config::{JobSpec, PolicySpec, ScenarioSpec};
 use mnpu_model::zoo;
 use mnpu_predict::{SlowdownModel, WorkloadProfile};
+use mnpu_snapshot::{Reader, SnapError, Writer};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -57,6 +58,36 @@ impl Policy {
             }
         };
         Policy { inner }
+    }
+
+    /// Serialize the policy's mutable state. Only the round-robin cursor
+    /// is mutable; the predictor's profiles and model are deterministic
+    /// functions of the scenario and are rebuilt by [`Policy::new`] on
+    /// restore rather than serialized.
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        match &self.inner {
+            Inner::FirstFree => w.u8(0),
+            Inner::RoundRobin { next } => {
+                w.u8(1);
+                w.usize(*next);
+            }
+            Inner::Pinned => w.u8(2),
+            Inner::Predictor { .. } => w.u8(3),
+        }
+    }
+
+    /// Restore state written by [`Policy::save_state`] into a policy
+    /// freshly built for the *same* scenario.
+    pub(crate) fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let kind = r.u8()?;
+        match (&mut self.inner, kind) {
+            (Inner::FirstFree, 0) | (Inner::Pinned, 2) | (Inner::Predictor { .. }, 3) => Ok(()),
+            (Inner::RoundRobin { next }, 1) => {
+                *next = r.usize()?;
+                Ok(())
+            }
+            _ => Err(SnapError::BadValue("policy kind mismatch")),
+        }
     }
 
     /// Choose one dispatch: `Some((queue_position, core))`, or `None` when

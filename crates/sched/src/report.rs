@@ -1,14 +1,16 @@
 //! Serve-mode results: per-job timing records and latency distributions.
 
-use mnpu_engine::RunReport;
+use mnpu_engine::{Emit, Format, RunReport};
 use mnpu_metrics::{throughput_per_mcycle, LatencyStats};
 use std::fmt::Write as _;
+use std::io;
 
 /// The lifecycle timing of one completed job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobRecord {
-    /// Scenario job index (declaration order).
-    pub id: u64,
+    /// Scenario job index (declaration order) — named like the probe
+    /// layer's `JobSpan::job`, and emitted under the same `"job"` key.
+    pub job: u64,
     /// Network the job ran.
     pub workload: String,
     /// Core the job ran on.
@@ -93,9 +95,9 @@ impl ServeReport {
                 .iter()
                 .map(|j| {
                     format!(
-                        "{{\"id\":{},\"workload\":\"{}\",\"core\":{},\"arrival\":{},\
+                        "{{\"job\":{},\"workload\":\"{}\",\"core\":{},\"arrival\":{},\
                          \"dispatch\":{},\"completion\":{}}}",
-                        j.id, j.workload, j.core, j.arrival, j.dispatch, j.completion
+                        j.job, j.workload, j.core, j.arrival, j.dispatch, j.completion
                     )
                 })
                 .collect::<Vec<_>>()
@@ -114,5 +116,142 @@ impl ServeReport {
         }
         let _ = write!(out, "\"run\":{}}}", self.run.to_json());
         out
+    }
+
+    /// Per-job CSV rows plus a `total` row (mirroring the per-core layout
+    /// of the engine's CSV): lifecycle cycles for every job, then summed
+    /// queueing/service/latency with `completion` = makespan.
+    fn emit_csv<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        writeln!(out, "job,workload,core,arrival,dispatch,completion,queueing,service,latency")?;
+        for j in &self.jobs {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                j.job,
+                j.workload,
+                j.core,
+                j.arrival,
+                j.dispatch,
+                j.completion,
+                j.queueing(),
+                j.service(),
+                j.latency()
+            )?;
+        }
+        let sum = |f: fn(&JobRecord) -> u64| -> u64 { self.jobs.iter().map(f).sum() };
+        writeln!(
+            out,
+            "total,,,,,{},{},{},{}",
+            self.makespan,
+            sum(JobRecord::queueing),
+            sum(JobRecord::service),
+            sum(JobRecord::latency)
+        )
+    }
+
+    /// Chrome trace-event JSON of the job timeline: one complete span per
+    /// job on its core's row, dispatch → completion, with arrival and
+    /// queueing delay as args — the same event shape the engine emits for
+    /// instrumented runs, but built from the scheduler's own records, so
+    /// it needs no stats probe.
+    fn emit_chrome_trace<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        out.write_all(b"{\"traceEvents\":[")?;
+        let mut first = true;
+        for ci in 0..self.run.cores.len() {
+            if !first {
+                out.write_all(b",")?;
+            }
+            first = false;
+            write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{ci},\
+                 \"args\":{{\"name\":\"core {ci}\"}}}}"
+            )?;
+        }
+        for j in &self.jobs {
+            if !first {
+                out.write_all(b",")?;
+            }
+            first = false;
+            write!(
+                out,
+                "{{\"name\":\"job {}\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"workload\":\"{}\",\"arrival\":{},\
+                 \"queueing\":{}}}}}",
+                j.job,
+                j.dispatch,
+                j.service().max(1),
+                j.core,
+                j.workload,
+                j.arrival,
+                j.queueing()
+            )?;
+        }
+        out.write_all(b"],\"displayTimeUnit\":\"ms\"}")
+    }
+}
+
+impl Emit for ServeReport {
+    fn emit<W: io::Write>(&self, format: Format, out: &mut W) -> io::Result<()> {
+        match format {
+            Format::Json => out.write_all(self.to_json().as_bytes()),
+            Format::Csv => self.emit_csv(out),
+            Format::ChromeTrace => self.emit_chrome_trace(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve;
+    use mnpu_config::parse_scenario;
+
+    fn report() -> ServeReport {
+        let spec = parse_scenario(
+            "t",
+            "cores = 2\npattern = fixed:500\njob = ncf\njob = ncf\njob = ncf\n",
+        )
+        .unwrap();
+        serve(&spec)
+    }
+
+    #[test]
+    fn csv_has_header_job_rows_and_total() {
+        let r = report();
+        let text = r.emit_to_string(Format::Csv);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 3 jobs + total:\n{text}");
+        assert!(lines[0].starts_with("job,workload,core"));
+        assert!(lines[1].starts_with("0,ncf,"));
+        assert!(lines[4].starts_with("total,"));
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+        }
+        assert!(lines[4].contains(&r.makespan.to_string()));
+    }
+
+    #[test]
+    fn chrome_trace_carries_every_job_without_a_probe() {
+        // No stats probe configured — the serve trace comes from the
+        // scheduler's own records, unlike the engine's span timeline.
+        let r = report();
+        let text = r.emit_to_string(Format::ChromeTrace);
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        for j in &r.jobs {
+            assert!(text.contains(&format!("\"name\":\"job {}\"", j.job)));
+        }
+        assert!(text.contains("\"workload\":\"ncf\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn json_format_matches_to_json() {
+        let r = report();
+        assert_eq!(r.emit_to_string(Format::Json), r.to_json());
+        assert!(r.to_json().contains("\"job\":0"), "records serialize under the probe's key name");
     }
 }

@@ -90,7 +90,7 @@ fn batch_equivalence_also_holds_against_a_fresh_batch_run() {
     // the fixture does not cover (2 cores, Static sharing).
     let cfg = SystemConfig::bench(2, mnpu_engine::SharingLevel::Static);
     let nets = [zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench)];
-    let batch = Simulation::run_networks(&cfg, &nets).to_json();
+    let batch = Simulation::execute_networks(&cfg, &nets).to_json();
 
     let spec = parse_scenario(
         "fresh",

@@ -5,8 +5,11 @@
 //! [`SystemConfigBuilder`], so the generator itself is checked against the
 //! validator) and one tiny random network per core, runs a short
 //! simulation, applies the full [`crate::oracle`] suite, and samples one
-//! applicable [`Law`] for a paired metamorphic check. On failure the case
-//! is greedily shrunk and a hand-rolled JSON repro artifact is written.
+//! applicable [`Law`] for a paired metamorphic check. A quarter of the
+//! cases additionally checkpoint the run mid-flight and require the
+//! resumed report to be bit-identical (the `snapshot-exact` oracle). On
+//! failure the case is greedily shrunk and a hand-rolled JSON repro
+//! artifact is written.
 //!
 //! Determinism is load-bearing: `generate_case(seed, i)` is a pure
 //! function, so `mnpu_fuzz --seed S --iters N` reproduces byte-identical
@@ -70,6 +73,12 @@ pub struct FuzzCase {
     /// and job list all pure functions of `(seed, iteration)` — checked
     /// with the [`crate::serve`] conservation oracles.
     pub serve: Option<ScenarioSpec>,
+    /// Checkpoint point for the `snapshot-exact` oracle, in permille of
+    /// the base run's span (`None` skips the oracle). Drawn *last* in
+    /// [`generate_case`] so every earlier draw keeps the byte stream it
+    /// had before this field existed — old `(seed, iteration)` repro
+    /// pairs still replay the same chip and workloads.
+    pub snapshot_at: Option<u64>,
 }
 
 /// One failing case, after shrinking.
@@ -267,15 +276,59 @@ pub fn generate_case(master_seed: u64, iteration: u64) -> FuzzCase {
         }
     });
 
-    FuzzCase { config, nets, net_seeds, law, serve }
+    // Drawn last — see the field doc on [`FuzzCase::snapshot_at`].
+    let snapshot_at = rng.random_bool(0.25).then(|| rng.random_range(0u64..=1000));
+
+    FuzzCase { config, nets, net_seeds, law, serve, snapshot_at }
+}
+
+/// The `snapshot-exact` oracle: checkpoint the case's run at `permille`
+/// thousandths of its span, resume the snapshot in a freshly built
+/// simulation ([`Simulation::execute_checkpointed`]), and require the
+/// resumed [`mnpu_engine::RunReport`] to be bit-identical to `base`.
+/// Zero slack, same rationale as [`Law::SnapshotResumeExact`] — but where
+/// the law picks the midpoint, the fuzzer sweeps the checkpoint position
+/// too (including past the end of the run, where the checkpoint is the
+/// finished machine).
+fn snapshot_exact(
+    cfg: &SystemConfig,
+    nets: &[mnpu_model::Network],
+    base: &mnpu_engine::RunReport,
+    permille: u64,
+) -> Vec<Violation> {
+    let traces: Vec<mnpu_systolic::WorkloadTrace> = nets
+        .iter()
+        .zip(&cfg.arch)
+        .map(|(n, a)| mnpu_systolic::WorkloadTrace::generate(n, a))
+        .collect();
+    let at = base.total_cycles.saturating_mul(permille) / 1000;
+    let resumed = Simulation::execute_checkpointed(cfg, &traces, at);
+    if resumed != *base {
+        return vec![Violation {
+            oracle: "snapshot-exact",
+            core: None,
+            detail: format!(
+                "resume from the cycle-{at} checkpoint diverged (cycles {} vs {}, \
+                 dram txns {} vs {})",
+                base.total_cycles,
+                resumed.total_cycles,
+                base.dram.total.transactions(),
+                resumed.dram.total.transactions()
+            ),
+        }];
+    }
+    Vec::new()
 }
 
 /// Run one case: simulate, apply every oracle, then the sampled law.
 /// A panic anywhere (engine assertion, watchdog) becomes a violation.
 pub fn check_case(case: &FuzzCase) -> Vec<Violation> {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let report = Simulation::run_networks(&case.config, &case.nets);
+        let report = Simulation::execute_networks(&case.config, &case.nets);
         let mut v = check_run(&case.config, &case.nets, &report);
+        if let Some(permille) = case.snapshot_at {
+            v.extend(snapshot_exact(&case.config, &case.nets, &report, permille));
+        }
         if let Some(law) = case.law {
             v.extend(law.check(&case.config, &case.nets));
         }
@@ -298,8 +351,9 @@ pub fn check_case(case: &FuzzCase) -> Vec<Violation> {
 }
 
 /// The shrink moves, ordered roughly by how much each simplifies a case.
-const SHRINK_STEPS: [&str; 9] = [
+const SHRINK_STEPS: [&str; 10] = [
     "drop-serve",
+    "drop-snapshot",
     "single-iteration",
     "drop-options",
     "drop-partitions",
@@ -320,6 +374,12 @@ fn apply_step(case: &FuzzCase, step: &str) -> Option<FuzzCase> {
         // oracle still fires, so serve-oracle failures reject this step.
         "drop-serve" => {
             c.serve.take()?;
+        }
+        // Same shape as drop-serve: a snapshot-exact failure rejects this
+        // step (the oracle disappears with the field), every other
+        // failure sheds the checkpoint run and shrinks twice as fast.
+        "drop-snapshot" => {
+            c.snapshot_at.take()?;
         }
         "single-iteration" => {
             if c.config.iterations == 1 {
@@ -483,6 +543,10 @@ pub fn repro_json(seed: u64, failure: &FuzzFailure, case: &FuzzCase) -> String {
         case.law.map_or("null".to_string(), |l| format!("\"{}\"", l.name()))
     ));
     s.push_str(&format!(
+        "  \"snapshot_at\": {},\n",
+        case.snapshot_at.map_or("null".to_string(), |p| p.to_string())
+    ));
+    s.push_str(&format!(
         "  \"serve\": {},\n",
         case.serve.as_ref().map_or("null".to_string(), |scn| {
             format!(
@@ -595,6 +659,7 @@ mod tests {
         assert_eq!(a.nets, b.nets);
         assert_eq!(a.law, b.law);
         assert_eq!(a.serve, b.serve);
+        assert_eq!(a.snapshot_at, b.snapshot_at);
     }
 
     #[test]

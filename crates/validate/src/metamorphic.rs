@@ -37,6 +37,7 @@
 use crate::oracle::Violation;
 use mnpu_engine::{MemoryModel, RunReport, SharingLevel, Simulation, SystemConfig};
 use mnpu_model::Network;
+use mnpu_systolic::WorkloadTrace;
 
 /// Slack allowed when comparing cycle counts of two *different* discrete
 /// schedules: 5 % relative, plus two refresh cycles (`trfc`) and 64 cycles
@@ -123,11 +124,19 @@ pub enum Law {
     /// the two runs simulate the same machine, so any divergence at all is
     /// a fast-path bug (see the invariants section in DESIGN.md).
     FastForwardExact,
+    /// Checkpointing a run mid-flight and resuming the snapshot in a
+    /// freshly built simulation must reproduce the uninterrupted run's
+    /// *entire* [`RunReport`] bit-identically — cycles, stats, energy,
+    /// logs. Exact, with zero slack, like [`Law::FastForwardExact`]: both
+    /// runs simulate the same machine, so any divergence at all is a
+    /// checkpoint/restore bug — a field the snapshot codec missed, or one
+    /// it reinstated wrong.
+    SnapshotResumeExact,
 }
 
 impl Law {
     /// Every law, in a stable order.
-    pub const ALL: [Law; 10] = [
+    pub const ALL: [Law; 11] = [
         Law::SingleCoreSharingIrrelevant,
         Law::StaticIsolation,
         Law::MoreChannelsNeverSlower,
@@ -138,6 +147,7 @@ impl Law {
         Law::IdealMemoryIsLowerBound,
         Law::TranslationOffRemovesWalks,
         Law::FastForwardExact,
+        Law::SnapshotResumeExact,
     ];
 
     /// Stable identifier used in violations and repro artifacts.
@@ -153,6 +163,7 @@ impl Law {
             Law::IdealMemoryIsLowerBound => "ideal-memory-is-lower-bound",
             Law::TranslationOffRemovesWalks => "translation-off-removes-walks",
             Law::FastForwardExact => "fastfwd-exact",
+            Law::SnapshotResumeExact => "snapshot-resume-exact",
         }
     }
 
@@ -190,6 +201,10 @@ impl Law {
             // forces both runs to the slow path, making the check vacuous
             // rather than wrong.
             Law::FastForwardExact => timing && cfg.dram.fastfwd,
+            // Every stateful component implements capture/restore, so the
+            // law binds unconditionally — any valid config must survive a
+            // mid-run checkpoint.
+            Law::SnapshotResumeExact => true,
         }
     }
 
@@ -213,6 +228,7 @@ impl Law {
             Law::IdealMemoryIsLowerBound => ideal_lower_bound(cfg, nets),
             Law::TranslationOffRemovesWalks => translation_off(cfg, nets),
             Law::FastForwardExact => fastfwd_exact(cfg, nets),
+            Law::SnapshotResumeExact => snapshot_resume_exact(cfg, nets),
         }
     }
 }
@@ -222,7 +238,7 @@ fn violation(law: Law, core: Option<usize>, detail: String) -> Violation {
 }
 
 fn run(cfg: &SystemConfig, nets: &[Network]) -> RunReport {
-    Simulation::run_networks(cfg, nets)
+    Simulation::execute_networks(cfg, nets)
 }
 
 /// Compare per-core cycles of `base` (expected >=) against `improved`,
@@ -313,6 +329,38 @@ fn fastfwd_exact(cfg: &SystemConfig, nets: &[Network]) -> Vec<Violation> {
                 r.total_cycles,
                 base.dram.total.transactions(),
                 r.dram.total.transactions()
+            ),
+        ));
+    }
+    out
+}
+
+fn snapshot_resume_exact(cfg: &SystemConfig, nets: &[Network]) -> Vec<Violation> {
+    let law = Law::SnapshotResumeExact;
+    let mut out = Vec::new();
+    let traces: Vec<WorkloadTrace> =
+        nets.iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
+    let base = Simulation::execute(cfg, &traces);
+    // Checkpoint halfway through the run — deep enough that every
+    // component carries real in-flight state, with the back half left to
+    // expose any of it the restore got wrong. (The engine's proptest
+    // lockstep suite sweeps the checkpoint point itself; the fuzzer's job
+    // here is to sweep the *configuration* space.)
+    let at = base.total_cycles / 2;
+    let resumed = Simulation::execute_checkpointed(cfg, &traces, at);
+    // Zero slack: restore reinstates the same machine mid-schedule, so
+    // the entire report must be bit-identical.
+    if resumed != base {
+        out.push(violation(
+            law,
+            None,
+            format!(
+                "resuming from the cycle-{at} checkpoint changed the report \
+                 (cycles {} vs {}, dram txns {} vs {})",
+                base.total_cycles,
+                resumed.total_cycles,
+                base.dram.total.transactions(),
+                resumed.dram.total.transactions()
             ),
         ));
     }

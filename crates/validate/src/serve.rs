@@ -41,11 +41,11 @@ pub fn check_serve(spec: &ScenarioSpec, report: &ServeReport) -> Vec<Violation> 
         return v;
     }
     for (i, j) in report.jobs.iter().enumerate() {
-        if j.id != i as u64 {
+        if j.job != i as u64 {
             v.push(Violation {
                 oracle: "serve-job-order",
                 core: None,
-                detail: format!("record {i} carries id {}", j.id),
+                detail: format!("record {i} carries job id {}", j.job),
             });
         }
         if j.arrival != arr[i] {
@@ -111,7 +111,7 @@ pub fn check_serve(spec: &ScenarioSpec, report: &ServeReport) -> Vec<Violation> 
                     core: Some(core),
                     detail: format!(
                         "job {} dispatched at {} before job {} completed at {}",
-                        w[1].id, w[1].dispatch, w[0].id, w[0].completion
+                        w[1].job, w[1].dispatch, w[0].job, w[0].completion
                     ),
                 });
             }

@@ -30,6 +30,9 @@ fn config_for(law: Law) -> SystemConfig {
         // where the DRAM fast path activates, so this exercises real
         // fast-forwarded runs, not a vacuous comparison.
         Law::FastForwardExact => SystemConfig::bench(2, SharingLevel::PlusDwt),
+        // Full sharing puts shared-DRAM, shared-walker and shared-TLB
+        // state in the checkpoint — the richest payload to round-trip.
+        Law::SnapshotResumeExact => SystemConfig::bench(2, SharingLevel::PlusDwt),
     }
 }
 

@@ -14,7 +14,7 @@ fn setup() -> (SystemConfig, Vec<Network>, mnpu_engine::RunReport) {
         .build()
         .unwrap();
     let nets = vec![zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench)];
-    let report = Simulation::run_networks(&cfg, &nets);
+    let report = Simulation::execute_networks(&cfg, &nets);
     (cfg, nets, report)
 }
 

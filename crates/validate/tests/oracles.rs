@@ -10,7 +10,7 @@ use mnpu_model::{zoo, Network, Scale};
 use mnpu_validate::check_run;
 
 fn assert_clean(cfg: &SystemConfig, nets: &[Network]) {
-    let report = Simulation::run_networks(cfg, nets);
+    let report = Simulation::execute_networks(cfg, nets);
     let violations = check_run(cfg, nets, &report);
     assert!(
         violations.is_empty(),

@@ -6,7 +6,8 @@
 //! cargo run --release --example heterogeneous_chip
 //! ```
 
-use mnpusim::{zoo, Scale, SharingLevel, Simulation, SystemConfig};
+use mnpusim::prelude::*;
+use mnpusim::{zoo, Scale};
 
 fn main() {
     // A big-little chip: core 0 is a full bench core at 1 GHz, core 1 a
@@ -32,7 +33,7 @@ fn main() {
         ("yt on big, ncf on little", [yt.clone(), ncf.clone()]),
         ("ncf on big, yt on little", [ncf, yt]),
     ] {
-        let r = Simulation::run_networks(&cfg, &nets);
+        let r = RunRequest::networks(&cfg, nets.to_vec()).run().batch();
         println!("{label}:");
         for c in &r.cores {
             println!(

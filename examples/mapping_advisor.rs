@@ -9,9 +9,8 @@
 //! Defaults to one copy of every benchmark.
 
 use mnpusim::predict::mapping::{matching_slowdowns, perfect_matchings};
-use mnpusim::{
-    geomean, zoo, Scale, SharingLevel, Simulation, SlowdownModel, SystemConfig, WorkloadProfile,
-};
+use mnpusim::prelude::*;
+use mnpusim::{geomean, zoo, Scale, SlowdownModel, WorkloadProfile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,9 +50,12 @@ fn main() {
     let (pred_score, matching) = best.expect("matchings exist");
 
     println!("\nrecommended pairing (predicted geomean speedup {pred_score:.3}):");
+    // The four recommended chips share nothing — validate them as a fleet.
+    let assignments: Vec<Vec<Network>> =
+        matching.iter().map(|&(p, q)| vec![nets[p].clone(), nets[q].clone()]).collect();
+    let reports = RunRequest::fleet(&chip, assignments).run().fleet();
     let mut actual_speedups = Vec::new();
-    for &(p, q) in &matching {
-        let r = Simulation::run_networks(&chip, &[nets[p].clone(), nets[q].clone()]);
+    for (&(p, q), r) in matching.iter().zip(&reports) {
         let sp = profiles[p].solo_cycles as f64 / r.cores[0].cycles as f64;
         let sq = profiles[q].solo_cycles as f64 / r.cores[1].cycles as f64;
         println!(

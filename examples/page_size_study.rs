@@ -6,7 +6,8 @@
 //! cargo run --release --example page_size_study [workload]
 //! ```
 
-use mnpusim::{zoo, Scale, SharingLevel, Simulation, SystemConfig};
+use mnpusim::prelude::*;
+use mnpusim::{zoo, Scale};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "dlrm".into());
@@ -23,7 +24,7 @@ fn main() {
     let mut base = None;
     for page in [4096u64, 65536, 1 << 20] {
         let cfg = SystemConfig::bench(1, SharingLevel::Ideal).with_page_size(page);
-        let r = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
+        let r = RunRequest::networks(&cfg, vec![net.clone()]).run().batch();
         let c = &r.cores[0];
         let base_cycles = *base.get_or_insert(c.cycles);
         let label = match page {

@@ -7,7 +7,8 @@
 //!
 //! Workload names: res, yt, alex, sfrnn, ds2, dlrm, ncf, gpt2.
 
-use mnpusim::{zoo, Scale, SharingLevel, Simulation, SystemConfig};
+use mnpusim::prelude::*;
+use mnpusim::{zoo, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,12 +25,12 @@ fn main() {
         cfg.total_channels()
     );
 
-    let report = Simulation::run_networks(&cfg, &[net_a.clone(), net_b.clone()]);
+    let report = RunRequest::networks(&cfg, vec![net_a.clone(), net_b.clone()]).run().batch();
 
     // Ideal baselines: each workload alone with every resource.
     let ideal = cfg.ideal_solo();
-    let ia = Simulation::run_networks(&ideal, &[net_a]).cores[0].cycles;
-    let ib = Simulation::run_networks(&ideal, &[net_b]).cores[0].cycles;
+    let ia = RunRequest::networks(&ideal, vec![net_a]).run().batch().cores[0].cycles;
+    let ib = RunRequest::networks(&ideal, vec![net_b]).run().batch().cores[0].cycles;
 
     println!(
         "{:<8}{:>12}{:>12}{:>10}{:>10}{:>12}{:>10}",

@@ -6,7 +6,8 @@
 //! cargo run --release --example sharing_study [workload_a] [workload_b]
 //! ```
 
-use mnpusim::{fairness, geomean, zoo, Scale, SharingLevel, Simulation, SystemConfig};
+use mnpusim::prelude::*;
+use mnpusim::{fairness, geomean, zoo, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,8 +19,8 @@ fn main() {
     // Ideal baselines.
     let base = SystemConfig::bench(2, SharingLevel::PlusDwt);
     let ideal = base.ideal_solo();
-    let ia = Simulation::run_networks(&ideal, std::slice::from_ref(&net_a)).cores[0].cycles;
-    let ib = Simulation::run_networks(&ideal, std::slice::from_ref(&net_b)).cores[0].cycles;
+    let ia = RunRequest::networks(&ideal, vec![net_a.clone()]).run().batch().cores[0].cycles;
+    let ib = RunRequest::networks(&ideal, vec![net_b.clone()]).run().batch().cores[0].cycles;
     println!("mix {a}+{b}: Ideal cycles = {ia} / {ib}\n");
     println!(
         "{:<8}{:>12}{:>12}{:>10}{:>10}{:>10}{:>10}",
@@ -28,7 +29,7 @@ fn main() {
 
     for level in SharingLevel::CO_RUN_LEVELS {
         let cfg = SystemConfig::bench(2, level);
-        let r = Simulation::run_networks(&cfg, &[net_a.clone(), net_b.clone()]);
+        let r = RunRequest::networks(&cfg, vec![net_a.clone(), net_b.clone()]).run().batch();
         let sa = ia as f64 / r.cores[0].cycles as f64;
         let sb = ib as f64 / r.cores[1].cycles as f64;
         println!(

@@ -21,7 +21,7 @@
 //! `utilization_*`), and a summary is printed to stdout.
 
 use mnpu_config::{load_run, write_request_logs, write_results};
-use mnpusim::Simulation;
+use mnpusim::RunRequest;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -58,7 +58,7 @@ fn main() -> ExitCode {
         println!("  core {i}: {} ({} layers)", net.name(), net.num_layers());
     }
 
-    let report = Simulation::run_networks(&spec.system, &spec.networks);
+    let report = RunRequest::networks(&spec.system, spec.networks).run().batch();
 
     let result_path = Path::new(&args[5]);
     match write_results(result_path, "arch", &report) {

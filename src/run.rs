@@ -1,0 +1,302 @@
+//! The unified run facade: one builder for every way to run the simulator.
+//!
+//! Historically the workspace grew four overlapping entry points — the
+//! engine's `run_traces` / `run_networks` / `run_fleet` trio and the
+//! scheduling layer's [`mnpu_sched::serve`] — each with its own argument
+//! conventions. [`RunRequest`] collapses them into one builder:
+//!
+//! ```
+//! use mnpusim::prelude::*;
+//! use mnpusim::{zoo, Scale};
+//!
+//! let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+//! let nets = vec![zoo::ncf(Scale::Bench), zoo::gpt2(Scale::Bench)];
+//! let report = RunRequest::networks(&cfg, nets).run().batch();
+//! assert_eq!(report.cores.len(), 2);
+//! ```
+//!
+//! Every mode routes to the same canonical engine paths
+//! ([`Simulation::execute`] and friends), so a facade run is byte-identical
+//! to the entry point it replaced — `tests/facade.rs` fences that against
+//! the deprecated shims. [`RunRequest::checkpoint_at`] additionally routes
+//! batch runs through [`Simulation::execute_checkpointed`], which is
+//! likewise bit-exact for every checkpoint cycle.
+
+use mnpu_config::ScenarioSpec;
+use mnpu_engine::{ConfigError, RunReport, Simulation, SystemConfig};
+use mnpu_model::Network;
+use mnpu_sched::ServeReport;
+use mnpu_systolic::WorkloadTrace;
+
+/// What to run: the four collapsed entry points.
+#[derive(Debug, Clone)]
+enum Payload {
+    /// One pre-generated trace per core.
+    Traces(SystemConfig, Vec<WorkloadTrace>),
+    /// One network per core; traces are generated with each core's
+    /// [`mnpu_systolic::ArchConfig`].
+    Networks(SystemConfig, Vec<Network>),
+    /// A fleet of independent chips, each running one network per core.
+    Fleet(SystemConfig, Vec<Vec<Network>>),
+    /// A dynamic multi-tenant serve scenario (arrivals + placement policy).
+    Serve(Box<ScenarioSpec>),
+}
+
+/// A single description of a simulation run, whatever its shape.
+///
+/// Build one with [`RunRequest::traces`], [`RunRequest::networks`],
+/// [`RunRequest::fleet`] or [`RunRequest::serve`], optionally add a
+/// checkpoint cycle, then either [`build`](RunRequest::build) a validated
+/// [`Runner`] or [`run`](RunRequest::run) directly.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    payload: Payload,
+    checkpoint_at: Option<u64>,
+}
+
+impl RunRequest {
+    /// Run `traces[c]` on core `c` of `cfg` (replaces
+    /// `Simulation::run_traces`).
+    pub fn traces(cfg: &SystemConfig, traces: impl Into<Vec<WorkloadTrace>>) -> Self {
+        RunRequest { payload: Payload::Traces(cfg.clone(), traces.into()), checkpoint_at: None }
+    }
+
+    /// Run `networks[c]` on core `c` of `cfg`, generating each core's trace
+    /// from its [`mnpu_systolic::ArchConfig`] (replaces
+    /// `Simulation::run_networks`).
+    pub fn networks(cfg: &SystemConfig, networks: impl Into<Vec<Network>>) -> Self {
+        RunRequest { payload: Payload::Networks(cfg.clone(), networks.into()), checkpoint_at: None }
+    }
+
+    /// Run a fleet of independent chips — `assignments[i]` holds chip *i*'s
+    /// networks, one per core (replaces `Simulation::run_fleet`). Chips
+    /// share nothing; reports come back in chip order.
+    pub fn fleet(cfg: &SystemConfig, assignments: impl Into<Vec<Vec<Network>>>) -> Self {
+        RunRequest { payload: Payload::Fleet(cfg.clone(), assignments.into()), checkpoint_at: None }
+    }
+
+    /// Run a dynamic serve scenario — jobs arriving over time, placed by a
+    /// scheduling policy (replaces calling [`mnpu_sched::serve`] directly).
+    pub fn serve(spec: ScenarioSpec) -> Self {
+        RunRequest { payload: Payload::Serve(Box::new(spec)), checkpoint_at: None }
+    }
+
+    /// Checkpoint the run at `cycle`: drive to `cycle`, snapshot, restore
+    /// into a freshly built simulation, and finish there (the
+    /// [`Simulation::execute_checkpointed`] path — bit-exact for every
+    /// `cycle`). Only meaningful for [`traces`](RunRequest::traces) and
+    /// [`networks`](RunRequest::networks) requests;
+    /// [`build`](RunRequest::build) rejects it on the other shapes.
+    pub fn checkpoint_at(mut self, cycle: u64) -> Self {
+        self.checkpoint_at = Some(cycle);
+        self
+    }
+
+    /// Validate the request into a [`Runner`].
+    ///
+    /// Checks the system configuration (via [`SystemConfig::validate`]) and
+    /// the request shape: workload counts must match the core count, and a
+    /// checkpoint cycle is only accepted on single-chip batch runs.
+    pub fn build(self) -> Result<Runner, RequestError> {
+        let shape = |expected: usize, got: usize, what: &'static str| {
+            if expected == got {
+                Ok(())
+            } else {
+                Err(RequestError::Shape { what, expected, got })
+            }
+        };
+        match &self.payload {
+            Payload::Traces(cfg, traces) => {
+                cfg.validate()?;
+                shape(cfg.cores, traces.len(), "traces")?;
+            }
+            Payload::Networks(cfg, nets) => {
+                cfg.validate()?;
+                shape(cfg.cores, nets.len(), "networks")?;
+            }
+            Payload::Fleet(cfg, assignments) => {
+                cfg.validate()?;
+                for chip in assignments {
+                    shape(cfg.cores, chip.len(), "fleet networks")?;
+                }
+                if self.checkpoint_at.is_some() {
+                    return Err(RequestError::Checkpoint { shape: "fleet" });
+                }
+            }
+            Payload::Serve(spec) => {
+                spec.system.validate()?;
+                if self.checkpoint_at.is_some() {
+                    return Err(RequestError::Checkpoint { shape: "serve" });
+                }
+            }
+        }
+        Ok(Runner { request: self })
+    }
+
+    /// [`build`](RunRequest::build) then [`Runner::run`], panicking on an
+    /// invalid request. The ergonomic path for static configurations;
+    /// programs assembling configurations at runtime should `build()` and
+    /// handle the error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request fails validation.
+    pub fn run(self) -> RunOutcome {
+        match self.build() {
+            Ok(runner) => runner.run(),
+            Err(e) => panic!("invalid run request: {e}"),
+        }
+    }
+}
+
+/// Why a [`RunRequest`] failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The system configuration itself is invalid.
+    Config(ConfigError),
+    /// A workload list's length disagrees with the core count.
+    Shape {
+        /// Which list (`"traces"`, `"networks"`, `"fleet networks"`).
+        what: &'static str,
+        /// The configured core count.
+        expected: usize,
+        /// The supplied length.
+        got: usize,
+    },
+    /// [`RunRequest::checkpoint_at`] was set on a shape that does not
+    /// support it.
+    Checkpoint {
+        /// The offending request shape (`"fleet"` or `"serve"`).
+        shape: &'static str,
+    },
+}
+
+impl From<ConfigError> for RequestError {
+    fn from(e: ConfigError) -> Self {
+        RequestError::Config(e)
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Config(e) => write!(f, "{e}"),
+            RequestError::Shape { what, expected, got } => {
+                write!(f, "{what}: expected one per core ({expected}), got {got}")
+            }
+            RequestError::Checkpoint { shape } => write!(
+                f,
+                "checkpoint_at is only supported on single-chip batch runs, not {shape} \
+                 (serve runs checkpoint via mnpu_sched::ServeSession::snapshot)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A validated [`RunRequest`], ready to execute.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    request: RunRequest,
+}
+
+impl Runner {
+    /// Execute the request on this thread and return its outcome.
+    ///
+    /// Deterministic: the same request always produces the same outcome,
+    /// byte for byte, regardless of shape-specific routing (straight
+    /// engine run, checkpointed run, fleet loop or serve session).
+    pub fn run(self) -> RunOutcome {
+        let at = self.request.checkpoint_at;
+        match self.request.payload {
+            Payload::Traces(cfg, traces) => RunOutcome::Batch(Box::new(match at {
+                Some(cycle) => Simulation::execute_checkpointed(&cfg, &traces, cycle),
+                None => Simulation::execute(&cfg, &traces),
+            })),
+            Payload::Networks(cfg, nets) => {
+                let traces: Vec<WorkloadTrace> = nets
+                    .iter()
+                    .zip(&cfg.arch)
+                    .map(|(n, a)| WorkloadTrace::generate(n, a))
+                    .collect();
+                RunOutcome::Batch(Box::new(match at {
+                    Some(cycle) => Simulation::execute_checkpointed(&cfg, &traces, cycle),
+                    None => Simulation::execute(&cfg, &traces),
+                }))
+            }
+            Payload::Fleet(cfg, assignments) => RunOutcome::Fleet(
+                assignments.iter().map(|nets| Simulation::execute_networks(&cfg, nets)).collect(),
+            ),
+            Payload::Serve(spec) => RunOutcome::Serve(Box::new(mnpu_sched::serve(&spec))),
+        }
+    }
+}
+
+/// What a [`Runner`] produced — one variant per request shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// A single-chip batch run ([`RunRequest::traces`] /
+    /// [`RunRequest::networks`]).
+    Batch(Box<RunReport>),
+    /// A fleet run: one report per chip, in request order.
+    Fleet(Vec<RunReport>),
+    /// A serve run: the engine report plus per-job scheduling records.
+    Serve(Box<ServeReport>),
+}
+
+impl RunOutcome {
+    /// The batch report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`RunOutcome::Batch`].
+    pub fn batch(self) -> RunReport {
+        match self {
+            RunOutcome::Batch(r) => *r,
+            other => panic!("expected a batch outcome, got {}", other.shape()),
+        }
+    }
+
+    /// The per-chip fleet reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`RunOutcome::Fleet`].
+    pub fn fleet(self) -> Vec<RunReport> {
+        match self {
+            RunOutcome::Fleet(r) => r,
+            other => panic!("expected a fleet outcome, got {}", other.shape()),
+        }
+    }
+
+    /// The serve report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`RunOutcome::Serve`].
+    pub fn serve(self) -> ServeReport {
+        match self {
+            RunOutcome::Serve(r) => *r,
+            other => panic!("expected a serve outcome, got {}", other.shape()),
+        }
+    }
+
+    /// The underlying engine report, whatever the shape: the batch report,
+    /// the *first* fleet report, or a serve run's engine report.
+    pub fn report(&self) -> &RunReport {
+        match self {
+            RunOutcome::Batch(r) => r,
+            RunOutcome::Fleet(rs) => rs.first().expect("fleet outcomes hold at least one report"),
+            RunOutcome::Serve(s) => &s.run,
+        }
+    }
+
+    fn shape(&self) -> &'static str {
+        match self {
+            RunOutcome::Batch(_) => "batch",
+            RunOutcome::Fleet(_) => "fleet",
+            RunOutcome::Serve(_) => "serve",
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The facade crate's public surface is a reviewed artifact.
+//!
+//! This test regenerates a listing of every `pub` item (and `impl`
+//! header) in the root crate's sources and diffs it against the
+//! committed `tests/api_surface.txt` — the same golden-fixture
+//! convention the engine uses for reports. Any change to the facade
+//! (a new method on `RunRequest`, a renamed re-export, a signature
+//! change) shows up as a reviewable diff in that file instead of
+//! slipping through; re-bless deliberately with `MNPU_BLESS=1`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The root-crate sources whose `pub` items make up the facade surface.
+const SOURCES: [&str; 3] = ["src/lib.rs", "src/prelude.rs", "src/run.rs"];
+
+/// Append `path`'s declaration lines to `out`: every top-of-line `pub`
+/// item and `impl` header, accumulated until its opening `{` or closing
+/// `;`, with internal whitespace collapsed so rustfmt line wrapping
+/// cannot change the listing.
+fn extract(root: &Path, path: &str, out: &mut String) {
+    let text =
+        std::fs::read_to_string(root.join(path)).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let _ = writeln!(out, "## {path}");
+    let mut pending: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        let decl = match &mut pending {
+            Some(acc) => {
+                acc.push(' ');
+                acc.push_str(t);
+                acc
+            }
+            None if t.starts_with("pub ") || t.starts_with("impl ") || t.starts_with("impl<") => {
+                pending = Some(t.to_string());
+                pending.as_mut().expect("just set")
+            }
+            None => continue,
+        };
+        // A `pub use` list keeps its braced names (they ARE the surface);
+        // everything else stops at the body's opening brace.
+        let end = if decl.starts_with("pub use") { decl.find(';') } else { decl.find(['{', ';']) };
+        if let Some(end) = end {
+            let head: String = decl[..end].split_whitespace().collect::<Vec<_>>().join(" ");
+            let _ = writeln!(out, "{}", head.trim_end());
+            pending = None;
+        }
+    }
+    let _ = writeln!(out);
+}
+
+#[test]
+fn facade_surface_matches_the_committed_listing() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut got = String::new();
+    for src in SOURCES {
+        extract(root, src, &mut got);
+    }
+    let golden = root.join("tests/api_surface.txt");
+    if std::env::var_os("MNPU_BLESS").is_some() {
+        std::fs::write(&golden, &got).expect("blessing tests/api_surface.txt");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("tests/api_surface.txt is committed; MNPU_BLESS=1 regenerates it");
+    assert_eq!(
+        got, want,
+        "the facade's public surface drifted from tests/api_surface.txt;\n\
+         review the diff above and re-bless with:\n\
+         MNPU_BLESS=1 cargo test --test api_surface"
+    );
+}

@@ -24,7 +24,7 @@ fn every_benchmark_simulates_end_to_end() {
             // Keep the debug-profile suite fast; the heavier five run in the
             // release-mode engine tests and the bench harness.
             let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
-            let r = Simulation::run_networks(&cfg, std::slice::from_ref(&net));
+            let r = Simulation::execute_networks(&cfg, std::slice::from_ref(&net));
             assert!(r.cores[0].cycles > 0, "{}", net.name());
             assert!(r.cores[0].traffic_bytes > 0, "{}", net.name());
         }
@@ -43,14 +43,16 @@ fn headline_result_sharing_beats_static() {
         let na = zoo::by_name(a, Scale::Bench).unwrap();
         let nb = zoo::by_name(b, Scale::Bench).unwrap();
         let ideal_cfg = SystemConfig::bench(2, SharingLevel::PlusDwt).ideal_solo();
-        let ia = Simulation::run_networks(&ideal_cfg, std::slice::from_ref(&na)).cores[0].cycles;
-        let ib = Simulation::run_networks(&ideal_cfg, std::slice::from_ref(&nb)).cores[0].cycles;
+        let ia =
+            Simulation::execute_networks(&ideal_cfg, std::slice::from_ref(&na)).cores[0].cycles;
+        let ib =
+            Simulation::execute_networks(&ideal_cfg, std::slice::from_ref(&nb)).cores[0].cycles;
         for (level, scores) in [
             (SharingLevel::Static, &mut static_scores),
             (SharingLevel::PlusDwt, &mut shared_scores),
         ] {
             let cfg = SystemConfig::bench(2, level);
-            let r = Simulation::run_networks(&cfg, &[na.clone(), nb.clone()]);
+            let r = Simulation::execute_networks(&cfg, &[na.clone(), nb.clone()]);
             let sa = Speedup::new(ia, r.cores[0].cycles).value();
             let sb = Speedup::new(ib, r.cores[1].cycles).value();
             assert!(sa <= 1.02 && sb <= 1.02, "Ideal bounds sharing: {sa} {sb}");
@@ -71,8 +73,9 @@ fn fairness_of_static_is_near_perfect_for_twin_mix() {
     // so their slowdowns match and fairness approaches 1 (paper Fig. 6).
     let net = zoo::ncf(Scale::Bench);
     let ideal_cfg = SystemConfig::bench(2, SharingLevel::Static).ideal_solo();
-    let ideal = Simulation::run_networks(&ideal_cfg, std::slice::from_ref(&net)).cores[0].cycles;
-    let r = Simulation::run_networks(
+    let ideal =
+        Simulation::execute_networks(&ideal_cfg, std::slice::from_ref(&net)).cores[0].cycles;
+    let r = Simulation::execute_networks(
         &SystemConfig::bench(2, SharingLevel::Static),
         &[net.clone(), net],
     );
@@ -103,9 +106,9 @@ fn quad_core_end_to_end_with_metrics() {
     let ideal_cfg = chip.ideal_solo();
     let ideals: Vec<u64> = nets
         .iter()
-        .map(|n| Simulation::run_networks(&ideal_cfg, std::slice::from_ref(n)).cores[0].cycles)
+        .map(|n| Simulation::execute_networks(&ideal_cfg, std::slice::from_ref(n)).cores[0].cycles)
         .collect();
-    let r = Simulation::run_networks(&chip, &nets);
+    let r = Simulation::execute_networks(&chip, &nets);
     let slowdowns: Vec<f64> =
         r.cores.iter().zip(&ideals).map(|(c, &i)| c.cycles as f64 / i as f64).collect();
     let f = fairness(&slowdowns);

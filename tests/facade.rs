@@ -1,0 +1,112 @@
+//! The `RunRequest` facade must be a pure re-routing layer: every shape
+//! emits reports byte-identical to the entry point it collapsed
+//! (golden-fixture equality on the emitted JSON), and invalid requests
+//! fail in `build()` with a telling error instead of deep in the engine.
+
+use mnpusim::prelude::*;
+use mnpusim::{zoo, Scale};
+
+fn dual_nets() -> Vec<Network> {
+    vec![zoo::ncf(Scale::Bench), zoo::dlrm(Scale::Bench)]
+}
+
+#[test]
+#[allow(deprecated)] // the facade replaces run_traces; both must emit the same bytes
+fn traces_mode_matches_the_retired_run_traces() {
+    let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    let traces: Vec<WorkloadTrace> =
+        dual_nets().iter().zip(&cfg.arch).map(|(n, a)| WorkloadTrace::generate(n, a)).collect();
+    let old = Simulation::run_traces(&cfg, &traces);
+    let new = RunRequest::traces(&cfg, traces).run().batch();
+    assert_eq!(new.to_json(), old.to_json());
+}
+
+#[test]
+#[allow(deprecated)] // the facade replaces run_networks; both must emit the same bytes
+fn networks_mode_matches_the_retired_run_networks() {
+    // Stats probe on, so the comparison covers the instrumented report too.
+    let mut cfg = SystemConfig::bench(2, SharingLevel::PlusD);
+    cfg.probe = ProbeMode::Stats;
+    let old = Simulation::run_networks(&cfg, &dual_nets());
+    let new = RunRequest::networks(&cfg, dual_nets()).run().batch();
+    assert_eq!(new.to_json(), old.to_json());
+}
+
+#[test]
+#[allow(deprecated)] // the facade replaces run_fleet; both must emit the same bytes
+fn fleet_mode_matches_the_retired_run_fleet() {
+    let cfg = SystemConfig::bench(2, SharingLevel::Static);
+    let chips = vec![dual_nets(), vec![zoo::gpt2(Scale::Bench), zoo::ncf(Scale::Bench)]];
+    let old = Simulation::run_fleet(&cfg, &chips);
+    let new = RunRequest::fleet(&cfg, chips).run().fleet();
+    assert_eq!(new.len(), old.len());
+    for (n, o) in new.iter().zip(&old) {
+        assert_eq!(n.to_json(), o.to_json());
+    }
+}
+
+fn scenario() -> ScenarioSpec {
+    ScenarioSpec {
+        system: SystemConfig::bench(2, SharingLevel::PlusDwt),
+        scale: Scale::Bench,
+        seed: 7,
+        arrival: ArrivalSpec::FixedIncrement { increment: 50_000 },
+        policy: PolicySpec::RoundRobin,
+        jobs: ["ncf", "dlrm", "ncf"]
+            .iter()
+            .map(|n| JobSpec { network: n.to_string(), arrival: None, core: None })
+            .collect(),
+    }
+}
+
+#[test]
+fn serve_mode_matches_the_direct_serve_call() {
+    let old = mnpusim::sched::serve(&scenario());
+    let new = RunRequest::serve(scenario()).run().serve();
+    assert_eq!(new.to_json(), old.to_json());
+    assert_eq!(new, old);
+}
+
+#[test]
+fn checkpointed_requests_stay_bit_exact() {
+    let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    let straight = RunRequest::networks(&cfg, dual_nets()).run().batch();
+    let resumed =
+        RunRequest::networks(&cfg, dual_nets()).checkpoint_at(straight.total_cycles / 2).run();
+    assert_eq!(resumed.batch().to_json(), straight.to_json());
+}
+
+#[test]
+fn outcome_report_reaches_every_shape() {
+    let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+    let nets = vec![zoo::ncf(Scale::Bench)];
+    let batch = RunRequest::networks(&cfg, nets.clone()).run();
+    assert!(batch.report().total_cycles > 0);
+    let fleet = RunRequest::fleet(&cfg, vec![nets]).run();
+    assert!(fleet.report().total_cycles > 0);
+    let serve = RunRequest::serve(scenario()).run();
+    assert!(serve.report().total_cycles > 0);
+}
+
+#[test]
+fn build_rejects_malformed_requests() {
+    let cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+
+    // Workload count must match the core count, per chip.
+    let wrong = RunRequest::networks(&cfg, vec![zoo::ncf(Scale::Bench)]).build();
+    assert_eq!(wrong.unwrap_err(), RequestError::Shape { what: "networks", expected: 2, got: 1 });
+    let wrong_chip = RunRequest::fleet(&cfg, vec![vec![zoo::ncf(Scale::Bench)]]).build();
+    assert!(matches!(wrong_chip.unwrap_err(), RequestError::Shape { what: "fleet networks", .. }));
+
+    // Checkpoints only make sense on single-chip batch runs.
+    let ck = RunRequest::serve(scenario()).checkpoint_at(100).build();
+    assert_eq!(ck.unwrap_err(), RequestError::Checkpoint { shape: "serve" });
+    let ck = RunRequest::fleet(&cfg, vec![dual_nets()]).checkpoint_at(100).build();
+    assert_eq!(ck.unwrap_err(), RequestError::Checkpoint { shape: "fleet" });
+
+    // An invalid system configuration surfaces the config validator's error.
+    let mut broken = cfg.clone();
+    broken.channels_per_core = 0;
+    let err = RunRequest::networks(&broken, dual_nets()).build().unwrap_err();
+    assert!(matches!(err, RequestError::Config(_)), "got {err:?}");
+}
