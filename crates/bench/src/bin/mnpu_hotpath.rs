@@ -34,90 +34,23 @@
 //! `simulated_cycles` and `dram_transactions` are identical in both modes
 //! (the entry's `prefix_share` field says which one ran).
 
-use mnpu_bench::{plan_units, prefix_share_enabled, Harness, SweepUnit};
-use mnpu_engine::{Emit, Format, ProbeMode, RunReport, SharingLevel, SystemConfig};
-use mnpu_predict::mapping::multisets;
+use mnpu_bench::{prefix_share_enabled, sweeps, Harness, SweepCounts};
+use mnpu_engine::{Emit, Format, ProbeMode};
 use std::path::PathBuf;
 use std::time::Instant;
 
 struct SweepResult {
-    sims: usize,
     wall_seconds: f64,
-    simulated_cycles: u64,
-    transactions: u64,
-    last_report: Option<RunReport>,
+    counts: SweepCounts,
 }
 
-/// Run every request serially through the full report path (no run cache,
-/// memoized traces — the same work a cold sweep does per simulation).
-///
-/// Requests differing only in MMU organization run as warm-start prefix
-/// groups unless `MNPU_NO_PREFIX_SHARE=1` (see `mnpu_bench::prefix`); the
-/// accumulated counts are bit-identical in both modes — only the wall
-/// clock moves.
-fn run_sweep(h: &Harness, reqs: &[(SystemConfig, Vec<usize>)]) -> SweepResult {
+/// Time one pass of [`sweeps::run_counts`] — the counts themselves come
+/// from the shared sweep definitions, so this binary, the CI smoke and the
+/// daemon all accumulate identical numbers.
+fn run_sweep(h: &Harness, reqs: &[sweeps::SweepRequest]) -> SweepResult {
     let t0 = Instant::now();
-    let units = plan_units(reqs.iter().map(|(cfg, ws)| (cfg, ws.as_slice())));
-    let mut reports: Vec<Option<RunReport>> = reqs.iter().map(|_| None).collect();
-    for unit in &units {
-        match unit {
-            SweepUnit::Single(i) => {
-                let (cfg, ws) = &reqs[*i];
-                reports[*i] = Some(h.run_report(cfg, ws));
-            }
-            SweepUnit::Group(members) => {
-                let cfgs: Vec<SystemConfig> = members.iter().map(|&i| reqs[i].0.clone()).collect();
-                let group = h.run_reports_shared(&cfgs, &reqs[members[0]].1);
-                for (&i, r) in members.iter().zip(group) {
-                    reports[i] = Some(r);
-                }
-            }
-        }
-    }
-    // Accumulate in request order so the "last" report is stable across
-    // execution plans.
-    let mut simulated_cycles = 0u64;
-    let mut transactions = 0u64;
-    let mut last_report = None;
-    for r in reports.into_iter().map(|r| r.expect("every request ran")) {
-        simulated_cycles += r.total_cycles;
-        transactions += r.dram.total.transactions();
-        last_report = Some(r);
-    }
-    SweepResult {
-        sims: reqs.len(),
-        wall_seconds: t0.elapsed().as_secs_f64(),
-        simulated_cycles,
-        transactions,
-        last_report,
-    }
-}
-
-/// The fig04 sweep: 8 Ideal solos + 36 mixes × 4 co-run levels.
-fn fig04_requests() -> Vec<(SystemConfig, Vec<usize>)> {
-    let solo = Harness::dual(SharingLevel::Static).ideal_solo();
-    let mut reqs: Vec<(SystemConfig, Vec<usize>)> =
-        (0..8).map(|w| (solo.clone(), vec![w])).collect();
-    for ws in multisets(8, 2) {
-        for lvl in SharingLevel::CO_RUN_LEVELS {
-            reqs.push((Harness::dual(lvl), ws.clone()));
-        }
-    }
-    reqs
-}
-
-/// CI smoke: one solo, one static mix, and one mix across all three co-run
-/// MMU levels — seconds, not minutes. The last three share a divergence
-/// key, so the tiny sweep exercises a real warm-start prefix group (and
-/// degrades to three independent runs under `MNPU_NO_PREFIX_SHARE=1`).
-fn tiny_requests() -> Vec<(SystemConfig, Vec<usize>)> {
-    vec![
-        (Harness::dual(SharingLevel::Static).ideal_solo(), vec![6]),
-        (Harness::dual(SharingLevel::Static), vec![6, 6]),
-        (Harness::dual(SharingLevel::PlusD), vec![6, 7]),
-        (Harness::dual(SharingLevel::PlusDw), vec![6, 7]),
-        (Harness::dual(SharingLevel::PlusDwt), vec![6, 7]),
-    ]
+    let counts = sweeps::run_counts(h, reqs);
+    SweepResult { wall_seconds: t0.elapsed().as_secs_f64(), counts }
 }
 
 /// Append `entry` to the JSON array in `path` (created when missing). The
@@ -174,8 +107,7 @@ fn main() {
     std::env::set_var("MNPU_NO_CACHE", "1");
 
     let h = Harness::new();
-    let (mode, mut reqs) =
-        if tiny { ("tiny", tiny_requests()) } else { ("fig04", fig04_requests()) };
+    let (mode, mut reqs) = if tiny { ("tiny", sweeps::tiny()) } else { ("fig04", sweeps::fig04()) };
     if probe_stats {
         for (cfg, _) in &mut reqs {
             cfg.probe = ProbeMode::Stats;
@@ -189,7 +121,7 @@ fn main() {
         }
     }
 
-    let cycles_per_sec = r.simulated_cycles as f64 / r.wall_seconds;
+    let cycles_per_sec = r.counts.simulated_cycles as f64 / r.wall_seconds;
     let probe_name = if probe_stats { "stats" } else { "null" };
     let prefix_share = if prefix_share_enabled() { "on" } else { "off" };
     let entry = format!(
@@ -197,12 +129,16 @@ fn main() {
          \"prefix_share\":\"{prefix_share}\",\"sims\":{},\
          \"sweep_seconds\":{:.3},\"simulated_cycles\":{},\"simulated_cycles_per_sec\":{:.0},\
          \"dram_transactions\":{}}}",
-        r.sims, r.wall_seconds, r.simulated_cycles, cycles_per_sec, r.transactions
+        r.counts.sims,
+        r.wall_seconds,
+        r.counts.simulated_cycles,
+        cycles_per_sec,
+        r.counts.dram_transactions
     );
     println!("{entry}");
 
     if let Some(path) = &csv_path {
-        let report = r.last_report.as_ref().expect("sweep ran at least one simulation");
+        let report = r.counts.last_report.as_ref().expect("sweep ran at least one simulation");
         let mut buf = Vec::new();
         report.emit(Format::Csv, &mut buf).expect("Vec sink never fails");
         if let Err(e) = std::fs::write(path, buf) {

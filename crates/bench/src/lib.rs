@@ -28,8 +28,10 @@ pub mod figures;
 pub mod harness;
 pub mod prefix;
 pub mod serve_exec;
+pub mod sweeps;
 
 pub use executor::SweepExecutor;
 pub use harness::Harness;
 pub use prefix::{plan_units, prefix_share_enabled, SweepUnit};
 pub use serve_exec::ServeExecutor;
+pub use sweeps::{run_counts, run_counts_with, SweepCounts, SweepRequest};

@@ -149,15 +149,32 @@ impl Cdf {
         n as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`), by nearest-rank.
+    /// The `q`-quantile (`q` in `[0, 1]`), by nearest-rank: the smallest
+    /// observation `v` with [`fraction_at_or_below`](Cdf::fraction_at_or_below)`(v) >= q`
+    /// (the sample minimum for `q = 0`). Every returned value is an actual
+    /// observation, and `quantile(1.0)` is always the maximum.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
-        self.sorted[idx]
+        // Nearest-rank: the smallest 1-based rank whose cumulative fraction
+        // `rank / n` reaches q. Phrased as the same `count / n` division
+        // `fraction_at_or_below` performs (rather than `ceil(q * n)`, whose
+        // product rounds the other way for some q) so the two stay exactly
+        // consistent under floating point.
+        let n = self.sorted.len();
+        let (mut lo, mut hi) = (1usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if mid as f64 / n as f64 >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        self.sorted[lo - 1]
     }
 
     /// `(value, cumulative fraction)` pairs for plotting.
@@ -225,7 +242,7 @@ impl BoxStats {
 /// use mnpu_metrics::LatencyStats;
 ///
 /// let s = LatencyStats::from_cycles(&[100, 200, 300, 400]);
-/// assert_eq!(s.p50, 300.0);
+/// assert_eq!(s.p50, 200.0); // ceil(0.5 * 4) = rank 2
 /// assert_eq!(s.max, 400.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -267,6 +284,105 @@ impl LatencyStats {
     pub fn from_cycles(cycles: &[u64]) -> Self {
         let sample: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
         LatencyStats::from_sample(&sample)
+    }
+
+    /// Non-panicking [`LatencyStats::from_sample`]: `None` on an empty
+    /// sample. The form long-lived services use — an empty latency window
+    /// is a normal runtime condition there, not a harness bug.
+    pub fn try_from_sample(sample: &[f64]) -> Option<Self> {
+        if sample.is_empty() {
+            None
+        } else {
+            Some(LatencyStats::from_sample(sample))
+        }
+    }
+
+    /// Non-panicking [`LatencyStats::from_cycles`]: `None` on an empty
+    /// sample.
+    pub fn try_from_cycles(cycles: &[u64]) -> Option<Self> {
+        if cycles.is_empty() {
+            None
+        } else {
+            Some(LatencyStats::from_cycles(cycles))
+        }
+    }
+}
+
+/// Rolling counters for a long-lived simulation service: one instance
+/// aggregates the whole job lifecycle (admission through completion) plus
+/// observed job latencies, and every derived figure is a pure function of
+/// the counters so the struct can be asserted against in property tests.
+///
+/// ```
+/// use mnpu_metrics::ServiceStats;
+///
+/// let mut s = ServiceStats::new();
+/// s.submissions = 3;
+/// s.rejects = 1;
+/// s.completions = 1;
+/// assert_eq!(s.in_system(), 1); // 3 submitted - 1 rejected - 1 finished
+/// assert!(s.latency().is_none()); // no samples yet
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs submitted (accepted *and* rejected).
+    pub submissions: u64,
+    /// Submissions refused by admission control (queue full).
+    pub rejects: u64,
+    /// Jobs handed to a worker at least once.
+    pub dispatches: u64,
+    /// Jobs that ran to completion.
+    pub completions: u64,
+    /// Jobs cancelled by request.
+    pub cancellations: u64,
+    /// Jobs that died with an execution error.
+    pub failures: u64,
+    /// Jobs stopped at their wall-clock budget.
+    pub over_budget: u64,
+    /// Jobs checkpointed by a drain instead of finishing.
+    pub suspended: u64,
+    /// Jobs answered from the result cache without running.
+    pub cache_hits: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServiceStats::default()
+    }
+
+    /// Record one finished job's wall-clock latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is NaN or negative.
+    pub fn record_latency_ms(&mut self, ms: f64) {
+        assert!(ms >= 0.0, "latency must be a non-negative number of milliseconds");
+        self.latencies_ms.push(ms);
+    }
+
+    /// Jobs that reached a terminal state, whatever it was.
+    pub fn finished(&self) -> u64 {
+        self.completions + self.cancellations + self.failures + self.over_budget + self.suspended
+    }
+
+    /// Jobs currently queued or running: submissions minus rejects minus
+    /// every terminal outcome. The queue-depth gauge a service exports must
+    /// always agree with this derivation.
+    pub fn in_system(&self) -> u64 {
+        self.submissions - self.rejects - self.finished()
+    }
+
+    /// Number of recorded latency samples.
+    pub fn latency_samples(&self) -> usize {
+        self.latencies_ms.len()
+    }
+
+    /// Tail-latency summary of the recorded samples, or `None` before the
+    /// first job finishes.
+    pub fn latency(&self) -> Option<LatencyStats> {
+        LatencyStats::try_from_sample(&self.latencies_ms)
     }
 }
 
@@ -425,12 +541,57 @@ mod tests {
     fn latency_stats_ordering_and_values() {
         let cycles: Vec<u64> = (1..=100).collect();
         let s = LatencyStats::from_cycles(&cycles);
-        assert_eq!(s.p50, 51.0); // nearest-rank over 100 observations
+        assert_eq!(s.p50, 50.0); // nearest-rank: ceil(0.5 * 100) = rank 50
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_small_ranks() {
+        // Two observations: anything at or below 0.5 must pick the first.
+        let c = Cdf::new(vec![10.0, 20.0]);
+        assert_eq!(c.quantile(0.0), 10.0);
+        assert_eq!(c.quantile(0.5), 10.0);
+        assert_eq!(c.quantile(0.51), 20.0);
+        assert_eq!(c.quantile(1.0), 20.0);
+        // The old round()-based interpolation returned 20.0 for q = 0.5
+        // (round(0.5 * 1) rounds up), over-reporting the median.
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(0.75), 3.0);
+        assert_eq!(c.quantile(0.76), 4.0);
+    }
+
+    #[test]
+    fn try_from_handles_empty_and_singleton() {
+        assert_eq!(LatencyStats::try_from_sample(&[]), None);
+        assert_eq!(LatencyStats::try_from_cycles(&[]), None);
+        let s = LatencyStats::try_from_cycles(&[7]).expect("one sample is enough");
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (7.0, 7.0, 7.0, 7.0));
+        assert_eq!(LatencyStats::try_from_sample(&[7.0]), Some(s));
+    }
+
+    #[test]
+    fn service_stats_accounting() {
+        let mut s = ServiceStats::new();
+        assert_eq!(s.in_system(), 0);
+        s.submissions = 10;
+        s.rejects = 3;
+        s.completions = 2;
+        s.cancellations = 1;
+        s.over_budget = 1;
+        assert_eq!(s.finished(), 4);
+        assert_eq!(s.in_system(), 3);
+        assert!(s.latency().is_none());
+        s.record_latency_ms(5.0);
+        s.record_latency_ms(15.0);
+        let lat = s.latency().expect("two samples recorded");
+        assert_eq!(s.latency_samples(), 2);
+        assert_eq!(lat.p50, 5.0);
+        assert_eq!(lat.max, 15.0);
     }
 
     #[test]
@@ -452,7 +613,75 @@ mod property_tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// The nearest-rank quantile, spelled as the definition rather than an
+    /// index formula: the first sorted element whose cumulative count
+    /// reaches `q * n` (the minimum for `q = 0`). `None` on an empty
+    /// sample — the oracle the service's percentile exports are fenced
+    /// against.
+    fn oracle_quantile(sample: &[f64], q: f64) -> Option<f64> {
+        if sample.is_empty() {
+            return None;
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let idx = (0..n).find(|&i| (i + 1) as f64 / n as f64 >= q).unwrap_or(n - 1);
+        Some(sorted[idx])
+    }
+
+    #[test]
+    fn oracle_edge_cases() {
+        assert_eq!(oracle_quantile(&[], 0.5), None);
+        assert_eq!(oracle_quantile(&[3.0], 0.0), Some(3.0));
+        assert_eq!(oracle_quantile(&[3.0], 0.99), Some(3.0));
+        assert_eq!(oracle_quantile(&[2.0, 2.0, 2.0], 0.5), Some(2.0));
+    }
+
     proptest! {
+        #[test]
+        fn prop_latency_percentiles_match_oracle(
+            xs in proptest::collection::vec(0.0f64..1e6, 0..80),
+        ) {
+            match LatencyStats::try_from_sample(&xs) {
+                None => prop_assert!(xs.is_empty()),
+                Some(s) => {
+                    prop_assert_eq!(s.p50, oracle_quantile(&xs, 0.5).expect("non-empty"));
+                    prop_assert_eq!(s.p95, oracle_quantile(&xs, 0.95).expect("non-empty"));
+                    prop_assert_eq!(s.p99, oracle_quantile(&xs, 0.99).expect("non-empty"));
+                    prop_assert_eq!(s.max, oracle_quantile(&xs, 1.0).expect("non-empty"));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_all_equal_samples_collapse(x in -1e6f64..1e6, n in 1usize..40) {
+            let s = LatencyStats::try_from_sample(&vec![x; n]).expect("non-empty");
+            // Quantiles are observations, so they collapse exactly; the mean
+            // only to summation rounding.
+            prop_assert_eq!((s.p50, s.p95, s.p99, s.max), (x, x, x, x));
+            prop_assert!((s.mean - x).abs() <= x.abs() * 1e-12);
+        }
+
+        #[test]
+        fn prop_quantile_is_an_observation_and_covers(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..60),
+            qp in 0u32..=1000,
+        ) {
+            let q = qp as f64 / 1000.0;
+            let c = Cdf::new(xs.clone());
+            let v = c.quantile(q);
+            // Every quantile is an actual observation...
+            prop_assert!(xs.contains(&v));
+            // ...that covers at least fraction q of the sample...
+            prop_assert!(c.fraction_at_or_below(v) >= q);
+            // ...and is the smallest such observation.
+            for &x in &xs {
+                if x < v {
+                    prop_assert!(c.fraction_at_or_below(x) < q);
+                }
+            }
+        }
+
         #[test]
         fn prop_geomean_between_min_and_max(xs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
             let g = geomean(&xs);

@@ -36,9 +36,11 @@
 #![warn(missing_docs)]
 
 mod hist;
+mod lifecycle;
 mod stats;
 
 pub use hist::Histogram;
+pub use lifecycle::{JobEvent, JobPhase, JobTimeline};
 pub use stats::{
     CoreStats, DramContention, JobSpan, SchedStats, Span, StallBreakdown, StatsProbe, StatsReport,
 };

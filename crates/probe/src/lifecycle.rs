@@ -1,0 +1,198 @@
+//! Service-level job lifecycle tracking.
+//!
+//! The in-simulation [`Event`](crate::Event) stream records what happens
+//! *inside* a run, in simulated cycles. A long-lived service additionally
+//! needs the story *around* each run, in wall-clock time: when the job was
+//! admitted, dispatched, checkpointed, resumed, and how it ended. A
+//! [`JobTimeline`] accumulates those [`JobEvent`]s per job; the service
+//! returns it verbatim from its status endpoint so a client (or a
+//! conformance test) can audit the exact phase sequence a job went
+//! through.
+
+use std::fmt;
+
+/// One step in a service job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobPhase {
+    /// Accepted by admission control and queued.
+    Submitted,
+    /// Handed to a worker; the simulation is running.
+    Dispatched,
+    /// Snapshotted mid-run (budget, cancel or drain) — resumable.
+    Checkpointed,
+    /// Restored from a checkpoint and running again.
+    Resumed,
+    /// Ran to completion; the report is available.
+    Completed,
+    /// Stopped by a cancellation request.
+    Cancelled,
+    /// Stopped at its wall-clock budget.
+    OverBudget,
+    /// Died with an execution error.
+    Failed,
+    /// Checkpointed by a daemon drain instead of finishing.
+    Suspended,
+}
+
+impl JobPhase {
+    /// Stable lowercase name (used in status JSON and metrics labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Submitted => "submitted",
+            JobPhase::Dispatched => "dispatched",
+            JobPhase::Checkpointed => "checkpointed",
+            JobPhase::Resumed => "resumed",
+            JobPhase::Completed => "completed",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::OverBudget => "over_budget",
+            JobPhase::Failed => "failed",
+            JobPhase::Suspended => "suspended",
+        }
+    }
+
+    /// `true` when the phase ends the job's current incarnation (it may
+    /// still be resumable: `Cancelled`, `OverBudget` and `Suspended` jobs
+    /// with a checkpoint can come back as `Resumed`).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobPhase::Completed
+                | JobPhase::Cancelled
+                | JobPhase::OverBudget
+                | JobPhase::Failed
+                | JobPhase::Suspended
+        )
+    }
+}
+
+impl fmt::Display for JobPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded lifecycle step: which phase, and when (milliseconds since
+/// the service's own epoch — wall-clock, not simulated cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Milliseconds since the recording service started.
+    pub at_ms: u64,
+    /// The phase entered.
+    pub phase: JobPhase,
+}
+
+/// An append-only record of one job's lifecycle.
+///
+/// ```
+/// use mnpu_probe::{JobPhase, JobTimeline};
+///
+/// let mut t = JobTimeline::new();
+/// t.record(0, JobPhase::Submitted);
+/// t.record(3, JobPhase::Dispatched);
+/// t.record(9, JobPhase::Completed);
+/// assert_eq!(t.current(), Some(JobPhase::Completed));
+/// assert!(t.to_json().contains("\"dispatched\""));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobTimeline {
+    events: Vec<JobEvent>,
+}
+
+impl JobTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        JobTimeline::default()
+    }
+
+    /// Append a phase transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` precedes the previous event — timelines are
+    /// recorded by a single service clock and never reorder.
+    pub fn record(&mut self, at_ms: u64, phase: JobPhase) {
+        if let Some(last) = self.events.last() {
+            assert!(at_ms >= last.at_ms, "timeline must be monotone: {} < {}", at_ms, last.at_ms);
+        }
+        self.events.push(JobEvent { at_ms, phase });
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[JobEvent] {
+        &self.events
+    }
+
+    /// The most recently entered phase.
+    pub fn current(&self) -> Option<JobPhase> {
+        self.events.last().map(|e| e.phase)
+    }
+
+    /// How many times `phase` was entered.
+    pub fn count(&self, phase: JobPhase) -> usize {
+        self.events.iter().filter(|e| e.phase == phase).count()
+    }
+
+    /// The timeline as a JSON array of `{"at_ms":..,"phase":".."}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"at_ms\":{},\"phase\":\"{}\"}}", e.at_ms, e.phase.as_str()));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_records_in_order() {
+        let mut t = JobTimeline::new();
+        assert_eq!(t.current(), None);
+        t.record(0, JobPhase::Submitted);
+        t.record(2, JobPhase::Dispatched);
+        t.record(2, JobPhase::Checkpointed);
+        t.record(5, JobPhase::Resumed);
+        t.record(9, JobPhase::Completed);
+        assert_eq!(t.events().len(), 5);
+        assert_eq!(t.current(), Some(JobPhase::Completed));
+        assert_eq!(t.count(JobPhase::Checkpointed), 1);
+        assert_eq!(t.count(JobPhase::Failed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn timeline_rejects_time_travel() {
+        let mut t = JobTimeline::new();
+        t.record(5, JobPhase::Submitted);
+        t.record(4, JobPhase::Dispatched);
+    }
+
+    #[test]
+    fn terminal_phases() {
+        assert!(!JobPhase::Submitted.is_terminal());
+        assert!(!JobPhase::Dispatched.is_terminal());
+        assert!(!JobPhase::Resumed.is_terminal());
+        assert!(!JobPhase::Checkpointed.is_terminal());
+        assert!(JobPhase::Completed.is_terminal());
+        assert!(JobPhase::Suspended.is_terminal());
+        assert!(JobPhase::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = JobTimeline::new();
+        t.record(1, JobPhase::Submitted);
+        t.record(4, JobPhase::OverBudget);
+        assert_eq!(
+            t.to_json(),
+            "[{\"at_ms\":1,\"phase\":\"submitted\"},{\"at_ms\":4,\"phase\":\"over_budget\"}]"
+        );
+        assert_eq!(JobTimeline::new().to_json(), "[]");
+    }
+}

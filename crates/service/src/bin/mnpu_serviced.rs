@@ -1,0 +1,88 @@
+//! `mnpu-serviced`: the always-on simulation daemon.
+//!
+//! ```text
+//! mnpu_serviced [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!               [--body-limit BYTES] [--checkpoint-dir PATH]
+//! ```
+//!
+//! Prints `mnpu-serviced listening on <addr>` once the socket is bound
+//! (scripts wait for that line), serves until SIGTERM/SIGINT or a
+//! `POST /v1/drain`, then drains: running jobs checkpoint at their next
+//! safe boundary, the backlog is suspended, and everything is persisted
+//! under `--checkpoint-dir` before the process exits 0.
+
+use std::io::Write;
+use std::time::Duration;
+
+use mnpu_service::{signal, Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mnpu_serviced [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--body-limit BYTES] [--checkpoint-dir PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServiceConfig {
+    let mut cfg = ServiceConfig { addr: "127.0.0.1:8750".to_string(), ..ServiceConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| usage_missing(what));
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-depth" => {
+                cfg.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth")
+            }
+            "--body-limit" => cfg.body_limit = parse_num(&value("--body-limit"), "--body-limit"),
+            "--checkpoint-dir" => cfg.checkpoint_dir = Some(value("--checkpoint-dir").into()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if cfg.workers == 0 || cfg.queue_depth == 0 {
+        eprintln!("mnpu-serviced: --workers and --queue-depth must be positive");
+        std::process::exit(2);
+    }
+    cfg
+}
+
+fn usage_missing(what: &str) -> ! {
+    eprintln!("mnpu-serviced: {what} needs a value");
+    std::process::exit(2);
+}
+
+fn parse_num(s: &str, what: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("mnpu-serviced: {what} must be a number, got '{s}'");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let cfg = parse_args();
+    signal::install_termination_handler();
+    let service = match Service::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mnpu-serviced: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("mnpu-serviced listening on {}", service.addr());
+    let _ = std::io::stdout().flush();
+
+    // Serve until something asks for a drain: a signal, or the drain
+    // endpoint flipping the service's own flag.
+    while !signal::termination_requested() && !service.draining() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let report = service.shutdown();
+    println!(
+        "mnpu-serviced drained: {} running checkpointed, {} queued suspended, {} files",
+        report.suspended_running,
+        report.suspended_queued,
+        report.files.len()
+    );
+}

@@ -1,0 +1,235 @@
+//! A deliberately small HTTP/1.1 layer: parse one request, write one
+//! response, close.
+//!
+//! The daemon is a control plane for a simulator, not a web server —
+//! every exchange is one short JSON body each way, so `Connection: close`
+//! per request keeps the state machine trivial and `curl`-friendly.
+//! Bodies are bounded *before* they are read: a `Content-Length` over the
+//! configured limit is answered with 413 without consuming the payload.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request: method, path, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, ...
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/job-1`.
+    pub path: String,
+    /// The decoded body (empty when none was sent).
+    pub body: String,
+}
+
+/// Why a request could not be served at the HTTP layer, mapped straight
+/// to a status line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line or headers were malformed.
+    BadRequest(&'static str),
+    /// The declared body length exceeds the server's limit.
+    TooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+}
+
+impl HttpError {
+    /// The HTTP status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge { .. } => 413,
+        }
+    }
+
+    /// The one-line message for the response body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => (*m).to_string(),
+            HttpError::TooLarge { declared, limit } => {
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+/// Read one request from `stream`. `body_limit` bounds the accepted
+/// `Content-Length`.
+///
+/// # Errors
+///
+/// [`HttpError`] on malformed framing or an over-size declaration; I/O
+/// errors surface as `BadRequest` (the connection is torn down either
+/// way).
+pub fn read_request(stream: &mut TcpStream, body_limit: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|_| malformed("clone failed"))?);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|_| malformed("unreadable request line"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(malformed("empty request line"))?.to_string();
+    let path = parts.next().ok_or(malformed("request line has no target"))?.to_string();
+    let version = parts.next().ok_or(malformed("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed("not an HTTP/1.x request"));
+    }
+
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|_| malformed("unreadable header"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(malformed("header without a colon"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length =
+                    value.parse().map_err(|_| malformed("unparsable content-length"))?;
+            }
+            "transfer-encoding" => {
+                // One-shot JSON exchanges have no business being chunked,
+                // and refusing keeps the body-limit check airtight.
+                return Err(malformed("chunked transfer encoding is not supported"));
+            }
+            "expect" if value.eq_ignore_ascii_case("100-continue") => expects_continue = true,
+            _ => {}
+        }
+    }
+    if content_length > body_limit {
+        return Err(HttpError::TooLarge { declared: content_length, limit: body_limit });
+    }
+    if expects_continue && content_length > 0 {
+        // curl sends Expect: 100-continue for larger bodies; honor it so
+        // the client actually transmits the payload.
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        let _ = stream.flush();
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| malformed("body shorter than content-length"))?;
+    let body = String::from_utf8(body).map_err(|_| malformed("body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+fn malformed(m: &'static str) -> HttpError {
+    HttpError::BadRequest(m)
+}
+
+/// Write one response and flush. Extra headers are `name: value` pairs
+/// (used for `Retry-After` on 429).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    // The client may already be gone; a failed write is its problem.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str, limit: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            // Drain whatever the server sends (e.g. 100 Continue).
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let got = read_request(&mut conn, limit);
+        // Close the server side before joining: the client blocks in
+        // read_to_end until it sees EOF.
+        drop(conn);
+        client.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(
+            "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = round_trip("GET /metrics HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn oversize_bodies_are_refused_by_declaration() {
+        let err = round_trip("POST /v1/jobs HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 1024)
+            .unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("999999"));
+    }
+
+    #[test]
+    fn malformed_framing_is_a_400() {
+        for raw in
+            ["\r\n\r\n", "GET\r\n\r\n", "GET / FTP/1.0\r\n\r\n", "GET / HTTP/1.1\r\nbad\r\n\r\n"]
+        {
+            let err = round_trip(raw, 1024).unwrap_err();
+            assert_eq!(err.status(), 400, "for {raw:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_bodies_are_refused() {
+        let err =
+            round_trip("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n", 1024)
+                .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("chunked"));
+    }
+}

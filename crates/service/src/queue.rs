@@ -1,0 +1,134 @@
+//! Bounded FIFO admission control, as a pure data structure.
+//!
+//! The daemon's concurrency lives in `server.rs`; admission policy lives
+//! here, single-threaded and deterministic, so property tests can drive
+//! arbitrary submit/cancel/dispatch interleavings against it directly:
+//! no job is lost or double-dispatched, dispatch order is FIFO among the
+//! jobs that were actually admitted, and the depth always equals
+//! admissions minus dispatches minus cancellations.
+
+use std::collections::VecDeque;
+
+/// What happened to a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; will be dispatched in FIFO order.
+    Accepted,
+    /// Bounced: the queue was at its bound.
+    Rejected,
+}
+
+/// A bounded FIFO of queued job ids.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    bound: usize,
+    queue: VecDeque<u64>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue admitting at most `bound` undispatched jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero bound (a queue that can never admit is a
+    /// configuration bug).
+    pub fn new(bound: usize) -> Self {
+        assert!(bound > 0, "admission bound must be positive");
+        AdmissionQueue { bound, queue: VecDeque::new() }
+    }
+
+    /// The configured bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offer a job. Admission is all-or-nothing at the bound: the queue
+    /// never holds more than `bound` jobs.
+    pub fn submit(&mut self, id: u64) -> Admission {
+        debug_assert!(!self.queue.contains(&id), "job ids are unique");
+        if self.queue.len() >= self.bound {
+            Admission::Rejected
+        } else {
+            self.queue.push_back(id);
+            Admission::Accepted
+        }
+    }
+
+    /// Take the oldest queued job for dispatch, if any.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.queue.pop_front()
+    }
+
+    /// Remove a queued job before dispatch (cancellation). `false` when
+    /// the job is not queued (already dispatched, rejected, or unknown) —
+    /// the caller decides what that means.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        match self.queue.iter().position(|&q| q == id) {
+            Some(pos) => {
+                self.queue.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drain every queued job, oldest first (daemon shutdown).
+    pub fn drain(&mut self) -> Vec<u64> {
+        self.queue.drain(..).collect()
+    }
+
+    /// The queued ids, oldest first (for status reporting).
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.queue.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_with_backpressure() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(q.submit(1), Admission::Accepted);
+        assert_eq!(q.submit(2), Admission::Accepted);
+        assert_eq!(q.submit(3), Admission::Rejected);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.submit(3), Admission::Accepted);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_removes_only_queued_jobs() {
+        let mut q = AdmissionQueue::new(4);
+        q.submit(1);
+        q.submit(2);
+        assert!(q.cancel(1));
+        assert!(!q.cancel(1), "already cancelled");
+        assert!(!q.cancel(99), "never submitted");
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut q = AdmissionQueue::new(3);
+        q.submit(5);
+        q.submit(6);
+        assert_eq!(q.drain(), vec![5, 6]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        let _ = AdmissionQueue::new(0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Process-signal plumbing for the daemon: SIGTERM/SIGINT set a flag, the
+//! main loop notices and drains.
+//!
+//! The crate is `deny(unsafe_code)`; this module is the one sanctioned
+//! exception, containing the two-line FFI to `signal(2)` that a std-only
+//! build needs (no signal-handling crate is vendored). The handler itself
+//! only stores to an atomic — the async-signal-safe subset.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGTERM/SIGINT handler. Returns `false` on non-Unix
+/// targets, where the daemon simply cannot be signalled to drain.
+pub fn install_termination_handler() -> bool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// `true` once a termination signal has been delivered.
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_handler_installs() {
+        // The flag may already be set if another test delivered a signal;
+        // only assert what is invariant.
+        assert!(install_termination_handler() || !cfg!(unix));
+        on_signal(15);
+        assert!(termination_requested());
+    }
+}

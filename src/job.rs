@@ -1,0 +1,386 @@
+//! Controlled execution: run a [`Runner`] with an external stop signal,
+//! checkpoint where it stops, and resume later — the primitive a
+//! long-lived service builds cancellation, wall-clock budgets and graceful
+//! drain out of.
+//!
+//! [`Runner::run`] is all-or-nothing. [`Runner::run_controlled`] drives
+//! the same canonical engine paths but consults a poll callback at every
+//! safe boundary (a parked chunk of a batch run, a scheduler decision
+//! point of a serve run); when the callback asks for a stop, the run is
+//! snapshotted into a [`JobCheckpoint`] instead of being thrown away, and
+//! [`Runner::resume`] finishes it — in the same process or, via
+//! [`JobCheckpoint::to_json`], any other one. The contract is the one that
+//! fenced the snapshot subsystem: *stopping never changes the answer*. A
+//! run completed across any number of checkpoint/resume round-trips emits
+//! a report byte-identical to the uninterrupted run.
+//!
+//! ```
+//! use mnpusim::prelude::*;
+//! use mnpusim::{zoo, Scale};
+//!
+//! let cfg = SystemConfig::bench(1, SharingLevel::Ideal);
+//! let nets = vec![zoo::ncf(Scale::Bench)];
+//! let straight = RunRequest::networks(&cfg, nets.clone()).run().batch();
+//!
+//! // Stop at the first safe boundary, checkpoint, resume to completion.
+//! let runner = RunRequest::networks(&cfg, nets.clone()).build().unwrap();
+//! let progress = runner.run_controlled(&mut || RunControl::Checkpoint);
+//! let ckpt = match progress {
+//!     RunProgress::Checkpointed(c) => c,
+//!     _ => unreachable!("stopped at the first boundary"),
+//! };
+//! let runner = RunRequest::networks(&cfg, nets).build().unwrap();
+//! let resumed = runner.resume(ckpt, &mut || RunControl::Continue).unwrap();
+//! match resumed {
+//!     RunProgress::Done(outcome) => {
+//!         assert_eq!(outcome.batch().to_json(), straight.to_json());
+//!     }
+//!     _ => unreachable!("no further stops requested"),
+//! }
+//! ```
+
+use crate::run::{Payload, RunOutcome, Runner};
+use mnpu_engine::{
+    Advance, NullProbe, Probe, ProbeMode, RunReport, SimSnapshot, Simulation, SnapError,
+    SystemConfig, SNAPSHOT_VERSION,
+};
+use mnpu_sched::{ServeReport, ServeSession, ServeSnapshot};
+use mnpu_systolic::WorkloadTrace;
+
+/// Cycles a controlled batch run advances between two polls of the control
+/// callback. Small enough that a stop request lands within milliseconds of
+/// wall clock; large enough that polling is invisible in the profile.
+const POLL_CHUNK: u64 = 1 << 16;
+
+/// Format version of the [`JobCheckpoint`] JSON wrapper (locked to the
+/// snapshot subsystem's version: a checkpoint embeds engine snapshots, so
+/// the two formats move together).
+pub const JOB_CHECKPOINT_VERSION: u32 = SNAPSHOT_VERSION;
+
+/// What the control callback tells a running job at each safe boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunControl {
+    /// Keep running.
+    Continue,
+    /// Stop here and checkpoint (cancellation, budget expiry, drain).
+    Checkpoint,
+}
+
+/// How far a controlled run got.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunProgress {
+    /// Ran to completion; the outcome is byte-identical to [`Runner::run`].
+    Done(RunOutcome),
+    /// Stopped on request; resume with [`Runner::resume`] against the same
+    /// request.
+    Checkpointed(JobCheckpoint),
+    /// Stopped on request at a shape that cannot checkpoint (a fleet run
+    /// between chips): the work so far is discarded, nothing to resume.
+    Stopped,
+}
+
+/// The shape-tagged snapshot of a stopped run.
+#[derive(Debug, Clone, PartialEq)]
+enum CkptPayload {
+    /// A single-chip batch run's engine snapshot.
+    Batch(SimSnapshot),
+    /// A serve run's engine + scheduler snapshot.
+    Serve(ServeSnapshot),
+}
+
+/// A resumable checkpoint of a stopped run, produced by
+/// [`Runner::run_controlled`] and consumed by [`Runner::resume`].
+///
+/// The checkpoint does not carry the workload itself — resuming requires
+/// re-presenting the same [`RunRequest`](crate::RunRequest), and the
+/// embedded snapshot's fingerprints (system configuration, per-core
+/// traces, scenario) verify the match. [`JobCheckpoint::to_json`] /
+/// [`JobCheckpoint::from_json`] give it a stable wire form, so a
+/// checkpoint can cross process boundaries (the service hands it to
+/// clients and accepts it back on a resume request).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobCheckpoint {
+    payload: CkptPayload,
+}
+
+impl JobCheckpoint {
+    /// Which request shape this checkpoint belongs to: `"batch"`
+    /// ([`RunRequest::traces`](crate::RunRequest::traces) /
+    /// [`RunRequest::networks`](crate::RunRequest::networks)) or
+    /// `"serve"`.
+    pub fn kind(&self) -> &'static str {
+        match &self.payload {
+            CkptPayload::Batch(_) => "batch",
+            CkptPayload::Serve(_) => "serve",
+        }
+    }
+
+    /// The wire form: a JSON object with a hex-encoded snapshot payload,
+    /// the same framing idiom as [`SimSnapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        let bytes = match &self.payload {
+            CkptPayload::Batch(s) => s.to_bytes(),
+            CkptPayload::Serve(s) => s.to_bytes(),
+        };
+        let mut hex = String::with_capacity(bytes.len() * 2);
+        for b in &bytes {
+            hex.push_str(&format!("{b:02x}"));
+        }
+        format!(
+            "{{\"format\":\"mnpu-job-checkpoint\",\"version\":{},\"kind\":\"{}\",\
+             \"payload\":\"{hex}\"}}",
+            JOB_CHECKPOINT_VERSION,
+            self.kind()
+        )
+    }
+
+    /// Decode the wrapper written by [`JobCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadJson`] on a malformed wrapper,
+    /// [`SnapError::VersionMismatch`] on a foreign format version, and any
+    /// decode error from the embedded snapshot.
+    pub fn from_json(text: &str) -> Result<JobCheckpoint, SnapError> {
+        fn field<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+            let start = text.find(&format!("\"{key}\":"))? + key.len() + 3;
+            let rest = &text[start..];
+            if let Some(stripped) = rest.strip_prefix('"') {
+                let end = stripped.find('"')?;
+                Some(&stripped[..end])
+            } else {
+                let end = rest.find([',', '}'])?;
+                Some(&rest[..end])
+            }
+        }
+        if field(text, "format") != Some("mnpu-job-checkpoint") {
+            return Err(SnapError::BadJson("missing mnpu-job-checkpoint format marker"));
+        }
+        let version: u32 = field(text, "version")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or(SnapError::BadJson("bad version field"))?;
+        if version != JOB_CHECKPOINT_VERSION {
+            return Err(SnapError::VersionMismatch {
+                found: version,
+                expected: JOB_CHECKPOINT_VERSION,
+            });
+        }
+        let kind = field(text, "kind").ok_or(SnapError::BadJson("missing kind field"))?;
+        let hex = field(text, "payload").ok_or(SnapError::BadJson("missing payload field"))?;
+        if hex.len() % 2 != 0 {
+            return Err(SnapError::BadJson("odd-length payload hex"));
+        }
+        let bytes: Vec<u8> = (0..hex.len() / 2)
+            .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| SnapError::BadJson("bad payload hex"))?;
+        let payload = match kind {
+            "batch" => CkptPayload::Batch(SimSnapshot::from_bytes(&bytes)?),
+            "serve" => CkptPayload::Serve(ServeSnapshot::from_bytes(&bytes)?),
+            _ => return Err(SnapError::BadJson("unknown checkpoint kind")),
+        };
+        Ok(JobCheckpoint { payload })
+    }
+}
+
+/// Drive a batch simulation in [`POLL_CHUNK`]-cycle slices, consulting
+/// `poll` at every parked boundary. Chunked parking is the engine's own
+/// checkpoint mechanism ([`Simulation::advance`]), bit-exact against an
+/// unchunked run.
+fn drive_batch<P: Probe>(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    from: Option<&SimSnapshot>,
+    poll: &mut dyn FnMut() -> RunControl,
+) -> Result<BatchProgress, SnapError> {
+    let mut sim = Simulation::with_probe(cfg, traces, P::default());
+    if let Some(snap) = from {
+        sim.restore(snap)?;
+    }
+    loop {
+        if poll() == RunControl::Checkpoint {
+            return Ok(BatchProgress::Checkpointed(sim.snapshot()));
+        }
+        let stop = sim.now().saturating_add(POLL_CHUNK);
+        loop {
+            match sim.advance(stop) {
+                Advance::CoreFinished { .. } => {}
+                Advance::Parked => break,
+                Advance::Drained => return Ok(BatchProgress::Done(Box::new(sim.into_report()))),
+            }
+        }
+    }
+}
+
+enum BatchProgress {
+    Done(Box<RunReport>),
+    Checkpointed(SimSnapshot),
+}
+
+/// Drive a serve session one scheduler decision round at a time,
+/// consulting `poll` between rounds.
+fn drive_serve<P: Probe>(
+    spec: &mnpu_config::ScenarioSpec,
+    from: Option<ServeSnapshot>,
+    poll: &mut dyn FnMut() -> RunControl,
+) -> Result<ServeProgress, SnapError> {
+    let mut session = match from {
+        Some(snap) => ServeSession::restore_with_probe(spec, P::default(), snap)?,
+        None => ServeSession::with_probe(spec, P::default()),
+    };
+    loop {
+        if poll() == RunControl::Checkpoint {
+            return Ok(ServeProgress::Checkpointed(session.snapshot()));
+        }
+        if !session.step() {
+            return Ok(ServeProgress::Done(Box::new(session.into_report())));
+        }
+    }
+}
+
+enum ServeProgress {
+    Done(Box<ServeReport>),
+    Checkpointed(ServeSnapshot),
+}
+
+impl Runner {
+    /// Execute like [`Runner::run`], but consult `poll` at every safe
+    /// boundary; when it returns [`RunControl::Checkpoint`], stop and
+    /// return a [`JobCheckpoint`] (or [`RunProgress::Stopped`] for a fleet
+    /// run, which has no checkpointable state between chips).
+    ///
+    /// With a callback that always continues, the result is
+    /// [`RunProgress::Done`] with an outcome byte-identical to
+    /// [`Runner::run`] — the chunked drive is the same bit-exact mechanism
+    /// [`Simulation::execute_checkpointed`] rests on. A `checkpoint_at`
+    /// cycle set on the request is ignored here (the callback *is* the
+    /// checkpoint trigger).
+    pub fn run_controlled(self, poll: &mut dyn FnMut() -> RunControl) -> RunProgress {
+        self.run_controlled_from(None, poll).expect("a fresh run has no snapshot to reject")
+    }
+
+    /// Resume a run stopped by [`Runner::run_controlled`]. The runner must
+    /// be built from the same request that produced the checkpoint — the
+    /// snapshot's fingerprints enforce it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadValue`] when the checkpoint's shape does not match
+    /// the request shape, [`SnapError::ConfigMismatch`] /
+    /// [`SnapError::TraceMismatch`] when it was captured from a different
+    /// request, or any decode error from the snapshot payload.
+    pub fn resume(
+        self,
+        checkpoint: JobCheckpoint,
+        poll: &mut dyn FnMut() -> RunControl,
+    ) -> Result<RunProgress, SnapError> {
+        self.run_controlled_from(Some(checkpoint), poll)
+    }
+
+    fn run_controlled_from(
+        self,
+        from: Option<JobCheckpoint>,
+        poll: &mut dyn FnMut() -> RunControl,
+    ) -> Result<RunProgress, SnapError> {
+        let batch_from = |from: Option<JobCheckpoint>| match from {
+            None => Ok(None),
+            Some(JobCheckpoint { payload: CkptPayload::Batch(s) }) => Ok(Some(s)),
+            Some(_) => Err(SnapError::BadValue("serve checkpoint offered to a batch request")),
+        };
+        match self.request.payload {
+            Payload::Traces(cfg, traces) => batch(&cfg, &traces, batch_from(from)?.as_ref(), poll),
+            Payload::Networks(cfg, nets) => {
+                let traces: Vec<WorkloadTrace> = nets
+                    .iter()
+                    .zip(&cfg.arch)
+                    .map(|(n, a)| WorkloadTrace::generate(n, a))
+                    .collect();
+                batch(&cfg, &traces, batch_from(from)?.as_ref(), poll)
+            }
+            Payload::Fleet(cfg, assignments) => {
+                if from.is_some() {
+                    return Err(SnapError::BadValue("fleet runs cannot resume from a checkpoint"));
+                }
+                let mut reports = Vec::with_capacity(assignments.len());
+                for nets in &assignments {
+                    if poll() == RunControl::Checkpoint {
+                        return Ok(RunProgress::Stopped);
+                    }
+                    reports.push(Simulation::execute_networks(&cfg, nets));
+                }
+                Ok(RunProgress::Done(RunOutcome::Fleet(reports)))
+            }
+            Payload::Serve(spec) => {
+                let serve_from = match from {
+                    None => None,
+                    Some(JobCheckpoint { payload: CkptPayload::Serve(s) }) => Some(s),
+                    Some(_) => {
+                        return Err(SnapError::BadValue(
+                            "batch checkpoint offered to a serve request",
+                        ))
+                    }
+                };
+                let progress = match spec.system.probe {
+                    ProbeMode::None => drive_serve::<NullProbe>(&spec, serve_from, poll)?,
+                    ProbeMode::Stats => {
+                        drive_serve::<mnpu_engine::StatsProbe>(&spec, serve_from, poll)?
+                    }
+                };
+                Ok(match progress {
+                    ServeProgress::Done(r) => RunProgress::Done(RunOutcome::Serve(r)),
+                    ServeProgress::Checkpointed(s) => {
+                        RunProgress::Checkpointed(JobCheckpoint { payload: CkptPayload::Serve(s) })
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Per-probe-mode dispatch for the batch shapes (the same idiom as
+/// [`Simulation::execute_checkpointed`]).
+fn batch(
+    cfg: &SystemConfig,
+    traces: &[WorkloadTrace],
+    from: Option<&SimSnapshot>,
+    poll: &mut dyn FnMut() -> RunControl,
+) -> Result<RunProgress, SnapError> {
+    let progress = match cfg.probe {
+        ProbeMode::None => drive_batch::<NullProbe>(cfg, traces, from, poll)?,
+        ProbeMode::Stats => drive_batch::<mnpu_engine::StatsProbe>(cfg, traces, from, poll)?,
+    };
+    Ok(match progress {
+        BatchProgress::Done(r) => RunProgress::Done(RunOutcome::Batch(r)),
+        BatchProgress::Checkpointed(s) => {
+            RunProgress::Checkpointed(JobCheckpoint { payload: CkptPayload::Batch(s) })
+        }
+    })
+}
+
+impl RunProgress {
+    /// The completed outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the progress is [`RunProgress::Done`].
+    pub fn done(self) -> RunOutcome {
+        match self {
+            RunProgress::Done(o) => o,
+            RunProgress::Checkpointed(_) => panic!("expected a completed run, got a checkpoint"),
+            RunProgress::Stopped => panic!("expected a completed run, got a stop"),
+        }
+    }
+
+    /// The checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the progress is [`RunProgress::Checkpointed`].
+    pub fn checkpoint(self) -> JobCheckpoint {
+        match self {
+            RunProgress::Checkpointed(c) => c,
+            RunProgress::Done(_) => panic!("expected a checkpoint, but the run completed"),
+            RunProgress::Stopped => panic!("expected a checkpoint, got a bare stop"),
+        }
+    }
+}

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod job;
 pub mod prelude;
 pub mod run;
 
@@ -65,6 +66,7 @@ pub use mnpu_predict as predict;
 pub use mnpu_sched as sched;
 pub use mnpu_systolic as systolic;
 
+pub use job::{JobCheckpoint, RunControl, RunProgress, JOB_CHECKPOINT_VERSION};
 pub use run::{RequestError, RunOutcome, RunRequest, Runner};
 
 pub use mnpu_dram::{Dram, DramConfig};

@@ -14,6 +14,7 @@
 //! assert_eq!(report.cores.len(), 1);
 //! ```
 
+pub use crate::job::{JobCheckpoint, RunControl, RunProgress};
 pub use crate::run::{RequestError, RunOutcome, RunRequest, Runner};
 pub use mnpu_config::{ArrivalSpec, JobSpec, PolicySpec, ScenarioSpec};
 pub use mnpu_engine::{

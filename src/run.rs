@@ -30,7 +30,7 @@ use mnpu_systolic::WorkloadTrace;
 
 /// What to run: the four collapsed entry points.
 #[derive(Debug, Clone)]
-enum Payload {
+pub(crate) enum Payload {
     /// One pre-generated trace per core.
     Traces(SystemConfig, Vec<WorkloadTrace>),
     /// One network per core; traces are generated with each core's
@@ -50,7 +50,7 @@ enum Payload {
 /// [`Runner`] or [`run`](RunRequest::run) directly.
 #[derive(Debug, Clone)]
 pub struct RunRequest {
-    payload: Payload,
+    pub(crate) payload: Payload,
     checkpoint_at: Option<u64>,
 }
 
@@ -198,7 +198,7 @@ impl std::error::Error for RequestError {}
 /// A validated [`RunRequest`], ready to execute.
 #[derive(Debug, Clone)]
 pub struct Runner {
-    request: RunRequest,
+    pub(crate) request: RunRequest,
 }
 
 impl Runner {

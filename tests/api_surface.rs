@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// The root-crate sources whose `pub` items make up the facade surface.
-const SOURCES: [&str; 3] = ["src/lib.rs", "src/prelude.rs", "src/run.rs"];
+const SOURCES: [&str; 4] = ["src/lib.rs", "src/prelude.rs", "src/run.rs", "src/job.rs"];
 
 /// Append `path`'s declaration lines to `out`: every top-of-line `pub`
 /// item and `impl` header, accumulated until its opening `{` or closing

@@ -1,0 +1,231 @@
+//! Black-box conformance suite for `mnpu-serviced`: everything here talks
+//! to the daemon over real TCP/HTTP against an ephemeral port, exactly as
+//! an external client would, and compares the bytes it gets back against
+//! in-process facade runs of the same workloads.
+//!
+//! The three pillars:
+//!
+//! 1. **Byte identity** — the daemon's `/report` for the quad-core golden
+//!    workload and for a tiny serve scenario must equal the in-process
+//!    `RunRequest` serialization byte for byte.
+//! 2. **Stop-safety** — a job stopped mid-flight (budget or `DELETE`) and
+//!    resumed from its handed-back checkpoint must produce the same bytes
+//!    as the uninterrupted run.
+//! 3. **Admission** — with the queue bound at 2 and dispatch held, 8
+//!    concurrent submissions yield exactly 2 acceptances and 6 `429`s
+//!    (with `Retry-After`), and both accepted jobs complete after release.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use mnpu_config::parse_scenario;
+use mnpu_service::{Service, ServiceConfig};
+use mnpusim::prelude::*;
+use mnpusim::{zoo, Scale};
+
+/// One HTTP exchange; returns (status, headers, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("daemon is listening");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: conformance\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).expect("status line").parse().unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+/// Pull a `"key":"value"` string out of a response body (the bodies are
+/// tiny service-authored JSON; a full parser is not needed here).
+fn str_field(body: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":\"");
+    let start = body.find(&marker).unwrap_or_else(|| panic!("no {key} in {body}")) + marker.len();
+    body[start..].split('"').next().unwrap().to_string()
+}
+
+fn submit(addr: SocketAddr, body: &str) -> String {
+    let (status, _, resp) = request(addr, "POST", "/v1/jobs", body);
+    assert_eq!(status, 202, "submission refused: {resp}");
+    str_field(&resp, "id")
+}
+
+fn wait_terminal(addr: SocketAddr, id: &str) -> String {
+    loop {
+        let (status, _, body) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let state = str_field(&body, "state");
+        if !matches!(state.as_str(), "queued" | "running") {
+            return state;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn report(addr: SocketAddr, id: &str) -> String {
+    let (status, _, body) = request(addr, "GET", &format!("/v1/jobs/{id}/report"), "");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// The engine's pinned golden workload: quad-core +DWT with bandwidth
+/// tracing, four mixed benchmarks.
+fn golden_config() -> SystemConfig {
+    let mut cfg = SystemConfig::bench(4, SharingLevel::PlusDwt);
+    cfg.trace_window = Some(4096);
+    cfg
+}
+
+fn golden_nets() -> Vec<mnpusim::Network> {
+    vec![
+        zoo::ncf(Scale::Bench),
+        zoo::gpt2(Scale::Bench),
+        zoo::yolo_tiny(Scale::Bench),
+        zoo::dlrm(Scale::Bench),
+    ]
+}
+
+const GOLDEN_BODY: &str = r#"{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096}"#;
+
+#[test]
+fn daemon_quad_golden_is_byte_identical_to_facade() {
+    let expected = RunRequest::networks(&golden_config(), golden_nets()).run().batch().to_json();
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+
+    let id = submit(addr, GOLDEN_BODY);
+    assert_eq!(wait_terminal(addr, &id), "completed");
+    assert_eq!(report(addr, &id), expected, "daemon and facade bytes diverge");
+    svc.shutdown();
+}
+
+#[test]
+fn daemon_serve_scenario_is_byte_identical_to_facade() {
+    let scenario = "cores = 2\nsharing = +DWT\npattern = fixed:2000\n\
+                    policy = first_free\njob = ncf\njob = gpt2\njob = ncf\n";
+    let spec = parse_scenario("conformance", scenario).unwrap();
+    let expected = RunRequest::serve(spec).run().serve().to_json();
+
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+    let body = format!(r#"{{"kind":"serve","scenario":"{}"}}"#, scenario.replace('\n', "\\n"));
+    let id = submit(addr, &body);
+    assert_eq!(wait_terminal(addr, &id), "completed");
+    assert_eq!(report(addr, &id), expected, "daemon and facade serve bytes diverge");
+    svc.shutdown();
+}
+
+/// Budget 0 stops the run deterministically at its first safe boundary;
+/// the handed-back checkpoint resumed through the daemon must finish with
+/// the uninterrupted run's exact bytes.
+#[test]
+fn budget_stop_then_resume_matches_uninterrupted_run() {
+    let expected = RunRequest::networks(&golden_config(), golden_nets()).run().batch().to_json();
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+
+    let budgeted = r#"{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096,"budget_ms":0}"#;
+
+    let id = submit(addr, budgeted);
+    assert_eq!(wait_terminal(addr, &id), "over_budget");
+    let (status, _, ckpt) = request(addr, "GET", &format!("/v1/jobs/{id}/checkpoint"), "");
+    assert_eq!(status, 200, "over-budget jobs must hand back a checkpoint: {ckpt}");
+    assert!(ckpt.contains("mnpu-job-checkpoint"));
+
+    // Resume: same workload body plus the checkpoint, no budget this time.
+    let resume_body = format!(
+        r#"{{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096,"resume":{ckpt}}}"#
+    );
+    let rid = submit(addr, &resume_body);
+    assert_eq!(wait_terminal(addr, &rid), "completed");
+    assert_eq!(report(addr, &rid), expected, "resumed run diverged from uninterrupted run");
+    svc.shutdown();
+}
+
+/// A true `DELETE` mid-run: the stop cycle is whatever poll the request
+/// lands on, and the resumed run must *still* match the uninterrupted
+/// bytes — stopping never changes the answer, wherever it happens.
+#[test]
+fn cancel_mid_run_then_resume_matches_uninterrupted_run() {
+    let expected = RunRequest::networks(&golden_config(), golden_nets()).run().batch().to_json();
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+
+    // A distinct body (huge budget) so the result cache from other tests'
+    // submissions cannot answer it instantly.
+    let body = r#"{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096,"budget_ms":3600000}"#;
+    let id = submit(addr, body);
+    // Wait until it is actually running, then cancel.
+    loop {
+        let (_, _, status_body) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        if str_field(&status_body, "state") != "queued" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (status, _, _) = request(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200);
+    match wait_terminal(addr, &id).as_str() {
+        "cancelled" => {
+            let (status, _, ckpt) = request(addr, "GET", &format!("/v1/jobs/{id}/checkpoint"), "");
+            assert_eq!(status, 200, "cancelled-while-running jobs keep their work: {ckpt}");
+            let resume_body = format!(
+                r#"{{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096,"resume":{ckpt}}}"#
+            );
+            let rid = submit(addr, &resume_body);
+            assert_eq!(wait_terminal(addr, &rid), "completed");
+            assert_eq!(report(addr, &rid), expected, "cancel/resume changed the answer");
+        }
+        // The run can legitimately win the race and finish before the
+        // DELETE lands; byte identity must then hold directly.
+        "completed" => assert_eq!(report(addr, &id), expected),
+        other => panic!("unexpected terminal state {other}"),
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn admission_bounces_exactly_the_excess_and_loses_nothing() {
+    let cfg = ServiceConfig { queue_depth: 2, workers: 1, ..ServiceConfig::default() };
+    let svc = Service::start(cfg).unwrap();
+    let addr = svc.addr();
+    // Hold dispatch so the queue fills deterministically.
+    let (status, _, _) = request(addr, "POST", "/v1/hold", "");
+    assert_eq!(status, 200);
+
+    let body = r#"{"kind":"networks","cores":1,"sharing":"ideal","networks":["ncf"]}"#;
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, head, resp) = request(addr, "POST", "/v1/jobs", body);
+                let id = (status == 202).then(|| str_field(&resp, "id"));
+                (status, head, id)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let accepted: Vec<_> = results.iter().filter(|(s, _, _)| *s == 202).collect();
+    let rejected: Vec<_> = results.iter().filter(|(s, _, _)| *s == 429).collect();
+    assert_eq!(accepted.len(), 2, "exactly the queue bound is admitted: {results:?}");
+    assert_eq!(rejected.len(), 6, "exactly the excess is bounced: {results:?}");
+    for (_, head, _) in &rejected {
+        assert!(head.contains("Retry-After:"), "429 must advertise Retry-After: {head}");
+    }
+
+    // Release the hold: every accepted job must run to completion.
+    let (status, _, _) = request(addr, "POST", "/v1/release", "");
+    assert_eq!(status, 200);
+    for (_, _, id) in &accepted {
+        let id = id.as_ref().unwrap();
+        assert_eq!(wait_terminal(addr, id), "completed", "an accepted job was dropped");
+    }
+    let (_, _, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("service_submissions_total 8"), "{metrics}");
+    assert!(metrics.contains("service_rejects_total 6"), "{metrics}");
+    assert!(metrics.contains("service_completions_total 2"), "{metrics}");
+    svc.shutdown();
+}
