@@ -27,7 +27,18 @@
 //!   exit non-zero below `MNPU_BENCH_TOLERANCE` (default 0.95) of it;
 //! * `--repeat N` — run the sweep `N` times and keep the fastest
 //!   (best-of-N suppresses scheduler noise; defaults to 5 under `--tiny`,
-//!   where the sweep is tens of milliseconds, and 1 otherwise).
+//!   where the sweep is tens of milliseconds, and 1 otherwise);
+//! * `--flight-gate` — instead of recording an entry, run an in-process
+//!   A/B of the same sweep with the flight recorder off and on (an
+//!   installed [`mnpu_trace::TraceHandle`] receiving per-unit progress
+//!   and ring events — the always-on telemetry the daemon attaches to
+//!   every job), assert the accumulated counts are byte-identical, and
+//!   exit non-zero when recorder-on throughput falls below
+//!   `MNPU_FLIGHT_TOLERANCE` (default 0.95) of recorder-off — the CI
+//!   overhead gate for the observability layer. The *dense* per-event
+//!   instrumentation ([`mnpu_engine::ProbeMode::Flight`]) is opt-in per
+//!   job and priced like `--probe-stats`, so it is reported but not
+//!   gated.
 //!
 //! `MNPU_BENCH_OUT` overrides the output path. `MNPU_NO_PREFIX_SHARE=1`
 //! disables warm-start prefix sharing across sharing levels; the recorded
@@ -87,6 +98,86 @@ fn baseline_cycles_per_sec(path: &PathBuf, mode: &str) -> Option<f64> {
         .next_back()
 }
 
+/// Time one recorder-on pass: the sweep runs with a
+/// [`TraceHandle`](mnpu_trace::TraceHandle) installed and receiving
+/// per-unit progress — exactly the telemetry the daemon attaches to every
+/// job it dispatches.
+fn run_sweep_observed(
+    h: &Harness,
+    reqs: &[sweeps::SweepRequest],
+    trace: &mnpu_trace::TraceHandle,
+) -> SweepResult {
+    let _g = mnpu_trace::install(trace);
+    let t0 = Instant::now();
+    let counts = sweeps::run_counts_observed(h, reqs, Some(trace), &mut || false)
+        .expect("an unstoppable sweep always completes");
+    SweepResult { wall_seconds: t0.elapsed().as_secs_f64(), counts }
+}
+
+/// The `--flight-gate` A/B: interleaved best-of-N passes of the same
+/// requests with the always-on recorder off and on, counts checked for
+/// identity, throughput checked against the tolerance. The opt-in dense
+/// probe ([`ProbeMode::Flight`]) is timed once and reported, not gated.
+/// Exits the process.
+fn flight_gate(h: &Harness, reqs: &[sweeps::SweepRequest], repeat: usize) -> ! {
+    // Warm both sides once: trace memoization and page-cache effects must
+    // not be charged to whichever side runs first.
+    let trace = mnpu_trace::TraceHandle::new();
+    let warm_off = run_sweep(h, reqs);
+    let warm_on = run_sweep_observed(h, reqs, &trace);
+    assert_eq!(
+        warm_off.counts.to_json(),
+        warm_on.counts.to_json(),
+        "the flight recorder changed accumulated counts — determinism violation"
+    );
+    let (mut off, mut on) = (warm_off.wall_seconds, warm_on.wall_seconds);
+    for _ in 0..repeat {
+        off = off.min(run_sweep(h, reqs).wall_seconds);
+        on = on.min(run_sweep_observed(h, reqs, &trace).wall_seconds);
+    }
+    // Informational: the dense per-event probe, priced like --probe-stats.
+    let mut dense_reqs = reqs.to_vec();
+    for (cfg, _) in &mut dense_reqs {
+        cfg.probe = ProbeMode::Flight;
+    }
+    let dense = {
+        let _g = mnpu_trace::install(&trace);
+        run_sweep(h, &dense_reqs)
+    };
+    assert_eq!(
+        warm_off.counts.to_json(),
+        dense.counts.to_json(),
+        "the dense flight probe changed accumulated counts — determinism violation"
+    );
+    let tolerance = std::env::var("MNPU_FLIGHT_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(0.95);
+    let ratio = off / on; // recorder-on throughput relative to off
+    println!(
+        "{{\"flight_gate\":{},\"off_seconds\":{off:.4},\"on_seconds\":{on:.4},\
+         \"throughput_ratio\":{ratio:.3},\"tolerance\":{tolerance:.2},\
+         \"dense_probe_seconds\":{:.4}}}",
+        ratio >= tolerance,
+        dense.wall_seconds
+    );
+    if ratio < tolerance {
+        eprintln!(
+            "FLIGHT OVERHEAD: recorder-on ran at {:.1}% of recorder-off throughput \
+             (floor {:.1}%)",
+            ratio * 100.0,
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "flight gate ok: recorder-on at {:.1}% of recorder-off throughput (floor {:.1}%)",
+        ratio * 100.0,
+        tolerance * 100.0
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -108,6 +199,9 @@ fn main() {
 
     let h = Harness::new();
     let (mode, mut reqs) = if tiny { ("tiny", sweeps::tiny()) } else { ("fig04", sweeps::fig04()) };
+    if args.iter().any(|a| a == "--flight-gate") {
+        flight_gate(&h, &reqs, repeat);
+    }
     if probe_stats {
         for (cfg, _) in &mut reqs {
             cfg.probe = ProbeMode::Stats;

@@ -192,6 +192,7 @@ impl Harness {
         assert_eq!(workloads.len(), cfg.cores, "one workload per core");
         let key = Harness::key(cfg, workloads);
         if let Some(c) = self.cache.lock().expect("cache lock").entries.get(&key) {
+            mnpu_trace::counters::add_run_cache_hit();
             return c.clone();
         }
         let traces: Vec<WorkloadTrace> =
@@ -248,6 +249,8 @@ impl Harness {
         }
         let rep_cfg = cfgs.first().expect("a prefix group has a representative");
         assert_eq!(workloads.len(), rep_cfg.cores, "one workload per core");
+        // Telemetry: the whole group is serviced by one shared-prefix run.
+        mnpu_trace::counters::add_prefix_share_sims(cfgs.len() as u64);
         let traces: Vec<WorkloadTrace> =
             workloads.iter().zip(&rep_cfg.arch).map(|(&w, a)| self.trace_for(w, a)).collect();
 

@@ -100,8 +100,25 @@ pub fn run_counts_with(
     reqs: &[SweepRequest],
     should_stop: &mut dyn FnMut() -> bool,
 ) -> Option<SweepCounts> {
+    run_counts_observed(h, reqs, None, should_stop)
+}
+
+/// [`run_counts_with`] with live telemetry: after each execution unit the
+/// sweep's progress — finished simulations, finished units, accumulated
+/// simulated cycles — is published to `trace`'s progress cell, so a
+/// `/progress` poll of a long daemon sweep shows movement between units.
+///
+/// Telemetry is observation only: the returned counts are byte-identical
+/// to [`run_counts_with`] with or without a handle.
+pub fn run_counts_observed(
+    h: &Harness,
+    reqs: &[SweepRequest],
+    trace: Option<&mnpu_trace::TraceHandle>,
+    should_stop: &mut dyn FnMut() -> bool,
+) -> Option<SweepCounts> {
     let units = plan_units(reqs.iter().map(|(cfg, ws)| (cfg, ws.as_slice())));
     let mut reports: Vec<Option<RunReport>> = reqs.iter().map(|_| None).collect();
+    let (mut done_sims, mut done_units, mut done_cycles) = (0u64, 0u64, 0u64);
     for unit in &units {
         if should_stop() {
             return None;
@@ -109,15 +126,24 @@ pub fn run_counts_with(
         match unit {
             SweepUnit::Single(i) => {
                 let (cfg, ws) = &reqs[*i];
-                reports[*i] = Some(h.run_report(cfg, ws));
+                let r = h.run_report(cfg, ws);
+                done_sims += 1;
+                done_cycles = done_cycles.saturating_add(r.total_cycles);
+                reports[*i] = Some(r);
             }
             SweepUnit::Group(members) => {
                 let cfgs: Vec<SystemConfig> = members.iter().map(|&i| reqs[i].0.clone()).collect();
                 let group = h.run_reports_shared(&cfgs, &reqs[members[0]].1);
                 for (&i, r) in members.iter().zip(group) {
+                    done_sims += 1;
+                    done_cycles = done_cycles.saturating_add(r.total_cycles);
                     reports[i] = Some(r);
                 }
             }
+        }
+        done_units += 1;
+        if let Some(t) = trace {
+            t.publish_sweep(done_sims, done_units, done_cycles);
         }
     }
     // Accumulate in request order so the "last" report is stable across

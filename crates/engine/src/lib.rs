@@ -75,3 +75,8 @@ pub use mnpu_probe::{
     CoreState, CoreStats, DramContention, Event, Histogram, JobSpan, NullProbe, Phase, Probe,
     SchedStats, Span, StallBreakdown, StatsProbe, StatsReport,
 };
+
+// Likewise for the runtime-observability vocabulary behind
+// [`ProbeMode::Flight`]: drivers install a [`TraceHandle`] and dispatch
+// over [`FlightProbe`] without a direct `mnpu_trace` dependency.
+pub use mnpu_trace::{FlightProbe, TraceHandle};

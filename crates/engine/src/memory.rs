@@ -110,6 +110,14 @@ pub trait MemorySystem<P: Probe = NullProbe>: std::fmt::Debug + Send {
     /// The windowed bandwidth trace, when tracing is enabled.
     fn bandwidth_trace(&self) -> Option<BandwidthTrace>;
 
+    /// Commands retired through the steady-state fast-forward path so far
+    /// (telemetry only — reported into the process-global counters when
+    /// the run's report is assembled). Backends without a fast path
+    /// return 0.
+    fn fastfwd_commits(&self) -> u64 {
+        0
+    }
+
     /// Take the backend's accumulated probe, leaving a fresh default in its
     /// place. The engine merges this into its own probe when the report is
     /// assembled; with [`NullProbe`] the call is free.
@@ -243,6 +251,10 @@ impl<P: Probe> MemorySystem<P> for DramMemory<P> {
 
     fn bandwidth_trace(&self) -> Option<BandwidthTrace> {
         self.dram.trace().cloned()
+    }
+
+    fn fastfwd_commits(&self) -> u64 {
+        self.dram.fastfwd_commits()
     }
 
     fn take_probe(&mut self) -> P {

@@ -18,6 +18,7 @@ use mnpu_mmu::{Mmu, WalkStep};
 use mnpu_model::Network;
 use mnpu_probe::{CoreState, Event, NullProbe, Phase, Probe, StatsProbe};
 use mnpu_systolic::WorkloadTrace;
+use mnpu_trace::FlightProbe;
 use std::collections::{BTreeMap, VecDeque};
 
 use mnpu_dram::MonotonicQueue;
@@ -188,6 +189,9 @@ impl Simulation<NullProbe> {
         match cfg.probe {
             ProbeMode::None => Simulation::with_probe(cfg, traces, NullProbe).run(),
             ProbeMode::Stats => Simulation::with_probe(cfg, traces, StatsProbe::default()).run(),
+            ProbeMode::Flight => {
+                Simulation::with_probe(cfg, traces, FlightProbe::<NullProbe>::default()).run()
+            }
         }
     }
 
@@ -244,6 +248,7 @@ impl Simulation<NullProbe> {
         match cfg.probe {
             ProbeMode::None => checkpointed::<NullProbe>(cfg, traces, at),
             ProbeMode::Stats => checkpointed::<StatsProbe>(cfg, traces, at),
+            ProbeMode::Flight => checkpointed::<FlightProbe<NullProbe>>(cfg, traces, at),
         }
     }
 
@@ -829,6 +834,9 @@ impl<P: Probe> Simulation<P> {
     // --- reporting -----------------------------------------------------------
 
     fn report(mut self) -> RunReport {
+        // Telemetry, not simulation state: the global fast-forward commit
+        // counter feeds the daemon's `/metrics`, never the report.
+        mnpu_trace::counters::add_fastfwd_commits(self.memory.fastfwd_commits());
         let total_cycles = self.cores.iter().filter_map(|c| c.finished_at).max().unwrap_or(0);
         // Merge the memory backend's probe into the engine's, then freeze.
         let stats = if P::ENABLED {

@@ -18,6 +18,12 @@ pub enum ProbeMode {
     /// with [`mnpu_probe::StatsProbe`]; the report gains a `stats` section
     /// exportable as CSV or a Chrome trace.
     Stats,
+    /// Feed the flight recorder and live-progress telemetry with
+    /// [`mnpu_trace::FlightProbe`]: structural events enter a bounded
+    /// ring, dense events become published counters, and the report stays
+    /// byte-identical to [`ProbeMode::None`] (telemetry never touches
+    /// simulation state).
+    Flight,
 }
 
 /// Why a [`SystemConfig`] failed validation. Produced by

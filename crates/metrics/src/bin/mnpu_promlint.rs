@@ -1,0 +1,27 @@
+//! Lint a Prometheus exposition document read from stdin.
+//!
+//! CI pipes a live `GET /metrics` scrape through this binary so the
+//! format contract (`# HELP` before `# TYPE` before samples, `_total`
+//! counter naming, histogram bucket/`+Inf`/`_sum`/`_count` shape) is
+//! enforced against the daemon's real output, not just unit fixtures.
+//! Exit 0 when clean; exit 1 with the violation on stderr otherwise.
+
+use std::io::Read;
+
+fn main() {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("mnpu_promlint: failed to read stdin: {e}");
+        std::process::exit(1);
+    }
+    match mnpu_metrics::prom::lint(&text) {
+        Ok(()) => {
+            let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            println!("mnpu_promlint: ok ({families} families)");
+        }
+        Err(e) => {
+            eprintln!("mnpu_promlint: {e}");
+            std::process::exit(1);
+        }
+    }
+}

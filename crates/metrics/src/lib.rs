@@ -22,6 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prom;
+
+pub use prom::ExpHistogram;
+
 /// A workload's speedup relative to its `Ideal` (solo, all-resources) run.
 ///
 /// Values are ≤ 1.0 when sharing hurts and can exceed 1.0 only through
@@ -343,7 +347,11 @@ pub struct ServiceStats {
     pub suspended: u64,
     /// Jobs answered from the result cache without running.
     pub cache_hits: u64,
+    /// Wall milliseconds workers spent executing jobs (busy time, summed
+    /// across workers — the numerator of a utilization gauge).
+    pub worker_busy_ms: u64,
     latencies_ms: Vec<f64>,
+    queue_depths: prom::ExpHistogram,
 }
 
 impl ServiceStats {
@@ -377,6 +385,22 @@ impl ServiceStats {
     /// Number of recorded latency samples.
     pub fn latency_samples(&self) -> usize {
         self.latencies_ms.len()
+    }
+
+    /// The recorded latency samples, milliseconds, in arrival order.
+    pub fn latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
+    }
+
+    /// Record the admission queue's depth as observed at one scheduling
+    /// event (a submission or a dispatch).
+    pub fn record_queue_depth(&mut self, depth: u64) {
+        self.queue_depths.observe(depth as f64);
+    }
+
+    /// The queue-depth histogram, shaped for Prometheus exposition.
+    pub fn queue_depth_hist(&self) -> &prom::ExpHistogram {
+        &self.queue_depths
     }
 
     /// Tail-latency summary of the recorded samples, or `None` before the

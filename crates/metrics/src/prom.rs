@@ -1,0 +1,333 @@
+//! Prometheus text-exposition rendering and linting.
+//!
+//! The daemon's `/metrics` endpoint speaks the Prometheus text format,
+//! version `0.0.4`: every family gets `# HELP` and `# TYPE` lines,
+//! counters are `_total`-suffixed, histograms expose cumulative
+//! `_bucket{le="..."}` series plus `_sum`/`_count`. This module owns the
+//! rendering helpers, the [`ExpHistogram`] the daemon aggregates into,
+//! and [`lint`] — a format checker strict enough that a unit test (and
+//! the CI smoke scrape) can hold the endpoint to the spec.
+
+/// The content type a compliant text-exposition endpoint must serve.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// A histogram over exponentially spaced buckets, shaped for Prometheus
+/// exposition: observations land in the first bucket whose upper bound is
+/// ≥ the value (cumulative `le` semantics), with an implicit `+Inf`
+/// overflow bucket, a running sum, and a total count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl ExpHistogram {
+    /// A histogram over the given ascending upper bounds (the `+Inf`
+    /// bucket is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        ExpHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, … 2^(n-1)` — the queue-depth shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pow2(n: usize) -> Self {
+        let bounds: Vec<f64> = (0..n as u32).map(|i| f64::from(1u32 << i)).collect();
+        ExpHistogram::with_bounds(&bounds)
+    }
+
+    /// Doubling bounds from 1 ms to ~2 minutes — the job-latency shape.
+    pub fn latency_seconds() -> Self {
+        let bounds: Vec<f64> = (0..18).map(|i| 0.001 * f64::from(1u32 << i)).collect();
+        ExpHistogram::with_bounds(&bounds)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The cumulative `(upper bound, count ≤ bound)` series, excluding the
+    /// `+Inf` bucket (whose cumulative count is [`ExpHistogram::count`]).
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0;
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(&b, &c)| {
+                acc += c;
+                (b, acc)
+            })
+            .collect()
+    }
+}
+
+impl Default for ExpHistogram {
+    /// The queue-depth shape ([`ExpHistogram::pow2`] with 10 buckets).
+    fn default() -> Self {
+        ExpHistogram::pow2(10)
+    }
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Render a number the exposition format accepts (no exponent for the
+/// integral values the daemon exports; trims trailing zeros off floats).
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Append one counter family. `name` must end in `_total` ([`lint`]
+/// enforces it).
+pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, help, "counter");
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+/// Append one gauge family.
+pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    header(out, name, help, "gauge");
+    out.push_str(&format!("{name} {}\n", num(value)));
+}
+
+/// Append one histogram family: cumulative buckets, `+Inf`, sum, count.
+pub fn histogram(out: &mut String, name: &str, help: &str, h: &ExpHistogram) {
+    header(out, name, help, "histogram");
+    for (le, c) in h.cumulative() {
+        out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {c}\n", num(le)));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", num(h.sum())));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Check `text` against the text-exposition rules the daemon commits to:
+///
+/// * every sample belongs to a family announced by `# HELP` + `# TYPE`
+///   lines (in that order, before the samples);
+/// * no family is announced twice;
+/// * counter families are `_total`-suffixed;
+/// * histogram families expose `_bucket` series with ascending `le`
+///   labels ending at `+Inf`, non-decreasing cumulative counts, and
+///   matching `_sum`/`_count` samples;
+/// * every sample value parses as a number.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn lint(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashMap<String, bool> = HashMap::new();
+    // Histogram bookkeeping: (saw +Inf, last cumulative, sum seen, count seen).
+    let mut hist: HashMap<String, (bool, u64, bool, bool)> = HashMap::new();
+
+    let family_of = |raw: &str, types: &HashMap<String, String>| -> (String, String) {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = raw.strip_suffix(suffix) {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    return (base.to_string(), suffix.to_string());
+                }
+            }
+        }
+        (raw.to_string(), String::new())
+    };
+
+    for (n, line) in text.lines().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg}", n + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or_default().to_string();
+            if rest.len() <= name.len() {
+                return err(format!("HELP for {name} has no text"));
+            }
+            if helps.insert(name.clone(), true).is_some() {
+                return err(format!("family {name} announced twice"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or_default().to_string();
+            let kind = it.next().unwrap_or_default().to_string();
+            if !helps.contains_key(&name) {
+                return err(format!("TYPE for {name} precedes its HELP"));
+            }
+            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram" | "summary") {
+                return err(format!("unknown type {kind} for {name}"));
+            }
+            if kind == "counter" && !name.ends_with("_total") {
+                return err(format!("counter {name} is not _total-suffixed"));
+            }
+            if types.insert(name.clone(), kind).is_some() {
+                return err(format!("family {name} typed twice"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // A sample: name{labels} value
+        let (raw_name, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => return err("sample with no value".into()),
+        };
+        let (labels, value) = if let Some(rest) = rest.strip_prefix('{') {
+            let close = match rest.find('}') {
+                Some(c) => c,
+                None => return err("unclosed label set".into()),
+            };
+            (&rest[..close], rest[close + 1..].trim())
+        } else {
+            ("", rest.trim())
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => return err(format!("unparseable value {value:?} for {raw_name}")),
+        };
+        let (family, suffix) = family_of(raw_name, &types);
+        let Some(kind) = types.get(&family) else {
+            return err(format!("sample {raw_name} has no TYPE"));
+        };
+        if kind == "histogram" {
+            if suffix.is_empty() {
+                return err(format!("bare sample {raw_name} inside histogram family"));
+            }
+            let entry = hist.entry(family.clone()).or_insert((false, 0, false, false));
+            match suffix.as_str() {
+                "_bucket" => {
+                    let le = labels
+                        .split(',')
+                        .find_map(|l| l.strip_prefix("le=\""))
+                        .and_then(|l| l.strip_suffix('"'))
+                        .map(str::to_string);
+                    let Some(le) = le else {
+                        return err(format!("{raw_name} bucket without le label"));
+                    };
+                    if entry.0 {
+                        return err(format!("{family} has buckets after +Inf"));
+                    }
+                    if le == "+Inf" {
+                        entry.0 = true;
+                    } else if le.parse::<f64>().is_err() {
+                        return err(format!("{family} bucket with bad le {le:?}"));
+                    }
+                    let c = value as u64;
+                    if c < entry.1 {
+                        return err(format!("{family} cumulative bucket counts decrease"));
+                    }
+                    entry.1 = c;
+                }
+                "_sum" => entry.2 = true,
+                "_count" => entry.3 = true,
+                _ => unreachable!("family_of only yields known suffixes"),
+            }
+        }
+    }
+    for (family, (inf, _, sum, count)) in &hist {
+        if !inf {
+            return Err(format!("histogram {family} lacks a +Inf bucket"));
+        }
+        if !sum || !count {
+            return Err(format!("histogram {family} lacks _sum or _count"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = ExpHistogram::pow2(4); // bounds 1 2 4 8
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.cumulative(), vec![(1.0, 2), (2.0, 2), (4.0, 3), (8.0, 3)]);
+    }
+
+    #[test]
+    fn rendered_families_pass_the_lint() {
+        let mut out = String::new();
+        counter(&mut out, "jobs_done_total", "Jobs completed.", 3);
+        gauge(&mut out, "queue_depth", "Jobs waiting.", 2.0);
+        let mut h = ExpHistogram::latency_seconds();
+        h.observe(0.25);
+        h.observe(4.0);
+        histogram(&mut out, "job_latency_seconds", "Job latency.", &h);
+        lint(&out).expect("rendered output is compliant");
+        assert!(out.contains("# TYPE jobs_done_total counter"));
+        assert!(out.contains("job_latency_seconds_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn lint_rejects_spec_violations() {
+        // Counter without _total.
+        let mut bad = String::new();
+        header(&mut bad, "jobs_done", "x", "counter");
+        assert!(lint(&bad).unwrap_err().contains("_total"));
+        // Sample with no TYPE.
+        assert!(lint("mystery_metric 1\n").unwrap_err().contains("no TYPE"));
+        // TYPE before HELP.
+        assert!(lint("# TYPE a_total counter\n").unwrap_err().contains("precedes"));
+        // Histogram without +Inf.
+        let partial = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 0\nh_sum 0\nh_count 0\n";
+        assert!(lint(partial).unwrap_err().contains("+Inf"));
+        // Unparseable value.
+        let bad_val = "# HELP g x\n# TYPE g gauge\ng nope\n";
+        assert!(lint(bad_val).unwrap_err().contains("unparseable"));
+    }
+
+    #[test]
+    fn default_histogram_is_the_queue_shape() {
+        let mut h = ExpHistogram::default();
+        h.observe(512.0);
+        h.observe(1024.0);
+        assert_eq!(h.count(), 2);
+        let cum = h.cumulative();
+        assert_eq!(cum.last().unwrap().0, 512.0);
+        assert_eq!(cum.last().unwrap().1, 1);
+    }
+}

@@ -54,6 +54,12 @@ pub fn serve(spec: &ScenarioSpec) -> ServeReport {
             s.run();
             s.into_report()
         }
+        ProbeMode::Flight => {
+            let mut s =
+                ServeSession::with_probe(spec, mnpu_engine::FlightProbe::<NullProbe>::default());
+            s.run();
+            s.into_report()
+        }
     }
 }
 

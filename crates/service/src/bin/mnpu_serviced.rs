@@ -3,6 +3,7 @@
 //! ```text
 //! mnpu_serviced [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!               [--body-limit BYTES] [--checkpoint-dir PATH]
+//!               [--flight-dir PATH] [--flight-capacity N]
 //! ```
 //!
 //! Prints `mnpu-serviced listening on <addr>` once the socket is bound
@@ -19,7 +20,8 @@ use mnpu_service::{signal, Service, ServiceConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: mnpu_serviced [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--body-limit BYTES] [--checkpoint-dir PATH]"
+         [--body-limit BYTES] [--checkpoint-dir PATH] [--flight-dir PATH] \
+         [--flight-capacity N]"
     );
     std::process::exit(2);
 }
@@ -37,6 +39,10 @@ fn parse_args() -> ServiceConfig {
             }
             "--body-limit" => cfg.body_limit = parse_num(&value("--body-limit"), "--body-limit"),
             "--checkpoint-dir" => cfg.checkpoint_dir = Some(value("--checkpoint-dir").into()),
+            "--flight-dir" => cfg.flight_dir = Some(value("--flight-dir").into()),
+            "--flight-capacity" => {
+                cfg.flight_capacity = parse_num(&value("--flight-capacity"), "--flight-capacity")
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -10,6 +10,7 @@
 //! error message.
 
 use mnpu_probe::{JobPhase, JobTimeline};
+use mnpu_trace::TraceHandle;
 use std::collections::HashMap;
 
 use crate::json;
@@ -99,6 +100,11 @@ pub struct JobRecord {
     pub checkpoint: Option<String>,
     /// The failure message (terminal `Failed` only).
     pub error: Option<String>,
+    /// Live telemetry (flight ring + progress cell), attached at dispatch;
+    /// `None` while the job has only ever been queued.
+    pub telemetry: Option<TraceHandle>,
+    /// Index of the worker that executed (or is executing) the job.
+    pub worker: Option<usize>,
 }
 
 impl JobRecord {
@@ -183,6 +189,8 @@ impl JobTable {
                 result: None,
                 checkpoint: None,
                 error: None,
+                telemetry: None,
+                worker: None,
             },
         );
         id

@@ -15,7 +15,16 @@
 //! * `GET /v1/jobs/<id>/checkpoint` — the resumable checkpoint of a
 //!   cancelled / over-budget / drained job (resubmit it under `resume`);
 //! * `DELETE /v1/jobs/<id>` — cancel (running jobs checkpoint first);
-//! * `GET /metrics` — counters, queue gauges, latency percentiles.
+//! * `GET /v1/jobs/<id>/progress` — live progress: cycles simulated,
+//!   lifecycle phase, stall attribution, sim-cycles/sec;
+//! * `GET /v1/jobs/<id>/flight` — the job's flight-recorder ring (the
+//!   same black box dumped to `flight-<id>.json` on abnormal stops);
+//! * `GET /v1/jobs/<id>/trace` — the ring as a Chrome-trace document
+//!   (load in `chrome://tracing` / Perfetto);
+//! * `GET /v1/version` — build identity, snapshot format version, and
+//!   the state of the determinism escape hatches;
+//! * `GET /metrics` — Prometheus text exposition: counters, queue
+//!   gauges, latency and queue-depth histograms, simulator internals.
 //!
 //! The load-bearing invariant is inherited from the snapshot subsystem:
 //! **stopping never changes the answer**. Cancellation, wall-clock budgets

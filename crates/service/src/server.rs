@@ -26,9 +26,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mnpu_bench::{sweeps, Harness};
-use mnpu_metrics::ServiceStats;
+use mnpu_metrics::{prom, ServiceStats};
 use mnpu_probe::JobPhase;
-use mnpusim::{RunControl, RunOutcome, RunProgress};
+use mnpu_trace::TraceHandle;
+use mnpusim::{RunControl, RunObservation, RunOutcome, RunProgress};
 
 use crate::http::{self, Request};
 use crate::jobs::{JobState, JobTable};
@@ -53,6 +54,12 @@ pub struct ServiceConfig {
     /// Where a drain writes its manifest and per-job checkpoint files;
     /// `None` drains without persisting.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Where abnormally-stopped jobs (panic, budget, cancel, drain) dump
+    /// their flight-recorder black box as `flight-<job>.json`; `None`
+    /// disables the dumps (telemetry stays fetchable over HTTP).
+    pub flight_dir: Option<PathBuf>,
+    /// Per-job flight-recorder ring capacity, in events.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +71,8 @@ impl Default for ServiceConfig {
             body_limit: 16 << 20,
             retry_after_secs: 1,
             checkpoint_dir: None,
+            flight_dir: None,
+            flight_capacity: mnpu_trace::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -154,9 +163,9 @@ impl Service {
             cfg,
         });
         let workers = (0..inner.cfg.workers.max(1))
-            .map(|_| {
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_loop(&inner, w))
             })
             .collect();
         let accept = {
@@ -274,9 +283,9 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
 }
 
 /// Pull jobs off the queue and execute them until a drain begins.
-fn worker_loop(inner: &Arc<Inner>) {
+fn worker_loop(inner: &Arc<Inner>, worker: usize) {
     loop {
-        let (id, body, deadline, resumed) = {
+        let (id, body, deadline, resumed, trace) = {
             let mut st = inner.state.lock().unwrap();
             loop {
                 if st.draining {
@@ -286,20 +295,28 @@ fn worker_loop(inner: &Arc<Inner>) {
                     if let Some(id) = st.queue.pop() {
                         let now = inner.now_ms();
                         st.stats.dispatches += 1;
+                        let backlog = st.queue.depth() as u64;
+                        st.stats.record_queue_depth(backlog);
                         let job = st.jobs.get_mut(id).expect("popped jobs are in the table");
                         job.state = JobState::Running;
                         let phase =
                             if job.resumed { JobPhase::Resumed } else { JobPhase::Dispatched };
                         job.timeline.record(now, phase);
+                        // Telemetry attaches at dispatch: from here on the
+                        // job's ring and progress cell are fetchable.
+                        let trace = TraceHandle::with_capacity(inner.cfg.flight_capacity);
+                        trace.record_lifecycle(phase);
+                        job.telemetry = Some(trace.clone());
+                        job.worker = Some(worker);
                         let deadline =
                             job.budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-                        break (id, job.body.clone(), deadline, job.resumed);
+                        break (id, job.body.clone(), deadline, job.resumed, trace);
                     }
                 }
                 st = inner.cv.wait(st).unwrap();
             }
         };
-        execute(inner, id, &body, deadline, resumed);
+        execute(inner, id, &body, deadline, resumed, &trace);
     }
 }
 
@@ -332,20 +349,32 @@ fn check_stop(inner: &Inner, id: u64, deadline: Option<Instant>) -> Option<StopR
 }
 
 /// Run one dispatched job end to end and record its terminal state.
-fn execute(inner: &Arc<Inner>, id: u64, body: &str, deadline: Option<Instant>, resumed: bool) {
+fn execute(
+    inner: &Arc<Inner>,
+    id: u64,
+    body: &str,
+    deadline: Option<Instant>,
+    resumed: bool,
+    trace: &TraceHandle,
+) {
+    let busy = Instant::now();
+    let busy_ms = |t0: Instant| t0.elapsed().as_millis() as u64;
     // Re-derive the plan from the stored body; submission already
     // validated it, so failures here are real execution errors.
     let job = match wire::parse_job(body) {
         Ok(j) => j,
-        Err(e) => return finish(inner, id, ExecOutcome::Error(e.message()), None, false),
+        Err(e) => {
+            return finish(inner, id, ExecOutcome::Error(e.message()), None, false, busy_ms(busy))
+        }
     };
+    let fault = job.fault;
 
     // Result cache: deterministic runs keyed by the exact body. Resumes
     // are excluded — their answer depends on the checkpoint's progress.
     if !resumed {
         let cached = inner.cache.lock().unwrap().get(body).cloned();
         if let Some(result) = cached {
-            return finish(inner, id, ExecOutcome::Completed(result), None, true);
+            return finish(inner, id, ExecOutcome::Completed(result), None, true, busy_ms(busy));
         }
     }
 
@@ -354,7 +383,12 @@ fn execute(inner: &Arc<Inner>, id: u64, body: &str, deadline: Option<Instant>, r
         let reason = &mut stop_reason;
         catch_unwind(AssertUnwindSafe(|| match job.plan {
             ExecPlan::Facade(runner, from) => {
-                let mut poll = || {
+                let mut polls = 0u64;
+                let mut poll = |_obs: RunObservation| {
+                    polls += 1;
+                    if fault && polls > 2 {
+                        panic!("induced fault: panic");
+                    }
                     if reason.is_none() {
                         *reason = check_stop(inner, id, deadline);
                     }
@@ -365,11 +399,11 @@ fn execute(inner: &Arc<Inner>, id: u64, body: &str, deadline: Option<Instant>, r
                     }
                 };
                 let progress = match from {
-                    Some(ckpt) => match runner.resume(ckpt, &mut poll) {
+                    Some(ckpt) => match runner.resume_observed(ckpt, Some(trace), &mut poll) {
                         Ok(p) => p,
                         Err(e) => return ExecOutcome::Error(format!("resume failed: {e:?}")),
                     },
-                    None => runner.run_controlled(&mut poll),
+                    None => runner.run_observed(Some(trace), &mut poll),
                 };
                 match progress {
                     RunProgress::Done(outcome) => ExecOutcome::Completed(render_outcome(outcome)),
@@ -379,13 +413,23 @@ fn execute(inner: &Arc<Inner>, id: u64, body: &str, deadline: Option<Instant>, r
             }
             ExecPlan::Sweep(name) => {
                 let reqs = sweeps::by_name(&name).expect("sweep names validated at admission");
+                let mut units = 0u64;
                 let mut should_stop = || {
+                    units += 1;
+                    if fault && units > 2 {
+                        panic!("induced fault: panic");
+                    }
                     if reason.is_none() {
                         *reason = check_stop(inner, id, deadline);
                     }
                     reason.is_some()
                 };
-                match sweeps::run_counts_with(&inner.harness, &reqs, &mut should_stop) {
+                match sweeps::run_counts_observed(
+                    &inner.harness,
+                    &reqs,
+                    Some(trace),
+                    &mut should_stop,
+                ) {
                     Some(counts) => ExecOutcome::Completed(counts.to_json()),
                     None => ExecOutcome::Stopped(None),
                 }
@@ -400,7 +444,7 @@ fn execute(inner: &Arc<Inner>, id: u64, body: &str, deadline: Option<Instant>, r
             .unwrap_or_else(|| "worker panicked".to_string());
         ExecOutcome::Error(format!("panic: {msg}"))
     });
-    finish(inner, id, outcome, stop_reason, false);
+    finish(inner, id, outcome, stop_reason, false, busy_ms(busy));
 }
 
 /// Render a completed facade outcome as its canonical report JSON — the
@@ -416,64 +460,104 @@ fn render_outcome(outcome: RunOutcome) -> String {
     }
 }
 
-/// Record a job's terminal state, counters and latency, and wake waiters.
+/// Record a job's terminal state, counters and latency, wake waiters, and
+/// — for abnormal stops — dump the flight-recorder black box.
 fn finish(
     inner: &Inner,
     id: u64,
     outcome: ExecOutcome,
     stop_reason: Option<StopReason>,
     from_cache: bool,
+    busy_ms: u64,
 ) {
-    let mut st = inner.state.lock().unwrap();
-    let now = inner.now_ms();
-    let job = st.jobs.get_mut(id).expect("finishing jobs are in the table");
-    match outcome {
-        ExecOutcome::Completed(result) => {
-            job.state = JobState::Completed;
-            job.from_cache = from_cache;
-            job.timeline.record(now, JobPhase::Completed);
-            job.result = Some(result.clone());
-            let latency = job.elapsed_ms() as f64;
-            let cacheable = !job.resumed && !from_cache;
-            let body = job.body.clone();
-            st.stats.completions += 1;
-            if from_cache {
-                st.stats.cache_hits += 1;
+    let mut flight_dump: Option<(PathBuf, String)> = None;
+    {
+        let mut st = inner.state.lock().unwrap();
+        let now = inner.now_ms();
+        st.stats.worker_busy_ms += busy_ms;
+        let job = st.jobs.get_mut(id).expect("finishing jobs are in the table");
+        let trace = job.telemetry.clone();
+        match outcome {
+            ExecOutcome::Completed(result) => {
+                job.state = JobState::Completed;
+                job.from_cache = from_cache;
+                job.timeline.record(now, JobPhase::Completed);
+                job.result = Some(result.clone());
+                let latency = job.elapsed_ms() as f64;
+                let cacheable = !job.resumed && !from_cache;
+                let body = job.body.clone();
+                if let Some(t) = &trace {
+                    t.record_lifecycle(JobPhase::Completed);
+                }
+                st.stats.completions += 1;
+                if from_cache {
+                    st.stats.cache_hits += 1;
+                }
+                st.stats.record_latency_ms(latency);
+                if cacheable {
+                    inner.cache.lock().unwrap().insert(body, result);
+                }
             }
-            st.stats.record_latency_ms(latency);
-            if cacheable {
-                inner.cache.lock().unwrap().insert(body, result);
+            ExecOutcome::Stopped(checkpoint) => {
+                if checkpoint.is_some() {
+                    job.timeline.record(now, JobPhase::Checkpointed);
+                }
+                job.checkpoint = checkpoint;
+                // A stop with no recorded reason can only be a drain observed
+                // inside the engine after the flag flipped mid-poll.
+                let state = match stop_reason.unwrap_or(StopReason::Drain) {
+                    StopReason::Cancel => JobState::Cancelled,
+                    StopReason::Drain => JobState::Suspended,
+                    StopReason::Budget => JobState::OverBudget,
+                };
+                job.state = state;
+                job.timeline.record(now, state.terminal_phase());
+                if let Some(t) = &trace {
+                    if job.checkpoint.is_some() {
+                        t.record_lifecycle(JobPhase::Checkpointed);
+                    }
+                    t.record_lifecycle(state.terminal_phase());
+                }
+                match state {
+                    JobState::Cancelled => st.stats.cancellations += 1,
+                    JobState::Suspended => st.stats.suspended += 1,
+                    JobState::OverBudget => st.stats.over_budget += 1,
+                    _ => unreachable!("stop reasons map to stopped states"),
+                }
+            }
+            ExecOutcome::Error(message) => {
+                job.state = JobState::Failed;
+                job.error = Some(message);
+                job.timeline.record(now, JobPhase::Failed);
+                if let Some(t) = &trace {
+                    t.record_lifecycle(JobPhase::Failed);
+                }
+                st.stats.failures += 1;
             }
         }
-        ExecOutcome::Stopped(checkpoint) => {
-            if checkpoint.is_some() {
-                job.timeline.record(now, JobPhase::Checkpointed);
-            }
-            job.checkpoint = checkpoint;
-            // A stop with no recorded reason can only be a drain observed
-            // inside the engine after the flag flipped mid-poll.
-            let state = match stop_reason.unwrap_or(StopReason::Drain) {
-                StopReason::Cancel => JobState::Cancelled,
-                StopReason::Drain => JobState::Suspended,
-                StopReason::Budget => JobState::OverBudget,
-            };
-            job.state = state;
-            job.timeline.record(now, state.terminal_phase());
-            match state {
-                JobState::Cancelled => st.stats.cancellations += 1,
-                JobState::Suspended => st.stats.suspended += 1,
-                JobState::OverBudget => st.stats.over_budget += 1,
-                _ => unreachable!("stop reasons map to stopped states"),
+        // An abnormal stop writes the black box; completions don't need one.
+        let job = st.jobs.get(id).expect("still in the table");
+        let abnormal = matches!(
+            job.state,
+            JobState::Failed | JobState::Cancelled | JobState::OverBudget | JobState::Suspended
+        );
+        if abnormal {
+            if let (Some(t), Some(dir)) = (&trace, &inner.cfg.flight_dir) {
+                let wire_id = job.wire_id();
+                flight_dump =
+                    Some((dir.join(format!("flight-{wire_id}.json")), t.dump_json(&wire_id)));
             }
         }
-        ExecOutcome::Error(message) => {
-            job.state = JobState::Failed;
-            job.error = Some(message);
-            job.timeline.record(now, JobPhase::Failed);
-            st.stats.failures += 1;
-        }
+        inner.cv.notify_all();
     }
-    inner.cv.notify_all();
+    // File I/O happens after the lock is gone; a slow disk must not stall
+    // dispatch or status polls.
+    if let Some((path, doc)) = flight_dump {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, doc);
+    }
 }
 
 fn json_error(msg: &str) -> String {
@@ -511,7 +595,8 @@ fn json_response(status: u16, body: String) -> Response {
 fn route(inner: &Arc<Inner>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/jobs") => submit(inner, &req.body),
-        ("GET", "/metrics") => (200, "text/plain; charset=utf-8", Vec::new(), metrics(inner)),
+        ("GET", "/metrics") => (200, prom::CONTENT_TYPE, Vec::new(), metrics(inner)),
+        ("GET", "/v1/version") => json_response(200, version_json()),
         ("GET", "/v1/healthz") => {
             let st = inner.state.lock().unwrap();
             json_response(
@@ -596,6 +681,18 @@ fn job_route(inner: &Arc<Inner>, method: &str, rest: &str) -> Response {
             Some(c) => json_response(200, c.clone()),
             None => json_response(404, json_error("no checkpoint available")),
         },
+        ("GET", Some("progress")) => match &job.telemetry {
+            Some(t) => json_response(200, t.progress().snapshot().to_json()),
+            None => json_response(404, json_error("job has not been dispatched")),
+        },
+        ("GET", Some("flight")) => match &job.telemetry {
+            Some(t) => json_response(200, t.dump_json(&job.wire_id())),
+            None => json_response(404, json_error("job has not been dispatched")),
+        },
+        ("GET", Some("trace")) => match &job.telemetry {
+            Some(t) => json_response(200, t.chrome_json(&job.wire_id(), job.worker.unwrap_or(0))),
+            None => json_response(404, json_error("job has not been dispatched")),
+        },
         ("DELETE", None) => {
             let now = inner.now_ms();
             let job = st.jobs.get_mut(id).expect("present above");
@@ -624,32 +721,143 @@ fn job_route(inner: &Arc<Inner>, method: &str, rest: &str) -> Response {
     }
 }
 
-/// `GET /metrics`: a flat, line-oriented rendering of the service
-/// counters, queue gauges and latency percentiles.
+/// `GET /v1/version`: build identity plus the state of the determinism
+/// escape hatches — the first thing to check when two deployments
+/// disagree about wall clock.
+fn version_json() -> String {
+    let no_fastfwd = std::env::var_os("MNPU_NO_FASTFWD").is_some_and(|v| v != "0");
+    format!(
+        "{{\"name\":\"mnpu-service\",\"version\":\"{}\",\"snapshot_version\":{},\
+         \"fastfwd\":{},\"prefix_share\":{}}}",
+        env!("CARGO_PKG_VERSION"),
+        mnpu_snapshot::SNAPSHOT_VERSION,
+        !no_fastfwd,
+        mnpu_bench::prefix_share_enabled(),
+    )
+}
+
+/// `GET /metrics`: the service counters, queue gauges, latency and
+/// queue-depth histograms, and the process-wide simulator-internal
+/// counters, in Prometheus text-exposition format (`version=0.0.4`,
+/// `HELP`/`TYPE` for every family — [`prom::lint`] holds it to the spec).
 fn metrics(inner: &Arc<Inner>) -> String {
     let st = inner.state.lock().unwrap();
     let s = &st.stats;
     let running = st.jobs.ids_in_state(JobState::Running).len();
-    let mut out = String::new();
-    out.push_str(&format!("service_queue_depth {}\n", st.queue.depth()));
-    out.push_str(&format!("service_queue_bound {}\n", st.queue.bound()));
-    out.push_str(&format!("service_jobs_running {running}\n"));
-    out.push_str(&format!("service_jobs_in_system {}\n", s.in_system()));
-    out.push_str(&format!("service_submissions_total {}\n", s.submissions));
-    out.push_str(&format!("service_rejects_total {}\n", s.rejects));
-    out.push_str(&format!("service_dispatches_total {}\n", s.dispatches));
-    out.push_str(&format!("service_completions_total {}\n", s.completions));
-    out.push_str(&format!("service_cancellations_total {}\n", s.cancellations));
-    out.push_str(&format!("service_over_budget_total {}\n", s.over_budget));
-    out.push_str(&format!("service_failures_total {}\n", s.failures));
-    out.push_str(&format!("service_suspended_total {}\n", s.suspended));
-    out.push_str(&format!("service_cache_hits_total {}\n", s.cache_hits));
-    out.push_str(&format!("service_latency_ms_count {}\n", s.latency_samples()));
-    if let Some(lat) = s.latency() {
-        out.push_str(&format!("service_latency_ms{{quantile=\"0.5\"}} {}\n", lat.p50));
-        out.push_str(&format!("service_latency_ms{{quantile=\"0.95\"}} {}\n", lat.p95));
-        out.push_str(&format!("service_latency_ms{{quantile=\"0.99\"}} {}\n", lat.p99));
+    let workers = inner.cfg.workers.max(1);
+    let uptime = inner.started.elapsed().as_secs_f64();
+    let utilization = if uptime > 0.0 {
+        (s.worker_busy_ms as f64 / 1000.0) / (uptime * workers as f64)
+    } else {
+        0.0
+    };
+    let sim = mnpu_trace::counters::snapshot();
+    let mut latency = prom::ExpHistogram::latency_seconds();
+    for &ms in s.latencies_ms() {
+        latency.observe(ms / 1000.0);
     }
+    let mut out = String::new();
+    prom::gauge(
+        &mut out,
+        "service_queue_depth",
+        "Jobs waiting for a worker.",
+        st.queue.depth() as f64,
+    );
+    prom::gauge(
+        &mut out,
+        "service_queue_bound",
+        "Admission queue capacity.",
+        st.queue.bound() as f64,
+    );
+    prom::gauge(&mut out, "service_jobs_running", "Jobs executing right now.", running as f64);
+    prom::gauge(
+        &mut out,
+        "service_jobs_in_system",
+        "Jobs admitted but not yet terminal.",
+        s.in_system() as f64,
+    );
+    prom::gauge(&mut out, "service_workers", "Worker threads in the pool.", workers as f64);
+    prom::gauge(
+        &mut out,
+        "service_worker_utilization",
+        "Fraction of total worker time spent executing jobs.",
+        utilization,
+    );
+    prom::counter(&mut out, "service_submissions_total", "Submissions received.", s.submissions);
+    prom::counter(
+        &mut out,
+        "service_rejects_total",
+        "Submissions bounced by admission control.",
+        s.rejects,
+    );
+    prom::counter(&mut out, "service_dispatches_total", "Jobs handed to a worker.", s.dispatches);
+    prom::counter(
+        &mut out,
+        "service_completions_total",
+        "Jobs finished with a result.",
+        s.completions,
+    );
+    prom::counter(
+        &mut out,
+        "service_cancellations_total",
+        "Jobs stopped by DELETE.",
+        s.cancellations,
+    );
+    prom::counter(
+        &mut out,
+        "service_over_budget_total",
+        "Jobs stopped at their wall-clock budget.",
+        s.over_budget,
+    );
+    prom::counter(&mut out, "service_failures_total", "Jobs that died with an error.", s.failures);
+    prom::counter(
+        &mut out,
+        "service_suspended_total",
+        "Jobs checkpointed or re-queued by a drain.",
+        s.suspended,
+    );
+    prom::counter(
+        &mut out,
+        "service_cache_hits_total",
+        "Completions served from the result cache.",
+        s.cache_hits,
+    );
+    prom::counter(
+        &mut out,
+        "service_worker_busy_ms_total",
+        "Cumulative worker milliseconds spent executing jobs.",
+        s.worker_busy_ms,
+    );
+    prom::counter(
+        &mut out,
+        "sim_run_cache_hits_total",
+        "Bench-harness run-cache hits, process-wide.",
+        sim.run_cache_hits,
+    );
+    prom::counter(
+        &mut out,
+        "sim_prefix_share_sims_total",
+        "Simulations served from warm-start prefix groups, process-wide.",
+        sim.prefix_share_sims,
+    );
+    prom::counter(
+        &mut out,
+        "sim_fastfwd_commits_total",
+        "DRAM steady-state fast-forward commits, process-wide.",
+        sim.fastfwd_commits,
+    );
+    prom::histogram(
+        &mut out,
+        "service_job_latency_seconds",
+        "Terminal job latency, admission to terminal state.",
+        &latency,
+    );
+    prom::histogram(
+        &mut out,
+        "service_dispatch_queue_depth",
+        "Backlog left behind at each dispatch.",
+        s.queue_depth_hist(),
+    );
     out
 }
 
@@ -723,6 +931,21 @@ mod tests {
         assert_eq!(report, report2);
         let (_, m) = request(addr, "GET", "/metrics", "");
         assert!(m.contains("service_cache_hits_total 1"), "{m}");
+        prom::lint(&m).expect("metrics must be exposition-compliant");
+        assert!(m.contains("# TYPE service_job_latency_seconds histogram"), "{m}");
+        // The live endpoints exist once a job has been dispatched.
+        let (status, progress) = request(addr, "GET", &format!("/v1/jobs/{id}/progress"), "");
+        assert_eq!(status, 200, "{progress}");
+        assert!(progress.contains("\"phase\":\"completed\""), "{progress}");
+        let (status, flight) = request(addr, "GET", &format!("/v1/jobs/{id}/flight"), "");
+        assert_eq!(status, 200);
+        assert!(flight.contains("\"format\":\"mnpu-flight\""), "{flight}");
+        let (status, trace) = request(addr, "GET", &format!("/v1/jobs/{id}/trace"), "");
+        assert_eq!(status, 200);
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        let (status, ver) = request(addr, "GET", "/v1/version", "");
+        assert_eq!(status, 200);
+        assert!(ver.contains("\"snapshot_version\""), "{ver}");
         let drained = svc.shutdown();
         assert_eq!(drained.suspended_running + drained.suspended_queued, 0);
     }

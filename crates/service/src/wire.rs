@@ -5,7 +5,7 @@
 //! * `"networks"` — a single-chip batch run: `cores`, `sharing`
 //!   (`"ideal"`/`"static"`/`"+d"`/`"+dw"`/`"+dwt"`), `networks` (zoo
 //!   names, one per core), optional `trace_window` and `probe`
-//!   (`"stats"`);
+//!   (`"stats"`/`"flight"`);
 //! * `"serve"` — a dynamic scenario: `scenario` holds the scenario file
 //!   text verbatim ([`mnpu_config::parse_scenario`]);
 //! * `"sweep"` — a canonical sweep by name (`"tiny"`, `"fig04"`), run
@@ -43,6 +43,10 @@ pub struct WireJob {
     /// `true` when the job resumes a checkpoint (excluded from the result
     /// cache: its answer depends on the checkpoint, not just the body).
     pub resumed: bool,
+    /// `true` when the body carried `"fault":"panic"` — a test hatch that
+    /// makes the executing worker panic mid-run, so the flight-recorder
+    /// black-box path can be exercised end to end.
+    pub fault: bool,
 }
 
 /// Why a submission was rejected, each variant carrying the one-line
@@ -131,7 +135,7 @@ pub fn parse_job(body: &str) -> Result<WireJob, WireError> {
     for key in obj.keys() {
         match key.as_str() {
             "kind" | "cores" | "sharing" | "networks" | "trace_window" | "probe" | "scenario"
-            | "sweep" | "budget_ms" | "resume" => {}
+            | "sweep" | "budget_ms" | "resume" | "fault" => {}
             other => return Err(field_err(format!("unknown field '{other}'"))),
         }
     }
@@ -145,6 +149,13 @@ pub fn parse_job(body: &str) -> Result<WireJob, WireError> {
         Some(b) => Some(
             b.as_u64().ok_or_else(|| field_err("'budget_ms' must be a non-negative integer"))?,
         ),
+    };
+    let fault = match v.get("fault") {
+        None => false,
+        Some(f) => match f.as_str() {
+            Some("panic") => true,
+            _ => return Err(field_err("'fault' must be \"panic\"")),
+        },
     };
     let resume = match v.get("resume") {
         None => None,
@@ -195,8 +206,11 @@ pub fn parse_job(body: &str) -> Result<WireJob, WireError> {
             if let Some(p) = v.get("probe") {
                 cfg.probe = match p.as_str() {
                     Some("stats") => ProbeMode::Stats,
+                    Some("flight") => ProbeMode::Flight,
                     Some("none") => ProbeMode::None,
-                    _ => return Err(field_err("'probe' must be \"stats\" or \"none\"")),
+                    _ => {
+                        return Err(field_err("'probe' must be \"stats\", \"flight\" or \"none\""))
+                    }
                 };
             }
             let runner = RunRequest::networks(&cfg, nets).build()?;
@@ -229,7 +243,7 @@ pub fn parse_job(body: &str) -> Result<WireJob, WireError> {
     };
 
     let resumed = matches!(&plan, ExecPlan::Facade(_, Some(_)));
-    Ok(WireJob { plan, budget_ms, resumed })
+    Ok(WireJob { plan, budget_ms, resumed, fault })
 }
 
 /// Render a parsed [`Value`] back to canonical JSON text (used to hand the
@@ -283,6 +297,21 @@ mod tests {
             .unwrap();
         assert!(matches!(job.plan, ExecPlan::Facade(_, None)));
         assert_eq!(job.budget_ms, None);
+    }
+
+    #[test]
+    fn parses_flight_probe_and_fault_hatch() {
+        let job = parse_job(
+            r#"{"kind":"networks","cores":1,"sharing":"ideal","networks":["ncf"],
+                "probe":"flight","fault":"panic"}"#,
+        )
+        .unwrap();
+        assert!(job.fault);
+        assert!(matches!(job.plan, ExecPlan::Facade(_, None)));
+        assert!(matches!(
+            parse_job(r#"{"kind":"sweep","sweep":"tiny","fault":"segfault"}"#),
+            Err(WireError::Field(ref m)) if m.contains("fault")
+        ));
     }
 
     #[test]

@@ -41,8 +41,8 @@
 
 use crate::run::{Payload, RunOutcome, Runner};
 use mnpu_engine::{
-    Advance, NullProbe, Probe, ProbeMode, RunReport, SimSnapshot, Simulation, SnapError,
-    SystemConfig, SNAPSHOT_VERSION,
+    Advance, FlightProbe, NullProbe, Probe, ProbeMode, RunReport, SimSnapshot, Simulation,
+    SnapError, SystemConfig, TraceHandle, SNAPSHOT_VERSION,
 };
 use mnpu_sched::{ServeReport, ServeSession, ServeSnapshot};
 use mnpu_systolic::WorkloadTrace;
@@ -64,6 +64,26 @@ pub enum RunControl {
     Continue,
     /// Stop here and checkpoint (cancellation, budget expiry, drain).
     Checkpoint,
+}
+
+/// What a controlled run reports *to* the control callback at each safe
+/// boundary — the driver-side half of live progress telemetry.
+///
+/// The engine clock is the only simulation-state fact a boundary exposes;
+/// everything wall-clock-flavoured (rates, stall attribution) is derived
+/// inside the [`TraceHandle`] so reports and checkpoints stay
+/// byte-identical whether or not anyone is watching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunObservation {
+    cycles: u64,
+}
+
+impl RunObservation {
+    /// Simulated cycles completed so far: the engine clock for batch and
+    /// serve runs, the summed cycles of finished chips for fleet runs.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
 }
 
 /// How far a controlled run got.
@@ -191,14 +211,14 @@ fn drive_batch<P: Probe>(
     cfg: &SystemConfig,
     traces: &[WorkloadTrace],
     from: Option<&SimSnapshot>,
-    poll: &mut dyn FnMut() -> RunControl,
+    poll: &mut dyn FnMut(RunObservation) -> RunControl,
 ) -> Result<BatchProgress, SnapError> {
     let mut sim = Simulation::with_probe(cfg, traces, P::default());
     if let Some(snap) = from {
         sim.restore(snap)?;
     }
     loop {
-        if poll() == RunControl::Checkpoint {
+        if poll(RunObservation { cycles: sim.now() }) == RunControl::Checkpoint {
             return Ok(BatchProgress::Checkpointed(sim.snapshot()));
         }
         let stop = sim.now().saturating_add(POLL_CHUNK);
@@ -222,14 +242,14 @@ enum BatchProgress {
 fn drive_serve<P: Probe>(
     spec: &mnpu_config::ScenarioSpec,
     from: Option<ServeSnapshot>,
-    poll: &mut dyn FnMut() -> RunControl,
+    poll: &mut dyn FnMut(RunObservation) -> RunControl,
 ) -> Result<ServeProgress, SnapError> {
     let mut session = match from {
         Some(snap) => ServeSession::restore_with_probe(spec, P::default(), snap)?,
         None => ServeSession::with_probe(spec, P::default()),
     };
     loop {
-        if poll() == RunControl::Checkpoint {
+        if poll(RunObservation { cycles: session.now() }) == RunControl::Checkpoint {
             return Ok(ServeProgress::Checkpointed(session.snapshot()));
         }
         if !session.step() {
@@ -256,7 +276,7 @@ impl Runner {
     /// cycle set on the request is ignored here (the callback *is* the
     /// checkpoint trigger).
     pub fn run_controlled(self, poll: &mut dyn FnMut() -> RunControl) -> RunProgress {
-        self.run_controlled_from(None, poll).expect("a fresh run has no snapshot to reject")
+        self.run_observed(None, &mut |_| poll())
     }
 
     /// Resume a run stopped by [`Runner::run_controlled`]. The runner must
@@ -274,14 +294,57 @@ impl Runner {
         checkpoint: JobCheckpoint,
         poll: &mut dyn FnMut() -> RunControl,
     ) -> Result<RunProgress, SnapError> {
-        self.run_controlled_from(Some(checkpoint), poll)
+        self.resume_observed(checkpoint, None, &mut |_| poll())
+    }
+
+    /// [`Runner::run_controlled`] with live telemetry: the callback
+    /// receives a [`RunObservation`] at every safe boundary, and when a
+    /// [`TraceHandle`] is given it is installed as the driving thread's
+    /// ambient sink (so a [`ProbeMode::Flight`] run's probes record into
+    /// it) and every boundary is published to its progress cell.
+    ///
+    /// Telemetry is observation only: the returned progress — report
+    /// bytes, checkpoint bytes — is byte-identical to
+    /// [`Runner::run_controlled`] with or without a handle.
+    pub fn run_observed(
+        self,
+        trace: Option<&TraceHandle>,
+        poll: &mut dyn FnMut(RunObservation) -> RunControl,
+    ) -> RunProgress {
+        self.run_controlled_from(None, trace, poll).expect("a fresh run has no snapshot to reject")
+    }
+
+    /// [`Runner::resume`] with live telemetry; see [`Runner::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Runner::resume`].
+    pub fn resume_observed(
+        self,
+        checkpoint: JobCheckpoint,
+        trace: Option<&TraceHandle>,
+        poll: &mut dyn FnMut(RunObservation) -> RunControl,
+    ) -> Result<RunProgress, SnapError> {
+        self.run_controlled_from(Some(checkpoint), trace, poll)
     }
 
     fn run_controlled_from(
         self,
         from: Option<JobCheckpoint>,
-        poll: &mut dyn FnMut() -> RunControl,
+        trace: Option<&TraceHandle>,
+        poll: &mut dyn FnMut(RunObservation) -> RunControl,
     ) -> Result<RunProgress, SnapError> {
+        // While a handle observes this run it doubles as the thread's
+        // ambient probe sink, and every poll boundary updates its
+        // progress cell before the caller decides whether to stop.
+        let _guard = trace.map(mnpu_trace::install);
+        let mut poll = |obs: RunObservation| {
+            if let Some(h) = trace {
+                h.publish_poll(obs.cycles());
+            }
+            poll(obs)
+        };
+        let poll: &mut dyn FnMut(RunObservation) -> RunControl = &mut poll;
         let batch_from = |from: Option<JobCheckpoint>| match from {
             None => Ok(None),
             Some(JobCheckpoint { payload: CkptPayload::Batch(s) }) => Ok(Some(s)),
@@ -302,11 +365,14 @@ impl Runner {
                     return Err(SnapError::BadValue("fleet runs cannot resume from a checkpoint"));
                 }
                 let mut reports = Vec::with_capacity(assignments.len());
+                let mut cycles = 0u64;
                 for nets in &assignments {
-                    if poll() == RunControl::Checkpoint {
+                    if poll(RunObservation { cycles }) == RunControl::Checkpoint {
                         return Ok(RunProgress::Stopped);
                     }
-                    reports.push(Simulation::execute_networks(&cfg, nets));
+                    let report = Simulation::execute_networks(&cfg, nets);
+                    cycles = cycles.saturating_add(report.total_cycles);
+                    reports.push(report);
                 }
                 Ok(RunProgress::Done(RunOutcome::Fleet(reports)))
             }
@@ -324,6 +390,9 @@ impl Runner {
                     ProbeMode::None => drive_serve::<NullProbe>(&spec, serve_from, poll)?,
                     ProbeMode::Stats => {
                         drive_serve::<mnpu_engine::StatsProbe>(&spec, serve_from, poll)?
+                    }
+                    ProbeMode::Flight => {
+                        drive_serve::<FlightProbe<NullProbe>>(&spec, serve_from, poll)?
                     }
                 };
                 Ok(match progress {
@@ -343,11 +412,12 @@ fn batch(
     cfg: &SystemConfig,
     traces: &[WorkloadTrace],
     from: Option<&SimSnapshot>,
-    poll: &mut dyn FnMut() -> RunControl,
+    poll: &mut dyn FnMut(RunObservation) -> RunControl,
 ) -> Result<RunProgress, SnapError> {
     let progress = match cfg.probe {
         ProbeMode::None => drive_batch::<NullProbe>(cfg, traces, from, poll)?,
         ProbeMode::Stats => drive_batch::<mnpu_engine::StatsProbe>(cfg, traces, from, poll)?,
+        ProbeMode::Flight => drive_batch::<FlightProbe<NullProbe>>(cfg, traces, from, poll)?,
     };
     Ok(match progress {
         BatchProgress::Done(r) => RunProgress::Done(RunOutcome::Batch(r)),

@@ -66,7 +66,8 @@ pub use mnpu_predict as predict;
 pub use mnpu_sched as sched;
 pub use mnpu_systolic as systolic;
 
-pub use job::{JobCheckpoint, RunControl, RunProgress, JOB_CHECKPOINT_VERSION};
+pub use job::{JobCheckpoint, RunControl, RunObservation, RunProgress, JOB_CHECKPOINT_VERSION};
+pub use mnpu_trace as trace;
 pub use run::{RequestError, RunOutcome, RunRequest, Runner};
 
 pub use mnpu_dram::{Dram, DramConfig};

@@ -188,6 +188,135 @@ fn cancel_mid_run_then_resume_matches_uninterrupted_run() {
 }
 
 #[test]
+fn version_endpoint_reports_build_and_hatches() {
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+    let (status, _, body) = request(addr, "GET", "/v1/version", "");
+    assert_eq!(status, 200, "{body}");
+    let v = mnpu_service::json::parse(&body).expect("version body is JSON");
+    assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("mnpu-service"));
+    assert!(!str_field(&body, "version").is_empty());
+    assert!(v.get("snapshot_version").and_then(|x| x.as_u64()).is_some(), "{body}");
+    // The determinism escape hatches are booleans, whatever the env says.
+    assert!(body.contains("\"fastfwd\":"), "{body}");
+    assert!(body.contains("\"prefix_share\":"), "{body}");
+    svc.shutdown();
+}
+
+#[test]
+fn metrics_are_prometheus_exposition_compliant() {
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+    let id = submit(addr, r#"{"kind":"networks","cores":1,"sharing":"ideal","networks":["ncf"]}"#);
+    assert_eq!(wait_terminal(addr, &id), "completed");
+    let (status, head, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "metrics must advertise the exposition content type: {head}"
+    );
+    mnpusim::metrics::prom::lint(&body).expect("metrics must pass the exposition lint");
+    assert!(body.contains("# TYPE service_job_latency_seconds histogram"), "{body}");
+    assert!(body.contains("# TYPE service_dispatch_queue_depth histogram"), "{body}");
+    assert!(body.contains("sim_fastfwd_commits_total"), "{body}");
+    svc.shutdown();
+}
+
+/// The black-box test: a worker panic mid-job must leave a well-formed
+/// `flight-<job>.json` whose trailing events show what the job was doing
+/// when it died.
+#[test]
+fn worker_panic_dumps_a_wellformed_flight_recording() {
+    let dir = std::env::temp_dir().join(format!("mnpu-flight-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig { flight_dir: Some(dir.clone()), ..ServiceConfig::default() };
+    let svc = Service::start(cfg).unwrap();
+    let addr = svc.addr();
+
+    let body = r#"{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096,"fault":"panic"}"#;
+    let id = submit(addr, body);
+    assert_eq!(wait_terminal(addr, &id), "failed");
+    let (_, _, status_body) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+    assert!(status_body.contains("induced fault"), "{status_body}");
+
+    // The dump is written after the terminal state is published; poll
+    // briefly for the file.
+    let path = dir.join(format!("flight-{id}.json"));
+    let mut waited = 0;
+    while !path.exists() && waited < 2000 {
+        std::thread::sleep(Duration::from_millis(10));
+        waited += 10;
+    }
+    let doc = std::fs::read_to_string(&path).expect("flight dump must exist after a panic");
+    let v = mnpu_service::json::parse(&doc).expect("flight dump is well-formed JSON");
+    assert_eq!(v.get("format").and_then(|x| x.as_str()), Some("mnpu-flight"));
+    assert_eq!(v.get("job").and_then(|x| x.as_str()), Some(id.as_str()));
+    let events = v.get("events").and_then(|x| x.as_arr()).expect("events array");
+    assert!(!events.is_empty(), "a panicking job must leave events behind");
+    // The tail of the recording matches the job's phase at death: driver
+    // polls, then the failed lifecycle edge finish() recorded.
+    let last = events.last().unwrap();
+    assert_eq!(last.get("kind").and_then(|x| x.as_str()), Some("failed"), "{doc}");
+    assert!(
+        events.iter().any(|e| e.get("kind").and_then(|x| x.as_str()) == Some("poll")),
+        "the ring must show the driver polling before the death: {doc}"
+    );
+    // The same recording is fetchable over HTTP, and the live progress
+    // cell agrees about the terminal phase.
+    let (status, _, flight) = request(addr, "GET", &format!("/v1/jobs/{id}/flight"), "");
+    assert_eq!(status, 200);
+    assert!(flight.contains("\"kind\":\"failed\""), "{flight}");
+    let (status, _, progress) = request(addr, "GET", &format!("/v1/jobs/{id}/progress"), "");
+    assert_eq!(status, 200);
+    assert_eq!(str_field(&progress, "phase"), "failed");
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Live progress: polling a running job's `/progress` must show cycle
+/// counts that only ever grow.
+#[test]
+fn progress_cycles_grow_monotonically_across_polls() {
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let addr = svc.addr();
+    // A unique body (distinct budget) so the result cache of sibling
+    // tests cannot answer it instantly.
+    let body = r#"{"kind":"networks","cores":4,"sharing":"+dwt","networks":["ncf","gpt2","yt","dlrm"],"trace_window":4096,"budget_ms":3600001}"#;
+    let id = submit(addr, body);
+
+    let mut samples: Vec<u64> = Vec::new();
+    let mut live_samples = 0usize;
+    loop {
+        let (_, _, status_body) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        let state = str_field(&status_body, "state");
+        if state == "queued" {
+            continue;
+        }
+        let (status, _, progress) = request(addr, "GET", &format!("/v1/jobs/{id}/progress"), "");
+        assert_eq!(status, 200, "{progress}");
+        let v = mnpu_service::json::parse(&progress).unwrap();
+        samples.push(v.get("cycles").and_then(|x| x.as_u64()).unwrap());
+        if state == "running" {
+            live_samples += 1;
+        } else {
+            break;
+        }
+    }
+    // Whatever the interleaving, every poll of a dispatched job saw a
+    // non-decreasing cycle count, we got at least 3 reads, and the job
+    // made real progress.
+    while samples.len() < 3 {
+        let (_, _, progress) = request(addr, "GET", &format!("/v1/jobs/{id}/progress"), "");
+        let v = mnpu_service::json::parse(&progress).unwrap();
+        samples.push(v.get("cycles").and_then(|x| x.as_u64()).unwrap());
+    }
+    assert!(samples.windows(2).all(|w| w[0] <= w[1]), "cycles regressed: {samples:?}");
+    assert!(*samples.last().unwrap() > 0, "job finished with zero published cycles");
+    assert!(live_samples > 0 || wait_terminal(addr, &id) == "completed");
+    svc.shutdown();
+}
+
+#[test]
 fn admission_bounces_exactly_the_excess_and_loses_nothing() {
     let cfg = ServiceConfig { queue_depth: 2, workers: 1, ..ServiceConfig::default() };
     let svc = Service::start(cfg).unwrap();

@@ -1,0 +1,151 @@
+//! Determinism-neutrality suite for the mnpu-trace layer.
+//!
+//! The observability contract is that watching a run never changes it:
+//! attaching a [`TraceHandle`](mnpusim::trace::TraceHandle) to the driver,
+//! switching the engine probe to [`ProbeMode::Flight`], or doing both at
+//! once must leave every simulation artifact — reports, checkpoints, the
+//! bytes a resume produces — byte-identical to the unobserved run. Each
+//! test here pins one face of that contract.
+
+use mnpusim::prelude::*;
+use mnpusim::trace::TraceHandle;
+use mnpusim::{zoo, ProbeMode, RunControl, RunObservation};
+
+fn dual_config() -> SystemConfig {
+    let mut cfg = SystemConfig::bench(2, SharingLevel::PlusDwt);
+    cfg.trace_window = Some(4096);
+    cfg
+}
+
+fn dual_nets() -> Vec<Network> {
+    vec![zoo::ncf(Scale::Bench), zoo::gpt2(Scale::Bench)]
+}
+
+fn runner(cfg: &SystemConfig) -> Runner {
+    RunRequest::networks(cfg, dual_nets()).build().expect("valid request")
+}
+
+fn outcome_json(outcome: RunOutcome) -> String {
+    outcome.batch().to_json()
+}
+
+#[test]
+fn observed_run_is_byte_identical_and_publishes_progress() {
+    let cfg = dual_config();
+    let plain = match runner(&cfg).run_controlled(&mut || RunControl::Continue) {
+        RunProgress::Done(o) => outcome_json(o),
+        other => panic!("unstoppable run must finish, got {other:?}"),
+    };
+    let trace = TraceHandle::new();
+    let observed = match runner(&cfg)
+        .run_observed(Some(&trace), &mut |_: RunObservation| RunControl::Continue)
+    {
+        RunProgress::Done(o) => outcome_json(o),
+        other => panic!("unstoppable run must finish, got {other:?}"),
+    };
+    assert_eq!(plain, observed, "attaching telemetry changed the report bytes");
+    // The observation side effects are real: cycles advanced and at least
+    // one poll boundary was published into the progress cell.
+    let snap = trace.progress().snapshot();
+    assert!(snap.cycles > 0, "observed run published no cycles");
+    assert!(snap.polls >= 1, "observed run published no polls");
+    assert!(!trace.events().is_empty(), "observed run left no ring events");
+}
+
+#[test]
+fn flight_probe_report_matches_probe_none() {
+    let mut none_cfg = dual_config();
+    none_cfg.probe = ProbeMode::None;
+    let mut flight_cfg = dual_config();
+    flight_cfg.probe = ProbeMode::Flight;
+    let none = RunRequest::networks(&none_cfg, dual_nets()).run().batch().to_json();
+    let trace = TraceHandle::new();
+    let flight = {
+        let _g = mnpusim::trace::install(&trace);
+        RunRequest::networks(&flight_cfg, dual_nets()).run().batch().to_json()
+    };
+    assert_eq!(none, flight, "ProbeMode::Flight leaked telemetry into the report");
+    // And the probe really ran: dense traffic reached the progress cell
+    // and phase edges reached the ring.
+    let snap = trace.progress().snapshot();
+    assert!(snap.traffic.dram_txns > 0, "flight probe recorded no DRAM traffic");
+    assert!(
+        trace.events().iter().any(|e| e.kind.label().ends_with("_begin")),
+        "flight probe recorded no phase edges"
+    );
+}
+
+#[test]
+fn traced_checkpoint_resumes_to_untraced_bytes() {
+    let cfg = dual_config();
+    let uninterrupted = match runner(&cfg).run_controlled(&mut || RunControl::Continue) {
+        RunProgress::Done(o) => outcome_json(o),
+        other => panic!("unstoppable run must finish, got {other:?}"),
+    };
+    // Stop the traced run at its first poll boundary.
+    let trace = TraceHandle::new();
+    let ckpt = match runner(&cfg)
+        .run_observed(Some(&trace), &mut |_: RunObservation| RunControl::Checkpoint)
+    {
+        RunProgress::Checkpointed(c) => c,
+        other => panic!("a checkpoint-at-first-poll run must checkpoint, got {other:?}"),
+    };
+    // Resume without any telemetry; the answer must match.
+    let resumed = match runner(&cfg)
+        .resume(ckpt, &mut || RunControl::Continue)
+        .expect("checkpoint round-trips")
+    {
+        RunProgress::Done(o) => outcome_json(o),
+        other => panic!("resumed run must finish, got {other:?}"),
+    };
+    assert_eq!(uninterrupted, resumed, "a traced stop changed the resumed answer");
+}
+
+#[test]
+fn checkpoint_bytes_ignore_telemetry() {
+    let cfg = dual_config();
+    let plain = match runner(&cfg).run_controlled(&mut || RunControl::Checkpoint) {
+        RunProgress::Checkpointed(c) => c.to_json(),
+        other => panic!("expected a checkpoint, got {other:?}"),
+    };
+    let trace = TraceHandle::new();
+    let traced = match runner(&cfg)
+        .run_observed(Some(&trace), &mut |_: RunObservation| RunControl::Checkpoint)
+    {
+        RunProgress::Checkpointed(c) => c.to_json(),
+        other => panic!("expected a checkpoint, got {other:?}"),
+    };
+    assert_eq!(plain, traced, "telemetry leaked into checkpoint bytes");
+}
+
+#[test]
+fn flight_probe_checkpoint_round_trips_like_none() {
+    // A run under ProbeMode::Flight that checkpoints and resumes must land
+    // on the ProbeMode::None answer: the probe saves/loads only its inner
+    // (null) state, so the snapshot carries no telemetry.
+    let mut cfg = dual_config();
+    cfg.probe = ProbeMode::Flight;
+    let mut none_cfg = dual_config();
+    none_cfg.probe = ProbeMode::None;
+    let expected = RunRequest::networks(&none_cfg, dual_nets()).run().batch().to_json();
+    let trace = TraceHandle::new();
+    let _g = mnpusim::trace::install(&trace);
+    let ckpt = match RunRequest::networks(&cfg, dual_nets())
+        .build()
+        .expect("valid request")
+        .run_observed(Some(&trace), &mut |_: RunObservation| RunControl::Checkpoint)
+    {
+        RunProgress::Checkpointed(c) => c,
+        other => panic!("expected a checkpoint, got {other:?}"),
+    };
+    let resumed = match RunRequest::networks(&cfg, dual_nets())
+        .build()
+        .expect("valid request")
+        .resume_observed(ckpt, Some(&trace), &mut |_: RunObservation| RunControl::Continue)
+        .expect("checkpoint round-trips")
+    {
+        RunProgress::Done(o) => o.batch().to_json(),
+        other => panic!("resumed run must finish, got {other:?}"),
+    };
+    assert_eq!(expected, resumed, "flight-probe checkpoint/resume diverged from probe-none");
+}
